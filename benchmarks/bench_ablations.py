@@ -1,0 +1,31 @@
+"""Design ablations: what breaks when each BackFi mechanism is removed."""
+
+from conftest import print_result
+
+from repro.experiments import ablations
+
+
+def test_ablation_grid(benchmark):
+    """Analog SIC / digital SIC / silent period, on vs off."""
+    result = benchmark.pedantic(
+        lambda: ablations.run(distance_m=2.0, trials=5, seed=43),
+        rounds=1, iterations=1,
+    )
+    print_result(result.table)
+    full = result.outcome("full")
+    assert full.success_rate >= 0.8
+    assert result.outcome("no_analog").success_rate < 0.5
+    assert result.outcome("no_digital").success_rate < 0.5
+    assert result.outcome("no_silent").success_rate <= full.success_rate
+
+
+def test_mrc_vs_divide(benchmark):
+    """Sec. 4.3.2: MRC vs the naive divide-by-template estimator."""
+    table = benchmark.pedantic(
+        lambda: ablations.mrc_vs_divide(trials=5, seed=47),
+        rounds=1, iterations=1,
+    )
+    print_result(table)
+    mrc_err = float(table.rows[0][1])
+    div_err = float(table.rows[1][1])
+    assert mrc_err < 0.2 * div_err

@@ -1,0 +1,19 @@
+"""Section 6 headline: BackFi vs prior Wi-Fi backscatter vs RFID."""
+
+from conftest import print_result
+
+from repro.experiments import comparison
+
+
+def test_comparison_table(benchmark):
+    """Throughput of all three systems across the range sweep."""
+    result = benchmark.pedantic(
+        lambda: comparison.run(distances_m=(0.5, 1.0, 2.0, 5.0),
+                               trials=5, seed=41),
+        rounds=1, iterations=1,
+    )
+    print_result(result.table)
+    # Paper: one to three orders of magnitude over Kellogg et al.
+    assert result.backfi_advantage(1.0) > 1000
+    # And multi-Mbps absolute throughput at a metre.
+    assert result.backfi_bps[1.0] >= 3e6

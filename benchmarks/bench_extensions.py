@@ -1,0 +1,146 @@
+"""Benches for the paper's Sec. 7 future-work extensions.
+
+Not figures from the paper's evaluation -- these quantify the extensions
+the paper sketches: multi-antenna diversity combining, multi-tag
+networks, and closed-loop rate adaptation over the downlink.
+"""
+
+import numpy as np
+from conftest import print_result
+
+from repro.channel import Scene
+from repro.experiments.common import ExperimentTable
+from repro.link import AdaptiveLink, BackFiNetwork
+from repro.reader import MimoBackFiReader, MimoScene, run_mimo_session
+from repro.tag import BackFiTag, TagConfig
+
+
+def test_mimo_diversity_gain(benchmark):
+    """Post-MRC SNR vs number of reader antennas at 4 m."""
+    cfg = TagConfig("qpsk", "1/2", 1e6)
+
+    def sweep():
+        table = ExperimentTable(
+            title="MIMO extension - SNR vs reader antennas @ 4 m",
+            columns=["antennas", "median SNR (dB)", "decode rate"],
+        )
+        out = {}
+        for n_ant in (1, 2, 4):
+            snrs, oks = [], 0
+            for seed in range(5):
+                rng = np.random.default_rng(seed)
+                scene = MimoScene.build(n_ant, tag_distance_m=4.0,
+                                        rng=rng)
+                res = run_mimo_session(scene, BackFiTag(cfg),
+                                       MimoBackFiReader(cfg), rng=rng)
+                oks += int(res.ok)
+                if np.isfinite(res.symbol_snr_db):
+                    snrs.append(res.symbol_snr_db)
+            med = float(np.median(snrs))
+            out[n_ant] = med
+            table.add_row(n_ant, f"{med:.1f}", f"{oks}/5")
+        table.add_note("paper Sec. 7: spatial MRC should add diversity "
+                       "gain (~3 dB per antenna doubling)")
+        return table, out
+
+    table, out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_result(table)
+    assert out[4] > out[1] + 2.0
+
+
+def test_multi_tag_schedulers(benchmark):
+    """Aggregate throughput and fairness per scheduler, 4 tags."""
+
+    def sweep():
+        table = ExperimentTable(
+            title="Multi-tag network - 4 tags, 12 polls",
+            columns=["scheduler", "aggregate tput", "fairness (Jain)"],
+        )
+        results = {}
+        for sched in ("round_robin", "max_rate", "proportional"):
+            rng = np.random.default_rng(5)
+            net = BackFiNetwork(scheduler=sched, rng=rng)
+            for i, (d, cfg) in enumerate([
+                (0.5, TagConfig("16psk", "2/3", 2.5e6)),
+                (1.0, TagConfig("16psk", "1/2", 2e6)),
+                (2.0, TagConfig("qpsk", "2/3", 2e6)),
+                (4.0, TagConfig("qpsk", "1/2", 1e6)),
+            ]):
+                net.register_tag(d, cfg, queue_bits=100_000)
+            stats = net.run(12)
+            results[sched] = stats
+            table.add_row(
+                sched,
+                f"{stats.aggregate_throughput_bps / 1e6:.2f} Mbps",
+                f"{stats.fairness_index():.2f}",
+            )
+        table.add_note("max_rate maximises aggregate throughput at the "
+                       "cost of fairness; round_robin is the opposite")
+        return table, results
+
+    table, results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_result(table)
+    assert results["max_rate"].aggregate_throughput_bps >= \
+        results["round_robin"].aggregate_throughput_bps
+    assert results["round_robin"].fairness_index() >= \
+        results["max_rate"].fairness_index()
+
+
+def test_tag_mobility(benchmark):
+    """Wearable motion is safe; tracking rescues vehicular speeds."""
+    from repro.experiments import mobility
+
+    result = benchmark.pedantic(
+        lambda: mobility.run(trials=4, seed=71),
+        rounds=1, iterations=1,
+    )
+    print_result(result.table)
+    assert result.success[(0.5, False)] >= 0.75   # walking: fine
+    assert result.success[(20.0, True)] >= \
+        result.success[(20.0, False)]             # tracking helps
+
+
+def test_alt_excitation(benchmark):
+    """Sec. 1 generality: the same link over WiFi, BLE and Zigbee."""
+    from repro.experiments import alt_excitation
+
+    result = benchmark.pedantic(
+        lambda: alt_excitation.run(trials=5, seed=67),
+        rounds=1, iterations=1,
+    )
+    print_result(result.table)
+    assert result.success["wifi"] >= 0.8
+    assert result.success["ble"] >= 0.6
+    assert result.success["zigbee"] >= 0.6
+
+
+def test_rate_adaptation_convergence(benchmark):
+    """Closed-loop adaptation: steps to converge from a bad start."""
+
+    def sweep():
+        table = ExperimentTable(
+            title="Closed-loop rate adaptation over the downlink",
+            columns=["distance (m)", "start", "converged",
+                     "success rate"],
+        )
+        finals = {}
+        for d, start in ((1.0, TagConfig("bpsk", "1/2", 500e3)),
+                         (5.0, TagConfig("16psk", "2/3", 2.5e6))):
+            rng = np.random.default_rng(9)
+            scene = Scene.build(tag_distance_m=d, rng=rng)
+            tag = BackFiTag(start)
+            link = AdaptiveLink(scene=scene, tag=tag,
+                                min_throughput_bps=250e3, rng=rng)
+            link.run(6)
+            finals[d] = tag.config
+            table.add_row(f"{d:g}", start.describe(),
+                          tag.config.describe(),
+                          f"{link.success_rate():.0%}")
+        table.add_note("the loop raises a conservative start at close "
+                       "range and backs off an aggressive start far out")
+        return table, finals
+
+    table, finals = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_result(table)
+    assert finals[1.0].throughput_bps > 500e3          # ramped up
+    assert finals[5.0].throughput_bps < 6.67e6         # backed off

@@ -1,0 +1,23 @@
+"""Paper Fig. 10: REPB vs range at fixed 1.25 / 5 Mbps targets."""
+
+from conftest import print_result
+
+from repro.experiments import fig10_repb_vs_range as fig10
+
+
+def test_fig10_repb_vs_range(benchmark):
+    """Min-REPB feasible configuration per (target, range)."""
+    result = benchmark.pedantic(
+        lambda: fig10.run(ranges_m=(0.5, 1.0, 2.0, 3.0, 4.0, 5.0),
+                          trials=2, seed=13),
+        rounds=1, iterations=1,
+    )
+    print_result(result.table)
+    curve_125 = result.repb_curve(1.25e6)
+    curve_5 = result.repb_curve(5e6)
+    # 1.25 Mbps stays feasible further out than 5 Mbps (paper Fig. 10).
+    assert len(curve_125) >= len(curve_5)
+    if curve_125:
+        # REPB never decreases as range grows for a fixed target.
+        repbs = [r for _, r in curve_125]
+        assert all(b >= a - 1e-9 for a, b in zip(repbs, repbs[1:]))

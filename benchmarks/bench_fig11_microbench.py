@@ -1,0 +1,28 @@
+"""Paper Fig. 11: cancellation SNR scatter (a) and BER vs symbol rate (b)."""
+
+from conftest import print_result
+
+from repro.experiments import fig11_microbench as fig11
+
+
+def test_fig11a_snr_degradation(benchmark):
+    """Measured vs oracle SNR over 30 placements (paper: <2.3 dB median)."""
+    result = benchmark.pedantic(
+        lambda: fig11.run_snr_scatter(30, 3, seed=17),
+        rounds=1, iterations=1,
+    )
+    print_result(result.table)
+    assert result.median_degradation_db < 2.3
+
+
+def test_fig11b_ber_vs_symbol_rate(benchmark):
+    """MRC waterfall: BER falls as the symbol period grows."""
+    result = benchmark.pedantic(
+        lambda: fig11.run_ber_vs_rate(sessions_per_point=4, seed=19),
+        rounds=1, iterations=1,
+    )
+    print_result(result.table)
+    for mod in ("bpsk", "qpsk"):
+        fastest = result.ber[(mod, 2.5e6)]
+        slowest = result.ber[(mod, 100e3)]
+        assert slowest <= fastest

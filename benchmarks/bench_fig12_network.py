@@ -1,0 +1,31 @@
+"""Paper Fig. 12: loaded-network throughput CDF (a) and WiFi impact (b)."""
+
+from conftest import print_result
+
+from repro.experiments import fig12_network as fig12
+
+
+def test_fig12a_loaded_network_cdf(benchmark):
+    """Tag throughput CDF over 20 synthetic AP traces (tag @ 2 m)."""
+    result = benchmark.pedantic(
+        lambda: fig12.run_loaded_network(20, 0.5, seed=23),
+        rounds=1, iterations=1,
+    )
+    print_result(result.table)
+    # Paper: median is a large fraction (~80%) of the continuous optimum.
+    frac = result.median_throughput_bps / result.continuous_optimum_bps
+    assert 0.3 < frac <= 1.0
+
+
+def test_fig12b_wifi_impact_vs_distance(benchmark):
+    """Client throughput with the tag modulating vs silent."""
+    result = benchmark.pedantic(
+        lambda: fig12.run_wifi_impact(
+            (0.25, 0.5, 1.0, 2.0, 4.0),
+            n_placements=5, packets_per_placement=2, seed=29,
+        ),
+        rounds=1, iterations=1,
+    )
+    print_result(result.table)
+    # Paper: a small hit only when the tag hugs the AP; negligible at 4 m.
+    assert result.relative_drop(4.0) <= 0.25

@@ -1,0 +1,20 @@
+"""Paper Fig. 13: worst-case client impact (tag at 0.25 m) per bitrate."""
+
+from conftest import print_result
+
+from repro.experiments import fig13_client_impact as fig13
+
+
+def test_fig13_client_impact(benchmark):
+    """Throughput and SNR per WiFi rate, tag on vs off."""
+    result = benchmark.pedantic(
+        lambda: fig13.run(rates_mbps=(6, 12, 24, 36, 48, 54),
+                          n_packets=10, seed=31),
+        rounds=1, iterations=1,
+    )
+    print_result(result.table)
+    # The tag can only hurt; the cost is bounded (reflection is ~25+ dB
+    # below the direct downlink).
+    for rate in result.rates_mbps:
+        assert result.throughput_drop(rate) <= 0.6
+    assert -1.0 < result.snr_degradation_db(54) < 3.0

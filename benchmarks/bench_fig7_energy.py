@@ -1,0 +1,12 @@
+"""Paper Fig. 7: the REPB / throughput table (exact reproduction)."""
+
+from conftest import print_result
+
+from repro.experiments import fig7_energy_table as fig7
+
+
+def test_fig7_energy_table(benchmark):
+    """Regenerate the full Fig. 7 table from the calibrated model."""
+    result = benchmark(fig7.run)
+    print_result(result.table)
+    assert result.max_rel_error < 0.01

@@ -1,0 +1,21 @@
+"""Paper Fig. 8: max throughput vs range, 32 us vs 96 us preamble."""
+
+from conftest import print_result
+
+from repro.experiments import fig8_throughput_range as fig8
+
+DISTANCES = (0.5, 1.0, 2.0, 3.0, 5.0, 7.0)
+
+
+def test_fig8_throughput_vs_range(benchmark):
+    """Full range sweep with both preamble lengths."""
+    result = benchmark.pedantic(
+        lambda: fig8.run(distances_m=DISTANCES, trials=5, seed=7),
+        rounds=1, iterations=1,
+    )
+    print_result(result.table)
+    # Paper shape: multiple Mbps at 1 m, ~1 Mbps at 5 m, steep falloff.
+    assert result.throughput_at(1.0, 32.0) >= 3e6
+    assert 0.5e6 <= result.throughput_at(5.0, 32.0) <= 3e6
+    assert result.throughput_at(7.0, 32.0) < \
+        result.throughput_at(1.0, 32.0) / 10

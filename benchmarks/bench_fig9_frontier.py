@@ -1,0 +1,21 @@
+"""Paper Fig. 9: REPB vs achieved throughput frontier per range."""
+
+from conftest import print_result
+
+from repro.experiments import fig9_repb_vs_throughput as fig9
+
+RANGES = (0.5, 1.0, 2.0, 4.0, 5.0)
+
+
+def test_fig9_repb_throughput_frontier(benchmark):
+    """Frontier at the paper's five evaluation ranges."""
+    result = benchmark.pedantic(
+        lambda: fig9.run(ranges_m=RANGES, trials=2, seed=11),
+        rounds=1, iterations=1,
+    )
+    print_result(result.table)
+    # Paper: max feasible throughput shrinks with range, and REPB for
+    # most feasible combinations sits between ~0.5 and ~3.
+    assert result.max_throughput_at(0.5) >= result.max_throughput_at(5.0)
+    repbs = [p.repb for p in result.points if p.distance_m <= 2.0]
+    assert repbs and min(repbs) < 3.0

@@ -1,0 +1,38 @@
+"""Micro-studies backing claims in the paper's prose (see module docs)."""
+
+from conftest import print_result
+
+from repro.experiments import microstudies
+
+
+def test_preamble_length_sweep(benchmark):
+    """Channel-estimation quality vs preamble length at long range."""
+    result = benchmark.pedantic(
+        lambda: microstudies.preamble_sweep(
+            distances_m=(2.0, 5.0, 7.0), trials=5, seed=53),
+        rounds=1, iterations=1,
+    )
+    print_result(result.table)
+    # At 2 m everything decodes regardless of preamble.
+    assert all(result.success[(2.0, p)] >= 0.8
+               for p in (16.0, 32.0, 64.0, 96.0))
+
+
+def test_wifi_channel_similarity(benchmark):
+    """Sec. 6.1: results on channels 1/6/11 are similar."""
+    table = benchmark.pedantic(
+        lambda: microstudies.wifi_channel_similarity(trials=4, seed=59),
+        rounds=1, iterations=1,
+    )
+    print_result(table)
+    snrs = [float(row[3]) for row in table.rows]
+    assert max(snrs) - min(snrs) < 4.0
+
+
+def test_backscatter_spectrum(benchmark):
+    """The reflection stays essentially within the WiFi channel."""
+    table = benchmark.pedantic(
+        lambda: microstudies.backscatter_spectrum(seed=61),
+        rounds=1, iterations=1,
+    )
+    print_result(table)

@@ -1,0 +1,17 @@
+"""Benchmark harness configuration.
+
+Every ``bench_fig*`` module regenerates one table/figure of the paper
+(see DESIGN.md's experiment index) at a reduced-but-representative scale
+and prints the regenerated table; run with ``-s`` to see the tables:
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+
+def print_result(table) -> None:
+    """Print an experiment table between separators."""
+    print()
+    print(table)
+    print()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""A fully battery-free BackFi sensor: harvest, store, backscatter.
+
+Closes the loop on the paper's three requirements:
+R1 (throughput/range) via the BackFi link, R2 (power) via RF harvesting
+at the paper's cited 60-100 uW scale, R3 (ambient signals) by riding
+WiFi packets.  The simulation charges a storage capacitor from ambient
+RF, spends per exchange according to the calibrated pJ/bit model, and
+runs real sample-level exchanges whenever the store can afford one.
+
+Run:  python examples/battery_free_deployment.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BackFiReader, BackFiTag, Scene, TagConfig
+from repro.link import run_backscatter_session
+from repro.tag.harvester import EnergyStore, HarvestingBudget, RfHarvester, \
+    sustainable_bitrate_bps
+
+AMBIENT_DBM = -8.0        # a strong ambient RF environment
+DISTANCE_M = 2.0
+BITS_PER_EXCHANGE = 1000
+EXCHANGE_PERIOD_S = 0.02  # one backscatter opportunity every 20 ms
+SIM_DURATION_S = 2.0
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+    config = TagConfig("qpsk", "2/3", 2e6)
+
+    harvester = RfHarvester()
+    income_uw = harvester.harvested_power_w(AMBIENT_DBM) * 1e6
+    print(f"ambient RF       : {AMBIENT_DBM:.0f} dBm -> "
+          f"{income_uw:.1f} uW harvested (paper cites 60-100 uW)")
+    print(f"sustainable rate : "
+          f"{sustainable_bitrate_bps(config, ambient_dbm=AMBIENT_DBM) / 1e6:.2f} Mbps "
+          f"(config raw: {config.throughput_bps / 1e6:.2f} Mbps)\n")
+
+    # Fast feasibility pass with the energy simulator alone.
+    budget = HarvestingBudget(
+        harvester=harvester,
+        store=EnergyStore(capacitance_f=10e-6, voltage_v=1.2),
+    )
+    stats = budget.simulate(
+        config, ambient_dbm=AMBIENT_DBM,
+        bits_per_exchange=BITS_PER_EXCHANGE,
+        exchange_period_s=EXCHANGE_PERIOD_S,
+        duration_s=SIM_DURATION_S,
+    )
+    print("energy-only simulation:")
+    for k, v in stats.items():
+        print(f"  {k:22}: {v:.4g}" if isinstance(v, float)
+              else f"  {k:22}: {v}")
+
+    # Now close the loop with real sample-level exchanges for the
+    # opportunities the store could afford.
+    scene = Scene.build(tag_distance_m=DISTANCE_M, rng=rng)
+    tag = BackFiTag(config)
+    reader = BackFiReader(config)
+    sent = ok = 0
+    for _ in range(min(stats["exchanges_sent"], 10)):
+        out = run_backscatter_session(
+            scene, tag, reader,
+            payload_bits=rng.integers(0, 2, BITS_PER_EXCHANGE,
+                                      dtype=np.uint8),
+            rng=rng,
+        )
+        sent += 1
+        ok += int(out.ok)
+    print(f"\nsample-level check: {ok}/{sent} affordable exchanges "
+          f"decoded at {DISTANCE_M} m")
+
+
+if __name__ == "__main__":
+    main()

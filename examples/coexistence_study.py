@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Does BackFi hurt the WiFi network it piggybacks on?
+
+Reproduces the paper's Sec. 6.4/6.5 worry at example scale: a client at
+the edge of each bitrate receives downlink packets while a tag at 0.25 m
+from the AP backscatters at full tilt.  Prints per-rate packet success
+and client data SNR, tag on vs off.
+
+Run:  python examples/coexistence_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BackFiReader, BackFiTag, Scene, TagConfig
+from repro.link import run_backscatter_session
+from repro.link.budget import client_edge_distance_m
+from repro.tag.detector import EnergyDetector
+
+RATES = (6, 24, 54)
+PACKETS = 8
+TAG_DISTANCE_M = 0.25
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    config = TagConfig("16psk", "2/3", 2.5e6)  # loudest tag setting
+
+    print(f"{'rate':>6} {'client dist':>12} {'PER off':>8} {'PER on':>8} "
+          f"{'SNR off':>8} {'SNR on':>8}")
+    for rate in RATES:
+        d_client = client_edge_distance_m(rate)
+        stats = {True: [0, []], False: [0, []]}
+        for _ in range(PACKETS):
+            scene = Scene.build(
+                tag_distance_m=TAG_DISTANCE_M,
+                client_distance_m=d_client,
+                client_angle_deg=float(rng.uniform(0, 360)),
+                rng=rng,
+            )
+            for tag_on in (True, False):
+                tag = BackFiTag(config)
+                if not tag_on:
+                    # Unaddressed tags never wake (Sec. 4.1).
+                    tag.detector = EnergyDetector(tag_id=9)
+                out = run_backscatter_session(
+                    scene, tag, BackFiReader(config),
+                    wifi_rate_mbps=rate, wifi_payload_bytes=600,
+                    use_tag_detector=not tag_on,
+                    decode_client=True, rng=rng,
+                )
+                good = out.client is not None and out.client.ok
+                stats[tag_on][0] += int(not good)
+                if out.client and np.isfinite(out.client.data_snr_db):
+                    stats[tag_on][1].append(out.client.data_snr_db)
+
+        def fmt(on: bool) -> tuple[str, str]:
+            errs, snrs = stats[on]
+            per = f"{errs / PACKETS:.0%}"
+            snr = f"{np.median(snrs):.1f}" if snrs else "-"
+            return per, snr
+
+        per_on, snr_on = fmt(True)
+        per_off, snr_off = fmt(False)
+        print(f"{rate:>4}M {d_client:>10.1f} m {per_off:>8} {per_on:>8} "
+              f"{snr_off:>8} {snr_on:>8}")
+
+    print("\nThe tag's reflection sits ~25+ dB below the direct downlink;"
+          "\nonly the highest rate, which needs the most SNR, notices it"
+          " (paper Fig. 13).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Plan a battery-free deployment with the paper's energy model.
+
+Given a harvesting budget (the paper cites 60-100 uW from ambient RF)
+and a target sensor data rate, find the operating points that are both
+*decodable at the deployment distance* and *within the power budget*,
+then pick the one the paper's rate-adaptation rule would choose (lowest
+relative energy-per-bit).
+
+Run:  python examples/energy_planner.py
+"""
+
+from __future__ import annotations
+
+from repro import LinkBudget, TagConfig
+from repro.reader import required_snr_db, select_config
+from repro.tag import all_tag_configs, default_energy_model
+
+HARVESTED_POWER_UW = 80.0      # ambient-RF harvesting budget
+TARGET_RATE_BPS = 250_000      # sensor production rate
+DISTANCES_M = (1.0, 2.0, 4.0, 5.0)
+
+
+def average_power_uw(config: TagConfig, duty_cycle: float) -> float:
+    """Average tag power when backscattering a fraction of the time."""
+    model = default_energy_model()
+    epb_pj = model.epb_pj(config)
+    return epb_pj * config.throughput_bps * duty_cycle * 1e-6
+
+
+def main() -> None:
+    budget = LinkBudget()
+    model = default_energy_model()
+    configs = all_tag_configs()
+
+    print(f"harvesting budget : {HARVESTED_POWER_UW:.0f} uW")
+    print(f"target data rate  : {TARGET_RATE_BPS / 1e3:.0f} kbps\n")
+
+    for d in DISTANCES_M:
+        def snr_for(cfg: TagConfig) -> float:
+            return budget.symbol_snr_db(d, cfg)
+
+        choice = select_config(
+            snr_for, min_throughput_bps=TARGET_RATE_BPS, configs=configs,
+        )
+        print(f"--- {d:g} m ---")
+        if choice is None:
+            print("  no operating point closes the link at the target "
+                  "rate; move the tag closer or lower the rate\n")
+            continue
+        cfg = choice.config
+        # The tag only needs to backscatter often enough to drain the
+        # sensor's production.
+        duty = TARGET_RATE_BPS / cfg.throughput_bps
+        avg_uw = average_power_uw(cfg, duty)
+        feasible = avg_uw <= HARVESTED_POWER_UW
+        print(f"  chosen point    : {cfg.describe()}")
+        print(f"  link SNR        : {snr_for(cfg):.1f} dB "
+              f"(needs {required_snr_db(cfg):.1f})")
+        print(f"  REPB            : {choice.repb:.3f} "
+              f"({model.epb_pj(cfg):.2f} pJ/bit)")
+        print(f"  duty cycle      : {duty:.1%}")
+        print(f"  average power   : {avg_uw:.3f} uW "
+              f"-> {'OK, battery-free' if feasible else 'exceeds budget'}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Deterministic room multipath + a multi-antenna reader.
+
+Two of this reproduction's extensions in one scenario: channels derived
+from the image method over an 8 m x 6 m room (instead of statistical
+Rician draws), and the Sec. 7 multi-antenna reader combining across
+space and time.
+
+Run:  python examples/room_and_mimo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BackFiReader, BackFiTag, TagConfig
+from repro.channel import Room, build_geometric_scene
+from repro.link import run_backscatter_session
+from repro.reader import MimoBackFiReader, MimoScene, run_mimo_session
+
+ROOM = Room(width_m=8.0, length_m=6.0, wall_loss_db=6.0)
+AP = (1.0, 1.0)
+TAG_SPOTS = [(2.5, 1.5), (5.0, 3.0), (7.0, 5.0)]
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    config = TagConfig("qpsk", "1/2", 1e6)
+
+    print(f"room: {ROOM.width_m:g} x {ROOM.length_m:g} m, "
+          f"{ROOM.wall_loss_db:g} dB per wall bounce, AP at {AP}\n")
+
+    print("-- geometric (image-method) channels, single antenna --")
+    for tag_pos in TAG_SPOTS:
+        scene = build_geometric_scene(room=ROOM, ap=AP, tag=tag_pos)
+        out = run_backscatter_session(
+            scene, BackFiTag(config), BackFiReader(config), rng=rng)
+        d = float(np.hypot(tag_pos[0] - AP[0], tag_pos[1] - AP[1]))
+        print(f"  tag at {tag_pos} ({d:.1f} m): "
+              f"{'decoded' if out.ok else 'FAILED':8} "
+              f"SNR {out.reader.symbol_snr_db:5.1f} dB")
+
+    print("\n-- statistical channels, 1 vs 4 reader antennas at 5 m --")
+    for n_ant in (1, 2, 4):
+        oks, snrs = 0, []
+        for seed in range(5):
+            srng = np.random.default_rng(seed)
+            mscene = MimoScene.build(n_ant, tag_distance_m=5.0, rng=srng)
+            res = run_mimo_session(
+                mscene, BackFiTag(config), MimoBackFiReader(config),
+                rng=srng)
+            oks += int(res.ok)
+            if np.isfinite(res.symbol_snr_db):
+                snrs.append(res.symbol_snr_db)
+        print(f"  {n_ant} antenna(s): {oks}/5 decoded, "
+              f"median SNR {np.median(snrs):5.1f} dB")
+
+    print("\nSpatial MRC buys ~3 dB per antenna doubling (paper Sec. 7).")
+
+
+if __name__ == "__main__":
+    main()

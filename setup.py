@@ -1,0 +1,6 @@
+from setuptools import setup
+
+# Build metadata lives in pyproject.toml; this shim exists because the
+# offline environment lacks the `wheel` package required by PEP 517
+# editable installs.
+setup()

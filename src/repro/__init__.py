@@ -1,0 +1,68 @@
+"""BackFi: High Throughput WiFi Backscatter -- a full-system reproduction.
+
+This package reimplements the BackFi system (Bharadia, Joshi, Kotaru,
+Katti -- SIGCOMM 2015) and every substrate it depends on, in pure
+numpy/scipy:
+
+* :mod:`repro.wifi` -- a complete 802.11a/g OFDM PHY (the excitation
+  signal and the client the AP talks to),
+* :mod:`repro.channel` -- path loss, multipath, noise and RF-hardware
+  models standing in for the paper's over-the-air testbed,
+* :mod:`repro.tag` -- the BackFi IoT tag: wake-up detector, SPDT
+  switch-tree phase modulator, convolutional encoder, energy model,
+* :mod:`repro.reader` -- the full-duplex BackFi AP: analog+digital
+  self-interference cancellation, combined channel estimation, MRC
+  decoding, rate adaptation,
+* :mod:`repro.link` -- the Fig. 4 link-layer protocol and end-to-end
+  session simulation,
+* :mod:`repro.baselines` -- the prior Wi-Fi Backscatter system and a
+  tone-excitation RFID reader for comparison,
+* :mod:`repro.traces` -- synthetic loaded-network traffic for the
+  deployment experiments,
+* :mod:`repro.experiments` -- one module per paper table/figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (BackFiReader, BackFiTag, Scene, TagConfig,
+                       run_backscatter_session)
+
+    rng = np.random.default_rng(0)
+    cfg = TagConfig(modulation="qpsk", code_rate="1/2", symbol_rate_hz=1e6)
+    scene = Scene.build(tag_distance_m=1.0, rng=rng)
+    out = run_backscatter_session(
+        scene, BackFiTag(cfg), BackFiReader(cfg), rng=rng)
+    assert out.ok
+"""
+
+from .channel import Scene, SceneConfig
+from .link import (
+    LinkBudget,
+    SessionResult,
+    build_ap_transmission,
+    run_backscatter_session,
+)
+from .reader import BackFiReader, ReaderResult, select_config
+from .tag import BackFiTag, TagConfig, all_tag_configs, default_energy_model
+from .wifi import WifiReceiver, WifiTransmitter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Scene",
+    "SceneConfig",
+    "LinkBudget",
+    "SessionResult",
+    "build_ap_transmission",
+    "run_backscatter_session",
+    "BackFiReader",
+    "ReaderResult",
+    "select_config",
+    "BackFiTag",
+    "TagConfig",
+    "all_tag_configs",
+    "default_energy_model",
+    "WifiReceiver",
+    "WifiTransmitter",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Comparison systems: prior Wi-Fi backscatter and tone-excitation RFID."""
+
+from .rfid import RfidLinkResult, RfidReader, single_tap_cancellation, tone
+from .wifi_backscatter import BaselineLinkReport, WifiBackscatterBaseline
+
+__all__ = [
+    "RfidLinkResult",
+    "RfidReader",
+    "single_tap_cancellation",
+    "tone",
+    "BaselineLinkReport",
+    "WifiBackscatterBaseline",
+]

@@ -1,0 +1,134 @@
+"""Baseline: tone-excitation RFID backscatter (paper Sec. 3.1).
+
+A classic RFID reader transmits a single-frequency tone; cancellation is
+a single programmable attenuator + phase shifter (one complex tap), and
+decoding reduces to a time-invariant problem (paper Eq. 2).
+
+Two purposes here:
+
+* a working reference decoder for tone excitation (Ekhonet-class
+  throughput/range, which the paper says BackFi matches), and
+* the Sec. 3.2 negative result -- running the same single-tap canceller
+  against a *wideband WiFi* excitation fails, which is exactly why BackFi
+  needs multi-tap cancellation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..channel.multipath import apply_channel
+from ..channel.noise import awgn
+from ..dsp.measurements import residual_power_db
+from ..utils.conversions import db_to_linear
+from ..wifi.mapper import psk_demap_hard, psk_map
+
+__all__ = ["RfidReader", "RfidLinkResult", "single_tap_cancellation"]
+
+
+def tone(n: int, freq_hz: float = 0.0, sample_rate: float = 20e6,
+         power_mw: float = 1.0) -> np.ndarray:
+    """A complex exponential excitation of the given power."""
+    t = np.arange(n) / sample_rate
+    return np.sqrt(power_mw) * np.exp(2j * np.pi * freq_hz * t)
+
+
+def single_tap_cancellation(x: np.ndarray, y: np.ndarray,
+                            rows: np.ndarray) -> np.ndarray:
+    """Classic RFID canceller: one complex gain fitted on quiet samples.
+
+    Perfect for a tone through any LTI channel; poor for wideband
+    signals through frequency-selective channels.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    y = np.asarray(y, dtype=np.complex128)
+    rows = np.asarray(rows, dtype=np.intp)
+    xr = x[rows]
+    denom = np.vdot(xr, xr)
+    g = np.vdot(xr, y[rows]) / denom if abs(denom) > 0 else 0.0
+    return y - g * x
+
+
+@dataclass
+class RfidLinkResult:
+    """Outcome of one RFID exchange."""
+
+    bits: np.ndarray = field(repr=False)
+    ber: float = 1.0
+    cancellation_db: float = float("nan")
+    symbol_snr_db: float = float("nan")
+
+
+@dataclass
+class RfidReader:
+    """A minimal tone-excitation PSK backscatter reader."""
+
+    modulation: str = "qpsk"
+    symbol_rate_hz: float = 1e6
+    sample_rate: float = 20e6
+    tx_power_mw: float = db_to_linear(30.0)
+
+    @property
+    def samples_per_symbol(self) -> int:
+        """Samples per tag symbol."""
+        return int(self.sample_rate // self.symbol_rate_hz)
+
+    def run_link(self, tx_bits: np.ndarray, h_env: np.ndarray,
+                 h_f: np.ndarray, h_b: np.ndarray, *,
+                 noise_mw: float = 0.0,
+                 excitation: np.ndarray | None = None,
+                 rng: np.random.Generator | None = None) -> RfidLinkResult:
+        """Simulate one tag packet over a tone (or supplied) excitation.
+
+        Layout: ``quiet`` region (cancellation tuning) then ``preamble``
+        (constant phase, channel estimation) then payload symbols.
+        """
+        rng = rng or np.random.default_rng()
+        tx_bits = np.asarray(tx_bits, dtype=np.uint8)
+        sps = self.samples_per_symbol
+        symbols = psk_map(tx_bits, self.modulation)
+        quiet = 400
+        pre = 400
+        n = quiet + pre + symbols.size * sps
+        if excitation is None:
+            x = tone(n, power_mw=self.tx_power_mw)
+        else:
+            x = np.asarray(excitation, dtype=np.complex128)[:n]
+            if x.size < n:
+                raise ValueError("excitation shorter than the tag packet")
+
+        refl = np.zeros(n, dtype=np.complex128)
+        refl[quiet:quiet + pre] = 1.0
+        refl[quiet + pre:] = np.repeat(symbols, sps)
+
+        z = apply_channel(h_f, x)
+        y = apply_channel(h_env, x) + apply_channel(h_b, z * refl)
+        y = y + awgn(n, noise_mw, rng)
+
+        y_clean = single_tap_cancellation(x, y, np.arange(quiet))
+        canc_db = residual_power_db(y[:quiet], y_clean[:quiet])
+
+        # Channel estimation on the constant-phase preamble: one complex
+        # gain (exact for a tone).
+        rows = np.arange(quiet + 8, quiet + pre)
+        g = np.vdot(x[rows], y_clean[rows]) / np.vdot(x[rows], x[rows])
+
+        template = g * x
+        data = y_clean[quiet + pre:].reshape(symbols.size, sps)
+        tmpl = template[quiet + pre:].reshape(symbols.size, sps)
+        energy = np.maximum(np.sum(np.abs(tmpl) ** 2, axis=1), 1e-30)
+        est = np.sum(data * np.conj(tmpl), axis=1) / energy
+
+        bits = psk_demap_hard(est, self.modulation)
+        nbits = min(bits.size, tx_bits.size)
+        ber = float(np.count_nonzero(bits[:nbits] != tx_bits[:nbits])
+                    / max(nbits, 1))
+        err = est - psk_map(bits, self.modulation)
+        p_err = float(np.mean(np.abs(err) ** 2))
+        snr = float(10.0 * np.log10(1.0 / p_err)) if p_err > 0 else \
+            float("inf")
+        return RfidLinkResult(
+            bits=bits, ber=ber, cancellation_db=canc_db, symbol_snr_db=snr
+        )

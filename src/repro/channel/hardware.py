@@ -1,0 +1,150 @@
+"""RF-chain impairments of the reader hardware.
+
+These are the effects that make self-interference cancellation imperfect
+in practice (paper Fig. 11a: ~2.3 dB median SNR degradation):
+
+* a memoryless cubic PA nonlinearity that a *linear* digital canceller
+  cannot model,
+* finite ADC dynamic range (why analog cancellation must come first),
+* the circulator's finite TX->RX isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import ADC_BITS, CIRCULATOR_ISOLATION_DB
+from ..utils.conversions import db_to_linear, power
+
+__all__ = ["PaNonlinearity", "Adc", "circulator_leakage_gain", "iq_imbalance"]
+
+
+@dataclass(frozen=True)
+class PaNonlinearity:
+    """Memoryless third-order PA model ``y = x + a3 x |x|^2``.
+
+    ``ip3_backoff_db`` sets how far the distortion sits below the linear
+    term at the operating point: distortion power ~= signal power -
+    2*backoff (per the classic two-tone relation).
+    """
+
+    ip3_backoff_db: float = 30.0
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Distort a transmit waveform."""
+        x = np.asarray(x, dtype=np.complex128)
+        p = power(x)
+        if p == 0:
+            return x.copy()
+        # a3 scaled so mean distortion power = p * 10^(-backoff/10).
+        mean_cube = float(np.mean(np.abs(x) ** 6))
+        if mean_cube == 0:
+            return x.copy()
+        a3 = np.sqrt(p * db_to_linear(-self.ip3_backoff_db) / mean_cube)
+        return x + a3 * x * np.abs(x) ** 2
+
+    def distortion_only(self, x: np.ndarray) -> np.ndarray:
+        """The nonlinear residue alone (for analysis/tests)."""
+        return self.apply(x) - np.asarray(x, dtype=np.complex128)
+
+
+@dataclass(frozen=True)
+class Adc:
+    """Uniform quantiser with a fixed full-scale and resolution.
+
+    Saturation models the paper's point that without analog cancellation
+    the self-interference exceeds the receiver's dynamic range and the
+    backscatter signal drowns in quantisation/clipping error.
+    """
+
+    bits: int = ADC_BITS
+    full_scale: float = 1.0
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Quantise I and Q independently, clipping at full scale."""
+        if self.bits < 1:
+            raise ValueError("ADC needs at least 1 bit")
+        x = np.asarray(x, dtype=np.complex128)
+        levels = 1 << self.bits
+        step = 2.0 * self.full_scale / levels
+        def q(v: np.ndarray) -> np.ndarray:
+            clipped = np.clip(v, -self.full_scale, self.full_scale - step)
+            return np.round(clipped / step) * step
+        return q(x.real) + 1j * q(x.imag)
+
+    def for_signal(self, x: np.ndarray, headroom_db: float = 9.0) -> "Adc":
+        """An ADC whose full scale sits ``headroom_db`` above signal RMS.
+
+        Mimics an AGC that scales the strongest signal component to fit.
+        """
+        rms = np.sqrt(power(x))
+        if rms == 0:
+            return self
+        fs = rms * db_to_linear(headroom_db / 2.0) * np.sqrt(2.0)
+        return Adc(bits=self.bits, full_scale=float(fs))
+
+
+def circulator_leakage_gain(isolation_db: float = CIRCULATOR_ISOLATION_DB) -> complex:
+    """Complex gain of the direct TX->RX leakage path."""
+    return complex(np.sqrt(db_to_linear(-isolation_db)))
+
+
+def carrier_frequency_offset(x: np.ndarray, cfo_hz: float,
+                             sample_rate: float = 20e6,
+                             phase0: float = 0.0) -> np.ndarray:
+    """Rotate a baseband signal by a carrier frequency offset.
+
+    Models the oscillator mismatch between two radios (e.g. the AP and a
+    WiFi client; 802.11 allows +-20 ppm = +-48 kHz at 2.4 GHz).  The
+    BackFi reader itself is immune -- it receives with the same LO it
+    transmits with -- which is why the backscatter path needs no CFO
+    correction (a structural advantage of the design).
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    if cfo_hz == 0.0 or x.size == 0:
+        return x.copy()
+    n = np.arange(x.size)
+    return x * np.exp(1j * (2.0 * np.pi * cfo_hz / sample_rate * n
+                            + phase0))
+
+
+def coherence_impairment(n: int, rms: float, coherence_samples: float,
+                         rng: np.random.Generator | None = None) -> np.ndarray:
+    """Multiplicative error process ``g[n] = 1 + delta[n]``.
+
+    ``delta`` is a complex AR(1) (Ornstein-Uhlenbeck-like) process with
+    the given RMS and coherence length.  Models tag clock jitter,
+    modulator switching transients and channel drift over a packet --
+    the effects that cap the backscatter SNR independently of distance
+    (the paper's near-range throughput plateau).
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if rms < 0:
+        raise ValueError("rms must be non-negative")
+    rng = rng or np.random.default_rng()
+    if n == 0 or rms == 0:
+        return np.ones(n, dtype=np.complex128)
+    rho = float(np.exp(-1.0 / max(coherence_samples, 1.0)))
+    innov_scale = rms * np.sqrt((1.0 - rho ** 2) / 2.0)
+    w = innov_scale * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+    prev = rms / np.sqrt(2.0) * (
+        rng.standard_normal() + 1j * rng.standard_normal()
+    )
+    from scipy.signal import lfilter
+
+    delta, _ = lfilter([1.0], [1.0, -rho], w, zi=np.array([rho * prev]))
+    return 1.0 + delta
+
+
+def iq_imbalance(x: np.ndarray, gain_db: float = 0.0,
+                 phase_deg: float = 0.0) -> np.ndarray:
+    """Apply TX IQ imbalance (off by default; hook for ablations)."""
+    x = np.asarray(x, dtype=np.complex128)
+    g = db_to_linear(gain_db / 2.0)
+    phi = np.deg2rad(phase_deg)
+    alpha = 0.5 * (g * np.exp(1j * phi) + 1.0 / g * np.exp(-1j * phi))
+    beta = 0.5 * (g * np.exp(1j * phi) - 1.0 / g * np.exp(-1j * phi))
+    return alpha * x + beta * np.conj(x)

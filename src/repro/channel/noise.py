@@ -1,0 +1,45 @@
+"""Thermal noise: floor computation and AWGN generation.
+
+All simulator powers are in "dBm-referenced" units: a sample stream with
+mean power ``p`` represents ``watt_to_dbm(p * 1e-3)``... more precisely we
+carry powers directly in milliwatt units so that ``power(x)`` in mW maps
+to dBm via ``10 log10``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import (
+    BOLTZMANN,
+    NOISE_FIGURE_DB,
+    ROOM_TEMPERATURE_K,
+    SAMPLE_RATE,
+)
+
+__all__ = ["thermal_noise_dbm", "awgn", "noise_power_mw"]
+
+
+def thermal_noise_dbm(bandwidth_hz: float = SAMPLE_RATE,
+                      noise_figure_db: float = NOISE_FIGURE_DB) -> float:
+    """Receiver noise floor kTB + NF in dBm."""
+    if bandwidth_hz <= 0:
+        raise ValueError("bandwidth must be positive")
+    ktb_w = BOLTZMANN * ROOM_TEMPERATURE_K * bandwidth_hz
+    return float(10.0 * np.log10(ktb_w / 1e-3) + noise_figure_db)
+
+
+def noise_power_mw(bandwidth_hz: float = SAMPLE_RATE,
+                   noise_figure_db: float = NOISE_FIGURE_DB) -> float:
+    """Noise floor in linear milliwatts."""
+    return 10.0 ** (thermal_noise_dbm(bandwidth_hz, noise_figure_db) / 10.0)
+
+
+def awgn(n: int, power_mw: float,
+         rng: np.random.Generator | None = None) -> np.ndarray:
+    """Complex white Gaussian noise with the given mean power (mW units)."""
+    if power_mw < 0:
+        raise ValueError("noise power must be non-negative")
+    rng = rng or np.random.default_rng()
+    scale = np.sqrt(power_mw / 2.0)
+    return scale * (rng.standard_normal(n) + 1j * rng.standard_normal(n))

@@ -1,0 +1,62 @@
+"""Path-loss models at 2.4 GHz.
+
+Friis free-space loss plus a log-distance indoor model; the backscatter
+link experiences the *product* of the forward and backward losses, which
+is what limits BackFi's range (paper Sec. 6.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import CARRIER_FREQ_HZ
+from ..utils.conversions import wavelength
+
+__all__ = [
+    "friis_pathloss_db",
+    "log_distance_pathloss_db",
+    "backscatter_roundtrip_loss_db",
+]
+
+
+def friis_pathloss_db(distance_m: float,
+                      freq_hz: float = CARRIER_FREQ_HZ) -> float:
+    """Free-space path loss in dB (positive number)."""
+    if distance_m <= 0:
+        raise ValueError("distance must be positive")
+    lam = wavelength(freq_hz)
+    return float(20.0 * np.log10(4.0 * np.pi * distance_m / lam))
+
+
+def log_distance_pathloss_db(distance_m: float, *,
+                             exponent: float = 2.0,
+                             reference_m: float = 1.0,
+                             freq_hz: float = CARRIER_FREQ_HZ) -> float:
+    """Log-distance model anchored to Friis at the reference distance.
+
+    ``exponent`` = 2 reproduces free space; indoor LoS is typically
+    1.8-2.2, so the default matches the paper's short-range lab setting.
+    """
+    if distance_m <= 0:
+        raise ValueError("distance must be positive")
+    pl_ref = friis_pathloss_db(reference_m, freq_hz)
+    if distance_m <= reference_m:
+        # Friis directly in the near region.
+        return friis_pathloss_db(distance_m, freq_hz)
+    return float(pl_ref + 10.0 * exponent * np.log10(distance_m / reference_m))
+
+
+def backscatter_roundtrip_loss_db(distance_m: float, *,
+                                  exponent: float = 2.0,
+                                  tag_loss_db: float = 5.0,
+                                  tag_gain_dbi: float = 3.0,
+                                  freq_hz: float = CARRIER_FREQ_HZ) -> float:
+    """Total reader->tag->reader loss for a backscatter link [dB].
+
+    Forward loss + backward loss + modulator insertion loss, minus the
+    tag antenna gain applied on both passes.
+    """
+    one_way = log_distance_pathloss_db(
+        distance_m, exponent=exponent, freq_hz=freq_hz
+    )
+    return 2.0 * one_way + tag_loss_db - 2.0 * tag_gain_dbi

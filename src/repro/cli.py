@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``info``         system summary: operating points, REPB, link budget.
+``link``         simulate one end-to-end exchange and print diagnostics.
+``sweep``        throughput-vs-range sweep (a quick Fig. 8).
+``plan``         pick battery-free operating points under a power budget.
+``experiments``  regenerate every paper table/figure (run_all).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BackFi (SIGCOMM 2015) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="operating points and link budget table")
+
+    link = sub.add_parser("link", help="simulate one exchange")
+    link.add_argument("--distance", type=float, default=1.0)
+    link.add_argument("--modulation", default="qpsk",
+                      choices=("bpsk", "qpsk", "16psk"))
+    link.add_argument("--code-rate", default="1/2",
+                      choices=("1/2", "2/3"))
+    link.add_argument("--symbol-rate", type=float, default=1e6)
+    link.add_argument("--payload-bits", type=int, default=1000)
+    link.add_argument("--wifi-rate", type=int, default=24)
+    link.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser("sweep", help="throughput vs range")
+    sweep.add_argument("--distances", type=float, nargs="+",
+                       default=[0.5, 1.0, 2.0, 5.0])
+    sweep.add_argument("--trials", type=int, default=3)
+    sweep.add_argument("--seed", type=int, default=7)
+
+    plan = sub.add_parser("plan", help="energy planning")
+    plan.add_argument("--budget-uw", type=float, default=80.0)
+    plan.add_argument("--rate-bps", type=float, default=250e3)
+    plan.add_argument("--distances", type=float, nargs="+",
+                      default=[1.0, 2.0, 5.0])
+
+    exp = sub.add_parser("experiments",
+                         help="regenerate every paper figure")
+    exp.add_argument("--fast", action="store_true")
+    exp.add_argument("--plot", action="store_true")
+
+    rep = sub.add_parser("report",
+                         help="write a markdown reproduction report")
+    rep.add_argument("-o", "--output", default="report.md")
+    rep.add_argument("--fast", action="store_true")
+    return parser
+
+
+def _cmd_info() -> int:
+    from .experiments.fig7_energy_table import run as fig7
+    from .link import LinkBudget
+    from .tag import TagConfig
+
+    print(fig7().table)
+    print()
+    budget = LinkBudget()
+    cfg = TagConfig("qpsk", "1/2", 1e6)
+    print("link budget (qpsk r1/2 @1 MHz):")
+    for d in (0.5, 1.0, 2.0, 5.0, 7.0):
+        print(f"  {d:4.1f} m: rx {budget.backscatter_rx_dbm(d):6.1f} dBm, "
+              f"post-MRC SNR {budget.symbol_snr_db(d, cfg):5.1f} dB")
+    return 0
+
+
+def _cmd_link(args: argparse.Namespace) -> int:
+    from .channel import Scene
+    from .link import run_backscatter_session
+    from .reader import BackFiReader
+    from .tag import BackFiTag, TagConfig
+
+    rng = np.random.default_rng(args.seed)
+    cfg = TagConfig(args.modulation, args.code_rate, args.symbol_rate)
+    scene = Scene.build(tag_distance_m=args.distance, rng=rng)
+    out = run_backscatter_session(
+        scene, BackFiTag(cfg), BackFiReader(cfg),
+        n_payload_bits=args.payload_bits,
+        wifi_rate_mbps=args.wifi_rate, rng=rng,
+    )
+    r = out.reader
+    print(f"operating point : {cfg.describe()}")
+    print(f"decoded         : {out.ok}"
+          + (f" ({r.failure})" if r.failure else ""))
+    print(f"delivered       : {out.delivered_bits} bits "
+          f"({out.goodput_bps / 1e6:.2f} Mbps goodput)")
+    print(f"post-MRC SNR    : {r.symbol_snr_db:.1f} dB")
+    if r.cancellation is not None:
+        c = r.cancellation
+        print(f"cancellation    : {c.total_depth_db:.1f} dB total "
+              f"(analog {c.analog_residual_db:.1f}, "
+              f"digital {c.digital_residual_db:.1f})")
+    print(f"noise floor     : {10 * np.log10(r.noise_floor_mw):.1f} dBm")
+    return 0 if out.ok else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments.fig8_throughput_range import run as fig8
+
+    result = fig8(distances_m=tuple(args.distances),
+                  preambles_us=(32.0,), trials=args.trials,
+                  seed=args.seed)
+    print(result.table)
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .link import LinkBudget
+    from .reader import select_config
+    from .tag import default_energy_model
+
+    budget = LinkBudget()
+    model = default_energy_model()
+    print(f"budget {args.budget_uw:.0f} uW, "
+          f"target {args.rate_bps / 1e3:.0f} kbps")
+    for d in args.distances:
+        choice = select_config(
+            lambda cfg: budget.symbol_snr_db(d, cfg),
+            min_throughput_bps=args.rate_bps,
+        )
+        if choice is None:
+            print(f"  {d:4.1f} m: infeasible")
+            continue
+        duty = args.rate_bps / choice.config.throughput_bps
+        avg_uw = model.epb_pj(choice.config) \
+            * choice.config.throughput_bps * duty * 1e-6
+        verdict = "OK" if avg_uw <= args.budget_uw else "over budget"
+        print(f"  {d:4.1f} m: {choice.config.describe()} "
+              f"(REPB {choice.repb:.3f}, {avg_uw:.3f} uW avg) {verdict}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "link":
+        return _cmd_link(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
+    if args.command == "experiments":
+        from .experiments.run_all import main as run_all_main
+
+        extra = []
+        if args.fast:
+            extra.append("--fast")
+        if args.plot:
+            extra.append("--plot")
+        return run_all_main(extra)
+    if args.command == "report":
+        from .experiments.report import main as report_main
+
+        extra = ["-o", args.output]
+        if args.fast:
+            extra.append("--fast")
+        return report_main(extra)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

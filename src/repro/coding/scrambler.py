@@ -1,0 +1,31 @@
+"""IEEE 802.11 frame-synchronous scrambler (x^7 + x^4 + 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["scramble", "descramble", "scrambler_sequence"]
+
+
+def scrambler_sequence(n: int, seed: int = 0x7F) -> np.ndarray:
+    """Output of the 7-bit LFSR (taps x^7, x^4) for ``n`` steps."""
+    if not 0 < seed < 128:
+        raise ValueError("seed must be a non-zero 7-bit value")
+    state = seed
+    out = np.empty(n, dtype=np.uint8)
+    for i in range(n):
+        bit = ((state >> 6) ^ (state >> 3)) & 1
+        state = ((state << 1) | bit) & 0x7F
+        out[i] = bit
+    return out
+
+
+def scramble(bits: np.ndarray, seed: int = 0x7F) -> np.ndarray:
+    """XOR the data with the scrambler sequence (self-inverse)."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    return bits ^ scrambler_sequence(bits.size, seed)
+
+
+def descramble(bits: np.ndarray, seed: int = 0x7F) -> np.ndarray:
+    """Alias of :func:`scramble`; the operation is an involution."""
+    return scramble(bits, seed)

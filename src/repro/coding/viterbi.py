@@ -1,0 +1,128 @@
+"""Vectorised Viterbi decoder for the K=7 802.11 convolutional code.
+
+Supports hard decisions and soft (LLR) inputs, and the punctured rates via
+:func:`repro.coding.convolutional.depuncture` (punctured positions carry a
+zero LLR, i.e. no branch-metric contribution).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .convolutional import _PARITY, CONSTRAINT, N_STATES, depuncture
+
+__all__ = ["viterbi_decode", "viterbi_decode_soft"]
+
+
+def _build_trellis() -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Precompute predecessor states, inputs and branch output indices.
+
+    For each next-state ``ns``:
+      * ``pred0[ns], pred1[ns]`` -- the two predecessor states,
+      * ``inp[ns]``              -- the information bit consumed,
+      * ``oidx0[ns], oidx1[ns]`` -- branch output pair index ``2*c0 + c1``.
+    """
+    ns = np.arange(N_STATES)
+    inp = (ns >> (CONSTRAINT - 2)) & 1
+    pred0 = (ns & (N_STATES // 2 - 1)) << 1
+    pred1 = pred0 | 1
+    reg0 = (inp << (CONSTRAINT - 1)) | pred0
+    reg1 = (inp << (CONSTRAINT - 1)) | pred1
+    oidx0 = 2 * _PARITY[0, reg0] + _PARITY[1, reg0]
+    oidx1 = 2 * _PARITY[0, reg1] + _PARITY[1, reg1]
+    return pred0, pred1, inp, np.stack([oidx0, oidx1])
+
+
+_PRED0, _PRED1, _INPUT_BIT, _OIDX = _build_trellis()
+
+
+def viterbi_decode_soft(llrs: np.ndarray, *, terminated: bool = True) -> np.ndarray:
+    """Decode a rate-1/2 mother-code LLR stream.
+
+    Parameters
+    ----------
+    llrs:
+        One LLR per mother coded bit (length must be even).  Positive
+        values favour bit 0.  Punctured positions must already be filled
+        with zeros (see :func:`depuncture`).
+    terminated:
+        When true, the encoder was driven back to the zero state with
+        K-1 tail bits; the traceback starts from state 0 and the tail
+        bits are stripped from the output.
+
+    Returns
+    -------
+    numpy.ndarray
+        Decoded information bits (tail removed when ``terminated``).
+    """
+    llrs = np.asarray(llrs, dtype=np.float64)
+    if llrs.size % 2:
+        raise ValueError("LLR stream length must be even (2 bits/step)")
+    n_steps = llrs.size // 2
+    if n_steps == 0:
+        return np.empty(0, dtype=np.uint8)
+
+    l0 = llrs[0::2]
+    l1 = llrs[1::2]
+    # Branch metric for output pair (c0, c1): sum of +llr for 0-bits and
+    # -llr for 1-bits; index j = 2*c0 + c1.
+    bm = np.empty((n_steps, 4))
+    bm[:, 0] = l0 + l1
+    bm[:, 1] = l0 - l1
+    bm[:, 2] = -l0 + l1
+    bm[:, 3] = -l0 - l1
+
+    path_metric = np.full(N_STATES, -1e18)
+    path_metric[0] = 0.0
+    decisions = np.empty((n_steps, N_STATES), dtype=np.uint8)
+
+    for t in range(n_steps):
+        bmt = bm[t]
+        cand0 = path_metric[_PRED0] + bmt[_OIDX[0]]
+        cand1 = path_metric[_PRED1] + bmt[_OIDX[1]]
+        take1 = cand1 > cand0
+        decisions[t] = take1
+        path_metric = np.where(take1, cand1, cand0)
+
+    state = 0 if terminated else int(np.argmax(path_metric))
+    bits = np.empty(n_steps, dtype=np.uint8)
+    for t in range(n_steps - 1, -1, -1):
+        bits[t] = _INPUT_BIT[state]
+        prev = _PRED1[state] if decisions[t, state] else _PRED0[state]
+        state = prev
+
+    if terminated:
+        if n_steps < CONSTRAINT - 1:
+            raise ValueError("terminated stream shorter than the tail")
+        bits = bits[: n_steps - (CONSTRAINT - 1)]
+    return bits
+
+
+def viterbi_decode(coded_bits: np.ndarray, rate: str = "1/2", *,
+                   terminated: bool = True,
+                   n_info_bits: int | None = None) -> np.ndarray:
+    """Hard-decision decode of a (possibly punctured) coded bit stream.
+
+    Parameters
+    ----------
+    coded_bits:
+        The received hard bits after puncturing.
+    rate:
+        "1/2", "2/3" or "3/4".
+    terminated:
+        Whether the encoder appended a K-1 zero tail.
+    n_info_bits:
+        Required for punctured rates (to size the mother stream); for
+        rate 1/2 it is inferred from the input length.
+    """
+    coded_bits = np.asarray(coded_bits, dtype=np.float64)
+    if rate == "1/2":
+        n_mother = coded_bits.size
+        llrs = 1.0 - 2.0 * coded_bits
+    else:
+        if n_info_bits is None:
+            raise ValueError("n_info_bits required for punctured rates")
+        total_steps = n_info_bits + (CONSTRAINT - 1 if terminated else 0)
+        n_mother = 2 * total_steps
+        llrs = depuncture(1.0 - 2.0 * coded_bits, rate, n_mother)
+    return viterbi_decode_soft(llrs, terminated=terminated)

@@ -1,0 +1,142 @@
+"""Physical, WiFi-PHY and BackFi-protocol constants.
+
+All timing constants follow the BackFi paper (Sec. 4.1, Fig. 4) and the
+IEEE 802.11a/g OFDM PHY that the paper's WARP prototype implements.
+Everything in this reproduction operates on complex baseband samples at
+:data:`SAMPLE_RATE` (one 20 MHz WiFi channel).
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Physical constants
+# ---------------------------------------------------------------------------
+
+SPEED_OF_LIGHT = 299_792_458.0
+"""Speed of light in vacuum [m/s]."""
+
+BOLTZMANN = 1.380649e-23
+"""Boltzmann constant [J/K]."""
+
+ROOM_TEMPERATURE_K = 290.0
+"""Standard noise reference temperature [K]."""
+
+# ---------------------------------------------------------------------------
+# RF / sampling
+# ---------------------------------------------------------------------------
+
+CARRIER_FREQ_HZ = 2.437e9
+"""WiFi channel 6 centre frequency [Hz] (the channel used in Sec. 6.1)."""
+
+SAMPLE_RATE = 20e6
+"""Complex baseband sample rate [samples/s]: one 20 MHz WiFi channel."""
+
+SAMPLE_PERIOD_S = 1.0 / SAMPLE_RATE
+"""Duration of one baseband sample [s] (50 ns)."""
+
+SAMPLES_PER_US = int(SAMPLE_RATE / 1e6)
+"""Baseband samples per microsecond (20)."""
+
+# ---------------------------------------------------------------------------
+# 802.11a/g OFDM PHY dimensions
+# ---------------------------------------------------------------------------
+
+FFT_SIZE = 64
+"""OFDM FFT length."""
+
+CP_LENGTH = 16
+"""Cyclic-prefix length in samples (0.8 us)."""
+
+SYMBOL_LENGTH = FFT_SIZE + CP_LENGTH
+"""Total OFDM symbol length in samples (4 us)."""
+
+N_DATA_SUBCARRIERS = 48
+"""Data subcarriers per OFDM symbol."""
+
+N_PILOT_SUBCARRIERS = 4
+"""Pilot subcarriers per OFDM symbol."""
+
+DATA_SUBCARRIER_INDICES = tuple(
+    k for k in range(-26, 27) if k != 0 and k not in (-21, -7, 7, 21)
+)
+"""Logical (signed) indices of the 48 data subcarriers."""
+
+PILOT_SUBCARRIER_INDICES = (-21, -7, 7, 21)
+"""Logical (signed) indices of the 4 pilot subcarriers."""
+
+# ---------------------------------------------------------------------------
+# BackFi link-layer protocol timing (paper Fig. 4)
+# ---------------------------------------------------------------------------
+
+AP_PREAMBLE_BITS = 16
+"""Length of the AP's OOK detection/identification preamble [bits]."""
+
+AP_PREAMBLE_BIT_US = 1.0
+"""Duration of one AP preamble bit [us]."""
+
+DETECTION_US = 16.0
+"""Energy detection + reader identification duration [us]."""
+
+SILENT_US = 16.0
+"""Tag silent period during which the reader estimates h_env [us]."""
+
+TAG_PREAMBLE_US = 32.0
+"""Default tag preamble (channel estimation + sync) duration [us]."""
+
+TAG_PREAMBLE_LONG_US = 96.0
+"""Extended tag preamble evaluated in paper Fig. 8 [us]."""
+
+# ---------------------------------------------------------------------------
+# Tag capabilities (Sec. 4.1 / 5.2)
+# ---------------------------------------------------------------------------
+
+TAG_SYMBOL_RATES_HZ = (10e3, 100e3, 500e3, 1e6, 2e6, 2.5e6)
+"""Configurable tag symbol switching rates [symbols/s] (paper Fig. 7)."""
+
+TAG_MODULATIONS = ("bpsk", "qpsk", "16psk")
+"""Phase modulations supported by the SPDT switch tree."""
+
+TAG_CODE_RATES = ("1/2", "2/3")
+"""Convolutional code rates supported by the tag (Sec. 6.1)."""
+
+CONSTRAINT_LENGTH = 7
+"""Constraint length of the tag/WiFi convolutional code."""
+
+REFERENCE_EPB_PJ = 3.15
+"""Energy-per-bit of the REPB reference configuration [pJ/bit]
+(BPSK, rate 1/2, 1 Msym/s -- paper Sec. 5.2.1)."""
+
+# ---------------------------------------------------------------------------
+# Radio hardware defaults (reader / AP)
+# ---------------------------------------------------------------------------
+
+TX_POWER_DBM = 20.0
+"""AP transmit power [dBm] (WARP SDR class, as in the paper's testbed)."""
+
+NOISE_FIGURE_DB = 6.0
+"""Receiver noise figure [dB]."""
+
+CIRCULATOR_ISOLATION_DB = 20.0
+"""Direct TX->RX leakage suppression of the reader circulator [dB]."""
+
+ADC_BITS = 12
+"""Reader ADC resolution [bits]."""
+
+TAG_REFLECTION_LOSS_DB = 7.0
+"""Backscatter modulator insertion + antenna mismatch + polarisation
+loss [dB]."""
+
+INDOOR_PATHLOSS_EXPONENT = 2.45
+"""Log-distance path-loss exponent of the cluttered indoor testbed."""
+
+BACKSCATTER_EVM_RMS = 0.12
+"""Multiplicative error on the backscatter path (tag clock jitter,
+switching transients, channel drift over the packet).  Sets the
+~18-19 dB post-MRC SNR ceiling visible in the paper's near-range
+throughput plateau (Figs. 8/9)."""
+
+BACKSCATTER_EVM_COHERENCE_US = 50.0
+"""Coherence time of the multiplicative backscatter error process."""
+
+TAG_ANTENNA_GAIN_DBI = 3.0
+"""Tag antenna gain [dBi] (Sec. 5.2)."""

@@ -1,0 +1,81 @@
+"""Correlation-based detection primitives.
+
+Used by the tag's wake-up preamble correlator, the reader's fine symbol
+timing search, and WiFi packet detection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sliding_correlation",
+    "normalized_cross_correlation",
+    "find_correlation_peak",
+    "schmidl_cox_metric",
+]
+
+
+def sliding_correlation(x: np.ndarray, template: np.ndarray) -> np.ndarray:
+    """Complex sliding cross-correlation ``c[n] = sum_k x[n+k] conj(t[k])``.
+
+    Output length is ``len(x) - len(template) + 1``; empty if the template
+    is longer than the signal.
+    """
+    x = np.asarray(x)
+    template = np.asarray(template)
+    if x.size < template.size:
+        return np.empty(0, dtype=np.complex128)
+    return np.correlate(x, template, mode="valid")
+
+
+def normalized_cross_correlation(x: np.ndarray,
+                                 template: np.ndarray) -> np.ndarray:
+    """Sliding correlation normalised to [0, 1] by local signal energy."""
+    x = np.asarray(x, dtype=np.complex128)
+    template = np.asarray(template, dtype=np.complex128)
+    if x.size < template.size:
+        return np.empty(0, dtype=np.float64)
+    corr = np.abs(np.correlate(x, template, mode="valid"))
+    e_t = np.sqrt(np.sum(np.abs(template) ** 2))
+    # Local energy of x under each template placement.
+    p = np.abs(x) ** 2
+    c = np.cumsum(np.concatenate([[0.0], p]))
+    e_x = np.sqrt(c[template.size:] - c[: x.size - template.size + 1])
+    denom = e_t * np.maximum(e_x, 1e-30)
+    return corr / denom
+
+
+def find_correlation_peak(x: np.ndarray, template: np.ndarray,
+                          threshold: float = 0.5) -> int | None:
+    """Index of the first normalised-correlation peak above ``threshold``.
+
+    Returns the offset of the template start in ``x``, or ``None`` when no
+    placement exceeds the threshold.
+    """
+    ncc = normalized_cross_correlation(x, template)
+    if ncc.size == 0:
+        return None
+    peak = int(np.argmax(ncc))
+    if ncc[peak] < threshold:
+        return None
+    return peak
+
+
+def schmidl_cox_metric(x: np.ndarray, period: int) -> np.ndarray:
+    """Schmidl-Cox style periodicity metric for repeating preambles.
+
+    ``m[n] = |sum_k x[n+k] conj(x[n+k+period])|^2 / (sum_k |x[n+k+period]|^2)^2``
+    over a window of ``period`` samples -- the classic WiFi STF detector.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    n_out = x.size - 2 * period + 1
+    if n_out <= 0:
+        return np.empty(0, dtype=np.float64)
+    prod = x[:-period] * np.conj(x[period:])
+    p = np.abs(x[period:]) ** 2
+    cp = np.cumsum(np.concatenate([[0.0 + 0.0j], prod]))
+    ce = np.cumsum(np.concatenate([[0.0], p]))
+    num = np.abs(cp[period: period + n_out] - cp[:n_out]) ** 2
+    den = (ce[period: period + n_out] - ce[:n_out]) ** 2
+    return num / np.maximum(den, 1e-30)

@@ -1,0 +1,87 @@
+"""FIR filter design and application.
+
+Only the pieces the BackFi stack needs: windowed-sinc low-pass design (for
+band-limiting synthetic signals), direct FIR application, and fractional
+delay via sinc interpolation (for sub-sample multipath tap placement).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "design_lowpass",
+    "fir_filter",
+    "fractional_delay_filter",
+    "moving_average",
+]
+
+
+def design_lowpass(cutoff_norm: float, num_taps: int = 63) -> np.ndarray:
+    """Windowed-sinc low-pass FIR.
+
+    Parameters
+    ----------
+    cutoff_norm:
+        Cutoff as a fraction of the sample rate, in (0, 0.5).
+    num_taps:
+        Odd tap count for a symmetric (linear-phase) filter.
+    """
+    if not 0 < cutoff_norm < 0.5:
+        raise ValueError("cutoff must be in (0, 0.5) of the sample rate")
+    if num_taps < 3 or num_taps % 2 == 0:
+        raise ValueError("num_taps must be odd and >= 3")
+    n = np.arange(num_taps) - (num_taps - 1) / 2
+    h = 2 * cutoff_norm * np.sinc(2 * cutoff_norm * n)
+    h *= np.hamming(num_taps)
+    return h / np.sum(h)
+
+
+def fir_filter(h: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Apply FIR ``h`` to ``x`` returning the full convolution head.
+
+    Output has the same length as ``x``; the filter's transient is at the
+    start (``y[n] = sum_k h[k] x[n-k]``), matching the causal channel
+    convolution used everywhere in the simulator.
+    """
+    x = np.asarray(x)
+    h = np.asarray(h)
+    if x.size == 0:
+        return x.copy()
+    return np.convolve(x, h)[: x.size]
+
+
+def fractional_delay_filter(delay: float, num_taps: int = 21) -> np.ndarray:
+    """Sinc-interpolating FIR producing a ``delay``-sample delay.
+
+    ``delay`` may be fractional; the integer part must fit inside the
+    filter support (``0 <= delay <= num_taps - 1``).
+    """
+    if not 0 <= delay <= num_taps - 1:
+        raise ValueError("delay must lie within the filter support")
+    n = np.arange(num_taps)
+    h = np.sinc(n - delay)
+    window = np.hamming(num_taps)
+    # Centre the window on the delay so the main lobe is not attenuated.
+    centre = (num_taps - 1) / 2
+    shift = int(round(delay - centre))
+    if shift:
+        window = np.roll(window, shift)
+    h *= window
+    s = np.sum(h)
+    if abs(s) > 1e-12:
+        h = h / s
+    return h
+
+
+def moving_average(x: np.ndarray, window: int) -> np.ndarray:
+    """Causal moving average (the envelope-detector smoother on the tag)."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    x = np.asarray(x, dtype=np.float64)
+    c = np.cumsum(np.concatenate([[0.0], x]))
+    out = np.empty_like(x)
+    idx = np.arange(1, x.size + 1)
+    lo = np.maximum(idx - window, 0)
+    out = (c[idx] - c[lo]) / (idx - lo)
+    return out

@@ -1,0 +1,71 @@
+"""Signal-quality measurements: SNR, EVM, PAPR, spectral occupancy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.conversions import linear_to_db, power
+
+__all__ = [
+    "papr_db",
+    "evm_rms",
+    "symbol_snr_db",
+    "occupied_bandwidth_hz",
+    "residual_power_db",
+]
+
+
+def papr_db(x: np.ndarray) -> float:
+    """Peak-to-average power ratio in dB."""
+    x = np.asarray(x)
+    p = power(x)
+    if p == 0:
+        return 0.0
+    return float(linear_to_db(np.max(np.abs(x) ** 2) / p))
+
+
+def evm_rms(measured: np.ndarray, reference: np.ndarray) -> float:
+    """RMS error-vector magnitude as a fraction of the reference RMS."""
+    measured = np.asarray(measured)
+    reference = np.asarray(reference)
+    if measured.shape != reference.shape:
+        raise ValueError("measured/reference shape mismatch")
+    p_ref = power(reference)
+    if p_ref == 0:
+        raise ValueError("reference power is zero")
+    return float(np.sqrt(power(measured - reference) / p_ref))
+
+
+def symbol_snr_db(measured: np.ndarray, reference: np.ndarray) -> float:
+    """Per-symbol SNR implied by the EVM between two symbol vectors."""
+    evm = evm_rms(measured, reference)
+    if evm == 0:
+        return float("inf")
+    return float(-20.0 * np.log10(evm))
+
+
+def occupied_bandwidth_hz(x: np.ndarray, sample_rate: float,
+                          fraction: float = 0.99) -> float:
+    """Bandwidth containing ``fraction`` of the signal power."""
+    x = np.asarray(x)
+    if x.size == 0:
+        return 0.0
+    spec = np.abs(np.fft.fftshift(np.fft.fft(x))) ** 2
+    total = np.sum(spec)
+    if total == 0:
+        return 0.0
+    c = np.cumsum(spec) / total
+    lo = np.searchsorted(c, (1 - fraction) / 2)
+    hi = np.searchsorted(c, 1 - (1 - fraction) / 2)
+    return (hi - lo) * sample_rate / x.size
+
+
+def residual_power_db(before: np.ndarray, after: np.ndarray) -> float:
+    """Cancellation depth: power(after) relative to power(before), in dB."""
+    pb = power(before)
+    pa = power(after)
+    if pb == 0:
+        return 0.0
+    if pa == 0:
+        return float("-inf")
+    return float(linear_to_db(pa / pb))

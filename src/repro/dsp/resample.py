@@ -1,0 +1,47 @@
+"""Simple integer-factor resampling and sample-and-hold expansion.
+
+The tag's phase waveform is generated at the symbol rate and expanded to
+the 20 Msps baseband grid with :func:`hold_expand`; all paper symbol rates
+divide the sample rate exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .filters import design_lowpass, fir_filter
+
+__all__ = ["hold_expand", "decimate", "upsample_interp"]
+
+
+def hold_expand(symbols: np.ndarray, factor: int) -> np.ndarray:
+    """Repeat each symbol ``factor`` times (zero-order hold)."""
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    return np.repeat(np.asarray(symbols), factor)
+
+
+def decimate(x: np.ndarray, factor: int, *, filter_taps: int = 63) -> np.ndarray:
+    """Low-pass filter then keep every ``factor``-th sample."""
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    x = np.asarray(x)
+    if factor == 1:
+        return x.copy()
+    h = design_lowpass(0.5 / factor * 0.9, num_taps=filter_taps)
+    y = fir_filter(h, x)
+    return y[::factor]
+
+
+def upsample_interp(x: np.ndarray, factor: int,
+                    *, filter_taps: int = 63) -> np.ndarray:
+    """Zero-stuff then interpolate by ``factor`` with a low-pass filter."""
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    x = np.asarray(x)
+    if factor == 1:
+        return x.copy()
+    up = np.zeros(x.size * factor, dtype=x.dtype)
+    up[::factor] = x
+    h = design_lowpass(0.5 / factor * 0.9, num_taps=filter_taps) * factor
+    return fir_filter(h, up)

@@ -1,0 +1,89 @@
+"""Power spectral density estimation and ASCII spectrum rendering.
+
+Used by the coexistence micro-studies and the link doctor to show where
+signal energy sits (excitation vs backscatter vs residual
+self-interference) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["welch_psd", "psd_db", "ascii_spectrum", "band_power_mw"]
+
+
+def welch_psd(x: np.ndarray, *, segment: int = 256,
+              overlap: float = 0.5,
+              sample_rate: float = 20e6) -> tuple[np.ndarray, np.ndarray]:
+    """Welch-averaged periodogram of a complex baseband signal.
+
+    Returns ``(freqs_hz, psd)`` with frequencies fftshifted to
+    [-fs/2, fs/2) and the PSD in power units per bin (mW/bin under the
+    package's power convention).
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    if segment < 8:
+        raise ValueError("segment must be >= 8")
+    if not 0 <= overlap < 1:
+        raise ValueError("overlap must be in [0, 1)")
+    if x.size < segment:
+        raise ValueError("signal shorter than one segment")
+    step = max(int(segment * (1.0 - overlap)), 1)
+    window = np.hanning(segment)
+    w_norm = float(np.sum(window ** 2))
+    acc = np.zeros(segment)
+    count = 0
+    for start in range(0, x.size - segment + 1, step):
+        seg = x[start:start + segment] * window
+        # Normalised so the PSD sums to the signal's mean power
+        # (Parseval: sum_k |FFT_k|^2 = N * sum_n |y_n|^2).
+        spec = np.abs(np.fft.fft(seg)) ** 2 / (w_norm * segment)
+        acc += spec
+        count += 1
+    psd = np.fft.fftshift(acc / count)
+    freqs = np.fft.fftshift(np.fft.fftfreq(segment, d=1.0 / sample_rate))
+    return freqs, psd
+
+
+def psd_db(x: np.ndarray, **kwargs) -> tuple[np.ndarray, np.ndarray]:
+    """Welch PSD in dB (floored at -200 dB)."""
+    freqs, psd = welch_psd(x, **kwargs)
+    return freqs, 10.0 * np.log10(np.maximum(psd, 1e-20))
+
+
+def band_power_mw(x: np.ndarray, f_lo: float, f_hi: float, *,
+                  sample_rate: float = 20e6,
+                  segment: int = 256) -> float:
+    """Mean power of the signal inside a frequency band."""
+    if f_hi <= f_lo:
+        raise ValueError("need f_lo < f_hi")
+    freqs, psd = welch_psd(x, segment=segment, sample_rate=sample_rate)
+    mask = (freqs >= f_lo) & (freqs < f_hi)
+    return float(np.sum(psd[mask]))
+
+
+def ascii_spectrum(x: np.ndarray, *, title: str = "",
+                   sample_rate: float = 20e6, width: int = 64,
+                   height: int = 12, floor_db: float | None = None) -> str:
+    """Render the PSD as a text bar chart."""
+    freqs, p_db = psd_db(x, segment=max(width * 2, 64),
+                         sample_rate=sample_rate)
+    # Downsample bins to the display width.
+    idx = np.linspace(0, freqs.size - 1, width).astype(int)
+    vals = p_db[idx]
+    top = float(np.max(vals))
+    lo = floor_db if floor_db is not None else top - 60.0
+    levels = np.clip((vals - lo) / max(top - lo, 1e-9), 0, 1)
+    rows = []
+    if title:
+        rows.append(title)
+    for r in range(height, 0, -1):
+        thresh = r / height
+        rows.append("".join("#" if lv >= thresh else " " for lv in levels))
+    rows.append("-" * width)
+    f_lo = freqs[0] / 1e6
+    f_hi = freqs[-1] / 1e6
+    rows.append(f"{f_lo:.1f} MHz".ljust(width // 2)
+                + f"{f_hi:.1f} MHz".rjust(width - width // 2))
+    rows.append(f"peak {top:.1f} dB, floor {lo:.1f} dB")
+    return "\n".join(rows)

@@ -1,0 +1,17 @@
+"""Alternative excitation signals: BLE and Zigbee (paper Sec. 1)."""
+
+from .ble import BleTransmitter, BleTxResult, crc24
+from .dsss import BARKER11, DsssTransmitter, DsssTxResult
+from .zigbee import CHIP_SEQUENCES, ZigbeeTransmitter, ZigbeeTxResult
+
+__all__ = [
+    "BleTransmitter",
+    "BleTxResult",
+    "crc24",
+    "BARKER11",
+    "DsssTransmitter",
+    "DsssTxResult",
+    "CHIP_SEQUENCES",
+    "ZigbeeTransmitter",
+    "ZigbeeTxResult",
+]

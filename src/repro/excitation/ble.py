@@ -1,0 +1,93 @@
+"""Bluetooth Low Energy (LE 1M) baseband transmitter.
+
+The paper (Sec. 1): "although we have chosen WiFi signaling for the
+description and implementation of BackFi, the system is applicable for
+other types of communication signals like Bluetooth, Zigbee, etc."
+
+This module generates standard-shaped BLE packets -- GFSK, 1 Msym/s,
+modulation index 0.5, BT = 0.5 -- as an alternative excitation signal.
+The BackFi decoder never interprets the excitation's content (it only
+needs to *know* it), so swapping the excitation exercises exactly the
+paper's claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import SAMPLE_RATE
+from ..utils.bits import bits_from_bytes
+
+__all__ = ["BleTransmitter", "BleTxResult", "crc24"]
+
+SYMBOL_RATE_HZ = 1e6
+MODULATION_INDEX = 0.5
+BT = 0.5
+ACCESS_ADDRESS = 0x8E89BED6  # advertising channel access address
+
+
+def crc24(data: bytes, init: int = 0x555555) -> int:
+    """BLE CRC-24 (poly 0x00065B, LSB-first processing)."""
+    reg = init
+    for byte in data:
+        for i in range(8):
+            bit = (byte >> i) & 1
+            fb = ((reg >> 23) & 1) ^ bit
+            reg = (reg << 1) & 0xFFFFFF
+            if fb:
+                reg ^= 0x00065B
+    return reg
+
+
+def _gaussian_kernel(bt: float, sps: int, span: int = 3) -> np.ndarray:
+    """Gaussian pulse-shaping filter for GFSK."""
+    t = np.arange(-span * sps, span * sps + 1) / sps
+    sigma = np.sqrt(np.log(2.0)) / (2.0 * np.pi * bt)
+    g = np.exp(-t ** 2 / (2.0 * sigma ** 2))
+    return g / np.sum(g)
+
+
+@dataclass
+class BleTxResult:
+    """A generated BLE packet."""
+
+    samples: np.ndarray
+    pdu: bytes
+
+    @property
+    def duration_us(self) -> float:
+        """Air time."""
+        return self.samples.size / (SAMPLE_RATE / 1e6)
+
+
+class BleTransmitter:
+    """Generates LE 1M advertising-style packets at 20 Msps baseband."""
+
+    def __init__(self, *, access_address: int = ACCESS_ADDRESS):
+        self.access_address = access_address
+        self.sps = int(SAMPLE_RATE // SYMBOL_RATE_HZ)
+        self._kernel = _gaussian_kernel(BT, self.sps)
+
+    def _frame_bits(self, pdu: bytes) -> np.ndarray:
+        preamble = b"\xAA"
+        aa = self.access_address.to_bytes(4, "little")
+        crc = crc24(pdu).to_bytes(3, "little")
+        return bits_from_bytes(preamble + aa + pdu + crc)
+
+    def transmit(self, pdu: bytes) -> BleTxResult:
+        """PDU bytes -> GFSK complex baseband."""
+        if not pdu:
+            raise ValueError("PDU must not be empty")
+        if len(pdu) > 255:
+            raise ValueError("PDU exceeds 255 bytes")
+        bits = self._frame_bits(pdu)
+        nrz = 2.0 * bits.astype(np.float64) - 1.0
+        # Upsample to the baseband rate and shape.
+        train = np.repeat(nrz, self.sps)
+        shaped = np.convolve(train, self._kernel, mode="same")
+        # GFSK: frequency deviation h/2 * symbol rate.
+        freq = MODULATION_INDEX / 2.0 * SYMBOL_RATE_HZ
+        phase = 2.0 * np.pi * freq * np.cumsum(shaped) / SAMPLE_RATE
+        return BleTxResult(samples=np.exp(1j * phase), pdu=pdu)

@@ -1,0 +1,100 @@
+"""IEEE 802.15.4 (Zigbee) 2.4 GHz baseband transmitter.
+
+O-QPSK with half-sine pulse shaping at 2 Mchip/s; each 4-bit symbol maps
+to one of 16 quasi-orthogonal 32-chip PN sequences (802.15.4-2020
+Table 12-1).  Used as another alternative excitation for BackFi.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import SAMPLE_RATE
+from ..utils.bits import bits_from_bytes
+
+__all__ = ["ZigbeeTransmitter", "ZigbeeTxResult", "CHIP_SEQUENCES"]
+
+CHIP_RATE_HZ = 2e6
+
+# 802.15.4 2.4 GHz chip sequences: symbol 0's sequence; symbols 1-7 are
+# left-circular shifts by 4k chips; symbols 8-15 add a conjugation
+# pattern (here: the standard table, generated from the base sequence).
+_BASE = np.array([1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1,
+                  0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0],
+                 dtype=np.uint8)
+
+
+def _build_sequences() -> np.ndarray:
+    seqs = np.empty((16, 32), dtype=np.uint8)
+    for s in range(8):
+        seqs[s] = np.roll(_BASE, 4 * s)
+    # Symbols 8-15: invert the odd-indexed (Q) chips of symbols 0-7.
+    flip = np.array([0, 1] * 16, dtype=np.uint8)
+    for s in range(8):
+        seqs[8 + s] = seqs[s] ^ flip
+    return seqs
+
+
+CHIP_SEQUENCES = _build_sequences()
+
+
+@dataclass
+class ZigbeeTxResult:
+    """A generated 802.15.4 frame."""
+
+    samples: np.ndarray
+    psdu: bytes
+
+    @property
+    def duration_us(self) -> float:
+        """Air time."""
+        return self.samples.size / (SAMPLE_RATE / 1e6)
+
+
+class ZigbeeTransmitter:
+    """Generates O-QPSK half-sine-shaped frames at 20 Msps baseband."""
+
+    def __init__(self) -> None:
+        self.sps_chip = int(SAMPLE_RATE // CHIP_RATE_HZ)  # 10
+
+    def _chips(self, data: bytes) -> np.ndarray:
+        bits = bits_from_bytes(data)
+        chips = []
+        for i in range(0, bits.size, 4):
+            nibble = bits[i:i + 4]
+            sym = int(nibble[0]) | int(nibble[1]) << 1 \
+                | int(nibble[2]) << 2 | int(nibble[3]) << 3
+            chips.append(CHIP_SEQUENCES[sym])
+        return np.concatenate(chips) if chips else \
+            np.empty(0, dtype=np.uint8)
+
+    def transmit(self, psdu: bytes) -> ZigbeeTxResult:
+        """PSDU bytes -> O-QPSK complex baseband.
+
+        Frame = preamble (4 zero bytes) + SFD (0xA7) + length + PSDU.
+        """
+        if not psdu:
+            raise ValueError("PSDU must not be empty")
+        if len(psdu) > 127:
+            raise ValueError("PSDU exceeds 127 bytes")
+        frame = b"\x00\x00\x00\x00\xA7" + bytes([len(psdu)]) + psdu
+        chips = 2.0 * self._chips(frame).astype(np.float64) - 1.0
+        # O-QPSK: even chips -> I, odd chips -> Q, Q offset by half a
+        # chip; each chip shaped by a half-sine of one chip period.
+        n_pairs = chips.size // 2
+        i_chips = chips[0::2][:n_pairs]
+        q_chips = chips[1::2][:n_pairs]
+        sps = self.sps_chip
+        half_sine = np.sin(np.pi * np.arange(2 * sps) / (2 * sps))
+        n = (n_pairs + 1) * 2 * sps
+        i_wave = np.zeros(n)
+        q_wave = np.zeros(n)
+        for k in range(n_pairs):
+            start = k * 2 * sps
+            i_wave[start:start + 2 * sps] += i_chips[k] * half_sine
+            qs = start + sps
+            q_wave[qs:qs + 2 * sps] += q_chips[k] * half_sine
+        samples = (i_wave + 1j * q_wave) / np.sqrt(2.0)
+        return ZigbeeTxResult(samples=samples, psdu=psdu)

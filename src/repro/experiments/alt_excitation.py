@@ -1,0 +1,86 @@
+"""Sec. 1's generality claim: BackFi over WiFi, BLE and Zigbee.
+
+"Although we have chosen WiFi signaling for the description and
+implementation of BackFi, the system is applicable for other types of
+communication signals like Bluetooth, Zigbee, etc., as well."
+
+Same tag, same reader pipeline, three different ambient signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..channel.environment import Scene
+from ..link.session import run_backscatter_session
+from ..reader.reader import BackFiReader
+from ..tag.config import TagConfig
+from ..tag.tag import BackFiTag
+from .common import ExperimentTable
+
+__all__ = ["AltExcitationResult", "run"]
+
+EXCITATIONS = ("wifi", "ble", "zigbee")
+
+
+@dataclass
+class AltExcitationResult:
+    """Decode statistics per excitation type."""
+
+    success: dict[str, float] = field(default_factory=dict)
+    snr_db: dict[str, float] = field(default_factory=dict)
+    goodput_bps: dict[str, float] = field(default_factory=dict)
+    table: ExperimentTable | None = None
+
+
+def run(*, distance_m: float = 2.0, trials: int = 5,
+        config: TagConfig | None = None,
+        seed: int = 67) -> AltExcitationResult:
+    """Run the same backscatter link over each ambient signal type."""
+    config = config or TagConfig("qpsk", "1/2", 1e6)
+    base = np.random.default_rng(seed)
+    seeds = [int(s) for s in base.integers(2**32, size=trials)]
+    result = AltExcitationResult()
+
+    for exc in EXCITATIONS:
+        oks, snrs, goodputs = 0, [], []
+        for t in range(trials):
+            rng = np.random.default_rng(seeds[t])
+            scene = Scene.build(tag_distance_m=distance_m, rng=rng)
+            out = run_backscatter_session(
+                scene, BackFiTag(config), BackFiReader(config),
+                excitation=exc, wifi_payload_bytes=250, rng=rng,
+            )
+            oks += int(out.ok)
+            if np.isfinite(out.reader.symbol_snr_db):
+                snrs.append(out.reader.symbol_snr_db)
+            goodputs.append(out.goodput_bps)
+        result.success[exc] = oks / trials
+        result.snr_db[exc] = float(np.median(snrs)) if snrs else \
+            float("nan")
+        result.goodput_bps[exc] = float(np.median(goodputs))
+
+    table = ExperimentTable(
+        title=f"BackFi over alternative ambient signals @ {distance_m} m "
+              f"({config.describe()})",
+        columns=["excitation", "success", "median SNR (dB)",
+                 "median goodput"],
+    )
+    from .common import format_si
+
+    for exc in EXCITATIONS:
+        table.add_row(exc, f"{result.success[exc]:.0%}",
+                      f"{result.snr_db[exc]:.1f}",
+                      format_si(result.goodput_bps[exc]))
+    table.add_note("the decoder never interprets the excitation's "
+                   "content; the narrower BLE/Zigbee spectra only reduce "
+                   "the timing-estimation contrast (handled by the "
+                   "regularised estimator)")
+    result.table = table
+    return result
+
+
+if __name__ == "__main__":
+    print(run().table)

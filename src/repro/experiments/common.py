@@ -1,0 +1,86 @@
+"""Shared experiment infrastructure: result tables and sweep helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+__all__ = ["ExperimentTable", "cdf_points", "median", "format_si"]
+
+
+@dataclass
+class ExperimentTable:
+    """A printable result table mirroring one paper figure/table."""
+
+    title: str
+    columns: list[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(tuple(values))
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-form note printed under the table."""
+        self.notes.append(note)
+
+    def format(self) -> str:
+        """Render an aligned text table."""
+        def fmt(v: Any) -> str:
+            if isinstance(v, float):
+                if v != v:  # NaN
+                    return "-"
+                if abs(v) >= 1000 or (abs(v) < 0.01 and v != 0):
+                    return f"{v:.3g}"
+                return f"{v:.4g}"
+            return str(v)
+
+        cells = [[fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells))
+            if cells else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(
+            c.ljust(w) for c, w in zip(self.columns, widths)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for r in cells:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def cdf_points(values: Iterable[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted values and their empirical CDF levels."""
+    v = np.sort(np.asarray(list(values), dtype=np.float64))
+    if v.size == 0:
+        return v, v
+    return v, (np.arange(1, v.size + 1)) / v.size
+
+
+def median(values: Iterable[float]) -> float:
+    """Median that tolerates an empty input (NaN)."""
+    v = np.asarray(list(values), dtype=np.float64)
+    return float(np.median(v)) if v.size else float("nan")
+
+
+def format_si(value: float, unit: str = "bps") -> str:
+    """Human-readable SI formatting (e.g. 1.25 Mbps)."""
+    for scale, prefix in ((1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= scale:
+            return f"{value / scale:.3g} {prefix}{unit}"
+    return f"{value:.3g} {unit}"

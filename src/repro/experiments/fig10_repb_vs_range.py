@@ -1,0 +1,107 @@
+"""Paper Fig. 10: REPB vs range for fixed target throughputs.
+
+For 1.25 Mbps and 5 Mbps the experiment finds, at each range, the
+feasible operating point that achieves the target with the lowest REPB.
+The paper's observation: holding throughput fixed, energy/bit steps up
+with range as the link is forced to lower coding rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..tag.config import TagConfig
+from ..tag.energy import default_energy_model
+from .common import ExperimentTable, format_si
+from .fig9_repb_vs_throughput import measure_feasible_configs
+
+__all__ = ["Fig10Point", "Fig10Result", "run"]
+
+DEFAULT_TARGETS_BPS = (1.25e6, 5e6)
+DEFAULT_RANGES_M = (0.5, 1.0, 2.0, 3.0, 4.0, 5.0)
+
+
+@dataclass(frozen=True)
+class Fig10Point:
+    """Lowest-REPB operating point hitting a target at a range."""
+
+    distance_m: float
+    target_bps: float
+    repb: float
+    config: TagConfig | None
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the target is reachable at this range."""
+        return self.config is not None
+
+
+@dataclass
+class Fig10Result:
+    """Points per (target, range) and the printable table."""
+
+    points: list[Fig10Point] = field(default_factory=list)
+    table: ExperimentTable | None = None
+
+    def repb_curve(self, target_bps: float) -> list[tuple[float, float]]:
+        """(range, REPB) pairs for one target (feasible points only)."""
+        return [(p.distance_m, p.repb) for p in self.points
+                if p.target_bps == target_bps and p.feasible]
+
+
+def run(targets_bps: tuple[float, ...] = DEFAULT_TARGETS_BPS,
+        ranges_m: tuple[float, ...] = DEFAULT_RANGES_M, *,
+        trials: int = 2, wifi_payload_bytes: int = 3000,
+        seed: int = 13) -> Fig10Result:
+    """Sweep ranges and pick min-REPB configs for each target."""
+    model = default_energy_model()
+    result = Fig10Result()
+    for d in ranges_m:
+        feasible = measure_feasible_configs(
+            d, trials=trials, wifi_payload_bytes=wifi_payload_bytes,
+            seed=seed,
+        )
+        for target in targets_bps:
+            best: Fig10Point | None = None
+            for cfg in feasible:
+                if cfg.throughput_bps < target:
+                    continue
+                repb = model.repb(cfg)
+                if best is None or repb < best.repb:
+                    best = Fig10Point(
+                        distance_m=d, target_bps=target,
+                        repb=repb, config=cfg,
+                    )
+            if best is None:
+                best = Fig10Point(
+                    distance_m=d, target_bps=target,
+                    repb=float("nan"), config=None,
+                )
+            result.points.append(best)
+
+    table = ExperimentTable(
+        title="Fig. 10 - REPB vs range at fixed throughput",
+        columns=["range (m)"] + [
+            format_si(t) for t in targets_bps
+        ],
+    )
+    for d in ranges_m:
+        row = [f"{d:g}"]
+        for target in targets_bps:
+            p = next(pt for pt in result.points
+                     if pt.distance_m == d and pt.target_bps == target)
+            if p.feasible:
+                row.append(f"{p.repb:.3f} ({p.config.describe()})")
+            else:
+                row.append("infeasible")
+        table.add_row(*row)
+    table.add_note("paper: ~2.5x the reference EPB needed for 1.25 Mbps "
+                   "at the far end of its feasible range")
+    result.table = table
+    return result
+
+
+if __name__ == "__main__":
+    print(run().table)

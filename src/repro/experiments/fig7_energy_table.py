@@ -1,0 +1,76 @@
+"""Paper Fig. 7: REPB and throughput per tag operating point.
+
+Regenerates the full table from the calibrated component energy model and
+reports the deviation from the paper's published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import TAG_SYMBOL_RATES_HZ
+from ..tag.config import TagConfig
+from ..tag.energy import PAPER_FIG7_REPB, EnergyModel, default_energy_model
+from .common import ExperimentTable, format_si
+
+__all__ = ["Fig7Result", "run"]
+
+_COMBOS = [
+    ("bpsk", "1/2"), ("bpsk", "2/3"),
+    ("qpsk", "1/2"), ("qpsk", "2/3"),
+    ("16psk", "1/2"), ("16psk", "2/3"),
+]
+
+
+@dataclass
+class Fig7Result:
+    """The regenerated table plus fit-quality statistics."""
+
+    table: ExperimentTable
+    max_rel_error: float
+    median_rel_error: float
+    reference_epb_pj: float
+
+
+def run(model: EnergyModel | None = None) -> Fig7Result:
+    """Build the Fig. 7 table and compare with the paper's entries."""
+    model = model or default_energy_model()
+    cols = ["sym rate"] + [f"{m},{r}" for m, r in _COMBOS]
+    table = ExperimentTable(
+        title="Fig. 7 - REPB (top) and throughput (bottom) per entry",
+        columns=cols,
+    )
+    errors = []
+    for fs in TAG_SYMBOL_RATES_HZ:
+        repb_row = [format_si(fs, "Hz")]
+        tput_row = [""]
+        for mod, rate in _COMBOS:
+            cfg = TagConfig(modulation=mod, code_rate=rate,
+                            symbol_rate_hz=fs)
+            repb = model.repb(cfg)
+            paper = PAPER_FIG7_REPB[(fs, mod, rate)]
+            errors.append(abs(repb - paper) / paper)
+            repb_row.append(f"{repb:.4f}")
+            tput_row.append(format_si(cfg.throughput_bps))
+        table.add_row(*repb_row)
+        table.add_row(*tput_row)
+    errs = np.asarray(errors)
+    table.add_note(
+        f"reference EPB {model.reference_epb_pj:.3f} pJ/bit "
+        f"(paper: 3.15 pJ/bit)"
+    )
+    table.add_note(
+        f"max relative deviation from the paper's table: {errs.max():.2%}"
+    )
+    return Fig7Result(
+        table=table,
+        max_rel_error=float(errs.max()),
+        median_rel_error=float(np.median(errs)),
+        reference_epb_pj=model.reference_epb_pj,
+    )
+
+
+if __name__ == "__main__":
+    print(run().table)

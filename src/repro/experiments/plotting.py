@@ -1,0 +1,122 @@
+"""Dependency-free ASCII plotting for the regenerated figures.
+
+The paper's evaluation is figures, not tables; this renders line plots,
+scatter plots and CDFs in plain text so ``run_all --plot`` can show the
+*curve shapes* (throughput vs range, BER waterfalls, CDFs) without
+matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_plot", "ascii_cdf", "ascii_scatter"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(values: np.ndarray, lo: float, hi: float, n: int,
+           log: bool) -> np.ndarray:
+    """Map data values onto [0, n-1] cells."""
+    if log:
+        values = np.log10(np.maximum(values, 1e-30))
+        lo = np.log10(max(lo, 1e-30))
+        hi = np.log10(max(hi, 1e-30))
+    if hi <= lo:
+        return np.zeros(values.size, dtype=int)
+    t = (values - lo) / (hi - lo)
+    return np.clip((t * (n - 1)).round().astype(int), 0, n - 1)
+
+
+def ascii_plot(series: Mapping[str, Sequence[tuple[float, float]]], *,
+               title: str = "", width: int = 64, height: int = 18,
+               logx: bool = False, logy: bool = False,
+               xlabel: str = "", ylabel: str = "") -> str:
+    """Render one or more (x, y) series on a shared-axis character grid.
+
+    Each series gets its own marker; a legend maps markers to labels.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    all_x = np.array([p[0] for pts in series.values() for p in pts],
+                     dtype=float)
+    all_y = np.array([p[1] for pts in series.values() for p in pts],
+                     dtype=float)
+    if all_x.size == 0:
+        raise ValueError("series contain no points")
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, pts), marker in zip(series.items(), _MARKERS):
+        if not pts:
+            continue
+        xs = np.array([p[0] for p in pts], dtype=float)
+        ys = np.array([p[1] for p in pts], dtype=float)
+        cx = _scale(xs, x_lo, x_hi, width, logx)
+        cy = _scale(ys, y_lo, y_hi, height, logy)
+        for x, y in zip(cx, cy):
+            grid[height - 1 - y][x] = marker
+
+    def fmt(v: float) -> str:
+        return f"{v:.3g}"
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = fmt(y_hi).rjust(8)
+    bottom_label = fmt(y_lo).rjust(8)
+    for r, row in enumerate(grid):
+        prefix = top_label if r == 0 else (
+            bottom_label if r == height - 1 else " " * 8)
+        lines.append(f"{prefix} |{''.join(row)}|")
+    lines.append(" " * 9 + "+" + "-" * width + "+")
+    x_axis = f"{fmt(x_lo)}{' ' * max(width - len(fmt(x_lo)) - len(fmt(x_hi)), 1)}{fmt(x_hi)}"
+    lines.append(" " * 10 + x_axis)
+    if xlabel or ylabel:
+        lines.append(f"          x: {xlabel}    y: {ylabel}".rstrip())
+    legend = "   ".join(
+        f"{m}={label}" for (label, _), m in zip(series.items(), _MARKERS)
+    )
+    lines.append(f"          {legend}")
+    return "\n".join(lines)
+
+
+def ascii_cdf(values: Iterable[float], *, title: str = "",
+              width: int = 64, height: int = 16,
+              xlabel: str = "") -> str:
+    """Render the empirical CDF of a sample set."""
+    v = np.sort(np.asarray(list(values), dtype=float))
+    if v.size == 0:
+        raise ValueError("no values")
+    levels = np.arange(1, v.size + 1) / v.size
+    pts = list(zip(v.tolist(), levels.tolist()))
+    return ascii_plot({"CDF": pts}, title=title, width=width,
+                      height=height, xlabel=xlabel, ylabel="P(X<=x)")
+
+
+def ascii_scatter(x: Iterable[float], y: Iterable[float], *,
+                  title: str = "", diagonal: bool = True,
+                  width: int = 48, height: int = 20,
+                  xlabel: str = "", ylabel: str = "") -> str:
+    """Scatter plot with an optional y=x reference (for Fig. 11a)."""
+    xs = np.asarray(list(x), dtype=float)
+    ys = np.asarray(list(y), dtype=float)
+    if xs.size != ys.size or xs.size == 0:
+        raise ValueError("x and y must be equal-length and non-empty")
+    series: dict[str, list[tuple[float, float]]] = {
+        "data": list(zip(xs.tolist(), ys.tolist())),
+    }
+    if diagonal:
+        lo = float(min(xs.min(), ys.min()))
+        hi = float(max(xs.max(), ys.max()))
+        line = np.linspace(lo, hi, 32)
+        series["y=x"] = list(zip(line.tolist(), line.tolist()))
+    return ascii_plot(series, title=title, width=width, height=height,
+                      xlabel=xlabel, ylabel=ylabel)

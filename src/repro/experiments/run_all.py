@@ -1,0 +1,128 @@
+"""Run every paper experiment and print the regenerated tables.
+
+``python -m repro.experiments.run_all`` takes a few minutes; pass
+``--fast`` for a reduced-size pass (~1 minute) and ``--plot`` to render
+the figure shapes as ASCII plots alongside the tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _plot_fig8(result) -> str:
+    from .plotting import ascii_plot
+
+    series = {}
+    for p in result.points:
+        label = f"{int(p.preamble_us)}us"
+        series.setdefault(label, []).append(
+            (p.distance_m, max(p.throughput_bps, 1e4))
+        )
+    return ascii_plot(series, title="Fig. 8 shape: throughput vs range",
+                      logy=True, xlabel="distance (m)",
+                      ylabel="throughput (bps, log)")
+
+
+def _plot_fig11a(result) -> str:
+    from .plotting import ascii_scatter
+
+    return ascii_scatter(
+        result.expected_snr_db, result.measured_snr_db,
+        title="Fig. 11a shape: measured vs expected SNR",
+        xlabel="expected SNR (dB)", ylabel="measured SNR (dB)",
+    )
+
+
+def _plot_fig11b(result) -> str:
+    from .plotting import ascii_plot
+
+    series = {}
+    for (mod, fs), ber in result.ber.items():
+        series.setdefault(mod, []).append((fs / 1e6, max(ber, 1e-5)))
+    for pts in series.values():
+        pts.sort()
+    return ascii_plot(series, title="Fig. 11b shape: BER vs symbol rate",
+                      logy=True, xlabel="symbol rate (MHz)",
+                      ylabel="BER (log)")
+
+
+def _plot_fig12a(result) -> str:
+    from .plotting import ascii_cdf
+
+    return ascii_cdf(
+        [t / 1e6 for t in result.throughputs_bps],
+        title="Fig. 12a shape: tag throughput CDF under load",
+        xlabel="throughput (Mbps)",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run every paper experiment and print the regenerated tables."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate every BackFi paper table/figure.")
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced trial counts (~1 minute)")
+    parser.add_argument("--plot", action="store_true",
+                        help="also render ASCII figure shapes")
+    args = parser.parse_args(argv)
+    fast = args.fast
+
+    from . import (
+        ablations,
+        comparison,
+        fig7_energy_table,
+        fig8_throughput_range,
+        fig9_repb_vs_throughput,
+        fig10_repb_vs_range,
+        fig11_microbench,
+        fig12_network,
+        fig13_client_impact,
+    )
+
+    jobs = [
+        ("Fig. 7", lambda: fig7_energy_table.run(), None),
+        ("Fig. 8", lambda: fig8_throughput_range.run(
+            trials=3 if fast else 5), _plot_fig8),
+        ("Fig. 9", lambda: fig9_repb_vs_throughput.run(
+            trials=1 if fast else 2), None),
+        ("Fig. 10", lambda: fig10_repb_vs_range.run(
+            trials=1 if fast else 2), None),
+        ("Fig. 11a", lambda: fig11_microbench.run_snr_scatter(
+            10 if fast else 30, 2 if fast else 3), _plot_fig11a),
+        ("Fig. 11b", lambda: fig11_microbench.run_ber_vs_rate(
+            sessions_per_point=2 if fast else 4), _plot_fig11b),
+        ("Fig. 12a", lambda: fig12_network.run_loaded_network(
+            8 if fast else 20, 0.25 if fast else 0.5), _plot_fig12a),
+        ("Fig. 12b", lambda: fig12_network.run_wifi_impact(
+            n_placements=3 if fast else 6), None),
+        ("Fig. 13", lambda: fig13_client_impact.run(
+            n_packets=4 if fast else 10), None),
+        ("Comparison", lambda: comparison.run(
+            trials=3 if fast else 5), None),
+        ("Ablations", lambda: ablations.run(
+            trials=3 if fast else 5), None),
+    ]
+
+    t_start = time.time()
+    for name, job, plotter in jobs:
+        t0 = time.time()
+        result = job()
+        print(result.table)
+        if args.plot and plotter is not None:
+            print()
+            print(plotter(result))
+        print(f"[{name} regenerated in {time.time() - t0:.1f} s]\n")
+
+    t0 = time.time()
+    table = ablations.mrc_vs_divide(trials=3 if fast else 5)
+    print(table)
+    print(f"[MRC vs divide regenerated in {time.time() - t0:.1f} s]\n")
+    print(f"all experiments done in {time.time() - t_start:.1f} s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

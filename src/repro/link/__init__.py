@@ -1,0 +1,49 @@
+"""BackFi link layer: protocol, frames, budget, sessions, extensions."""
+
+from .budget import LinkBudget, client_edge_distance_m, \
+    expected_symbol_snr_db
+from .controller import AdaptationStep, AdaptiveLink
+from .downlink import (
+    DownlinkDetector,
+    DownlinkEncoder,
+    decode_config_command,
+    encode_config_command,
+)
+from .fragmentation import (
+    Reassembler,
+    TransferResult,
+    fragment_message,
+    parse_fragment,
+    run_fragmented_transfer,
+)
+from .frames import TagFrame, build_frame_bits, parse_frame_bits
+from .network import BackFiNetwork, NetworkStats, RegisteredTag
+from .protocol import ApTimeline, build_ap_transmission
+from .session import SessionResult, run_backscatter_session
+
+__all__ = [
+    "LinkBudget",
+    "client_edge_distance_m",
+    "expected_symbol_snr_db",
+    "AdaptationStep",
+    "AdaptiveLink",
+    "DownlinkDetector",
+    "DownlinkEncoder",
+    "decode_config_command",
+    "encode_config_command",
+    "Reassembler",
+    "TransferResult",
+    "fragment_message",
+    "parse_fragment",
+    "run_fragmented_transfer",
+    "TagFrame",
+    "build_frame_bits",
+    "parse_frame_bits",
+    "BackFiNetwork",
+    "NetworkStats",
+    "RegisteredTag",
+    "ApTimeline",
+    "build_ap_transmission",
+    "SessionResult",
+    "run_backscatter_session",
+]

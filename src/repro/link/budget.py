@@ -1,0 +1,121 @@
+"""Analytic link budget for the backscatter uplink.
+
+Serves two roles:
+
+* the "expected SNR" oracle of paper Fig. 11a (there measured with a
+  vector network analyzer; here computed from the true channels),
+* fast feasibility prediction for rate adaptation and the range sweeps,
+  without running the full sample-level simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..channel.noise import noise_power_mw
+from ..channel.pathloss import backscatter_roundtrip_loss_db
+from ..constants import (
+    BACKSCATTER_EVM_RMS,
+    INDOOR_PATHLOSS_EXPONENT,
+    TAG_REFLECTION_LOSS_DB,
+    TX_POWER_DBM,
+)
+from ..tag.config import TagConfig
+from ..utils.conversions import db_to_linear
+
+__all__ = ["LinkBudget", "expected_symbol_snr_db"]
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Deterministic backscatter link budget."""
+
+    tx_power_dbm: float = TX_POWER_DBM
+    pathloss_exponent: float = INDOOR_PATHLOSS_EXPONENT
+    tag_reflection_loss_db: float = TAG_REFLECTION_LOSS_DB
+    tag_antenna_gain_dbi: float = 3.0
+    si_residue_db: float = 2.0
+    """Effective noise-floor rise from imperfect cancellation
+    (paper Fig. 11a: ~2.3 dB median)."""
+    backscatter_evm: float = BACKSCATTER_EVM_RMS
+    """Multiplicative backscatter impairment; sets the near-range SNR
+    ceiling (~1/evm^2)."""
+
+    def backscatter_rx_dbm(self, distance_m: float) -> float:
+        """Received backscatter power at the reader."""
+        loss = backscatter_roundtrip_loss_db(
+            distance_m,
+            exponent=self.pathloss_exponent,
+            tag_loss_db=self.tag_reflection_loss_db,
+            tag_gain_dbi=self.tag_antenna_gain_dbi,
+        )
+        return self.tx_power_dbm - loss
+
+    def per_sample_snr_db(self, distance_m: float) -> float:
+        """SNR per 20 Msps sample, after cancellation residue."""
+        rx_mw = db_to_linear(self.backscatter_rx_dbm(distance_m))
+        floor = noise_power_mw() * db_to_linear(self.si_residue_db)
+        return float(10.0 * np.log10(rx_mw / floor))
+
+    def symbol_snr_db(self, distance_m: float, config: TagConfig,
+                      *, guard: int = 8,
+                      preamble_us: float = 32.0) -> float:
+        """Post-MRC symbol SNR, including channel-estimation loss.
+
+        MRC over the non-guard samples of a symbol gives a gain equal to
+        the combined sample count; the finite preamble makes the channel
+        estimate noisy, which caps the achievable SNR (the effect behind
+        the paper's Fig. 8 32 us vs 96 us comparison).
+        """
+        sps = config.samples_per_symbol
+        n_comb = max(sps - guard, 1)
+        snr_lin = db_to_linear(self.per_sample_snr_db(distance_m)) * n_comb
+        # Channel estimation error: LS over ~20*preamble_us samples with
+        # n_taps unknowns leaves a relative template error of
+        # n_taps / (preamble_samples * sample_snr).
+        pre_samples = preamble_us * 20.0
+        sample_snr = db_to_linear(self.per_sample_snr_db(distance_m))
+        est_err = 12.0 / max(pre_samples * sample_snr, 1e-12)
+        # Template error and the backscatter EVM both multiply the
+        # combined signal, acting as self-noise floors:
+        # SNR_eff = 1/(1/snr + est_err + evm^2).
+        snr_eff = 1.0 / (
+            1.0 / max(snr_lin, 1e-12) + est_err + self.backscatter_evm ** 2
+        )
+        return float(10.0 * np.log10(snr_eff))
+
+
+def expected_symbol_snr_db(distance_m: float, config: TagConfig,
+                           **kwargs) -> float:
+    """Convenience wrapper around :meth:`LinkBudget.symbol_snr_db`."""
+    return LinkBudget().symbol_snr_db(distance_m, config, **kwargs)
+
+
+WIFI_RATE_SNR_DB: dict[int, float] = {
+    6: 2.5, 9: 4.0, 12: 5.5, 18: 8.0,
+    24: 11.0, 36: 15.0, 48: 18.0, 54: 19.0,
+}
+"""SNR at which this stack's soft-decision OFDM receiver reaches low PER
+for each WiFi rate (measured empirically; see tests/test_wifi_phy.py)."""
+
+
+def client_edge_distance_m(rate_mbps: int, *, margin_db: float = 1.0,
+                           tx_power_dbm: float = TX_POWER_DBM,
+                           pathloss_exponent: float =
+                           INDOOR_PATHLOSS_EXPONENT,
+                           extra_loss_db: float = 30.0) -> float:
+    """Client distance at which a WiFi rate *just* works.
+
+    The paper's Fig. 13 methodology: "place [the client] at different
+    distances so that we achieve each of the different rates of WiFi".
+    """
+    from ..channel.noise import thermal_noise_dbm
+    from ..channel.pathloss import friis_pathloss_db
+
+    target = WIFI_RATE_SNR_DB[rate_mbps] + margin_db
+    pl_budget = tx_power_dbm - thermal_noise_dbm() - target - extra_loss_db
+    pl_1m = friis_pathloss_db(1.0)
+    d = 10.0 ** ((pl_budget - pl_1m) / (10.0 * pathloss_exponent))
+    return float(max(d, 1.0))

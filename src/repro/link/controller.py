@@ -1,0 +1,198 @@
+"""Closed-loop rate adaptation over the downlink (paper Sec. 6.1).
+
+The paper's rule: "the rate adaptation algorithm would always pick the
+modulation, coding rate and symbol switching rate combination with the
+lowest REPB" among the ones the link can decode.  This module runs that
+rule as an actual control loop:
+
+1. each uplink exchange yields a measured post-MRC symbol SNR,
+2. the reader normalises it to a per-sample SNR and predicts which
+   operating points are feasible,
+3. when a better (lower-REPB, throughput-satisfying) point exists, the
+   reader pushes a config command to the tag over the burst-width
+   downlink (:mod:`repro.link.downlink`),
+4. the tag's envelope detector decodes the command and reconfigures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..channel.environment import Scene
+from ..channel.multipath import apply_channel
+from ..reader.rate_adapt import RateChoice, select_config
+from ..reader.reader import BackFiReader
+from ..tag.config import TagConfig
+from ..tag.tag import BackFiTag
+from ..utils.conversions import db_to_linear, linear_to_db
+from .downlink import (
+    DownlinkDetector,
+    DownlinkEncoder,
+    decode_config_command,
+    encode_config_command,
+)
+from .session import SessionResult, run_backscatter_session
+
+__all__ = ["AdaptationStep", "AdaptiveLink"]
+
+
+@dataclass
+class AdaptationStep:
+    """One control-loop iteration's record."""
+
+    config: TagConfig
+    ok: bool
+    measured_snr_db: float
+    command_sent: bool
+    command_delivered: bool
+    goodput_bps: float
+
+
+@dataclass
+class AdaptiveLink:
+    """A reader<->tag pair running closed-loop rate adaptation."""
+
+    scene: Scene
+    tag: BackFiTag
+    min_throughput_bps: float = 0.0
+    headroom_db: float = 1.5
+    """Safety margin below the measured SNR when predicting feasibility."""
+    rng: np.random.Generator = field(
+        default_factory=np.random.default_rng)
+    history: list[AdaptationStep] = field(default_factory=list)
+
+    def _predict_snr(self, measured_snr_db: float, current: TagConfig,
+                     candidate: TagConfig) -> float:
+        """Translate a measured symbol SNR to another operating point.
+
+        Post-MRC SNR scales with the number of combined samples per
+        symbol; modulation/code rate do not change it.
+        """
+        def combined(cfg: TagConfig) -> int:
+            sps = cfg.samples_per_symbol
+            guard = min(6, max(sps // 2, 1), sps - 1)
+            return sps - guard
+
+        ratio = combined(candidate) / combined(current)
+        return float(linear_to_db(
+            db_to_linear(measured_snr_db) * ratio
+        )) - self.headroom_db
+
+    def _deliver_command(self, config: TagConfig) -> bool:
+        """Push a config command over the burst-width downlink."""
+        bits = encode_config_command(self.tag.tag_id, config)
+        wave = DownlinkEncoder(
+            amplitude=float(np.sqrt(self.scene.tx_power_mw))
+        ).encode(bits)
+        at_tag = apply_channel(self.scene.h_f, wave)
+        got = DownlinkDetector().detect(at_tag)
+        if got.size < bits.size:
+            return False
+        decoded = decode_config_command(got[: bits.size])
+        if decoded is None:
+            return False
+        tag_id, new_config = decoded
+        if tag_id != self.tag.tag_id:
+            return False
+        self.tag.set_config(new_config)
+        return True
+
+    def step(self, *, wifi_rate_mbps: int = 24,
+             wifi_payload_bytes: int = 1500) -> AdaptationStep:
+        """One uplink exchange followed by an adaptation decision."""
+        config = self.tag.config
+        reader = BackFiReader(config)
+        out: SessionResult = run_backscatter_session(
+            self.scene, self.tag, reader,
+            wifi_rate_mbps=wifi_rate_mbps,
+            wifi_payload_bytes=wifi_payload_bytes,
+            rng=self.rng,
+        )
+        measured = out.reader.symbol_snr_db
+
+        command_sent = command_delivered = False
+        if out.ok and np.isfinite(measured):
+            choice: RateChoice | None = select_config(
+                lambda cfg: self._predict_snr(measured, config, cfg),
+                min_throughput_bps=self.min_throughput_bps,
+            )
+            if choice is not None and choice.config != config:
+                command_sent = True
+                command_delivered = self._deliver_command(choice.config)
+        elif not out.ok:
+            if out.plan.info_bits_sent == 0:
+                # Capacity failure, not an SNR failure: the symbol rate
+                # is too slow to fit even a minimal frame into one
+                # excitation packet.  Speed up instead of backing off.
+                faster = self._faster(config)
+                if faster is not None:
+                    command_sent = True
+                    command_delivered = self._deliver_command(faster)
+            else:
+                # Fall back one notch: drop the modulation order, else
+                # halve the symbol rate.
+                fallback = self._fallback(config)
+                if fallback is not None:
+                    command_sent = True
+                    command_delivered = self._deliver_command(fallback)
+
+        step = AdaptationStep(
+            config=config,
+            ok=out.ok,
+            measured_snr_db=measured,
+            command_sent=command_sent,
+            command_delivered=command_delivered,
+            goodput_bps=out.goodput_bps,
+        )
+        self.history.append(step)
+        return step
+
+    @staticmethod
+    def _faster(config: TagConfig) -> TagConfig | None:
+        """The next higher symbol rate at the same modulation."""
+        from ..constants import TAG_SYMBOL_RATES_HZ
+
+        rates = sorted(TAG_SYMBOL_RATES_HZ)
+        i = rates.index(config.symbol_rate_hz)
+        if i + 1 >= len(rates):
+            return None
+        return TagConfig(config.modulation, config.code_rate,
+                         rates[i + 1])
+
+    @staticmethod
+    def _fallback(config: TagConfig) -> TagConfig | None:
+        """A more robust neighbour of the current operating point."""
+        from ..constants import TAG_SYMBOL_RATES_HZ
+
+        rates = sorted(TAG_SYMBOL_RATES_HZ)
+        i = rates.index(config.symbol_rate_hz)
+        if config.modulation == "16psk":
+            return TagConfig("qpsk", config.code_rate,
+                             config.symbol_rate_hz)
+        if config.modulation == "qpsk":
+            return TagConfig("bpsk", config.code_rate,
+                             config.symbol_rate_hz)
+        if i > 0:
+            return TagConfig("bpsk", "1/2", rates[i - 1])
+        return None
+
+    def run(self, n_steps: int, **kwargs) -> list[AdaptationStep]:
+        """Run several control iterations, replenishing the tag queue."""
+        for _ in range(n_steps):
+            if self.tag.pending_bits < 10_000:
+                self.tag.queue_data(self.rng.integers(
+                    0, 2, size=20_000, dtype=np.uint8))
+            self.step(**kwargs)
+        return self.history
+
+    def converged_config(self) -> TagConfig | None:
+        """The operating point after the last delivered command."""
+        return self.tag.config if self.history else None
+
+    def success_rate(self) -> float:
+        """Fraction of exchanges that decoded."""
+        if not self.history:
+            return 0.0
+        return sum(s.ok for s in self.history) / len(self.history)

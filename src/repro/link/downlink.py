@@ -1,0 +1,170 @@
+"""The AP -> tag downlink (paper Sec. 1 & 5.2.1).
+
+BackFi reuses the prior Wi-Fi Backscatter downlink [27]: the AP encodes
+bits in the *duration* of short transmission bursts, which the tag's
+existing envelope detector can discriminate at ~100 nW.  The paper cites
+~20 kbps -- enough for the reader to push rate-adaptation commands and
+ACKs to the tag.
+
+This module implements the full path at sample level: burst-width
+encoding at the AP, envelope detection and thresholding at the tag, and
+a small command frame (tag id + operating point + CRC8) used by the
+rate-adaptation controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import SAMPLES_PER_US, TAG_CODE_RATES, TAG_MODULATIONS, \
+    TAG_SYMBOL_RATES_HZ
+from ..dsp.filters import moving_average
+from ..tag.config import TagConfig
+from ..utils.bits import bits_from_int, int_from_bits
+from ..utils.crc import crc8
+
+__all__ = [
+    "DownlinkEncoder",
+    "DownlinkDetector",
+    "encode_config_command",
+    "decode_config_command",
+    "SHORT_BURST_US",
+    "LONG_BURST_US",
+    "GAP_US",
+]
+
+SHORT_BURST_US = 12.0
+LONG_BURST_US = 28.0
+GAP_US = 10.0
+"""Burst-width keying: bit 0 -> short burst, bit 1 -> long burst,
+separated by quiet gaps.  One bit costs ~30-38 us -> ~26-33 kbps raw,
+about the 20 kbps the paper cites after framing."""
+
+
+class DownlinkEncoder:
+    """Encodes bits as variable-width OOK bursts at 20 Msps."""
+
+    def __init__(self, *, amplitude: float = 1.0,
+                 short_us: float = SHORT_BURST_US,
+                 long_us: float = LONG_BURST_US,
+                 gap_us: float = GAP_US):
+        if not 0 < short_us < long_us:
+            raise ValueError("need 0 < short_us < long_us")
+        if gap_us <= 0:
+            raise ValueError("gap must be positive")
+        self.amplitude = amplitude
+        self.short = int(short_us * SAMPLES_PER_US)
+        self.long = int(long_us * SAMPLES_PER_US)
+        self.gap = int(gap_us * SAMPLES_PER_US)
+
+    def encode(self, bits: np.ndarray) -> np.ndarray:
+        """Bits -> complex baseband waveform (bursts of carrier)."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        gap = np.zeros(self.gap, dtype=np.complex128)
+        parts = [gap]
+        for b in bits:
+            n = self.long if b else self.short
+            parts.append(np.full(n, self.amplitude, dtype=np.complex128))
+            parts.append(gap)
+        return np.concatenate(parts)
+
+    def duration_us(self, n_bits: int) -> float:
+        """Air time for a bit count."""
+        per_bit = (self.long + self.short) / 2 + self.gap
+        return (self.gap + n_bits * per_bit) / SAMPLES_PER_US
+
+    def raw_rate_bps(self) -> float:
+        """Average raw downlink bit rate."""
+        per_bit_s = ((self.long + self.short) / 2 + self.gap) / 20e6
+        return 1.0 / per_bit_s
+
+
+@dataclass
+class DownlinkDetector:
+    """The tag side: envelope detection + burst-width discrimination.
+
+    Reuses the wake-up radio analog front end (envelope detector, peak
+    threshold) with digital burst-length counting.
+    """
+
+    sensitivity_mw: float = 10.0 ** (-41.0 / 10.0)
+    smoothing_us: float = 2.0
+
+    def detect(self, samples: np.ndarray) -> np.ndarray:
+        """Recover the bit sequence from a received burst waveform."""
+        samples = np.asarray(samples)
+        if samples.size == 0:
+            return np.empty(0, dtype=np.uint8)
+        env = moving_average(
+            np.abs(samples) ** 2, max(int(self.smoothing_us *
+                                          SAMPLES_PER_US), 1)
+        )
+        peak = float(np.max(env))
+        if peak < self.sensitivity_mw:
+            return np.empty(0, dtype=np.uint8)
+        on = env > peak / 2.0
+        # Find contiguous on-runs and classify by width.
+        edges = np.flatnonzero(np.diff(on.astype(np.int8)))
+        if on[0]:
+            edges = np.concatenate([[0], edges])
+        if on[-1]:
+            edges = np.concatenate([edges, [on.size - 1]])
+        starts = edges[0::2]
+        ends = edges[1::2]
+        widths = (ends - starts) / SAMPLES_PER_US
+        threshold = (SHORT_BURST_US + LONG_BURST_US) / 2.0
+        # Ignore spurious blips shorter than half the short burst.
+        valid = widths > SHORT_BURST_US / 2.0
+        return (widths[valid] > threshold).astype(np.uint8)
+
+
+# ---------------------------------------------------------------------------
+# Rate-adaptation command frames
+# ---------------------------------------------------------------------------
+
+_MOD_INDEX = {m: i for i, m in enumerate(TAG_MODULATIONS)}
+_RATE_INDEX = {r: i for i, r in enumerate(TAG_CODE_RATES)}
+_FS_INDEX = {fs: i for i, fs in enumerate(TAG_SYMBOL_RATES_HZ)}
+
+
+def encode_config_command(tag_id: int, config: TagConfig) -> np.ndarray:
+    """Build a downlink command: set a tag's operating point.
+
+    Layout (16 bits + CRC8): tag_id(4) | mod(2) | code(1) | fs(3) |
+    reserved(6) | crc8(8).
+    """
+    if not 0 <= tag_id < 16:
+        raise ValueError("tag_id must fit in 4 bits")
+    body = np.concatenate([
+        bits_from_int(tag_id, 4),
+        bits_from_int(_MOD_INDEX[config.modulation], 2),
+        bits_from_int(_RATE_INDEX[config.code_rate], 1),
+        bits_from_int(_FS_INDEX[config.symbol_rate_hz], 3),
+        np.zeros(6, dtype=np.uint8),
+    ])
+    return np.concatenate([body, bits_from_int(crc8(body), 8)])
+
+
+def decode_config_command(bits: np.ndarray) -> tuple[int, TagConfig] | None:
+    """Parse a command frame; ``None`` if the CRC fails."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size < 24:
+        return None
+    body, tail = bits[:16], bits[16:24]
+    if crc8(body) != int_from_bits(tail):
+        return None
+    tag_id = int_from_bits(body[0:4])
+    mod_i = int_from_bits(body[4:6])
+    rate_i = int_from_bits(body[6:7])
+    fs_i = int_from_bits(body[7:10])
+    try:
+        config = TagConfig(
+            modulation=TAG_MODULATIONS[mod_i],
+            code_rate=TAG_CODE_RATES[rate_i],
+            symbol_rate_hz=TAG_SYMBOL_RATES_HZ[fs_i],
+        )
+    except (IndexError, ValueError):
+        return None
+    return tag_id, config

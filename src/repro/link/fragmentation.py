@@ -1,0 +1,197 @@
+"""Fragmentation and reassembly of large tag messages.
+
+A single WiFi excitation packet (1-4 ms) bounds how much a tag can ship
+per exchange; real sensor payloads (images, audio buffers) span many
+packets.  This module adds a minimal ARQ on top of the per-exchange tag
+frame:
+
+``fragment payload = [ SEQ(8) | LAST(1) | reserved(7) | chunk ]``
+
+Each fragment rides in one validated tag frame (which already carries a
+CRC16), the reader ACKs over the burst-width downlink, and the tag
+retransmits un-ACKed fragments -- a stop-and-wait ARQ, which is the
+right complexity point for a duty-cycled backscatter link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..channel.environment import Scene
+from ..reader.reader import BackFiReader
+from ..tag.config import TagConfig
+from ..tag.tag import BackFiTag
+from ..utils.bits import bits_from_int, int_from_bits
+from .session import run_backscatter_session
+
+__all__ = [
+    "fragment_message",
+    "parse_fragment",
+    "Reassembler",
+    "TransferResult",
+    "run_fragmented_transfer",
+    "FRAGMENT_HEADER_BITS",
+]
+
+FRAGMENT_HEADER_BITS = 16
+MAX_SEQ = 256
+
+
+def fragment_message(message_bits: np.ndarray,
+                     chunk_bits: int) -> list[np.ndarray]:
+    """Split a message into sequence-numbered fragments.
+
+    Each fragment is a complete tag-frame payload (header + chunk); the
+    last fragment carries the LAST flag.
+    """
+    message_bits = np.asarray(message_bits, dtype=np.uint8)
+    if message_bits.size == 0:
+        raise ValueError("message must not be empty")
+    if chunk_bits < 1:
+        raise ValueError("chunk size must be positive")
+    chunks = [message_bits[i:i + chunk_bits]
+              for i in range(0, message_bits.size, chunk_bits)]
+    if len(chunks) > MAX_SEQ:
+        raise ValueError(
+            f"message needs {len(chunks)} fragments; max {MAX_SEQ}"
+        )
+    out = []
+    for seq, chunk in enumerate(chunks):
+        header = np.concatenate([
+            bits_from_int(seq, 8),
+            bits_from_int(int(seq == len(chunks) - 1), 1),
+            np.zeros(7, dtype=np.uint8),
+        ])
+        out.append(np.concatenate([header, chunk]))
+    return out
+
+
+def parse_fragment(payload_bits: np.ndarray) -> tuple[int, bool, np.ndarray] | None:
+    """Split a received fragment into (seq, last, chunk)."""
+    payload_bits = np.asarray(payload_bits, dtype=np.uint8)
+    if payload_bits.size <= FRAGMENT_HEADER_BITS:
+        return None
+    seq = int_from_bits(payload_bits[:8])
+    last = bool(payload_bits[8])
+    return seq, last, payload_bits[FRAGMENT_HEADER_BITS:]
+
+
+@dataclass
+class Reassembler:
+    """Collects validated fragments into the original message."""
+
+    fragments: dict[int, np.ndarray] = field(default_factory=dict)
+    last_seq: int | None = None
+
+    def add(self, payload_bits: np.ndarray) -> int | None:
+        """Ingest one decoded frame payload; returns the seq or None."""
+        parsed = parse_fragment(payload_bits)
+        if parsed is None:
+            return None
+        seq, last, chunk = parsed
+        self.fragments[seq] = chunk
+        if last:
+            self.last_seq = seq
+        return seq
+
+    @property
+    def complete(self) -> bool:
+        """All fragments up to the LAST one received."""
+        if self.last_seq is None:
+            return False
+        return all(s in self.fragments
+                   for s in range(self.last_seq + 1))
+
+    def message(self) -> np.ndarray:
+        """Reassemble; raises if incomplete."""
+        if not self.complete:
+            raise ValueError("message incomplete")
+        return np.concatenate([
+            self.fragments[s] for s in range(self.last_seq + 1)
+        ])
+
+
+@dataclass
+class TransferResult:
+    """Outcome of a multi-packet transfer."""
+
+    ok: bool
+    message_bits: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.uint8), repr=False
+    )
+    exchanges: int = 0
+    retransmissions: int = 0
+    airtime_s: float = 0.0
+
+    @property
+    def effective_throughput_bps(self) -> float:
+        """Message bits over total air time (incl. retransmissions)."""
+        if not self.ok or self.airtime_s <= 0:
+            return 0.0
+        return self.message_bits.size / self.airtime_s
+
+
+def run_fragmented_transfer(
+    scene: Scene,
+    config: TagConfig,
+    message_bits: np.ndarray,
+    *,
+    wifi_rate_mbps: int = 24,
+    wifi_payload_bytes: int = 3000,
+    max_exchanges: int = 64,
+    rng: np.random.Generator | None = None,
+) -> TransferResult:
+    """Ship a large message across as many exchanges as needed.
+
+    Stop-and-wait: the tag sends fragment k until the reader decodes it
+    (the ACK itself rides the ~20 kbps downlink and is assumed reliable
+    at backscatter ranges -- its link budget is one-way).
+    """
+    rng = rng or np.random.default_rng()
+    message_bits = np.asarray(message_bits, dtype=np.uint8)
+
+    # Size chunks to the per-exchange capacity at this operating point.
+    probe_tag = BackFiTag(config)
+    from .protocol import build_ap_transmission
+    from ..wifi.frames import random_payload
+
+    tl = build_ap_transmission(random_payload(wifi_payload_bytes, rng),
+                               wifi_rate_mbps)
+    capacity = probe_tag.max_payload_bits(tl.n_samples, tl.wifi_start)
+    chunk = capacity - FRAGMENT_HEADER_BITS
+    if chunk < 1:
+        return TransferResult(ok=False)
+
+    fragments = fragment_message(message_bits, chunk)
+    reassembler = Reassembler()
+    reader = BackFiReader(config)
+    exchanges = retransmissions = 0
+    airtime = 0.0
+    idx = 0
+    while idx < len(fragments) and exchanges < max_exchanges:
+        tag = BackFiTag(config)
+        out = run_backscatter_session(
+            scene, tag, reader,
+            payload_bits=fragments[idx],
+            wifi_rate_mbps=wifi_rate_mbps,
+            wifi_payload_bytes=wifi_payload_bytes,
+            rng=rng,
+        )
+        exchanges += 1
+        airtime += out.airtime_s
+        if out.ok and reassembler.add(out.reader.payload_bits) == idx:
+            idx += 1
+        else:
+            retransmissions += 1
+
+    ok = reassembler.complete
+    got = reassembler.message() if ok else np.empty(0, dtype=np.uint8)
+    return TransferResult(
+        ok=ok and np.array_equal(got, message_bits),
+        message_bits=got,
+        exchanges=exchanges,
+        retransmissions=retransmissions,
+        airtime_s=airtime,
+    )

@@ -1,0 +1,85 @@
+"""The BackFi tag frame format carried over the backscatter link.
+
+The paper leaves the payload framing unspecified beyond "a typical
+backscatter packet will have 1000 bits"; we use a minimal self-describing
+frame so the reader can recover variable-length payloads:
+
+``[ LENGTH (16 bits) | HDR-CRC8 (8 bits) | PAYLOAD | CRC16 ]``
+
+The whole frame is convolutionally encoded (K=7, rate 1/2 or 2/3) with a
+terminating tail at the tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.bits import bits_from_int, int_from_bits
+from ..utils.crc import append_crc16, check_crc16, crc8
+
+__all__ = ["TagFrame", "build_frame_bits", "parse_frame_bits"]
+
+MAX_PAYLOAD_BITS = (1 << 16) - 1
+HEADER_BITS = 24
+CRC_BITS = 16
+
+
+@dataclass(frozen=True)
+class TagFrame:
+    """A parsed tag frame."""
+
+    payload_bits: np.ndarray
+    crc_ok: bool
+    header_ok: bool
+
+    @property
+    def ok(self) -> bool:
+        """Frame fully validated."""
+        return bool(self.header_ok and self.crc_ok)
+
+
+def build_frame_bits(payload_bits: np.ndarray) -> np.ndarray:
+    """Wrap payload bits in the header + CRC16 frame."""
+    payload_bits = np.asarray(payload_bits, dtype=np.uint8)
+    if payload_bits.size == 0:
+        raise ValueError("payload must not be empty")
+    if payload_bits.size > MAX_PAYLOAD_BITS:
+        raise ValueError("payload exceeds 16-bit length field")
+    length = bits_from_int(payload_bits.size, 16)
+    hdr_crc = bits_from_int(crc8(length), 8)
+    body = np.concatenate([payload_bits])
+    return np.concatenate([length, hdr_crc, append_crc16(body)])
+
+
+def frame_length_bits(n_payload_bits: int) -> int:
+    """Total frame bits for a payload size."""
+    return HEADER_BITS + n_payload_bits + CRC_BITS
+
+
+def parse_frame_bits(bits: np.ndarray) -> TagFrame | None:
+    """Parse a decoded bit stream back into a frame.
+
+    ``bits`` may be longer than the frame (trailing pad from the decoder);
+    returns ``None`` if even the header cannot be read.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size < HEADER_BITS + CRC_BITS:
+        return None
+    length_field = bits[:16]
+    hdr_crc = int_from_bits(bits[16:24])
+    header_ok = crc8(length_field) == hdr_crc
+    n_payload = int_from_bits(length_field)
+    end = HEADER_BITS + n_payload + CRC_BITS
+    if not header_ok or n_payload == 0 or bits.size < end:
+        return TagFrame(
+            payload_bits=np.empty(0, dtype=np.uint8),
+            crc_ok=False,
+            header_ok=bool(header_ok and n_payload and bits.size >= end),
+        )
+    body = bits[HEADER_BITS:end]
+    crc_ok = check_crc16(body)
+    return TagFrame(
+        payload_bits=body[:-CRC_BITS].copy(), crc_ok=crc_ok, header_ok=True
+    )

@@ -1,0 +1,176 @@
+"""Multi-tag BackFi networks (the paper's Sec. 7 future work).
+
+The paper's link layer already contains the mechanism for medium access:
+each tag owns a distinct 16-bit identification preamble and "only
+backscatters when it detects the preamble meant for it" (Sec. 4.1).
+This module builds the scheduler on top: a :class:`BackFiNetwork` tracks
+a set of registered tags, selects which tag each AP transmission
+addresses, and aggregates delivery statistics.
+
+Schedulers implemented:
+
+* ``round_robin`` — fair airtime sharing.
+* ``max_rate``    — always poll the tag with the fastest operating point
+  (maximises aggregate throughput, starves slow tags).
+* ``proportional``— weighted lottery by queue backlog (drains queues).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..channel.environment import Scene, SceneConfig
+from ..reader.reader import BackFiReader
+from ..tag.config import TagConfig
+from ..tag.tag import BackFiTag
+from .session import SessionResult, run_backscatter_session
+
+__all__ = ["RegisteredTag", "NetworkStats", "BackFiNetwork", "SCHEDULERS"]
+
+SCHEDULERS = ("round_robin", "max_rate", "proportional")
+
+
+@dataclass
+class RegisteredTag:
+    """A tag known to the AP, with its placement and operating point."""
+
+    tag_id: int
+    distance_m: float
+    config: TagConfig
+    tag: BackFiTag = field(init=False)
+    scene: Scene | None = field(default=None, repr=False)
+    delivered_bits: int = 0
+    exchanges: int = 0
+    successes: int = 0
+
+    def __post_init__(self) -> None:
+        self.tag = BackFiTag(self.config, tag_id=self.tag_id)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of polls that decoded."""
+        if self.exchanges == 0:
+            return 0.0
+        return self.successes / self.exchanges
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate outcome of a polling run."""
+
+    total_airtime_s: float = 0.0
+    total_delivered_bits: int = 0
+    polls: int = 0
+    per_tag_bits: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def aggregate_throughput_bps(self) -> float:
+        """Delivered bits across all tags over total airtime."""
+        if self.total_airtime_s <= 0:
+            return 0.0
+        return self.total_delivered_bits / self.total_airtime_s
+
+    def fairness_index(self) -> float:
+        """Jain's fairness index over per-tag delivered bits."""
+        v = np.array([b for b in self.per_tag_bits.values()],
+                     dtype=np.float64)
+        if v.size == 0 or np.all(v == 0):
+            return 1.0
+        return float(np.sum(v) ** 2 / (v.size * np.sum(v ** 2)))
+
+
+class BackFiNetwork:
+    """An AP serving several BackFi tags by addressed polling."""
+
+    def __init__(self, *, scheduler: str = "round_robin",
+                 scene_config: SceneConfig | None = None,
+                 rng: np.random.Generator | None = None):
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; choose from {SCHEDULERS}"
+            )
+        self.scheduler = scheduler
+        self.scene_config = scene_config or SceneConfig()
+        self.rng = rng or np.random.default_rng()
+        self.tags: list[RegisteredTag] = []
+        self._rr_index = 0
+
+    def register_tag(self, distance_m: float, config: TagConfig,
+                     *, queue_bits: int = 0) -> RegisteredTag:
+        """Add a tag at a distance; optionally pre-fill its queue."""
+        reg = RegisteredTag(
+            tag_id=len(self.tags), distance_m=distance_m, config=config,
+        )
+        reg.scene = Scene.build(
+            tag_distance_m=distance_m, config=self.scene_config,
+            rng=self.rng,
+        )
+        if queue_bits:
+            reg.tag.queue_data(
+                self.rng.integers(0, 2, size=queue_bits, dtype=np.uint8)
+            )
+        self.tags.append(reg)
+        return reg
+
+    # -- scheduling --------------------------------------------------------
+
+    def _pick(self) -> RegisteredTag | None:
+        backlogged = [t for t in self.tags if t.tag.pending_bits > 0]
+        if not backlogged:
+            return None
+        if self.scheduler == "round_robin":
+            for _ in range(len(self.tags)):
+                cand = self.tags[self._rr_index % len(self.tags)]
+                self._rr_index += 1
+                if cand.tag.pending_bits > 0:
+                    return cand
+            return None
+        if self.scheduler == "max_rate":
+            return max(backlogged, key=lambda t: t.config.throughput_bps)
+        # proportional: lottery weighted by backlog.
+        weights = np.array([t.tag.pending_bits for t in backlogged],
+                           dtype=np.float64)
+        weights /= weights.sum()
+        return backlogged[int(self.rng.choice(len(backlogged), p=weights))]
+
+    # -- operation -----------------------------------------------------
+
+    def poll_once(self, *, wifi_rate_mbps: int = 24,
+                  wifi_payload_bytes: int = 1500) -> tuple[
+                      RegisteredTag | None, SessionResult | None]:
+        """Run one AP transmission addressed to the scheduled tag."""
+        reg = self._pick()
+        if reg is None:
+            return None, None
+        reader = BackFiReader(reg.config)
+        out = run_backscatter_session(
+            reg.scene, reg.tag, reader,
+            payload_bits=np.empty(0, dtype=np.uint8),
+            wifi_rate_mbps=wifi_rate_mbps,
+            wifi_payload_bytes=wifi_payload_bytes,
+            rng=self.rng,
+        )
+        reg.exchanges += 1
+        if out.ok:
+            reg.successes += 1
+            reg.delivered_bits += out.delivered_bits
+        return reg, out
+
+    def run(self, n_polls: int, **poll_kwargs) -> NetworkStats:
+        """Poll the network ``n_polls`` times and aggregate statistics."""
+        stats = NetworkStats()
+        # Every registered tag counts toward fairness, polled or not.
+        for t in self.tags:
+            stats.per_tag_bits[t.tag_id] = 0
+        for _ in range(n_polls):
+            reg, out = self.poll_once(**poll_kwargs)
+            if reg is None or out is None:
+                break
+            stats.polls += 1
+            stats.total_airtime_s += out.airtime_s
+            stats.total_delivered_bits += out.delivered_bits
+            stats.per_tag_bits[reg.tag_id] = \
+                stats.per_tag_bits.get(reg.tag_id, 0) + out.delivered_bits
+        return stats

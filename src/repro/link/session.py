@@ -1,0 +1,260 @@
+"""End-to-end simulation of one BackFi exchange.
+
+Wires together: AP waveform composition -> PA nonlinearity -> channels
+(self-interference, forward, backward, client) -> tag FSM -> reader
+pipeline -> optional client reception.  This is the sample-level "testbed
+run" every experiment builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..channel.environment import Scene
+from ..channel.hardware import (
+    PaNonlinearity,
+    carrier_frequency_offset,
+    coherence_impairment,
+)
+from ..channel.multipath import apply_channel
+from ..channel.noise import awgn
+from ..constants import (
+    BACKSCATTER_EVM_COHERENCE_US,
+    BACKSCATTER_EVM_RMS,
+    SAMPLES_PER_US,
+    TAG_PREAMBLE_US,
+)
+from ..tag.tag import BackFiTag, BackscatterPlan
+
+if TYPE_CHECKING:  # avoids a circular import; reader depends on link
+    from ..reader.reader import BackFiReader, ReaderResult
+from ..utils.bits import bit_errors
+from ..wifi.frames import random_payload
+from ..wifi.receiver import RxResult, WifiReceiver
+from .protocol import ApTimeline, build_ap_transmission
+
+__all__ = ["SessionResult", "run_backscatter_session"]
+
+
+@dataclass
+class SessionResult:
+    """Everything measured in one exchange."""
+
+    timeline: ApTimeline
+    plan: BackscatterPlan
+    reader: ReaderResult
+    payload_bits: np.ndarray = field(repr=False)
+    client: RxResult | None = None
+    client_snr_db: float = float("nan")
+
+    @property
+    def ok(self) -> bool:
+        """Tag frame decoded and CRC-validated at the reader."""
+        return self.reader.ok
+
+    @property
+    def airtime_s(self) -> float:
+        """Duration of the whole AP transmission."""
+        return self.timeline.n_samples / 20e6
+
+    @property
+    def delivered_bits(self) -> int:
+        """Validated tag payload bits delivered this exchange."""
+        return int(self.reader.payload_bits.size) if self.ok else 0
+
+    @property
+    def goodput_bps(self) -> float:
+        """Delivered tag bits over the exchange air time."""
+        return self.delivered_bits / self.airtime_s
+
+    def payload_ber(self) -> float:
+        """Bit error rate of the decoded payload vs. what the tag sent.
+
+        Compares against the tag's transmitted payload even when the CRC
+        failed (for BER-vs-symbol-rate experiments, Fig. 11b).
+        """
+        if self.reader.decode is None or self.plan.frame_bits is None:
+            return 1.0
+        sent = self.plan.frame_bits
+        got = self.reader.decode.decoded_bits
+        if got.size == 0:
+            return 1.0
+        errs, total = bit_errors(sent, got)
+        missing = max(0, sent.size - got.size)
+        return (errs + missing) / sent.size
+
+
+def run_backscatter_session(
+    scene: Scene,
+    tag: BackFiTag,
+    reader: BackFiReader,
+    *,
+    payload_bits: np.ndarray | None = None,
+    n_payload_bits: int = 1000,
+    wifi_rate_mbps: int = 24,
+    wifi_payload_bytes: int = 1500,
+    preamble_us: float | None = None,
+    pa: PaNonlinearity | None = PaNonlinearity(),
+    backscatter_evm: float = BACKSCATTER_EVM_RMS,
+    tag_speed_m_s: float = 0.0,
+    client_cfo_hz: float | None = None,
+    excitation: str = "wifi",
+    addressed_tag_id: int | None = None,
+    interferers: list[tuple[BackFiTag, Scene]] | None = None,
+    use_tag_detector: bool = False,
+    decode_client: bool = False,
+    include_cts: bool = True,
+    rng: np.random.Generator | None = None,
+) -> SessionResult:
+    """Simulate one complete AP->tag->reader exchange.
+
+    Parameters
+    ----------
+    scene:
+        The channel realisation (distances, multipath, leakage).
+    tag / reader:
+        Must share the same :class:`~repro.tag.TagConfig` and preamble.
+    payload_bits:
+        Sensor data to enqueue at the tag; random bits when omitted.
+    wifi_rate_mbps / wifi_payload_bytes:
+        The ambient WiFi packet the AP sends to its client (the paper
+        uses 24 Mbps, 1-4 ms packets).
+    pa:
+        Reader PA nonlinearity model (``None`` for an ideal PA).
+    backscatter_evm:
+        RMS of the multiplicative impairment on the backscatter path
+        (tag clock jitter / channel drift); 0 disables it.
+    tag_speed_m_s:
+        Tag mobility: applies Jakes-spectrum Doppler fading (at twice
+        the single-path Doppler) to the backscatter -- wearables move.
+    addressed_tag_id:
+        Which tag the AP's wake-up preamble addresses (defaults to the
+        simulated tag -- pass a different id to test selective wake-up).
+    interferers:
+        Other (tag, scene) pairs that also react to this transmission --
+        e.g. a misconfigured tag answering out of turn.  Their
+        backscatter adds to the reader's receive signal (collision
+        study; the protocol's ID preambles normally prevent this).
+    use_tag_detector:
+        Run the tag's real envelope detector instead of trusting the
+        protocol timeline.
+    decode_client:
+        Also simulate the WiFi client receiving the downlink packet.
+    """
+    rng = rng or np.random.default_rng()
+    if preamble_us is None:
+        preamble_us = getattr(tag, "preamble_us", TAG_PREAMBLE_US)
+
+    # --- AP transmission -------------------------------------------------
+    burst = None
+    if excitation == "ble":
+        from ..excitation.ble import BleTransmitter
+
+        burst = BleTransmitter().transmit(
+            random_payload(min(wifi_payload_bytes, 255), rng)
+        ).samples
+    elif excitation == "zigbee":
+        from ..excitation.zigbee import ZigbeeTransmitter
+
+        burst = ZigbeeTransmitter().transmit(
+            random_payload(min(wifi_payload_bytes, 127), rng)
+        ).samples
+    elif excitation == "dsss":
+        from ..excitation.dsss import DsssTransmitter
+
+        burst = DsssTransmitter(rate_mbps=2).transmit(
+            random_payload(min(wifi_payload_bytes, 2312), rng)
+        ).samples
+    elif excitation != "wifi":
+        raise ValueError(
+            f"unknown excitation {excitation!r}: "
+            "wifi / ble / zigbee / dsss"
+        )
+    psdu = random_payload(wifi_payload_bytes, rng)
+    timeline = build_ap_transmission(
+        psdu, wifi_rate_mbps,
+        tag_id=tag.tag_id if addressed_tag_id is None else addressed_tag_id,
+        preamble_us=preamble_us,
+        tx_power_mw=scene.tx_power_mw,
+        include_cts=include_cts,
+        excitation_samples=burst,
+    )
+    x = timeline.samples
+    x_pa = pa.apply(x) if pa is not None else x
+
+    # --- tag side ---------------------------------------------------------
+    if payload_bits is None:
+        payload_bits = rng.integers(0, 2, size=n_payload_bits,
+                                    dtype=np.uint8)
+    tag.queue_data(payload_bits)
+    z_tag = apply_channel(scene.h_f, x_pa)
+    wake = None if use_tag_detector else timeline.wifi_start
+    plan = tag.backscatter(z_tag, wake_index=wake)
+
+    # --- interfering tags ----------------------------------------------
+    interference = np.zeros(x.size, dtype=np.complex128)
+    for other_tag, other_scene in (interferers or []):
+        if other_tag.pending_bits == 0:
+            other_tag.queue_data(rng.integers(0, 2, size=1000,
+                                              dtype=np.uint8))
+        z_other = apply_channel(other_scene.h_f, x_pa)
+        other_plan = other_tag.backscatter(
+            z_other, wake_index=timeline.wifi_start)
+        interference += apply_channel(
+            other_scene.h_b, z_other * other_plan.reflection)
+
+    # --- reader receive ----------------------------------------------------
+    si = apply_channel(scene.h_env, x_pa)
+    if scene.config.env_drift_rms > 0:
+        si = si * coherence_impairment(
+            si.size, scene.config.env_drift_rms,
+            scene.config.env_drift_coherence_us * SAMPLES_PER_US, rng,
+        )
+    backscatter = apply_channel(scene.h_b, z_tag * plan.reflection)
+    if tag_speed_m_s > 0:
+        from ..channel.doppler import backscatter_fading
+
+        backscatter = backscatter * backscatter_fading(
+            backscatter.size, tag_speed_m_s, rng=rng,
+        )
+    if backscatter_evm > 0:
+        backscatter = backscatter * coherence_impairment(
+            backscatter.size, backscatter_evm,
+            BACKSCATTER_EVM_COHERENCE_US * SAMPLES_PER_US, rng,
+        )
+    noise = awgn(x.size, scene.noise_floor_mw, rng)
+    y = si + backscatter + interference + noise
+    result = reader.decode(timeline, y, scene.h_env, pa_output=x_pa,
+                           rng=rng)
+
+    # --- optional client receive -------------------------------------------
+    client_rx = None
+    client_snr = float("nan")
+    if decode_client:
+        rx_client = apply_channel(scene.h_ap_client, x_pa)
+        rx_client = rx_client + apply_channel(
+            scene.h_tag_client, z_tag * plan.reflection
+        )
+        rx_client = rx_client + awgn(x.size, scene.noise_floor_mw, rng)
+        # The client's oscillator is independent of the AP's (802.11
+        # allows +-20 ppm; the BackFi reader itself has no CFO because
+        # it receives with its own transmit LO).
+        if client_cfo_hz is None:
+            client_cfo_hz = float(rng.uniform(-40e3, 40e3))
+        rx_client = carrier_frequency_offset(rx_client, client_cfo_hz)
+        wifi_rx = WifiReceiver()
+        # Hand the client only the data PPDU portion.
+        client_rx = wifi_rx.receive(rx_client[timeline.wifi_start:])
+        client_snr = client_rx.snr_db
+
+    return SessionResult(
+        timeline=timeline,
+        plan=plan,
+        reader=result,
+        payload_bits=payload_bits,
+        client=client_rx,
+        client_snr_db=client_snr,
+    )

@@ -1,0 +1,65 @@
+"""The BackFi AP/reader: cancellation, sync, MRC decoding, rate adaptation."""
+
+from .cancellation import (
+    AnalogCanceller,
+    CancellationResult,
+    DigitalCanceller,
+    SelfInterferenceCanceller,
+    convolution_matrix,
+    ls_channel_estimate,
+)
+from .channel_est import ChannelEstimate, estimate_combined_channel
+from .decoder import TagDecodeOutput, decode_tag_symbols
+from .demod import estimate_symbol_noise, psk_hard_bits, psk_soft_llrs
+from .diagnostics import LinkDiagnosis, StageReport, diagnose
+from .mrc import MrcOutput, expected_template, mrc_combine
+from .rate_adapt import (
+    REQUIRED_SNR_DB,
+    RateChoice,
+    feasible_configs,
+    max_throughput_config,
+    required_snr_db,
+    select_config,
+)
+from .mimo import MimoBackFiReader, MimoResult, MimoScene, run_mimo_session
+from .reader import BackFiReader, ReaderResult
+from .sync import SyncResult, find_tag_timing
+from .tracking import TrackingResult, phase_track
+
+__all__ = [
+    "AnalogCanceller",
+    "CancellationResult",
+    "DigitalCanceller",
+    "SelfInterferenceCanceller",
+    "convolution_matrix",
+    "ls_channel_estimate",
+    "ChannelEstimate",
+    "estimate_combined_channel",
+    "TagDecodeOutput",
+    "decode_tag_symbols",
+    "estimate_symbol_noise",
+    "psk_hard_bits",
+    "psk_soft_llrs",
+    "LinkDiagnosis",
+    "StageReport",
+    "diagnose",
+    "MrcOutput",
+    "expected_template",
+    "mrc_combine",
+    "REQUIRED_SNR_DB",
+    "RateChoice",
+    "feasible_configs",
+    "max_throughput_config",
+    "required_snr_db",
+    "select_config",
+    "BackFiReader",
+    "ReaderResult",
+    "MimoBackFiReader",
+    "MimoResult",
+    "MimoScene",
+    "run_mimo_session",
+    "SyncResult",
+    "find_tag_timing",
+    "TrackingResult",
+    "phase_track",
+]

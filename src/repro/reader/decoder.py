@@ -1,0 +1,65 @@
+"""Tag bit-stream decoding: soft Viterbi + frame parsing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..coding.convolutional import CONSTRAINT, depuncture
+from ..coding.viterbi import viterbi_decode_soft
+from ..link.frames import TagFrame, parse_frame_bits
+from ..tag.config import TagConfig
+from .demod import psk_soft_llrs
+
+__all__ = ["TagDecodeOutput", "decode_tag_symbols"]
+
+
+@dataclass
+class TagDecodeOutput:
+    """Decoded tag data plus diagnostics."""
+
+    frame: TagFrame | None
+    decoded_bits: np.ndarray = field(repr=False)
+    llrs: np.ndarray = field(repr=False)
+
+    @property
+    def ok(self) -> bool:
+        """Frame recovered and CRC-validated."""
+        return self.frame is not None and self.frame.ok
+
+    @property
+    def payload_bits(self) -> np.ndarray:
+        """The validated payload (empty if decoding failed)."""
+        if self.frame is None:
+            return np.empty(0, dtype=np.uint8)
+        return self.frame.payload_bits
+
+
+def decode_tag_symbols(symbols: np.ndarray, noise_var: np.ndarray,
+                       config: TagConfig) -> TagDecodeOutput:
+    """Soft-demap MRC outputs, Viterbi-decode and parse the tag frame."""
+    symbols = np.asarray(symbols, dtype=np.complex128)
+    llrs = psk_soft_llrs(symbols, config.modulation, noise_var)
+
+    if config.code_rate == "1/2":
+        mother = llrs
+        if mother.size % 2:
+            mother = mother[:-1]
+    else:
+        # The tag padded coded bits up to a whole symbol; the mother
+        # stream length must satisfy the puncturing pattern.  Trim the
+        # coded stream to the largest length consistent with rate 2/3
+        # (3 coded bits per 4 mother bits).
+        n_coded = llrs.size - (llrs.size % 3)
+        mother = depuncture(llrs[:n_coded], config.code_rate,
+                            n_coded // 3 * 4)
+    if mother.size < 2 * CONSTRAINT:
+        return TagDecodeOutput(
+            frame=None,
+            decoded_bits=np.empty(0, dtype=np.uint8),
+            llrs=llrs,
+        )
+    decoded = viterbi_decode_soft(mother, terminated=False)
+    frame = parse_frame_bits(decoded)
+    return TagDecodeOutput(frame=frame, decoded_bits=decoded, llrs=llrs)

@@ -1,0 +1,60 @@
+"""PSK demodulation of MRC symbol statistics with per-symbol noise.
+
+Supports hard slicing and per-symbol max-log LLRs (each MRC output has
+its own noise variance because template energy varies across the WiFi
+excitation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..wifi.mapper import BITS_PER_SYMBOL, psk_constellation
+
+__all__ = ["psk_hard_bits", "psk_soft_llrs", "estimate_symbol_noise"]
+
+
+def psk_hard_bits(symbols: np.ndarray, modulation: str) -> np.ndarray:
+    """Nearest-constellation-point hard decisions."""
+    from ..wifi.mapper import psk_demap_hard
+
+    return psk_demap_hard(np.asarray(symbols), modulation)
+
+
+def psk_soft_llrs(symbols: np.ndarray, modulation: str,
+                  noise_var: np.ndarray | float) -> np.ndarray:
+    """Max-log LLRs with a per-symbol noise variance vector.
+
+    Positive LLR favours bit 0, matching the Viterbi convention.
+    """
+    const = psk_constellation(modulation)
+    nb = BITS_PER_SYMBOL[modulation]
+    symbols = np.asarray(symbols, dtype=np.complex128)
+    nv = np.broadcast_to(
+        np.maximum(np.asarray(noise_var, dtype=np.float64), 1e-15),
+        symbols.shape,
+    )
+    d2 = np.abs(symbols[:, None] - const[None, :]) ** 2
+    labels = np.arange(const.size)
+    llrs = np.empty((symbols.size, nb))
+    for k in range(nb):
+        bit_k = (labels >> (nb - 1 - k)) & 1
+        m0 = np.min(d2[:, bit_k == 0], axis=1)
+        m1 = np.min(d2[:, bit_k == 1], axis=1)
+        llrs[:, k] = (m1 - m0) / nv
+    return llrs.reshape(-1)
+
+
+def estimate_symbol_noise(symbols: np.ndarray, modulation: str) -> float:
+    """Blind per-packet noise estimate from slicer error vectors.
+
+    Useful when the thermal floor is unknown: slice each MRC output to
+    the nearest constellation point and measure the residual power.
+    """
+    const = psk_constellation(modulation)
+    symbols = np.asarray(symbols, dtype=np.complex128)
+    if symbols.size == 0:
+        raise ValueError("no symbols")
+    idx = np.argmin(np.abs(symbols[:, None] - const[None, :]), axis=1)
+    err = symbols - const[idx]
+    return float(np.mean(np.abs(err) ** 2))

@@ -1,0 +1,124 @@
+"""The link doctor: explain *why* a backscatter decode failed.
+
+Takes a :class:`~repro.reader.reader.ReaderResult` (and optionally the
+:class:`~repro.link.session.SessionResult` around it) and walks the
+pipeline stages in order, reporting the first thing that looks broken
+and the margin at every stage -- the tool you want when a deployment
+underperforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..tag.config import TagConfig
+from .rate_adapt import required_snr_db
+
+__all__ = ["StageReport", "LinkDiagnosis", "diagnose"]
+
+
+@dataclass(frozen=True)
+class StageReport:
+    """One pipeline stage's health."""
+
+    stage: str
+    ok: bool
+    detail: str
+
+
+@dataclass
+class LinkDiagnosis:
+    """Ordered stage reports plus the top-line verdict."""
+
+    decoded: bool
+    stages: list[StageReport] = field(default_factory=list)
+
+    @property
+    def first_failure(self) -> StageReport | None:
+        """The earliest unhealthy stage, if any."""
+        for s in self.stages:
+            if not s.ok:
+                return s
+        return None
+
+    def format(self) -> str:
+        """Human-readable report."""
+        lines = [
+            "link diagnosis: "
+            + ("DECODED" if self.decoded else "FAILED"),
+        ]
+        for s in self.stages:
+            mark = "ok " if s.ok else "BAD"
+            lines.append(f"  [{mark}] {s.stage:14} {s.detail}")
+        culprit = self.first_failure
+        if culprit is not None:
+            lines.append(f"  => first failing stage: {culprit.stage}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def diagnose(result, config: TagConfig, *,
+             thermal_floor_dbm: float = -95.0) -> LinkDiagnosis:
+    """Walk a :class:`ReaderResult`'s diagnostics stage by stage."""
+    d = LinkDiagnosis(decoded=bool(result.ok))
+
+    # 1. self-interference cancellation
+    c = result.cancellation
+    if c is None:
+        d.stages.append(StageReport(
+            "cancellation", False, "stage never ran"))
+        return d
+    floor_dbm = 10 * np.log10(max(result.noise_floor_mw, 1e-30))
+    rise = floor_dbm - thermal_floor_dbm
+    canc_ok = not c.adc_saturated and rise < 10.0
+    detail = (f"total {c.total_depth_db:.1f} dB, floor {floor_dbm:.1f} "
+              f"dBm ({rise:+.1f} dB vs thermal)")
+    if c.adc_saturated:
+        detail += ", ADC SATURATED (analog stage insufficient)"
+    d.stages.append(StageReport("cancellation", canc_ok, detail))
+
+    # 2. timing + channel estimation
+    if result.sync is None or result.channel is None:
+        d.stages.append(StageReport(
+            "sync/estimate", False,
+            f"no timing lock ({result.failure})"))
+        return d
+    est = result.channel
+    # The normalised residual is (per-sample noise)/(backscatter gain):
+    # healthy links sit well below ~10 even when per-sample SNR < 0 dB
+    # (MRC recovers it); garbage timing fits land orders of magnitude
+    # higher.
+    est_ok = result.sync.metric < 10.0
+    d.stages.append(StageReport(
+        "sync/estimate", est_ok,
+        f"offset {result.sync.offset_samples:+d} samples, normalised "
+        f"residual {result.sync.metric:.3g}, channel gain "
+        f"{10 * np.log10(max(est.gain, 1e-30)):.1f} dB",
+    ))
+
+    # 3. post-MRC SNR vs the operating point's requirement
+    need = required_snr_db(config)
+    snr = result.symbol_snr_db
+    snr_ok = bool(np.isfinite(snr) and snr >= need)
+    d.stages.append(StageReport(
+        "mrc snr", snr_ok,
+        f"{snr:.1f} dB measured vs {need:.1f} dB required for "
+        f"{config.describe()} (margin {snr - need:+.1f} dB)",
+    ))
+
+    # 4. frame
+    if result.decode is None or result.decode.frame is None:
+        d.stages.append(StageReport("frame", False, "nothing decoded"))
+    else:
+        fr = result.decode.frame
+        d.stages.append(StageReport(
+            "frame", fr.ok,
+            f"header {'ok' if fr.header_ok else 'BAD'}, payload CRC "
+            f"{'ok' if fr.crc_ok else 'BAD'}, "
+            f"{result.payload_bits.size} bits",
+        ))
+    return d

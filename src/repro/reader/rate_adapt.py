@@ -1,0 +1,97 @@
+"""Rate adaptation: pick the lowest-REPB operating point that decodes.
+
+Paper Sec. 6.1: "the rate adaptation algorithm would always pick the
+modulation, coding rate and symbol switching rate combination with the
+lowest REPB since the most precious resource here is energy."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..tag.config import TagConfig, all_tag_configs
+from ..tag.energy import EnergyModel, default_energy_model
+
+__all__ = [
+    "REQUIRED_SNR_DB",
+    "required_snr_db",
+    "feasible_configs",
+    "select_config",
+    "max_throughput_config",
+]
+
+# Post-MRC symbol SNR needed to close the link (frame CRC success with
+# the K=7 convolutional code), per (modulation, code rate).  Derived from
+# the coded PSK waterfalls measured with this stack's decoder.
+REQUIRED_SNR_DB: dict[tuple[str, str], float] = {
+    ("bpsk", "1/2"): 4.5,
+    ("bpsk", "2/3"): 6.0,
+    ("qpsk", "1/2"): 7.5,
+    ("qpsk", "2/3"): 9.0,
+    ("16psk", "1/2"): 16.5,
+    ("16psk", "2/3"): 18.0,
+}
+
+
+def required_snr_db(config: TagConfig) -> float:
+    """Decoding threshold for one operating point."""
+    return REQUIRED_SNR_DB[(config.modulation, config.code_rate)]
+
+
+@dataclass(frozen=True)
+class RateChoice:
+    """A selected operating point with its predicted cost."""
+
+    config: TagConfig
+    repb: float
+    throughput_bps: float
+
+
+def feasible_configs(snr_db_for: "callable",
+                     configs: list[TagConfig] | None = None) -> list[TagConfig]:
+    """All operating points whose predicted SNR clears the threshold.
+
+    ``snr_db_for`` maps a :class:`TagConfig` to a predicted post-MRC
+    symbol SNR (e.g. from :class:`repro.link.LinkBudget`).
+    """
+    configs = configs if configs is not None else all_tag_configs()
+    return [c for c in configs if snr_db_for(c) >= required_snr_db(c)]
+
+
+def select_config(snr_db_for: "callable", *,
+                  min_throughput_bps: float = 0.0,
+                  configs: list[TagConfig] | None = None,
+                  energy_model: EnergyModel | None = None) -> RateChoice | None:
+    """Lowest-REPB feasible point meeting a throughput floor."""
+    model = energy_model or default_energy_model()
+    best: RateChoice | None = None
+    for cfg in feasible_configs(snr_db_for, configs):
+        if cfg.throughput_bps < min_throughput_bps:
+            continue
+        choice = RateChoice(
+            config=cfg, repb=model.repb(cfg),
+            throughput_bps=cfg.throughput_bps,
+        )
+        if best is None or choice.repb < best.repb:
+            best = choice
+    return best
+
+
+def max_throughput_config(snr_db_for: "callable", *,
+                          configs: list[TagConfig] | None = None,
+                          energy_model: EnergyModel | None = None
+                          ) -> RateChoice | None:
+    """Highest-throughput feasible point (REPB breaks ties)."""
+    model = energy_model or default_energy_model()
+    best: RateChoice | None = None
+    for cfg in feasible_configs(snr_db_for, configs):
+        choice = RateChoice(
+            config=cfg, repb=model.repb(cfg),
+            throughput_bps=cfg.throughput_bps,
+        )
+        if best is None or choice.throughput_bps > best.throughput_bps or (
+            choice.throughput_bps == best.throughput_bps
+            and choice.repb < best.repb
+        ):
+            best = choice
+    return best

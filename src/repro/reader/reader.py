@@ -1,0 +1,186 @@
+"""The BackFi AP/reader receive pipeline (paper Fig. 5).
+
+Order of operations for one excitation packet:
+
+1. analog + digital self-interference cancellation (trained on the tag's
+   silent period),
+2. fine tag timing recovery + combined forward-backward channel
+   estimation from the tag's PN preamble,
+3. per-symbol maximal-ratio combining of the payload,
+4. soft PSK demapping, Viterbi decoding, frame CRC validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import SAMPLES_PER_US, SILENT_US
+from ..link.protocol import ApTimeline
+from ..tag.config import TagConfig
+from .cancellation import CancellationResult, SelfInterferenceCanceller
+from .channel_est import ChannelEstimate
+from .decoder import TagDecodeOutput, decode_tag_symbols
+from .mrc import MrcOutput, expected_template, mrc_combine
+from .sync import SyncResult, find_tag_timing
+
+__all__ = ["BackFiReader", "ReaderResult"]
+
+
+@dataclass
+class ReaderResult:
+    """Everything the reader learned from one packet."""
+
+    ok: bool
+    payload_bits: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.uint8), repr=False
+    )
+    n_symbols: int = 0
+    symbol_snr_db: float = float("nan")
+    noise_floor_mw: float = float("nan")
+    cancellation: CancellationResult | None = None
+    sync: SyncResult | None = None
+    channel: ChannelEstimate | None = None
+    mrc: MrcOutput | None = None
+    decode: TagDecodeOutput | None = None
+    failure: str | None = None
+
+    def throughput_bps(self, airtime_s: float) -> float:
+        """Delivered information rate over a given air time."""
+        if not self.ok or airtime_s <= 0:
+            return 0.0
+        return self.payload_bits.size / airtime_s
+
+
+class BackFiReader:
+    """Decodes backscatter from one BackFi tag.
+
+    The reader knows the tag's operating point (modulation, code rate,
+    symbol rate) because it assigned it -- the paper's rate adaptation
+    runs at the reader (Sec. 6.1).
+    """
+
+    def __init__(self, tag_config: TagConfig | None = None, *,
+                 canceller: SelfInterferenceCanceller | None = None,
+                 n_channel_taps: int = 12,
+                 sync_search_us: float = 2.0,
+                 preamble_seed: int = 0x35,
+                 track_phase: bool = False):
+        self.tag_config = tag_config or TagConfig()
+        self.canceller = canceller or SelfInterferenceCanceller()
+        self.n_channel_taps = n_channel_taps
+        self.sync_search_us = sync_search_us
+        self.preamble_seed = preamble_seed
+        self.track_phase = track_phase
+        """Enable decision-directed gain tracking across the payload
+        (see :mod:`repro.reader.tracking`)."""
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def silent_rows(timeline: ApTimeline, margin_us: float = 2.0) -> np.ndarray:
+        """Sample indices safely inside the tag's silent period."""
+        m = int(margin_us * SAMPLES_PER_US)
+        start = timeline.nominal_silent_start + m
+        end = timeline.nominal_silent_start + \
+            int(SILENT_US * SAMPLES_PER_US) - m
+        if end <= start:
+            raise ValueError("silent period too short for the margin")
+        return np.arange(start, end)
+
+    # -- main entry ----------------------------------------------------
+
+    def decode(self, timeline: ApTimeline, rx: np.ndarray,
+               h_env: np.ndarray, *,
+               pa_output: np.ndarray | None = None,
+               rng: np.random.Generator | None = None) -> ReaderResult:
+        """Decode the backscatter riding on one AP transmission.
+
+        Parameters
+        ----------
+        timeline:
+            The AP's own transmission plan (it knows what it sent).
+        rx:
+            Received samples, aligned with ``timeline.samples``.
+        h_env:
+            True self-interference channel (the analog canceller's
+            tuning target; see :class:`AnalogCanceller`).
+        pa_output:
+            The transmitted waveform *after* the PA nonlinearity if the
+            scene models one; the canceller taps the PA output.  Defaults
+            to the ideal waveform.
+        """
+        rx = np.asarray(rx, dtype=np.complex128)
+        x = timeline.samples if pa_output is None else \
+            np.asarray(pa_output, dtype=np.complex128)
+        if rx.size != x.size:
+            raise ValueError("rx must align with the transmitted waveform")
+
+        # 1. self-interference cancellation
+        silent = self.silent_rows(timeline)
+        canc = self.canceller.cancel(x, rx, h_env, silent, rng=rng)
+        cleaned = canc.cleaned
+        # Estimate the effective noise floor on the part of the silent
+        # period the digital canceller did not train on (last quarter).
+        held_out = silent[(3 * silent.size) // 4:]
+        noise_floor = float(np.mean(np.abs(cleaned[held_out]) ** 2))
+
+        # 2. timing + channel estimation
+        try:
+            sync = find_tag_timing(
+                x, cleaned, timeline.nominal_preamble_start,
+                timeline.preamble_us,
+                search_us=self.sync_search_us,
+                n_taps=self.n_channel_taps,
+                preamble_seed=self.preamble_seed,
+            )
+        except ValueError as exc:
+            return ReaderResult(ok=False, cancellation=canc,
+                                noise_floor_mw=noise_floor,
+                                failure=f"sync: {exc}")
+        est = sync.estimate
+
+        # 3. MRC combining over the payload region
+        sps = self.tag_config.samples_per_symbol
+        data_start = sync.preamble_start + \
+            int(timeline.preamble_us * SAMPLES_PER_US)
+        n_symbols = (timeline.wifi_end - data_start) // sps
+        if n_symbols < 1:
+            return ReaderResult(ok=False, cancellation=canc, sync=sync,
+                                channel=est, noise_floor_mw=noise_floor,
+                                failure="no room for payload symbols")
+        template = expected_template(x, est.h_fb, cleaned.size)
+        # Guard only the channel's actual delay spread (the ISI region at
+        # each phase switch), not the full estimation-filter length --
+        # at 2.5 Msym/s a symbol is only 8 samples long.
+        guard = min(6, max(sps // 2, 1), sps - 1)
+        mrc = mrc_combine(
+            cleaned, template, data_start, sps, int(n_symbols),
+            guard=guard, noise_floor=noise_floor,
+        )
+
+        # 4. decode (optionally with decision-directed drift tracking)
+        symbols = mrc.symbols
+        if self.track_phase:
+            from .tracking import phase_track
+
+            symbols = phase_track(
+                symbols, self.tag_config.modulation
+            ).symbols
+        decode = decode_tag_symbols(symbols, mrc.noise_var,
+                                    self.tag_config)
+        ok = decode.ok
+        return ReaderResult(
+            ok=ok,
+            payload_bits=decode.payload_bits,
+            n_symbols=int(n_symbols),
+            symbol_snr_db=mrc.mean_snr_db(),
+            noise_floor_mw=noise_floor,
+            cancellation=canc,
+            sync=sync,
+            channel=est,
+            mrc=mrc,
+            decode=decode,
+            failure=None if ok else "frame CRC failed",
+        )

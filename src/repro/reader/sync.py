@@ -1,0 +1,121 @@
+"""Fine timing recovery for the tag's backscatter (paper Sec. 4.1).
+
+The reader controls the protocol timeline, so it knows *nominally* when
+the tag's silent period, preamble and data start.  The tag's wake-up
+detector, however, fires with a small uncertainty (up to a microsecond of
+comparator/decision latency).  The reader therefore searches a window of
+candidate offsets and picks the one whose LS channel fit to the known
+preamble leaves the smallest residual -- equivalent to correlating with
+the PN preamble, but reusing the estimator we already have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import SAMPLES_PER_US
+from .channel_est import ChannelEstimate, estimate_combined_channel
+
+__all__ = ["SyncResult", "find_tag_timing"]
+
+
+@dataclass(frozen=True)
+class SyncResult:
+    """Outcome of the fine timing search."""
+
+    preamble_start: int
+    offset_samples: int
+    estimate: ChannelEstimate
+    metric: float
+
+
+def find_tag_timing(
+    x: np.ndarray,
+    y_clean: np.ndarray,
+    nominal_preamble_start: int,
+    preamble_us: float,
+    *,
+    search_us: float = 2.0,
+    step_samples: int = 4,
+    n_taps: int = 8,
+    preamble_seed: int = 0x35,
+) -> SyncResult:
+    """Search +-``search_us`` around the nominal preamble start.
+
+    The metric is the normalised LS residual: sharper (smaller) when the
+    assumed chip boundaries line up with the tag's actual switching
+    instants.  A final pass refines to single-sample resolution.
+    """
+    search = int(search_us * SAMPLES_PER_US)
+    if step_samples < 1:
+        raise ValueError("step must be >= 1")
+
+    def metric_at(start: int) -> tuple[float, ChannelEstimate] | None:
+        if start < 0:
+            return None
+        try:
+            est = estimate_combined_channel(
+                x, y_clean, start, preamble_us,
+                n_taps=n_taps, preamble_seed=preamble_seed,
+            )
+        except ValueError:
+            return None
+        gain = est.gain
+        if gain <= 0:
+            return None
+        # A gentle prior toward the nominal timing: for wideband
+        # excitations the residual contrast is orders of magnitude, so
+        # this never changes the answer; for narrowband excitations
+        # (BLE/Zigbee) whose autocorrelation makes the metric nearly
+        # flat, it pins the flat region to the protocol timeline.
+        off = abs(start - nominal_preamble_start)
+        penalty = 1.0 + 0.005 * off
+        return est.residual_power / gain * penalty, est
+
+    best: tuple[float, int, ChannelEstimate] | None = None
+    for off in range(-search, search + 1, step_samples):
+        out = metric_at(nominal_preamble_start + off)
+        if out is None:
+            continue
+        m, est = out
+        if best is None or m < best[0]:
+            best = (m, off, est)
+    if best is None:
+        raise ValueError("no feasible timing offset found")
+
+    # Refine around the coarse winner at single-sample resolution.
+    coarse_off = best[1]
+    for off in range(coarse_off - step_samples + 1,
+                     coarse_off + step_samples):
+        if off == coarse_off:
+            continue
+        out = metric_at(nominal_preamble_start + off)
+        if out is None:
+            continue
+        m, est = out
+        if m < best[0]:
+            best = (m, off, est)
+
+    # The LS fit is invariant to starting up to n_taps-1 samples early
+    # (the shift is absorbed as leading delay taps), so the metric is
+    # flat on the early side and cliffs on the late side.  Walk forward
+    # to the latest offset that still fits -- the true chip boundary.
+    # The late-side cliff is orders of magnitude, so this factor cannot
+    # overshoot the boundary for wideband excitations; the timing prior
+    # bounds the walk for narrowband ones.
+    tol = 1.5 * best[0] + 1e-30
+    for _ in range(n_taps + step_samples):
+        out = metric_at(nominal_preamble_start + best[1] + 1)
+        if out is None or out[0] > tol:
+            break
+        best = (out[0], best[1] + 1, out[1])
+
+    m, off, est = best
+    return SyncResult(
+        preamble_start=nominal_preamble_start + off,
+        offset_samples=off,
+        estimate=est,
+        metric=m,
+    )

@@ -1,0 +1,92 @@
+"""Decision-directed phase/gain tracking across a tag packet.
+
+The combined channel is estimated once from the preamble, but the
+backscatter path drifts over a 1-4 ms packet (tag clock wander, channel
+coherence -- the ``BACKSCATTER_EVM`` impairment).  This optional decoder
+stage tracks the residual complex gain block-by-block from sliced
+symbols, recovering part of the SNR ceiling.  An extension beyond the
+paper (which tops out at 4 ms packets where drift is tolerable), useful
+for longer excitations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..wifi.mapper import psk_constellation
+
+__all__ = ["TrackingResult", "phase_track"]
+
+
+@dataclass
+class TrackingResult:
+    """Tracked symbols plus the gain trajectory."""
+
+    symbols: np.ndarray = field(repr=False)
+    gains: np.ndarray = field(repr=False)
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of tracking blocks."""
+        return int(self.gains.size)
+
+
+def phase_track(symbols: np.ndarray, modulation: str, *,
+                block_size: int = 64,
+                smoothing: float = 0.5,
+                max_correction: float = 0.45) -> TrackingResult:
+    """Track and remove slow residual gain drift, decision-directed.
+
+    Parameters
+    ----------
+    symbols:
+        MRC outputs (approximately unit-modulus PSK points).
+    modulation:
+        "bpsk" / "qpsk" / "16psk".
+    block_size:
+        Symbols per gain update; must be long enough that decision
+        errors average out, short relative to the drift coherence.
+    smoothing:
+        IIR coefficient on the block gain estimates (0 = frozen,
+        1 = jump to each block's estimate).
+    max_correction:
+        Cap on the per-block phase step [rad]; prevents a burst of
+        decision errors from spinning the tracker into a cycle slip.
+
+    Returns
+    -------
+    TrackingResult
+        Corrected symbols and the per-block gain trajectory applied.
+    """
+    symbols = np.asarray(symbols, dtype=np.complex128)
+    if block_size < 4:
+        raise ValueError("block_size must be >= 4")
+    if not 0.0 <= smoothing <= 1.0:
+        raise ValueError("smoothing must be in [0, 1]")
+    const = psk_constellation(modulation)
+    corrected = np.empty_like(symbols)
+    n_blocks = -(-symbols.size // block_size)
+    gains = np.ones(n_blocks, dtype=np.complex128)
+    g = 1.0 + 0.0j
+    for b in range(n_blocks):
+        blk = symbols[b * block_size:(b + 1) * block_size]
+        # Slice under the current gain hypothesis.
+        undone = blk / g
+        idx = np.argmin(np.abs(undone[:, None] - const[None, :]), axis=1)
+        ref = const[idx]
+        num = np.vdot(ref, blk)
+        den = np.vdot(ref, ref).real
+        if den > 0 and num != 0:
+            g_est = num / den
+            # Blend, with a bounded phase step.
+            step = g_est / g
+            ang = np.angle(step)
+            ang = float(np.clip(ang, -max_correction, max_correction))
+            mag = float(np.clip(np.abs(step), 0.5, 2.0))
+            g = g * (1.0 - smoothing) + \
+                g * mag * np.exp(1j * ang) * smoothing
+        gains[b] = g
+        corrected[b * block_size:(b + 1) * block_size] = blk / g
+    return TrackingResult(symbols=corrected, gains=gains)

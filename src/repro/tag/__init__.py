@@ -1,0 +1,46 @@
+"""The BackFi IoT tag: detector, modulator, energy model and FSM."""
+
+from .config import TagConfig, all_tag_configs
+from .detector import DetectionResult, EnergyDetector, ap_preamble_bits
+from .energy import (
+    PAPER_FIG7_REPB,
+    EnergyModel,
+    default_energy_model,
+    fit_energy_model,
+    repb_table,
+)
+from .harvester import (
+    EnergyStore,
+    HarvestingBudget,
+    RfHarvester,
+    sustainable_bitrate_bps,
+)
+from .modulator import PhaseModulator
+from .sensors import AudioSensor, TemperatureSensor, delta_decode, \
+    delta_encode
+from .tag import BackFiTag, BackscatterPlan, tag_preamble_phases
+
+__all__ = [
+    "TagConfig",
+    "all_tag_configs",
+    "DetectionResult",
+    "EnergyDetector",
+    "ap_preamble_bits",
+    "PAPER_FIG7_REPB",
+    "EnergyModel",
+    "default_energy_model",
+    "fit_energy_model",
+    "repb_table",
+    "EnergyStore",
+    "HarvestingBudget",
+    "RfHarvester",
+    "sustainable_bitrate_bps",
+    "PhaseModulator",
+    "AudioSensor",
+    "TemperatureSensor",
+    "delta_decode",
+    "delta_encode",
+    "BackFiTag",
+    "BackscatterPlan",
+    "tag_preamble_phases",
+]

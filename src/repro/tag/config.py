@@ -1,0 +1,94 @@
+"""Tag configuration: the knobs the paper sweeps in its evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import (
+    SAMPLE_RATE,
+    TAG_CODE_RATES,
+    TAG_MODULATIONS,
+    TAG_REFLECTION_LOSS_DB,
+    TAG_SYMBOL_RATES_HZ,
+)
+from ..wifi.mapper import BITS_PER_SYMBOL
+
+__all__ = ["TagConfig", "all_tag_configs"]
+
+_SWITCH_COUNT = {"bpsk": 1, "qpsk": 3, "16psk": 15}
+
+
+@dataclass(frozen=True)
+class TagConfig:
+    """One (modulation, code rate, symbol rate) operating point.
+
+    These are exactly the combinations of paper Fig. 7; every combination
+    has a throughput and a relative energy-per-bit.
+    """
+
+    modulation: str = "qpsk"
+    code_rate: str = "1/2"
+    symbol_rate_hz: float = 1e6
+    reflection_loss_db: float = TAG_REFLECTION_LOSS_DB
+
+    def __post_init__(self) -> None:
+        if self.modulation not in TAG_MODULATIONS:
+            raise ValueError(
+                f"modulation {self.modulation!r} not in {TAG_MODULATIONS}"
+            )
+        if self.code_rate not in TAG_CODE_RATES:
+            raise ValueError(
+                f"code rate {self.code_rate!r} not in {TAG_CODE_RATES}"
+            )
+        if self.symbol_rate_hz <= 0:
+            raise ValueError("symbol rate must be positive")
+        if SAMPLE_RATE % self.symbol_rate_hz:
+            raise ValueError(
+                "symbol rate must divide the 20 MHz baseband sample rate"
+            )
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """Coded bits carried by each backscatter symbol."""
+        return BITS_PER_SYMBOL[self.modulation]
+
+    @property
+    def code_rate_fraction(self) -> float:
+        """Code rate as a float."""
+        num, den = self.code_rate.split("/")
+        return int(num) / int(den)
+
+    @property
+    def samples_per_symbol(self) -> int:
+        """Baseband samples per tag symbol."""
+        return int(SAMPLE_RATE // self.symbol_rate_hz)
+
+    @property
+    def n_switches(self) -> int:
+        """SPDT switches in the modulator tree (1/3/15, paper Sec. 5.2.1)."""
+        return _SWITCH_COUNT[self.modulation]
+
+    @property
+    def throughput_bps(self) -> float:
+        """Information throughput while backscattering [bit/s]."""
+        return self.symbol_rate_hz * self.bits_per_symbol \
+            * self.code_rate_fraction
+
+    def describe(self) -> str:
+        """Short human-readable label, e.g. ``16psk r2/3 @2.5MHz``."""
+        return (f"{self.modulation} r{self.code_rate} "
+                f"@{self.symbol_rate_hz / 1e6:g}MHz")
+
+
+def all_tag_configs(
+    symbol_rates: tuple[float, ...] = TAG_SYMBOL_RATES_HZ,
+    modulations: tuple[str, ...] = TAG_MODULATIONS,
+    code_rates: tuple[str, ...] = TAG_CODE_RATES,
+) -> list[TagConfig]:
+    """Every operating point of the paper's Fig. 7 grid, in table order."""
+    return [
+        TagConfig(modulation=m, code_rate=r, symbol_rate_hz=s)
+        for s in symbol_rates
+        for m in modulations
+        for r in code_rates
+    ]

@@ -1,0 +1,157 @@
+"""The tag energy model: energy-per-bit and relative EPB (paper Sec. 5.2.1).
+
+The paper decomposes tag energy into three blocks -- memory read, channel
+encoder and RF modulator -- each with a dynamic (per-operation) part and a
+static (leakage, time-proportional) part, and reports the resulting
+*relative* EPB table in Fig. 7 (reference: BPSK, rate 1/2, 1 Msym/s =
+3.15 pJ/bit from the ADG904 + CY62146EV30 datasheets).
+
+We implement the same component model,
+
+``EPB = E_mem + E_enc / r + E_sw * N_sw / (b r)
+       + P_mem / F_s + P_sw * N_sw / (F_s b r)``
+
+and calibrate the five non-negative component constants against the
+paper's own table with non-negative least squares.  Note the memory
+static term is charged per *symbol period* (``1/F_s``), which is what the
+paper's published numbers encode; the switch leakage term scales with the
+per-information-bit air time.  This form reproduces every Fig. 7 entry to
+well under 1 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import REFERENCE_EPB_PJ
+from .config import TagConfig, all_tag_configs
+
+__all__ = [
+    "EnergyModel",
+    "PAPER_FIG7_REPB",
+    "fit_energy_model",
+    "default_energy_model",
+]
+
+# Paper Fig. 7, REPB entries keyed by (symbol_rate_hz, modulation, code_rate).
+PAPER_FIG7_REPB: dict[tuple[float, str, str], float] = {
+    (10e3, "bpsk", "1/2"): 29.2162, (10e3, "bpsk", "2/3"): 28.1984,
+    (10e3, "qpsk", "1/2"): 31.2517, (10e3, "qpsk", "2/3"): 29.7250,
+    (10e3, "16psk", "1/2"): 40.4117, (10e3, "16psk", "2/3"): 36.5951,
+    (100e3, "bpsk", "1/2"): 3.5651, (100e3, "bpsk", "2/3"): 3.3333,
+    (100e3, "qpsk", "1/2"): 4.0287, (100e3, "qpsk", "2/3"): 3.6810,
+    (100e3, "16psk", "1/2"): 6.1151, (100e3, "16psk", "2/3"): 5.2458,
+    (500e3, "bpsk", "1/2"): 1.2850, (500e3, "bpsk", "2/3"): 1.1231,
+    (500e3, "qpsk", "1/2"): 1.6089, (500e3, "qpsk", "2/3"): 1.3660,
+    (500e3, "16psk", "1/2"): 3.0665, (500e3, "16psk", "2/3"): 2.4592,
+    (1e6, "bpsk", "1/2"): 1.0000, (1e6, "bpsk", "2/3"): 0.8468,
+    (1e6, "qpsk", "1/2"): 1.3064, (1e6, "qpsk", "2/3"): 1.0766,
+    (1e6, "16psk", "1/2"): 2.6855, (1e6, "16psk", "2/3"): 2.1109,
+    (2e6, "bpsk", "1/2"): 0.8575, (2e6, "bpsk", "2/3"): 0.7086,
+    (2e6, "qpsk", "1/2"): 1.1552, (2e6, "qpsk", "2/3"): 0.9319,
+    (2e6, "16psk", "1/2"): 2.4949, (2e6, "16psk", "2/3"): 1.9367,
+    (2.5e6, "bpsk", "1/2"): 0.8290, (2.5e6, "bpsk", "2/3"): 0.6810,
+    (2.5e6, "qpsk", "1/2"): 1.1250, (2.5e6, "qpsk", "2/3"): 0.9030,
+    (2.5e6, "16psk", "1/2"): 2.4568, (2.5e6, "16psk", "2/3"): 1.9019,
+}
+
+REFERENCE_CONFIG = TagConfig(
+    modulation="bpsk", code_rate="1/2", symbol_rate_hz=1e6
+)
+"""The paper's REPB reference point (EPB = 3.15 pJ/bit)."""
+
+
+def _design_row(config: TagConfig) -> np.ndarray:
+    """Regressor row [1, 1/r, Nsw/(b r), 1/Fs, Nsw/(Fs b r)]."""
+    b = config.bits_per_symbol
+    r = config.code_rate_fraction
+    fs = config.symbol_rate_hz
+    nsw = config.n_switches
+    return np.array([
+        1.0,
+        1.0 / r,
+        nsw / (b * r),
+        1e6 / fs,                    # static terms scaled to us
+        1e6 * nsw / (fs * b * r),
+    ])
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Fitted component constants (pJ for energies, pJ/us for powers)."""
+
+    e_mem_pj: float
+    e_enc_pj: float
+    e_switch_pj: float
+    p_mem_static_pj_per_us: float
+    p_switch_pj_per_us: float
+
+    def epb_pj(self, config: TagConfig) -> float:
+        """Energy per information bit for an operating point [pJ/bit]."""
+        theta = np.array([
+            self.e_mem_pj, self.e_enc_pj, self.e_switch_pj,
+            self.p_mem_static_pj_per_us, self.p_switch_pj_per_us,
+        ])
+        return float(_design_row(config) @ theta)
+
+    @property
+    def reference_epb_pj(self) -> float:
+        """EPB of the paper's reference configuration."""
+        return self.epb_pj(REFERENCE_CONFIG)
+
+    def repb(self, config: TagConfig) -> float:
+        """Relative EPB: EPB(config) / EPB(reference)."""
+        return self.epb_pj(config) / self.reference_epb_pj
+
+    def energy_for_payload_pj(self, config: TagConfig,
+                              n_info_bits: int) -> float:
+        """Total tag energy to ship a payload [pJ]."""
+        if n_info_bits < 0:
+            raise ValueError("bit count must be non-negative")
+        return self.epb_pj(config) * n_info_bits
+
+
+def fit_energy_model(
+    table: dict[tuple[float, str, str], float] | None = None,
+    reference_epb_pj: float = REFERENCE_EPB_PJ,
+) -> EnergyModel:
+    """Calibrate the component model against a (paper) REPB table by NNLS."""
+    from scipy.optimize import nnls
+
+    table = table or PAPER_FIG7_REPB
+    rows, targets = [], []
+    for (fs, mod, rate), repb in table.items():
+        cfg = TagConfig(modulation=mod, code_rate=rate, symbol_rate_hz=fs)
+        rows.append(_design_row(cfg))
+        targets.append(repb * reference_epb_pj)
+    a = np.vstack(rows)
+    b = np.asarray(targets)
+    # Weight rows by 1/target so large low-rate entries don't dominate
+    # the relative fit quality.
+    w = 1.0 / b
+    theta, _ = nnls(a * w[:, None], b * w)
+    return EnergyModel(*theta)
+
+
+_DEFAULT_MODEL: EnergyModel | None = None
+
+
+def default_energy_model() -> EnergyModel:
+    """The model fitted to the paper's Fig. 7 table (cached singleton)."""
+    global _DEFAULT_MODEL
+    if _DEFAULT_MODEL is None:
+        _DEFAULT_MODEL = fit_energy_model()
+    return _DEFAULT_MODEL
+
+
+def repb_table(model: EnergyModel | None = None) -> dict[
+        tuple[float, str, str], tuple[float, float]]:
+    """Regenerate Fig. 7: (REPB, throughput_bps) for every combination."""
+    model = model or default_energy_model()
+    out = {}
+    for cfg in all_tag_configs():
+        key = (cfg.symbol_rate_hz, cfg.modulation, cfg.code_rate)
+        out[key] = (model.repb(cfg), cfg.throughput_bps)
+    return out

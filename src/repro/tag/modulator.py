@@ -1,0 +1,68 @@
+"""The tag's backscatter phase modulator (paper Fig. 3).
+
+A binary tree of SPDT switches routes the incident RF into one of 2^n
+shorted transmission-line stubs; each stub length realises one discrete
+reflection phase.  We model the tree as an ideal n-PSK reflector with an
+insertion loss, plus the per-symbol switch-toggle count that drives the
+energy model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.conversions import db_to_linear
+from ..wifi.mapper import psk_constellation, psk_map
+from .config import TagConfig
+
+__all__ = ["PhaseModulator"]
+
+
+class PhaseModulator:
+    """Maps coded bits to a per-sample complex reflection coefficient."""
+
+    def __init__(self, config: TagConfig):
+        self.config = config
+        self._constellation = psk_constellation(config.modulation)
+        self._amplitude = float(
+            np.sqrt(db_to_linear(-config.reflection_loss_db))
+        )
+
+    @property
+    def constellation(self) -> np.ndarray:
+        """The discrete reflection phases available from the switch tree."""
+        return self._constellation.copy()
+
+    @property
+    def amplitude(self) -> float:
+        """Reflection amplitude (models modulator insertion loss)."""
+        return self._amplitude
+
+    def symbols_from_bits(self, coded_bits: np.ndarray) -> np.ndarray:
+        """Group coded bits into unit-amplitude PSK symbols."""
+        coded_bits = np.asarray(coded_bits, dtype=np.uint8)
+        nb = self.config.bits_per_symbol
+        rem = coded_bits.size % nb
+        if rem:
+            coded_bits = np.concatenate(
+                [coded_bits, np.zeros(nb - rem, dtype=np.uint8)]
+            )
+        return psk_map(coded_bits, self.config.modulation)
+
+    def waveform_from_symbols(self, symbols: np.ndarray) -> np.ndarray:
+        """Expand symbols to the per-sample reflection coefficient."""
+        sps = self.config.samples_per_symbol
+        return self._amplitude * np.repeat(np.asarray(symbols), sps)
+
+    def modulate(self, coded_bits: np.ndarray) -> np.ndarray:
+        """Coded bits -> reflection-coefficient waveform at 20 Msps."""
+        return self.waveform_from_symbols(self.symbols_from_bits(coded_bits))
+
+    def switch_toggles_per_symbol(self) -> int:
+        """Worst-case SPDT toggles per symbol (energy model input)."""
+        return self.config.n_switches
+
+    def n_symbols(self, n_coded_bits: int) -> int:
+        """Symbols needed for a coded bit count (with padding)."""
+        nb = self.config.bits_per_symbol
+        return -(-n_coded_bits // nb)

@@ -1,0 +1,132 @@
+"""Synthetic sensor data sources (the paper's motivating workloads).
+
+Sec. 1 sizes the uplink by its gadgets: "a few Kbps (e.g. temperature
+sensors measuring every 100 ms) to a few Mbps (e.g., security
+microphones/cameras recording audio/video)".  These sources produce
+realistically-shaped bit streams at those rates, plus the simple delta
+encoding a microcontroller would apply, so examples and experiments can
+run the actual workloads instead of uniform random bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils.bits import bits_from_int
+
+__all__ = ["TemperatureSensor", "AudioSensor", "delta_encode",
+           "delta_decode"]
+
+
+def delta_encode(samples: np.ndarray, bits_per_delta: int = 8) -> np.ndarray:
+    """First-order delta encoding to a fixed-width bit stream.
+
+    The first sample is sent verbatim (16 bits); each subsequent sample
+    sends its clipped difference as a signed ``bits_per_delta`` field.
+    """
+    samples = np.asarray(samples, dtype=np.int64)
+    if samples.size == 0:
+        raise ValueError("no samples")
+    if not 2 <= bits_per_delta <= 16:
+        raise ValueError("bits_per_delta must be in [2, 16]")
+    lim = 1 << (bits_per_delta - 1)
+    out = [bits_from_int(int(samples[0]) & 0xFFFF, 16)]
+    for prev, cur in zip(samples, samples[1:]):
+        d = int(np.clip(cur - prev, -lim, lim - 1))
+        out.append(bits_from_int(d & ((1 << bits_per_delta) - 1),
+                                 bits_per_delta))
+    return np.concatenate(out)
+
+
+def delta_decode(bits: np.ndarray, n_samples: int,
+                 bits_per_delta: int = 8) -> np.ndarray:
+    """Inverse of :func:`delta_encode` (clipping is lossy by design)."""
+    from ..utils.bits import int_from_bits
+
+    bits = np.asarray(bits, dtype=np.uint8)
+    need = 16 + (n_samples - 1) * bits_per_delta
+    if bits.size < need:
+        raise ValueError("bit stream too short")
+    out = np.empty(n_samples, dtype=np.int64)
+    first = int_from_bits(bits[:16])
+    out[0] = first if first < 0x8000 else first - 0x10000
+    pos = 16
+    lim = 1 << (bits_per_delta - 1)
+    for i in range(1, n_samples):
+        raw = int_from_bits(bits[pos:pos + bits_per_delta])
+        d = raw if raw < lim else raw - (1 << bits_per_delta)
+        out[i] = out[i - 1] + d
+        pos += bits_per_delta
+    return out
+
+
+@dataclass
+class TemperatureSensor:
+    """A slow ambient-temperature sensor (~Kbps-class source).
+
+    Random-walk temperature in centi-degrees around a mean, sampled
+    every ``interval_s`` (the paper's example: every 100 ms).
+    """
+
+    mean_c: float = 21.0
+    walk_std_c: float = 0.02
+    interval_s: float = 0.1
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    _current: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._current = self.mean_c
+
+    @property
+    def bitrate_bps(self) -> float:
+        """Approximate encoded source rate."""
+        return 8.0 / self.interval_s  # one 8-bit delta per sample
+
+    def sample_centidegrees(self, n: int) -> np.ndarray:
+        """Draw the next ``n`` readings (stateful random walk)."""
+        steps = self.rng.normal(0.0, self.walk_std_c, size=n)
+        vals = self._current + np.cumsum(steps)
+        # Weak mean reversion keeps the walk physical.
+        vals += (self.mean_c - vals) * 0.01
+        self._current = float(vals[-1])
+        return np.round(vals * 100).astype(np.int64)
+
+    def produce_bits(self, duration_s: float) -> np.ndarray:
+        """Encoded sensor bits covering a time window."""
+        n = max(int(duration_s / self.interval_s), 2)
+        return delta_encode(self.sample_centidegrees(n))
+
+
+@dataclass
+class AudioSensor:
+    """A security-microphone-class source (~hundreds of Kbps to Mbps).
+
+    Pink-ish noise sampled at ``sample_rate_hz`` with 8-bit deltas --
+    delta coding of a low-passed process is what cheap audio front ends
+    actually ship.
+    """
+
+    sample_rate_hz: float = 16e3
+    amplitude: float = 2000.0
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    bits_per_delta: int = 12
+    """Delta field width; sized so the smoothed process rarely clips."""
+
+    @property
+    def bitrate_bps(self) -> float:
+        """Approximate encoded source rate."""
+        return float(self.bits_per_delta) * self.sample_rate_hz
+
+    def sample_pcm(self, n: int) -> np.ndarray:
+        """Low-passed noise as 16-bit-ish PCM."""
+        white = self.rng.standard_normal(n + 7)
+        smooth = np.convolve(white, np.ones(8) / 8.0, mode="valid")
+        return np.round(self.amplitude * smooth).astype(np.int64)
+
+    def produce_bits(self, duration_s: float) -> np.ndarray:
+        """Encoded audio bits covering a time window."""
+        n = max(int(duration_s * self.sample_rate_hz), 2)
+        return delta_encode(self.sample_pcm(n), self.bits_per_delta)

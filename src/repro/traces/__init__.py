@@ -1,0 +1,15 @@
+"""Synthetic loaded-network AP traces and replay (paper Fig. 12a)."""
+
+from .generator import ApBurst, ApTrace, generate_ap_trace, \
+    generate_testbed_traces
+from .replay import ReplayResult, probe_best_config, replay_trace
+
+__all__ = [
+    "ApBurst",
+    "ApTrace",
+    "generate_ap_trace",
+    "generate_testbed_traces",
+    "ReplayResult",
+    "probe_best_config",
+    "replay_trace",
+]

@@ -1,0 +1,118 @@
+"""Synthetic loaded-network WiFi traffic traces.
+
+The paper replays captured AP traces from public datasets [24, 41, 47]
+("captured for a wide variety of scenarios for heavily loaded networks")
+to measure backscatter throughput under realistic channel occupancy
+(Fig. 12a).  Those captures are not redistributable here, so this module
+generates statistically similar traces: per-AP busy fractions drawn from
+the heavy-load regime reported for hotspot measurements, packet lengths
+from a mix of small (ACK/VoIP-ish) and full-MTU frames, and contention
+gaps with exponential tails.
+
+Only AP *transmissions* matter to BackFi (the tag backscatters only while
+its reader transmits), so a trace is a sorted list of AP TX bursts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..wifi.params import SUPPORTED_RATES_MBPS, duration_us
+
+__all__ = ["ApBurst", "ApTrace", "generate_ap_trace", "generate_testbed_traces"]
+
+
+@dataclass(frozen=True)
+class ApBurst:
+    """One AP transmission: start time, payload size and bitrate."""
+
+    start_s: float
+    payload_bytes: int
+    rate_mbps: int
+
+    @property
+    def duration_s(self) -> float:
+        """Air time of the burst."""
+        return duration_us(self.payload_bytes, self.rate_mbps) * 1e-6
+
+    @property
+    def end_s(self) -> float:
+        """Burst end time."""
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class ApTrace:
+    """A sequence of AP transmissions over a capture window."""
+
+    bursts: tuple[ApBurst, ...]
+    duration_s: float
+    ap_id: int = 0
+
+    @property
+    def busy_fraction(self) -> float:
+        """Fraction of time the AP is transmitting."""
+        if self.duration_s <= 0:
+            return 0.0
+        return sum(b.duration_s for b in self.bursts) / self.duration_s
+
+    def __len__(self) -> int:
+        return len(self.bursts)
+
+
+def generate_ap_trace(duration_s: float = 1.0, *,
+                      target_busy_fraction: float | None = None,
+                      ap_id: int = 0,
+                      rng: np.random.Generator | None = None) -> ApTrace:
+    """Generate one AP's transmit trace for a loaded network.
+
+    ``target_busy_fraction`` defaults to a draw from the heavy-load
+    distribution (median ~0.75, range ~0.5-0.95): in a fully loaded cell
+    the AP holds the channel most of the time but loses airtime to
+    client traffic and contention.
+    """
+    rng = rng or np.random.default_rng()
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    if target_busy_fraction is None:
+        # Heavily loaded, AP-dominant cells: the AP holds the channel
+        # most of the time (median ~0.85).
+        target_busy_fraction = float(np.clip(rng.beta(8, 1.5), 0.4, 0.97))
+    if not 0 < target_busy_fraction <= 1:
+        raise ValueError("busy fraction must be in (0, 1]")
+
+    # Rates biased toward the middle of the table (rate adaptation in a
+    # real deployment); payloads bimodal: TCP ACKs vs full aggregates.
+    rates = np.array(SUPPORTED_RATES_MBPS)
+    rate_weights = np.array([0.04, 0.04, 0.08, 0.12, 0.27, 0.2, 0.15, 0.1])
+
+    bursts: list[ApBurst] = []
+    t = float(rng.uniform(0.0, 2e-3))
+    while t < duration_s:
+        if rng.uniform() < 0.35:
+            payload = int(rng.integers(60, 400))
+        else:
+            payload = int(rng.integers(1000, 1600))
+        rate = int(rng.choice(rates, p=rate_weights))
+        burst = ApBurst(start_s=t, payload_bytes=payload, rate_mbps=rate)
+        if burst.end_s > duration_s:
+            break
+        bursts.append(burst)
+        # Idle gap sized to hit the busy-fraction target on average.
+        gap_mean = burst.duration_s * (1.0 - target_busy_fraction) \
+            / target_busy_fraction
+        gap = float(rng.exponential(max(gap_mean, 1e-6)))
+        t = burst.end_s + max(gap, 30e-6)  # DIFS-ish minimum spacing
+    return ApTrace(bursts=tuple(bursts), duration_s=duration_s, ap_id=ap_id)
+
+
+def generate_testbed_traces(n_aps: int = 20, duration_s: float = 1.0, *,
+                            seed: int = 2015) -> list[ApTrace]:
+    """The paper's "20 different APs" capture set, synthesised."""
+    rng = np.random.default_rng(seed)
+    return [
+        generate_ap_trace(duration_s, ap_id=i, rng=rng)
+        for i in range(n_aps)
+    ]

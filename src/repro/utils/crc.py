@@ -1,0 +1,68 @@
+"""Cyclic redundancy checks used by the tag frame format and WiFi FCS.
+
+Implementations are table-free but vectorised enough for the frame sizes
+used here (a few thousand bits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bits import bits_from_int
+
+__all__ = ["crc8", "crc16_ccitt", "crc32", "append_crc16", "check_crc16"]
+
+
+def _crc_bits(bits: np.ndarray, poly: int, width: int, init: int,
+              xor_out: int) -> int:
+    """Generic MSB-first CRC over a bit array."""
+    reg = init
+    mask = (1 << width) - 1
+    for b in np.asarray(bits, dtype=np.uint8):
+        fb = ((reg >> (width - 1)) & 1) ^ int(b)
+        reg = (reg << 1) & mask
+        if fb:
+            reg ^= poly
+    return reg ^ xor_out
+
+
+def crc8(bits: np.ndarray) -> int:
+    """CRC-8 (poly 0x07), used for the tag frame header."""
+    return _crc_bits(bits, poly=0x07, width=8, init=0x00, xor_out=0x00)
+
+
+def crc16_ccitt(bits: np.ndarray) -> int:
+    """CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF), the tag payload check."""
+    return _crc_bits(bits, poly=0x1021, width=16, init=0xFFFF, xor_out=0x0000)
+
+
+def crc32(data: bytes) -> int:
+    """IEEE 802.3 CRC-32 as used by the 802.11 FCS, over bytes."""
+    reg = 0xFFFFFFFF
+    for byte in data:
+        reg ^= byte
+        for _ in range(8):
+            if reg & 1:
+                reg = (reg >> 1) ^ 0xEDB88320
+            else:
+                reg >>= 1
+    return reg ^ 0xFFFFFFFF
+
+
+def append_crc16(bits: np.ndarray) -> np.ndarray:
+    """Return ``bits`` with a 16-bit CRC appended (LSB-first)."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    crc = crc16_ccitt(bits)
+    return np.concatenate([bits, bits_from_int(crc, 16)])
+
+
+def check_crc16(bits_with_crc: np.ndarray) -> bool:
+    """Verify a frame produced by :func:`append_crc16`."""
+    bits_with_crc = np.asarray(bits_with_crc, dtype=np.uint8)
+    if bits_with_crc.size < 16:
+        return False
+    body, tail = bits_with_crc[:-16], bits_with_crc[-16:]
+    expect = crc16_ccitt(body)
+    from .bits import int_from_bits
+
+    return int_from_bits(tail) == expect

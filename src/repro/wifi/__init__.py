@@ -1,0 +1,56 @@
+"""A complete 802.11a/g OFDM PHY: the paper's WiFi excitation substrate."""
+
+from .frames import cts_to_self, data_frame, parse_frame_type, random_payload
+from .mapper import (
+    BITS_PER_SYMBOL,
+    psk_constellation,
+    psk_demap_hard,
+    psk_demap_llr,
+    psk_map,
+    qam_demap_hard,
+    qam_demap_llr,
+    qam_map,
+)
+from .params import (
+    RATE_TABLE,
+    SUPPORTED_RATES_MBPS,
+    RateParams,
+    duration_us,
+    n_symbols_for_payload,
+    rate_params,
+)
+from .preamble import long_training_field, plcp_preamble, short_training_field
+from .receiver import RxResult, WifiReceiver
+from .signal_field import SignalField, decode_signal_field, encode_signal_field
+from .transmitter import TxResult, WifiTransmitter
+
+__all__ = [
+    "cts_to_self",
+    "data_frame",
+    "parse_frame_type",
+    "random_payload",
+    "BITS_PER_SYMBOL",
+    "psk_constellation",
+    "psk_demap_hard",
+    "psk_demap_llr",
+    "psk_map",
+    "qam_demap_hard",
+    "qam_demap_llr",
+    "qam_map",
+    "RATE_TABLE",
+    "SUPPORTED_RATES_MBPS",
+    "RateParams",
+    "duration_us",
+    "n_symbols_for_payload",
+    "rate_params",
+    "long_training_field",
+    "plcp_preamble",
+    "short_training_field",
+    "RxResult",
+    "WifiReceiver",
+    "SignalField",
+    "decode_signal_field",
+    "encode_signal_field",
+    "TxResult",
+    "WifiTransmitter",
+]

@@ -1,0 +1,74 @@
+"""Minimal 802.11 MAC frame construction (CTS-to-SELF and data frames).
+
+Only what the BackFi link-layer protocol needs: the CTS_to_SELF control
+frame the AP sends to silence the network (paper Sec. 4.1) and simple
+data frames with an FCS for the downlink-to-client traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.crc import crc32
+
+__all__ = [
+    "cts_to_self",
+    "data_frame",
+    "parse_frame_type",
+    "random_payload",
+    "BROADCAST",
+]
+
+BROADCAST = b"\xff" * 6
+
+
+def _with_fcs(body: bytes) -> bytes:
+    return body + crc32(body).to_bytes(4, "little")
+
+
+def cts_to_self(address: bytes = b"\x02BACK", duration_us: int = 8000) -> bytes:
+    """A CTS frame addressed to the sender itself (14 bytes with FCS)."""
+    if len(address) == 5:
+        address = address + b"\x01"
+    if len(address) != 6:
+        raise ValueError("address must be 6 bytes")
+    if not 0 <= duration_us <= 0x7FFF:
+        raise ValueError("duration must fit in 15 bits")
+    frame_control = bytes([0xC4, 0x00])  # type=control, subtype=CTS
+    duration = duration_us.to_bytes(2, "little")
+    return _with_fcs(frame_control + duration + address)
+
+
+def data_frame(payload: bytes, *, src: bytes = b"\x02AP\x00\x00\x01",
+               dst: bytes = b"\x02CL\x00\x00\x01") -> bytes:
+    """A minimal data MPDU: FC, duration, 3 addresses, seq, body, FCS."""
+    if len(src) != 6 or len(dst) != 6:
+        raise ValueError("addresses must be 6 bytes")
+    frame_control = bytes([0x08, 0x00])  # type=data
+    duration = (0).to_bytes(2, "little")
+    seq = (0).to_bytes(2, "little")
+    header = frame_control + duration + dst + src + BROADCAST + seq
+    return _with_fcs(header + payload)
+
+
+def parse_frame_type(frame: bytes) -> str:
+    """Classify a frame by its frame-control field."""
+    if len(frame) < 2:
+        return "unknown"
+    fc = frame[0]
+    ftype = (fc >> 2) & 0x3
+    subtype = (fc >> 4) & 0xF
+    if ftype == 1 and subtype == 0xC:
+        return "cts"
+    if ftype == 2:
+        return "data"
+    if ftype == 0:
+        return "management"
+    return "unknown"
+
+
+def random_payload(n_bytes: int,
+                   rng: np.random.Generator | None = None) -> bytes:
+    """Random MSDU payload for throughput experiments."""
+    rng = rng or np.random.default_rng()
+    return rng.integers(0, 256, size=n_bytes, dtype=np.uint8).tobytes()

@@ -1,0 +1,177 @@
+"""Constellation mapping/demapping for 802.11 OFDM and the BackFi tag.
+
+Implements the Gray-coded BPSK/QPSK/16-QAM/64-QAM mappings of IEEE
+802.11-2016 17.3.5.8 plus the n-PSK constellations used by the BackFi tag
+(BPSK, QPSK, 16-PSK), with both hard and max-log-LLR soft demapping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "qam_map",
+    "qam_demap_hard",
+    "qam_demap_llr",
+    "psk_constellation",
+    "psk_map",
+    "psk_demap_hard",
+    "psk_demap_llr",
+    "BITS_PER_SYMBOL",
+]
+
+BITS_PER_SYMBOL = {"bpsk": 1, "qpsk": 2, "16qam": 4, "64qam": 6, "16psk": 4}
+
+# Per-axis Gray mappings (802.11 Table 17-9/10/11) and normalisations.
+_AXIS_LEVELS = {
+    1: np.array([-1.0, 1.0]),
+    2: np.array([-3.0, -1.0, 3.0, 1.0]),  # indexed by 2-bit Gray value b0b1
+    3: np.array([-7.0, -5.0, -1.0, -3.0, 7.0, 5.0, 1.0, 3.0]),
+}
+_KMOD = {"bpsk": 1.0, "qpsk": np.sqrt(2.0), "16qam": np.sqrt(10.0),
+         "64qam": np.sqrt(42.0)}
+
+
+def _axis_value(bits: np.ndarray, nbits: int) -> np.ndarray:
+    """Map ``nbits`` bits (first bit = MSB) to one I or Q axis level."""
+    idx = np.zeros(bits.shape[0], dtype=np.int64)
+    for k in range(nbits):
+        idx = (idx << 1) | bits[:, k]
+    return _AXIS_LEVELS[nbits][idx]
+
+
+def qam_map(bits: np.ndarray, modulation: str) -> np.ndarray:
+    """Map a coded bit array to unit-average-power QAM symbols."""
+    bits = np.asarray(bits, dtype=np.int64)
+    nb = BITS_PER_SYMBOL[modulation]
+    if modulation == "16psk":
+        raise ValueError("use psk_map for PSK constellations")
+    if bits.size % nb:
+        raise ValueError(f"bit count {bits.size} not a multiple of {nb}")
+    groups = bits.reshape(-1, nb)
+    if modulation == "bpsk":
+        return (2.0 * groups[:, 0] - 1.0).astype(np.complex128)
+    half = nb // 2
+    i = _axis_value(groups[:, :half], half)
+    q = _axis_value(groups[:, half:], half)
+    return (i + 1j * q) / _KMOD[modulation]
+
+
+def _axis_bits(levels: np.ndarray, nbits: int) -> np.ndarray:
+    """Hard-decide one axis back to its Gray bit group."""
+    ref = _AXIS_LEVELS[nbits]
+    idx = np.argmin(np.abs(levels[:, None] - ref[None, :]), axis=1)
+    out = np.empty((levels.size, nbits), dtype=np.uint8)
+    for k in range(nbits):
+        out[:, k] = (idx >> (nbits - 1 - k)) & 1
+    return out
+
+
+def qam_demap_hard(symbols: np.ndarray, modulation: str) -> np.ndarray:
+    """Nearest-neighbour hard demapping back to bits."""
+    symbols = np.asarray(symbols, dtype=np.complex128)
+    nb = BITS_PER_SYMBOL[modulation]
+    if modulation == "bpsk":
+        return (symbols.real > 0).astype(np.uint8)
+    half = nb // 2
+    scaled = symbols * _KMOD[modulation]
+    i_bits = _axis_bits(scaled.real, half)
+    q_bits = _axis_bits(scaled.imag, half)
+    return np.concatenate([i_bits, q_bits], axis=1).reshape(-1)
+
+
+def _axis_llr(y: np.ndarray, nbits: int, noise_var: float) -> np.ndarray:
+    """Max-log LLRs for the bits of one axis.  Positive favours bit 0."""
+    ref = _AXIS_LEVELS[nbits]
+    # Distances to every level: shape (n, levels)
+    d2 = (y[:, None] - ref[None, :]) ** 2
+    llrs = np.empty((y.size, nbits))
+    for k in range(nbits):
+        idx = np.arange(ref.size)
+        bit_k = (idx >> (nbits - 1 - k)) & 1
+        m0 = np.min(d2[:, bit_k == 0], axis=1)
+        m1 = np.min(d2[:, bit_k == 1], axis=1)
+        llrs[:, k] = (m1 - m0) / max(noise_var, 1e-12)
+    return llrs
+
+
+def qam_demap_llr(symbols: np.ndarray, modulation: str,
+                  noise_var: float) -> np.ndarray:
+    """Max-log LLR demapping (positive LLR = bit 0 more likely)."""
+    symbols = np.asarray(symbols, dtype=np.complex128)
+    nb = BITS_PER_SYMBOL[modulation]
+    if modulation == "bpsk":
+        # bit 0 -> -1, bit 1 -> +1, so LLR(b=0) = -4 Re(y) / sigma^2.
+        return -4.0 * symbols.real / max(noise_var, 1e-12)
+    half = nb // 2
+    scale = _KMOD[modulation]
+    nv = noise_var * scale ** 2
+    i_llr = _axis_llr(symbols.real * scale, half, nv)
+    q_llr = _axis_llr(symbols.imag * scale, half, nv)
+    return np.concatenate([i_llr, q_llr], axis=1).reshape(-1)
+
+
+# ---------------------------------------------------------------------------
+# n-PSK (the BackFi tag constellations)
+# ---------------------------------------------------------------------------
+
+def psk_constellation(modulation: str) -> np.ndarray:
+    """Gray-coded unit-circle constellation for the tag's modulator.
+
+    Point order follows the Gray-coded phase index so that adjacent
+    phases differ in exactly one bit.
+    """
+    nb = BITS_PER_SYMBOL[modulation]
+    m = 1 << nb
+    from ..utils.bits import gray_encode
+
+    # constellation[b] = phase of the point whose *bit label* is b.
+    points = np.empty(m, dtype=np.complex128)
+    for phase_idx in range(m):
+        label = int(gray_encode(phase_idx))
+        points[label] = np.exp(2j * np.pi * phase_idx / m)
+    return points
+
+
+def psk_map(bits: np.ndarray, modulation: str) -> np.ndarray:
+    """Map bits to n-PSK symbols (first bit of each group = MSB)."""
+    bits = np.asarray(bits, dtype=np.int64)
+    nb = BITS_PER_SYMBOL[modulation]
+    if bits.size % nb:
+        raise ValueError(f"bit count {bits.size} not a multiple of {nb}")
+    groups = bits.reshape(-1, nb)
+    labels = np.zeros(groups.shape[0], dtype=np.int64)
+    for k in range(nb):
+        labels = (labels << 1) | groups[:, k]
+    return psk_constellation(modulation)[labels]
+
+
+def psk_demap_hard(symbols: np.ndarray, modulation: str) -> np.ndarray:
+    """Nearest-phase hard demapping of n-PSK symbols."""
+    const = psk_constellation(modulation)
+    nb = BITS_PER_SYMBOL[modulation]
+    symbols = np.asarray(symbols, dtype=np.complex128)
+    labels = np.argmin(
+        np.abs(symbols[:, None] - const[None, :]), axis=1
+    )
+    out = np.empty((symbols.size, nb), dtype=np.uint8)
+    for k in range(nb):
+        out[:, k] = (labels >> (nb - 1 - k)) & 1
+    return out.reshape(-1)
+
+
+def psk_demap_llr(symbols: np.ndarray, modulation: str,
+                  noise_var: float) -> np.ndarray:
+    """Max-log LLR demapping for n-PSK (positive favours bit 0)."""
+    const = psk_constellation(modulation)
+    nb = BITS_PER_SYMBOL[modulation]
+    symbols = np.asarray(symbols, dtype=np.complex128)
+    d2 = np.abs(symbols[:, None] - const[None, :]) ** 2
+    labels = np.arange(const.size)
+    llrs = np.empty((symbols.size, nb))
+    for k in range(nb):
+        bit_k = (labels >> (nb - 1 - k)) & 1
+        m0 = np.min(d2[:, bit_k == 0], axis=1)
+        m1 = np.min(d2[:, bit_k == 1], axis=1)
+        llrs[:, k] = (m1 - m0) / max(noise_var, 1e-12)
+    return llrs.reshape(-1)

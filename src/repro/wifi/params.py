@@ -1,0 +1,91 @@
+"""802.11a/g OFDM rate-dependent parameters (IEEE 802.11-2016 Table 17-4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import (
+    CP_LENGTH,
+    FFT_SIZE,
+    N_DATA_SUBCARRIERS,
+    SYMBOL_LENGTH,
+)
+
+__all__ = ["RateParams", "RATE_TABLE", "rate_params", "SUPPORTED_RATES_MBPS"]
+
+
+@dataclass(frozen=True)
+class RateParams:
+    """Modulation/coding parameters for one 802.11 OFDM rate."""
+
+    rate_mbps: int
+    modulation: str          # "bpsk", "qpsk", "16qam", "64qam"
+    code_rate: str           # "1/2", "2/3", "3/4"
+    n_bpsc: int              # coded bits per subcarrier
+    rate_bits: int           # SIGNAL field RATE encoding (4 bits)
+
+    @property
+    def n_cbps(self) -> int:
+        """Coded bits per OFDM symbol."""
+        return self.n_bpsc * N_DATA_SUBCARRIERS
+
+    @property
+    def n_dbps(self) -> int:
+        """Data bits per OFDM symbol."""
+        num, den = self.code_rate.split("/")
+        return self.n_cbps * int(num) // int(den)
+
+
+RATE_TABLE: dict[int, RateParams] = {
+    6: RateParams(6, "bpsk", "1/2", 1, 0b1101),
+    9: RateParams(9, "bpsk", "3/4", 1, 0b1111),
+    12: RateParams(12, "qpsk", "1/2", 2, 0b0101),
+    18: RateParams(18, "qpsk", "3/4", 2, 0b0111),
+    24: RateParams(24, "16qam", "1/2", 4, 0b1001),
+    36: RateParams(36, "16qam", "3/4", 4, 0b1011),
+    48: RateParams(48, "64qam", "2/3", 6, 0b0001),
+    54: RateParams(54, "64qam", "3/4", 6, 0b0011),
+}
+
+SUPPORTED_RATES_MBPS = tuple(sorted(RATE_TABLE))
+
+_RATE_BITS_LOOKUP = {p.rate_bits: p for p in RATE_TABLE.values()}
+
+
+def rate_params(rate_mbps: int) -> RateParams:
+    """Look up the parameter set for a rate in Mbps."""
+    try:
+        return RATE_TABLE[rate_mbps]
+    except KeyError:
+        raise ValueError(
+            f"unsupported rate {rate_mbps}; choose from {SUPPORTED_RATES_MBPS}"
+        ) from None
+
+
+def params_from_rate_bits(rate_bits: int) -> RateParams:
+    """Inverse lookup used by the SIGNAL-field decoder."""
+    try:
+        return _RATE_BITS_LOOKUP[rate_bits]
+    except KeyError:
+        raise ValueError(f"invalid SIGNAL RATE bits {rate_bits:04b}") from None
+
+
+def n_symbols_for_payload(n_payload_bytes: int, rate_mbps: int) -> int:
+    """OFDM data symbols needed for SERVICE+payload+tail+pad (17.3.5.4)."""
+    p = rate_params(rate_mbps)
+    n_bits = 16 + 8 * n_payload_bytes + 6  # SERVICE + PSDU + tail
+    return -(-n_bits // p.n_dbps)
+
+
+def duration_us(n_payload_bytes: int, rate_mbps: int) -> float:
+    """Air time of a PPDU: preamble + SIGNAL + data symbols [us]."""
+    n_sym = n_symbols_for_payload(n_payload_bytes, rate_mbps)
+    preamble_us = 16.0  # STF (8) + LTF (8)
+    signal_us = 4.0
+    return preamble_us + signal_us + 4.0 * n_sym
+
+
+# Re-export dimension constants for convenience.
+N_FFT = FFT_SIZE
+N_CP = CP_LENGTH
+N_SYM = SYMBOL_LENGTH

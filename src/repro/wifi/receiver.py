@@ -1,0 +1,266 @@
+"""802.11a/g OFDM receiver: packet detect, sync, equalise, decode.
+
+A complete receive chain so the reproduction can measure the impact of
+backscatter on the *client's* WiFi link (paper Figs. 12b and 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..coding.convolutional import depuncture
+from ..coding.interleaver import deinterleave
+from ..coding.viterbi import viterbi_decode_soft
+from ..constants import CP_LENGTH, FFT_SIZE, SYMBOL_LENGTH
+from ..dsp.correlation import schmidl_cox_metric, sliding_correlation
+from ..utils.bits import bytes_from_bits
+from ..utils.crc import crc32
+from .mapper import qam_demap_llr
+from .ofdm import PILOT_VALUES, disassemble_symbol, pilot_polarity_sequence, \
+    remove_cyclic_prefix
+from .preamble import LTF_SYMBOL, ltf_frequency
+from .signal_field import SignalField, decode_signal_field
+
+__all__ = ["WifiReceiver", "RxResult"]
+
+
+@dataclass
+class RxResult:
+    """Outcome of one receive attempt."""
+
+    ok: bool
+    psdu: bytes | None = None
+    signal: SignalField | None = None
+    snr_db: float = float("nan")
+    data_snr_db: float = float("nan")
+    """Decision-directed SNR measured on the equalised DATA symbols.
+    Unlike ``snr_db`` (LTF-based), this sees interference that starts
+    after the preamble -- e.g. a backscatter tag that was silent during
+    the training fields (the paper's Fig. 13b metric)."""
+    start_index: int | None = None
+    fcs_ok: bool | None = None
+
+    @property
+    def failed(self) -> bool:
+        """True when no packet was decoded."""
+        return not self.ok
+
+
+def _recover_descramble(bits: np.ndarray) -> np.ndarray:
+    """Descramble using the seed implied by the all-zero SERVICE prefix.
+
+    The first 7 scrambled bits equal the LFSR output directly (plaintext
+    zeros), which fully determines the scrambler state.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size < 7:
+        raise ValueError("need at least 7 bits to recover the scrambler")
+    state = 0
+    for b in bits[:7]:
+        state = ((state << 1) | int(b)) & 0x7F
+    out = bits.copy()
+    out[:7] = 0
+    for i in range(7, bits.size):
+        fb = ((state >> 6) ^ (state >> 3)) & 1
+        state = ((state << 1) | fb) & 0x7F
+        out[i] = bits[i] ^ fb
+    return out
+
+
+class WifiReceiver:
+    """Decodes PPDUs produced by :class:`~repro.wifi.WifiTransmitter`.
+
+    The chain: Schmidl-Cox coarse detection on the STF, LTF
+    cross-correlation fine timing, LTF least-squares channel estimation,
+    per-symbol pilot phase tracking, max-log LLR demapping and soft
+    Viterbi decoding.
+    """
+
+    def __init__(self, detection_threshold: float = 0.8):
+        self.detection_threshold = detection_threshold
+
+    # -- synchronisation ---------------------------------------------------
+
+    def _coarse_detect(self, samples: np.ndarray) -> int | None:
+        """Schmidl-Cox STF detection (CFO-immune): first metric peak."""
+        if samples.size < 480:
+            return None
+        metric = schmidl_cox_metric(samples, 16)
+        above = np.flatnonzero(metric > self.detection_threshold)
+        if above.size == 0:
+            return None
+        return int(above[0])
+
+    @staticmethod
+    def _cfo_from_lag(segment: np.ndarray, lag: int) -> float:
+        """CFO estimate [Hz] from the phase of a lag autocorrelation."""
+        segment = np.asarray(segment, dtype=np.complex128)
+        if segment.size <= lag:
+            return 0.0
+        acc = np.vdot(segment[:-lag], segment[lag:])
+        if acc == 0:
+            return 0.0
+        return float(np.angle(acc) / (2.0 * np.pi * lag) * 20e6)
+
+    def detect_packet(self, samples: np.ndarray) -> int | None:
+        """Return the index of the first LTF symbol start, or ``None``."""
+        samples = np.asarray(samples, dtype=np.complex128)
+        coarse = self._coarse_detect(samples)
+        if coarse is None:
+            return None
+        return self._fine_timing(samples, coarse)
+
+    def _fine_timing(self, samples: np.ndarray,
+                     coarse: int) -> int | None:
+        """LTF cross-correlation fine timing after a coarse STF hit."""
+        lo = coarse
+        hi = min(samples.size, coarse + 16 * 14 + 2 * FFT_SIZE + 96)
+        corr = np.abs(sliding_correlation(samples[lo:hi], LTF_SYMBOL))
+        if corr.size == 0:
+            return None
+        # The two LTF symbols give two adjacent peaks 64 samples apart;
+        # take the earlier one.
+        peak = int(np.argmax(corr))
+        first = peak - FFT_SIZE if peak >= FFT_SIZE and \
+            corr[peak - FFT_SIZE] > 0.75 * corr[peak] else peak
+        # Back off a few samples into the guard interval: when a late
+        # multipath tap is the strongest, locking onto it would pull the
+        # FFT window into the next symbol (ISI); the cyclic prefix
+        # absorbs an early window, and channel estimation corrects the
+        # resulting phase slope.
+        backoff = 3
+        return max(lo + first - backoff, 0)
+
+    def _estimate_channel(self, ltf1: np.ndarray,
+                          ltf2: np.ndarray) -> tuple[np.ndarray, float]:
+        """LS channel estimate on 52 subcarriers + noise variance."""
+        ref = ltf_frequency()
+        used = ref != 0
+        f1 = np.fft.fft(ltf1) / FFT_SIZE * np.sqrt(52.0)
+        f2 = np.fft.fft(ltf2) / FFT_SIZE * np.sqrt(52.0)
+        bins = np.array([k % FFT_SIZE for k in range(-26, 27)])
+        r1 = f1[bins][used]
+        r2 = f2[bins][used]
+        h = (r1 + r2) / (2.0 * ref[used])
+        # Noise from the difference of the two repeated symbols.
+        noise_var = float(np.mean(np.abs(r1 - r2) ** 2) / 2.0)
+        return h, noise_var
+
+    # -- decode ------------------------------------------------------------
+
+    def receive(self, samples: np.ndarray, *,
+                check_fcs: bool = False) -> RxResult:
+        """Attempt to decode the first PPDU in a sample stream.
+
+        Carrier frequency offset is handled in two stages as in a
+        standard 802.11 receiver: a coarse estimate from the STF's
+        16-sample periodicity (range +-625 kHz) applied before fine
+        timing, then a fine estimate from the repeated LTF symbols
+        (range +-156 kHz); the per-symbol pilots absorb the residual.
+        """
+        samples = np.asarray(samples, dtype=np.complex128)
+        coarse = self._coarse_detect(samples)
+        if coarse is None:
+            return RxResult(ok=False)
+        stf_seg = samples[coarse:coarse + 144]
+        cfo_coarse = self._cfo_from_lag(stf_seg, 16)
+        from ..channel.hardware import carrier_frequency_offset
+
+        samples = carrier_frequency_offset(samples, -cfo_coarse)
+        ltf_start = self._fine_timing(samples, coarse)
+        if ltf_start is None:
+            return RxResult(ok=False)
+        if samples.size > ltf_start + 2 * FFT_SIZE:
+            cfo_fine = self._cfo_from_lag(
+                samples[ltf_start:ltf_start + 2 * FFT_SIZE], FFT_SIZE,
+            )
+            samples = carrier_frequency_offset(samples, -cfo_fine)
+        # LTF symbols occupy [ltf_start, ltf_start+128).
+        if samples.size < ltf_start + 2 * FFT_SIZE + SYMBOL_LENGTH:
+            return RxResult(ok=False)
+        ltf1 = samples[ltf_start:ltf_start + FFT_SIZE]
+        ltf2 = samples[ltf_start + FFT_SIZE:ltf_start + 2 * FFT_SIZE]
+        h52, noise_var = self._estimate_channel(ltf1, ltf2)
+        sig_power = float(np.mean(np.abs(h52) ** 2))
+        snr = 10.0 * np.log10(sig_power / max(noise_var, 1e-30))
+
+        # Logical index maps within the 52 used subcarriers.
+        used_logical = [k for k in range(-26, 27) if k != 0]
+        data_logical = [k for k in used_logical
+                        if k not in (-21, -7, 7, 21)]
+        pilot_logical = [-21, -7, 7, 21]
+        data_pos = [used_logical.index(k) for k in data_logical]
+        pilot_pos = [used_logical.index(k) for k in pilot_logical]
+        h_data = h52[data_pos]
+        h_pilot = h52[pilot_pos]
+
+        def equalised_symbol(start: int, polarity: float):
+            sym = remove_cyclic_prefix(samples[start:start + SYMBOL_LENGTH])
+            data, pilots = disassemble_symbol(sym)
+            # Residual common phase from pilots.
+            ref = PILOT_VALUES * polarity * h_pilot
+            phase = np.angle(np.vdot(ref, pilots))
+            eq = data * np.exp(-1j * phase) / np.where(
+                np.abs(h_data) < 1e-12, 1e-12, h_data
+            )
+            return eq
+
+        polarities = pilot_polarity_sequence(1024)
+        sig_start = ltf_start + 2 * FFT_SIZE
+        eq_sig = equalised_symbol(sig_start, polarities[0])
+        llr_scale = np.abs(h_data) ** 2  # weight LLRs by subcarrier SNR
+        sig_llr = qam_demap_llr(eq_sig, "bpsk", noise_var) * llr_scale
+        signal = decode_signal_field(sig_llr)
+        if signal is None:
+            return RxResult(ok=False, snr_db=snr, start_index=ltf_start)
+
+        p = signal.params
+        n_bits = 16 + 8 * signal.length_bytes + 6
+        n_sym = -(-n_bits // p.n_dbps)
+        need = sig_start + SYMBOL_LENGTH * (1 + n_sym)
+        if samples.size < need:
+            return RxResult(ok=False, signal=signal, snr_db=snr,
+                            start_index=ltf_start)
+
+        llrs = np.empty(n_sym * p.n_cbps)
+        eq_error_power = 0.0
+        eq_signal_power = 0.0
+        for s in range(n_sym):
+            start = sig_start + SYMBOL_LENGTH * (1 + s)
+            eq = equalised_symbol(start, polarities[s + 1])
+            # Decision-directed EVM accumulation for data_snr_db.
+            from .mapper import qam_demap_hard, qam_map
+
+            sliced = qam_map(qam_demap_hard(eq, p.modulation), p.modulation)
+            eq_error_power += float(np.sum(np.abs(eq - sliced) ** 2))
+            eq_signal_power += float(np.sum(np.abs(sliced) ** 2))
+            sym_llr = qam_demap_llr(eq, p.modulation, noise_var)
+            # Per-subcarrier weighting: repeat each channel weight for
+            # the n_bpsc bits it carries.
+            w = np.repeat(llr_scale, p.n_bpsc)
+            llrs[s * p.n_cbps:(s + 1) * p.n_cbps] = \
+                deinterleave(sym_llr * w, p.n_bpsc)
+
+        n_mother = 2 * n_sym * p.n_dbps
+        if p.code_rate == "1/2":
+            mother = llrs
+        else:
+            mother = depuncture(llrs, p.code_rate, n_mother)
+        scrambled = viterbi_decode_soft(mother, terminated=False)
+        descrambled = _recover_descramble(scrambled)
+        psdu_bits = descrambled[16:16 + 8 * signal.length_bytes]
+        psdu = bytes_from_bits(psdu_bits)
+        fcs_ok = None
+        if check_fcs and len(psdu) >= 4:
+            body, fcs = psdu[:-4], psdu[-4:]
+            fcs_ok = crc32(body) == int.from_bytes(fcs, "little")
+        data_snr = float("nan")
+        if eq_error_power > 0:
+            data_snr = float(
+                10.0 * np.log10(eq_signal_power / eq_error_power)
+            )
+        return RxResult(ok=True, psdu=psdu, signal=signal, snr_db=snr,
+                        data_snr_db=data_snr,
+                        start_index=ltf_start, fcs_ok=fcs_ok)

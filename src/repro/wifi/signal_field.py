@@ -1,0 +1,71 @@
+"""The 802.11 SIGNAL field: rate + length header symbol (17.3.4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..coding.convolutional import ConvolutionalCode
+from ..coding.interleaver import deinterleave, interleave
+from ..coding.viterbi import viterbi_decode_soft
+from .params import RateParams, params_from_rate_bits, rate_params
+
+__all__ = ["SignalField", "encode_signal_field", "decode_signal_field"]
+
+_CODE = ConvolutionalCode("1/2")
+
+
+@dataclass(frozen=True)
+class SignalField:
+    """Decoded contents of a SIGNAL field."""
+
+    rate_mbps: int
+    length_bytes: int
+
+    @property
+    def params(self) -> RateParams:
+        """Rate parameters implied by the RATE bits."""
+        return rate_params(self.rate_mbps)
+
+
+def encode_signal_field(rate_mbps: int, length_bytes: int) -> np.ndarray:
+    """Return the 48 interleaved coded bits of the SIGNAL symbol."""
+    if not 0 < length_bytes <= 4095:
+        raise ValueError("LENGTH must be 1..4095 bytes")
+    p = rate_params(rate_mbps)
+    bits = np.zeros(24, dtype=np.uint8)
+    for i in range(4):
+        bits[i] = (p.rate_bits >> (3 - i)) & 1
+    # bit 4 reserved = 0; bits 5..16 LENGTH LSB first
+    for i in range(12):
+        bits[5 + i] = (length_bytes >> i) & 1
+    bits[17] = np.bitwise_xor.reduce(bits[:17])  # even parity
+    # bits 18..23 tail zeros (already)
+    coded = _CODE.encode(bits)  # 48 bits, trellis not terminated here:
+    # the six SIGNAL tail bits already return the encoder to state 0.
+    return interleave(coded, 1)
+
+
+def decode_signal_field(llrs48: np.ndarray) -> SignalField | None:
+    """Decode 48 SIGNAL LLRs; ``None`` on parity or rate-bits failure."""
+    llrs = deinterleave(np.asarray(llrs48, dtype=np.float64), 1)
+    bits = viterbi_decode_soft(llrs, terminated=True)
+    # viterbi strips K-1=6 bits; SIGNAL's tail is exactly 6 zero bits.
+    if bits.size != 18:
+        return None
+    parity = np.bitwise_xor.reduce(bits[:17])
+    if parity != bits[17]:
+        return None
+    rate_bits = int(bits[0]) << 3 | int(bits[1]) << 2 | int(bits[2]) << 1 \
+        | int(bits[3])
+    try:
+        p = params_from_rate_bits(rate_bits)
+    except ValueError:
+        return None
+    length = 0
+    for i in range(12):
+        length |= int(bits[5 + i]) << i
+    if length == 0:
+        return None
+    return SignalField(rate_mbps=p.rate_mbps, length_bytes=length)

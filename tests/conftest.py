@@ -1,0 +1,27 @@
+"""Shared fixtures for the BackFi reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel import Scene
+from repro.tag import TagConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic per-test RNG."""
+    return np.random.default_rng(0xBACFF1)
+
+
+@pytest.fixture
+def qpsk_config() -> TagConfig:
+    """The workhorse tag operating point (1 Mbps)."""
+    return TagConfig(modulation="qpsk", code_rate="1/2", symbol_rate_hz=1e6)
+
+
+@pytest.fixture
+def near_scene(rng) -> Scene:
+    """A strong-signal scene at 1 m (fast, reliable decode)."""
+    return Scene.build(tag_distance_m=1.0, rng=rng)

@@ -1,0 +1,98 @@
+"""Tests for the comparison baselines (Kellogg Wi-Fi backscatter, RFID)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RfidReader, WifiBackscatterBaseline, tone
+from repro.baselines.rfid import single_tap_cancellation
+from repro.channel import rician_channel
+from repro.channel.noise import noise_power_mw
+from repro.utils import random_bits
+from repro.utils.conversions import power
+
+
+class TestWifiBackscatterBaseline:
+    def test_throughput_collapses_beyond_a_meter(self):
+        b = WifiBackscatterBaseline()
+        near = b.report(0.25)
+        far = b.report(2.0)
+        assert near.throughput_bps > 100.0
+        assert far.throughput_bps < 5.0
+
+    def test_sub_kbps_at_best(self):
+        b = WifiBackscatterBaseline()
+        assert b.report(0.25).throughput_bps < 1000.0
+
+    def test_detection_probability_bounds(self):
+        b = WifiBackscatterBaseline()
+        for d in (0.1, 0.5, 1.0, 5.0):
+            p = b.detection_probability(d)
+            assert 0.0 <= p <= 1.0
+
+    def test_rssi_delta_decreases_with_distance(self):
+        b = WifiBackscatterBaseline()
+        deltas = [b.rssi_delta_db(d) for d in (0.25, 0.5, 1.0, 2.0)]
+        assert all(a > b_ for a, b_ in zip(deltas, deltas[1:]))
+
+    def test_amplitude_ratio_physical(self):
+        b = WifiBackscatterBaseline()
+        assert 0 < b.amplitude_ratio(0.5) < 1.0
+
+
+class TestRfidBaseline:
+    def _channels(self, rng, gain_db=-45.0):
+        h_env = np.array([0.1 + 0.0j])
+        h_f = rician_channel(gain_db, 12.0, 40e-9, rng=rng)
+        h_b = rician_channel(gain_db, 12.0, 40e-9, rng=rng)
+        return h_env, h_f, h_b
+
+    def test_tone_excitation_decodes(self, rng):
+        reader = RfidReader(modulation="qpsk")
+        h_env, h_f, h_b = self._channels(rng)
+        bits = random_bits(1000, rng)
+        out = reader.run_link(bits, h_env, h_f, h_b,
+                              noise_mw=noise_power_mw(), rng=rng)
+        assert out.ber < 1e-2
+
+    def test_single_tap_cancellation_perfect_for_tone(self, rng):
+        x = tone(2000, power_mw=100.0)
+        y = 0.1 * np.exp(1j * 0.7) * x
+        cleaned = single_tap_cancellation(x, y, np.arange(500))
+        assert power(cleaned) < 1e-20 * power(y)
+
+    def test_single_tap_fails_for_wideband(self, rng):
+        # The Sec. 3.2 argument: one complex tap cannot cancel a
+        # frequency-selective channel excited by a wideband signal.
+        x = rng.standard_normal(4000) + 1j * rng.standard_normal(4000)
+        h = np.array([0.1, 0.05 - 0.08j, 0.03j])
+        y = np.convolve(x, h)[:4000]
+        cleaned = single_tap_cancellation(x, y, np.arange(1000))
+        assert power(cleaned) > 0.01 * power(y)
+
+    def test_wideband_excitation_degrades_rfid_decoder(self, rng):
+        reader = RfidReader(modulation="qpsk")
+        h_env = np.array([0.1 + 0.0j, 0.02 - 0.05j, 0.01j])
+        h_f = rician_channel(-45.0, 12.0, 40e-9, rng=rng)
+        h_b = rician_channel(-45.0, 12.0, 40e-9, rng=rng)
+        bits = random_bits(1000, rng)
+        n = 400 + 400 + 500 * reader.samples_per_symbol
+        wideband = (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+        wideband *= np.sqrt(reader.tx_power_mw / 2)
+        out_tone = reader.run_link(bits, h_env, h_f, h_b,
+                                   noise_mw=noise_power_mw(), rng=rng)
+        out_wide = reader.run_link(bits, h_env, h_f, h_b,
+                                   noise_mw=noise_power_mw(),
+                                   excitation=wideband, rng=rng)
+        assert out_wide.ber > out_tone.ber
+        assert out_wide.ber > 0.05
+
+    def test_excitation_too_short_rejected(self, rng):
+        reader = RfidReader()
+        h_env, h_f, h_b = self._channels(rng)
+        with pytest.raises(ValueError):
+            reader.run_link(random_bits(100, rng), h_env, h_f, h_b,
+                            excitation=tone(10), rng=rng)
+
+    def test_tone_generator(self):
+        x = tone(1000, freq_hz=1e6, power_mw=4.0)
+        assert power(x) == pytest.approx(4.0)

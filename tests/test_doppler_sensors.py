@@ -1,0 +1,149 @@
+"""Tests for Doppler fading, the mobility study, and sensor sources."""
+
+import numpy as np
+import pytest
+
+from repro.channel.doppler import (
+    backscatter_fading,
+    coherence_time_s,
+    doppler_hz,
+    jakes_fading,
+)
+from repro.tag.sensors import (
+    AudioSensor,
+    TemperatureSensor,
+    delta_decode,
+    delta_encode,
+)
+from repro.utils.conversions import power
+
+
+class TestDoppler:
+    def test_doppler_walking_speed(self):
+        # 1 m/s at 2.4 GHz: ~8 Hz.
+        assert doppler_hz(1.0) == pytest.approx(8.1, abs=0.5)
+
+    def test_doppler_validation(self):
+        with pytest.raises(ValueError):
+            doppler_hz(-1.0)
+
+    def test_coherence_time(self):
+        assert coherence_time_s(0.0) == np.inf
+        assert coherence_time_s(1.0) == pytest.approx(0.052, rel=0.1)
+
+    def test_jakes_unit_power(self, rng):
+        # High Doppler so the window spans many coherence intervals and
+        # the time average converges to the ensemble mean.
+        g = jakes_fading(400_000, 5e3, rng=rng)
+        assert power(g) == pytest.approx(1.0, rel=0.3)
+
+    def test_jakes_zero_doppler_constant(self, rng):
+        g = jakes_fading(1000, 0.0, rng=rng)
+        assert np.allclose(g, g[0])
+        assert abs(g[0]) == pytest.approx(1.0)
+
+    def test_jakes_decorrelates_at_coherence_time(self, rng):
+        fd = 200.0
+        n = 400_000
+        g = jakes_fading(n, fd, rng=rng)
+        lag = int(0.423 / fd * 20e6)
+        c0 = np.vdot(g[:-lag], g[:-lag]).real
+        clag = abs(np.vdot(g[:-lag], g[lag:]))
+        assert clag < 0.8 * c0
+
+    def test_jakes_empty(self, rng):
+        assert jakes_fading(0, 10.0, rng=rng).size == 0
+
+    def test_backscatter_fading_doubles_doppler(self, rng):
+        # Statistically: the 2x-Doppler process decorrelates ~2x faster.
+        n = 200_000
+        slow = jakes_fading(n, doppler_hz(5.0), rng=np.random.default_rng(1))
+        fast = backscatter_fading(n, 5.0, rng=np.random.default_rng(1))
+        lag = 20_000
+        def corr(g):
+            return abs(np.vdot(g[:-lag], g[lag:])) / \
+                np.vdot(g[:-lag], g[:-lag]).real
+        assert corr(fast) < corr(slow) + 0.1
+
+    def test_mobility_experiment_walking_is_safe(self):
+        from repro.experiments.mobility import run
+
+        res = run(speeds_m_s=(0.0, 1.0), trials=2, seed=71)
+        assert res.success[(1.0, False)] >= 0.5  # walking: fine
+
+    def test_session_with_speed_smoke(self, rng):
+        from repro.channel import Scene
+        from repro.link import run_backscatter_session
+        from repro.reader import BackFiReader
+        from repro.tag import BackFiTag, TagConfig
+
+        cfg = TagConfig()
+        scene = Scene.build(tag_distance_m=1.0, rng=rng)
+        out = run_backscatter_session(
+            scene, BackFiTag(cfg), BackFiReader(cfg),
+            tag_speed_m_s=0.5, rng=rng,
+        )
+        assert out.ok
+
+
+class TestDeltaCoding:
+    def test_roundtrip_smooth_signal(self, rng):
+        samples = np.cumsum(rng.integers(-5, 6, size=200)) + 1000
+        bits = delta_encode(samples)
+        out = delta_decode(bits, 200)
+        assert np.array_equal(out, samples)
+
+    def test_clipping_is_lossy_but_bounded(self):
+        samples = np.array([0, 1000, 0], dtype=np.int64)
+        bits = delta_encode(samples, bits_per_delta=8)
+        out = delta_decode(bits, 3, bits_per_delta=8)
+        assert out[1] == 127  # clipped to the delta range
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            delta_encode(np.array([], dtype=np.int64))
+        with pytest.raises(ValueError):
+            delta_encode(np.array([1, 2]), bits_per_delta=1)
+        with pytest.raises(ValueError):
+            delta_decode(np.zeros(8, dtype=np.uint8), 5)
+
+    def test_bit_budget(self):
+        samples = np.arange(100, dtype=np.int64)
+        bits = delta_encode(samples, bits_per_delta=8)
+        assert bits.size == 16 + 99 * 8
+
+
+class TestSensors:
+    def test_temperature_rate_matches_paper_class(self):
+        t = TemperatureSensor()
+        # "a few Kbps" class: 8 bits / 100 ms = 80 bps raw.
+        assert 10 < t.bitrate_bps < 1000
+
+    def test_temperature_walk_stays_physical(self):
+        t = TemperatureSensor(rng=np.random.default_rng(2))
+        vals = t.sample_centidegrees(5000) / 100.0
+        assert 15.0 < np.min(vals) and np.max(vals) < 27.0
+
+    def test_temperature_stateful(self):
+        t = TemperatureSensor(rng=np.random.default_rng(3))
+        a = t.sample_centidegrees(10)
+        b = t.sample_centidegrees(10)
+        assert abs(int(b[0]) - int(a[-1])) < 50
+
+    def test_temperature_bits(self):
+        t = TemperatureSensor(rng=np.random.default_rng(4))
+        bits = t.produce_bits(1.0)
+        assert bits.size == 16 + 9 * 8  # 10 samples in 1 s
+
+    def test_audio_rate_matches_paper_class(self):
+        a = AudioSensor()
+        # "a few Mbps" class once framed; raw 128 kbps at 16 kHz/8 bit.
+        assert 50e3 < a.bitrate_bps < 2e6
+
+    def test_audio_bits_decode_back(self):
+        a = AudioSensor(rng=np.random.default_rng(5))
+        pcm = a.sample_pcm(50)
+        bits = delta_encode(pcm, a.bits_per_delta)
+        out = delta_decode(bits, 50, a.bits_per_delta)
+        # At the sensor's delta width the smooth source never clips.
+        assert np.array_equal(out, pcm)

@@ -1,0 +1,65 @@
+"""Tests for the 802.11b DSSS excitation."""
+
+import numpy as np
+import pytest
+
+from repro.channel import Scene
+from repro.dsp import occupied_bandwidth_hz
+from repro.excitation import BARKER11, DsssTransmitter
+from repro.link import run_backscatter_session
+from repro.reader import BackFiReader
+from repro.tag import BackFiTag, TagConfig
+from repro.utils.conversions import power
+
+
+class TestDsssTransmitter:
+    def test_barker_properties(self):
+        assert BARKER11.size == 11
+        # The defining autocorrelation: peak 11, off-peak |<=1|.
+        full = np.correlate(BARKER11, BARKER11, mode="full")
+        assert full[10] == 11
+        assert np.max(np.abs(np.delete(full, 10))) <= 1
+
+    def test_unit_power(self):
+        res = DsssTransmitter(1).transmit(b"a" * 100)
+        assert power(res.samples) == pytest.approx(1.0, rel=0.01)
+
+    def test_two_mbps_halves_airtime(self):
+        one = DsssTransmitter(1).transmit(b"a" * 200)
+        two = DsssTransmitter(2).transmit(b"a" * 200)
+        assert two.duration_us == pytest.approx(one.duration_us / 2,
+                                                rel=0.1)
+
+    def test_bandwidth_wifi_b_class(self):
+        res = DsssTransmitter(2).transmit(b"q" * 300)
+        bw = occupied_bandwidth_hz(res.samples, sample_rate=20e6)
+        assert 8e6 < bw < 19e6  # ~11 MHz main lobe + skirts
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            DsssTransmitter(11)
+
+    def test_psdu_validation(self):
+        with pytest.raises(ValueError):
+            DsssTransmitter(1).transmit(b"")
+        with pytest.raises(ValueError):
+            DsssTransmitter(1).transmit(b"x" * 3000)
+
+
+class TestDsssBackscatter:
+    def test_decodes_at_close_range(self, rng):
+        # DSSS is the hardest supported excitation: Barker's repetitive
+        # chip structure correlates residual self-interference with the
+        # decoding template, so reliable operation is short-range only
+        # (see docs/PROTOCOL.md).
+        cfg = TagConfig("qpsk", "1/2", 1e6)
+        oks = 0
+        for seed in range(3):
+            srng = np.random.default_rng(seed)
+            scene = Scene.build(tag_distance_m=1.0, rng=srng)
+            out = run_backscatter_session(
+                scene, BackFiTag(cfg), BackFiReader(cfg),
+                excitation="dsss", wifi_payload_bytes=400, rng=srng,
+            )
+            oks += int(out.ok)
+        assert oks >= 2

@@ -1,0 +1,165 @@
+"""End-to-end integration tests: AP -> channels -> tag -> reader."""
+
+import numpy as np
+import pytest
+
+from repro.channel import Scene, SceneConfig
+from repro.link import run_backscatter_session
+from repro.reader import BackFiReader
+from repro.reader.cancellation import SelfInterferenceCanceller
+from repro.tag import BackFiTag, TagConfig
+from repro.utils import random_bits
+
+
+def _run(rng, *, distance=1.0, config=None, **kwargs):
+    config = config or TagConfig("qpsk", "1/2", 1e6)
+    scene = Scene.build(tag_distance_m=distance, rng=rng)
+    tag = BackFiTag(config)
+    reader = BackFiReader(config)
+    return run_backscatter_session(scene, tag, reader, rng=rng, **kwargs)
+
+
+class TestHappyPath:
+    def test_decodes_at_1m(self, rng):
+        out = _run(rng)
+        assert out.ok
+        assert out.payload_ber() == 0.0
+
+    def test_payload_matches_queued_data(self, rng):
+        payload = random_bits(400, rng)
+        out = _run(rng, payload_bits=payload)
+        assert out.ok
+        n = out.reader.payload_bits.size
+        assert np.array_equal(out.reader.payload_bits, payload[:n])
+        assert n > 0
+
+    def test_goodput_accounting(self, rng):
+        out = _run(rng)
+        assert out.delivered_bits == out.reader.payload_bits.size
+        assert out.goodput_bps == pytest.approx(
+            out.delivered_bits / out.airtime_s
+        )
+
+    @pytest.mark.parametrize("mod,rate", [
+        ("bpsk", "1/2"), ("bpsk", "2/3"),
+        ("qpsk", "1/2"), ("qpsk", "2/3"),
+        ("16psk", "1/2"), ("16psk", "2/3"),
+    ])
+    def test_all_modulations_at_close_range(self, rng, mod, rate):
+        cfg = TagConfig(mod, rate, 1e6)
+        out = _run(rng, distance=0.7, config=cfg)
+        assert out.ok, out.reader.failure
+
+    @pytest.mark.parametrize("fs", [500e3, 1e6, 2e6, 2.5e6])
+    def test_symbol_rates(self, rng, fs):
+        out = _run(rng, config=TagConfig("qpsk", "1/2", fs))
+        assert out.ok
+
+    def test_long_preamble_mode(self, rng):
+        cfg = TagConfig("qpsk", "1/2", 1e6)
+        scene = Scene.build(tag_distance_m=1.0, rng=rng)
+        tag = BackFiTag(cfg, preamble_us=96.0)
+        reader = BackFiReader(cfg)
+        out = run_backscatter_session(scene, tag, reader,
+                                      preamble_us=96.0, rng=rng)
+        assert out.ok
+
+    def test_real_detector_wakes_tag(self, rng):
+        out = _run(rng, use_tag_detector=True)
+        assert out.plan.detection.detected
+        assert out.ok
+
+    def test_without_cts(self, rng):
+        out = _run(rng, include_cts=False)
+        assert out.ok
+
+
+class TestPhysicalConsistency:
+    def test_snr_decreases_with_distance(self, rng):
+        snr1 = _run(rng, distance=0.5).reader.symbol_snr_db
+        snr5 = _run(rng, distance=5.0).reader.symbol_snr_db
+        assert snr1 > snr5 + 10
+
+    def test_cancellation_reaches_near_thermal(self, rng):
+        out = _run(rng)
+        floor_dbm = 10 * np.log10(out.reader.noise_floor_mw)
+        # Thermal is ~-95 dBm; cancellation residue should be within
+        # a few dB of it.
+        assert -96.0 < floor_dbm < -88.0
+
+    def test_wrong_tag_id_stays_silent(self, rng):
+        cfg = TagConfig()
+        scene = Scene.build(tag_distance_m=1.0, rng=rng)
+        tag = BackFiTag(cfg, tag_id=3)
+        reader = BackFiReader(cfg)
+        out = run_backscatter_session(scene, tag, reader,
+                                      addressed_tag_id=0,
+                                      use_tag_detector=True, rng=rng)
+        assert not out.plan.detection.detected
+        assert not out.ok
+
+    def test_reader_rejects_misaligned_rx(self, rng):
+        cfg = TagConfig()
+        scene = Scene.build(tag_distance_m=1.0, rng=rng)
+        reader = BackFiReader(cfg)
+        out = _run(rng)
+        with pytest.raises(ValueError):
+            reader.decode(out.timeline,
+                          np.zeros(10, dtype=complex), scene.h_env)
+
+    def test_failure_at_extreme_range(self, rng):
+        # 16-PSK 2/3 at 2.5 MHz cannot survive 15 m.
+        out = _run(rng, distance=15.0,
+                   config=TagConfig("16psk", "2/3", 2.5e6))
+        assert not out.ok
+
+    def test_client_decode_optional(self, rng):
+        out = _run(rng, decode_client=True)
+        assert out.client is not None
+        assert out.client.ok  # strong downlink at the default placement
+
+    def test_no_pa_still_works(self, rng):
+        out = _run(rng, pa=None)
+        assert out.ok
+
+
+class TestDesignAblationsE2E:
+    def test_analog_cancellation_required(self, rng):
+        cfg = TagConfig()
+        scene = Scene.build(tag_distance_m=2.0, rng=rng)
+        reader = BackFiReader(
+            cfg,
+            canceller=SelfInterferenceCanceller(analog_enabled=False),
+        )
+        out = run_backscatter_session(scene, BackFiTag(cfg), reader,
+                                      rng=rng)
+        assert not out.ok
+
+    def test_digital_cancellation_required_at_range(self, rng):
+        cfg = TagConfig()
+        scene = Scene.build(tag_distance_m=3.0, rng=rng)
+        reader = BackFiReader(
+            cfg,
+            canceller=SelfInterferenceCanceller(digital_enabled=False),
+        )
+        out = run_backscatter_session(scene, BackFiTag(cfg), reader,
+                                      rng=rng)
+        assert not out.ok
+
+    def test_silent_period_violation_degrades(self, rng):
+        cfg = TagConfig()
+        oks = 0
+        for _ in range(3):
+            scene = Scene.build(tag_distance_m=2.0, rng=rng)
+            tag = BackFiTag(cfg, respect_silent=False)
+            out = run_backscatter_session(scene, tag, BackFiReader(cfg),
+                                          rng=rng)
+            oks += int(out.ok)
+        full_oks = 0
+        for _ in range(3):
+            scene = Scene.build(tag_distance_m=2.0, rng=rng)
+            out = run_backscatter_session(scene, BackFiTag(cfg),
+                                          BackFiReader(cfg), rng=rng)
+            full_oks += int(out.ok)
+        assert full_oks >= oks
+        assert full_oks == 3

@@ -1,0 +1,110 @@
+"""Tests for the BLE/Zigbee excitation PHYs and signal-agnostic decode."""
+
+import numpy as np
+import pytest
+
+from repro.channel import Scene
+from repro.dsp import occupied_bandwidth_hz
+from repro.excitation import (
+    CHIP_SEQUENCES,
+    BleTransmitter,
+    ZigbeeTransmitter,
+    crc24,
+)
+from repro.link import run_backscatter_session
+from repro.reader import BackFiReader
+from repro.tag import BackFiTag, TagConfig
+from repro.utils.conversions import power
+
+
+class TestBle:
+    def test_constant_envelope(self):
+        res = BleTransmitter().transmit(b"hello world")
+        assert np.allclose(np.abs(res.samples), 1.0, atol=1e-9)
+
+    def test_duration_scales_with_pdu(self):
+        short = BleTransmitter().transmit(b"a" * 10)
+        long_ = BleTransmitter().transmit(b"a" * 100)
+        assert long_.duration_us > short.duration_us
+
+    def test_bit_rate_one_mbps(self):
+        pdu = b"x" * 50
+        res = BleTransmitter().transmit(pdu)
+        n_bits = (1 + 4 + 50 + 3) * 8
+        assert res.duration_us == pytest.approx(n_bits, rel=0.01)
+
+    def test_occupied_bandwidth_narrow(self):
+        res = BleTransmitter().transmit(b"q" * 100)
+        bw = occupied_bandwidth_hz(res.samples, sample_rate=20e6)
+        assert bw < 2.5e6  # ~1 MHz GFSK
+
+    def test_pdu_validation(self):
+        with pytest.raises(ValueError):
+            BleTransmitter().transmit(b"")
+        with pytest.raises(ValueError):
+            BleTransmitter().transmit(b"x" * 300)
+
+    def test_crc24_known_properties(self):
+        assert crc24(b"abc") != crc24(b"abd")
+        assert 0 <= crc24(b"\x00" * 10) <= 0xFFFFFF
+
+
+class TestZigbee:
+    def test_chip_sequences_shape(self):
+        assert CHIP_SEQUENCES.shape == (16, 32)
+
+    def test_chip_sequences_distinct(self):
+        seqs = {bytes(s) for s in CHIP_SEQUENCES}
+        assert len(seqs) == 16
+
+    def test_quasi_orthogonality(self):
+        # Different sequences agree on ~half the chips.
+        for a in range(4):
+            for b in range(a + 1, 4):
+                agree = np.count_nonzero(
+                    CHIP_SEQUENCES[a] == CHIP_SEQUENCES[b])
+                assert 8 <= agree <= 24
+
+    def test_waveform_power_normalised(self):
+        res = ZigbeeTransmitter().transmit(b"z" * 40)
+        assert power(res.samples) == pytest.approx(0.5, rel=0.2)
+
+    def test_chip_rate_duration(self):
+        res = ZigbeeTransmitter().transmit(b"z" * 20)
+        # 6 header bytes + 20 payload = 52 symbols * 32 chips @ 2 Mchip/s.
+        expect_us = 52 * 32 / 2.0
+        assert res.duration_us == pytest.approx(expect_us, rel=0.05)
+
+    def test_psdu_validation(self):
+        with pytest.raises(ValueError):
+            ZigbeeTransmitter().transmit(b"")
+        with pytest.raises(ValueError):
+            ZigbeeTransmitter().transmit(b"x" * 200)
+
+
+class TestSignalAgnosticDecode:
+    @pytest.mark.parametrize("excitation", ["ble", "zigbee"])
+    def test_backscatter_over_alt_excitation(self, rng, excitation):
+        cfg = TagConfig("qpsk", "1/2", 1e6)
+        scene = Scene.build(tag_distance_m=1.5, rng=rng)
+        out = run_backscatter_session(
+            scene, BackFiTag(cfg), BackFiReader(cfg),
+            excitation=excitation, wifi_payload_bytes=250, rng=rng,
+        )
+        assert out.ok, out.reader.failure
+
+    def test_unknown_excitation_rejected(self, rng):
+        cfg = TagConfig()
+        scene = Scene.build(tag_distance_m=1.0, rng=rng)
+        with pytest.raises(ValueError):
+            run_backscatter_session(
+                scene, BackFiTag(cfg), BackFiReader(cfg),
+                excitation="lora", rng=rng,
+            )
+
+    def test_experiment_module(self):
+        from repro.experiments.alt_excitation import run
+
+        res = run(trials=2, seed=67)
+        assert res.success["wifi"] >= 0.5
+        assert set(res.snr_db) == {"wifi", "ble", "zigbee"}

@@ -1,0 +1,127 @@
+"""Tests for multi-packet fragmentation/reassembly and stop-and-wait ARQ."""
+
+import numpy as np
+import pytest
+
+from repro.channel import Scene
+from repro.link.fragmentation import (
+    FRAGMENT_HEADER_BITS,
+    Reassembler,
+    fragment_message,
+    parse_fragment,
+    run_fragmented_transfer,
+)
+from repro.tag import TagConfig
+from repro.utils import random_bits
+
+
+class TestFragmenting:
+    def test_fragment_count(self):
+        frags = fragment_message(random_bits(1000), 300)
+        assert len(frags) == 4
+
+    def test_fragment_sizes(self):
+        frags = fragment_message(random_bits(1000), 300)
+        assert all(f.size == FRAGMENT_HEADER_BITS + 300
+                   for f in frags[:-1])
+        assert frags[-1].size == FRAGMENT_HEADER_BITS + 100
+
+    def test_sequence_numbers(self):
+        frags = fragment_message(random_bits(500), 100)
+        for i, f in enumerate(frags):
+            seq, last, _ = parse_fragment(f)
+            assert seq == i
+            assert last == (i == len(frags) - 1)
+
+    def test_single_fragment_is_last(self):
+        frags = fragment_message(random_bits(50), 100)
+        assert len(frags) == 1
+        _, last, chunk = parse_fragment(frags[0])
+        assert last and chunk.size == 50
+
+    def test_empty_message_rejected(self):
+        with pytest.raises(ValueError):
+            fragment_message(np.empty(0, dtype=np.uint8), 100)
+
+    def test_too_many_fragments_rejected(self):
+        with pytest.raises(ValueError):
+            fragment_message(random_bits(1000), 1)
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            fragment_message(random_bits(10), 0)
+
+    def test_parse_too_short(self):
+        assert parse_fragment(random_bits(10)) is None
+
+
+class TestReassembler:
+    def test_in_order_reassembly(self):
+        msg = random_bits(700)
+        r = Reassembler()
+        for f in fragment_message(msg, 200):
+            r.add(f)
+        assert r.complete
+        assert np.array_equal(r.message(), msg)
+
+    def test_out_of_order_reassembly(self):
+        msg = random_bits(600)
+        frags = fragment_message(msg, 200)
+        r = Reassembler()
+        for f in (frags[2], frags[0], frags[1]):
+            r.add(f)
+        assert r.complete
+        assert np.array_equal(r.message(), msg)
+
+    def test_duplicate_fragments_harmless(self):
+        msg = random_bits(400)
+        frags = fragment_message(msg, 200)
+        r = Reassembler()
+        r.add(frags[0])
+        r.add(frags[0])
+        r.add(frags[1])
+        assert r.complete
+        assert np.array_equal(r.message(), msg)
+
+    def test_incomplete_raises(self):
+        frags = fragment_message(random_bits(600), 200)
+        r = Reassembler()
+        r.add(frags[0])
+        r.add(frags[2])  # has LAST flag, but seq 1 is missing
+        assert not r.complete
+        with pytest.raises(ValueError):
+            r.message()
+
+
+class TestTransfer:
+    def test_multi_packet_transfer_at_2m(self, rng):
+        scene = Scene.build(tag_distance_m=2.0, rng=rng)
+        msg = random_bits(8000, rng)
+        res = run_fragmented_transfer(
+            scene, TagConfig("qpsk", "2/3", 2e6), msg, rng=rng,
+        )
+        assert res.ok
+        assert np.array_equal(res.message_bits, msg)
+        assert res.exchanges >= 3  # definitely multi-packet
+        assert res.effective_throughput_bps > 0.5e6
+
+    def test_transfer_accounts_airtime(self, rng):
+        scene = Scene.build(tag_distance_m=1.0, rng=rng)
+        msg = random_bits(2000, rng)
+        res = run_fragmented_transfer(
+            scene, TagConfig("qpsk", "1/2", 1e6), msg, rng=rng,
+        )
+        assert res.ok
+        assert res.airtime_s > 0
+        assert res.effective_throughput_bps < \
+            TagConfig("qpsk", "1/2", 1e6).throughput_bps
+
+    def test_transfer_gives_up_at_extreme_range(self, rng):
+        scene = Scene.build(tag_distance_m=20.0, rng=rng)
+        msg = random_bits(2000, rng)
+        res = run_fragmented_transfer(
+            scene, TagConfig("16psk", "2/3", 2.5e6), msg,
+            max_exchanges=4, rng=rng,
+        )
+        assert not res.ok
+        assert res.exchanges == 4

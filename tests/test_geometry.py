@@ -1,0 +1,110 @@
+"""Tests for the image-method room geometry channel model."""
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    Room,
+    build_geometric_scene,
+    geometric_channel,
+    image_method_paths,
+)
+from repro.channel.pathloss import friis_pathloss_db
+from repro.link import run_backscatter_session
+from repro.reader import BackFiReader
+from repro.tag import BackFiTag, TagConfig
+
+
+class TestRoom:
+    def test_contains(self):
+        room = Room(8.0, 6.0)
+        assert room.contains((4.0, 3.0))
+        assert not room.contains((9.0, 3.0))
+        assert not room.contains((4.0, -0.1))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Room(0.0, 5.0)
+        with pytest.raises(ValueError):
+            Room(5.0, 5.0, wall_loss_db=-1.0)
+
+
+class TestImageMethod:
+    def test_direct_path_first(self):
+        paths = image_method_paths((1, 1), (4, 1), Room(), max_order=2)
+        assert paths[0].n_bounces == 0
+        assert paths[0].distance_m == pytest.approx(3.0)
+
+    def test_path_count_order_two(self):
+        # Images (i, j) with |i| + |j| <= 2: 13 paths.
+        paths = image_method_paths((1, 1), (3, 2), Room(), max_order=2)
+        assert len(paths) == 13
+
+    def test_order_zero_is_direct_only(self):
+        paths = image_method_paths((1, 1), (3, 2), Room(), max_order=0)
+        assert len(paths) == 1
+
+    def test_single_bounce_geometry(self):
+        # Reflection off the x=0 wall: image at (-1, 1), distance to
+        # (3, 1) = 4.
+        paths = image_method_paths((1, 1), (3, 1), Room(), max_order=1)
+        dists = [p.distance_m for p in paths if p.n_bounces == 1]
+        assert any(d == pytest.approx(4.0) for d in dists)
+
+    def test_outside_room_rejected(self):
+        with pytest.raises(ValueError):
+            image_method_paths((10, 1), (3, 1), Room())
+
+
+class TestGeometricChannel:
+    def test_direct_gain_near_friis(self):
+        # Lossless single path: tap power ~ -Friis(d).
+        h = geometric_channel((1, 1), (4, 1), Room(wall_loss_db=60.0),
+                              max_order=0)
+        gain_db = 10 * np.log10(np.sum(np.abs(h) ** 2))
+        assert gain_db == pytest.approx(-friis_pathloss_db(3.0), abs=1.0)
+
+    def test_reflections_add_energy(self):
+        lossless = geometric_channel((1, 1), (4, 2), Room(wall_loss_db=3.0))
+        direct = geometric_channel((1, 1), (4, 2), Room(), max_order=0)
+        assert np.sum(np.abs(lossless) ** 2) > np.sum(np.abs(direct) ** 2)
+
+    def test_extra_gain_scales(self):
+        base = geometric_channel((1, 1), (3, 2), Room())
+        boosted = geometric_channel((1, 1), (3, 2), Room(),
+                                    extra_gain_db=6.0)
+        ratio = np.sum(np.abs(boosted) ** 2) / np.sum(np.abs(base) ** 2)
+        assert 10 * np.log10(ratio) == pytest.approx(6.0, abs=0.1)
+
+    def test_channel_is_deterministic(self):
+        a = geometric_channel((1, 1), (3, 2), Room())
+        b = geometric_channel((1, 1), (3, 2), Room())
+        assert np.array_equal(a, b)
+
+
+class TestGeometricScene:
+    def test_scene_decodes_end_to_end(self, rng):
+        scene = build_geometric_scene()
+        cfg = TagConfig("qpsk", "1/2", 1e6)
+        out = run_backscatter_session(scene, BackFiTag(cfg),
+                                      BackFiReader(cfg), rng=rng)
+        assert out.ok
+
+    def test_snr_falls_with_distance(self, rng):
+        cfg = TagConfig("qpsk", "1/2", 1e6)
+        snrs = []
+        for tag in ((2.0, 1.0), (7.0, 5.0)):
+            scene = build_geometric_scene(tag=tag)
+            out = run_backscatter_session(scene, BackFiTag(cfg),
+                                          BackFiReader(cfg), rng=rng)
+            snrs.append(out.reader.symbol_snr_db)
+        assert snrs[0] > snrs[1] + 10
+
+    def test_leakage_dominates_env(self):
+        scene = build_geometric_scene()
+        total = np.sum(np.abs(scene.h_env) ** 2)
+        assert 10 * np.log10(total) == pytest.approx(-20.0, abs=1.0)
+
+    def test_positions_validated(self):
+        with pytest.raises(ValueError):
+            build_geometric_scene(tag=(20.0, 1.0))

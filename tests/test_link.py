@@ -1,0 +1,148 @@
+"""Tests for the link layer: frames, protocol timeline, budget."""
+
+import numpy as np
+import pytest
+
+from repro.constants import SAMPLES_PER_US
+from repro.link import (
+    LinkBudget,
+    build_ap_transmission,
+    build_frame_bits,
+    parse_frame_bits,
+)
+from repro.link.budget import WIFI_RATE_SNR_DB, client_edge_distance_m
+from repro.link.frames import CRC_BITS, HEADER_BITS, frame_length_bits
+from repro.tag import TagConfig
+from repro.utils import random_bits
+from repro.wifi import random_payload
+
+
+class TestTagFrames:
+    def test_roundtrip(self):
+        payload = random_bits(500)
+        frame = parse_frame_bits(build_frame_bits(payload))
+        assert frame is not None and frame.ok
+        assert np.array_equal(frame.payload_bits, payload)
+
+    def test_roundtrip_with_trailing_pad(self):
+        payload = random_bits(100)
+        bits = build_frame_bits(payload)
+        padded = np.concatenate([bits, np.zeros(37, dtype=np.uint8)])
+        frame = parse_frame_bits(padded)
+        assert frame.ok
+        assert np.array_equal(frame.payload_bits, payload)
+
+    def test_corrupt_payload_fails_crc(self):
+        bits = build_frame_bits(random_bits(100))
+        bits[HEADER_BITS + 5] ^= 1
+        frame = parse_frame_bits(bits)
+        assert frame is not None and not frame.crc_ok
+
+    def test_corrupt_header_detected(self):
+        bits = build_frame_bits(random_bits(100))
+        bits[3] ^= 1
+        frame = parse_frame_bits(bits)
+        assert frame is not None and not frame.ok
+
+    def test_too_short_returns_none(self):
+        assert parse_frame_bits(random_bits(10)) is None
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ValueError):
+            build_frame_bits(np.empty(0, dtype=np.uint8))
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ValueError):
+            build_frame_bits(np.ones(70_000, dtype=np.uint8))
+
+    def test_frame_length_helper(self):
+        assert frame_length_bits(100) == HEADER_BITS + 100 + CRC_BITS
+        bits = build_frame_bits(random_bits(100))
+        assert bits.size == frame_length_bits(100)
+
+
+class TestProtocolTimeline:
+    def test_landmarks_ordered(self, rng):
+        tl = build_ap_transmission(random_payload(500, rng), 24)
+        assert 0 < tl.id_preamble_start < tl.wifi_start
+        assert tl.wifi_start == tl.nominal_silent_start
+        assert tl.nominal_silent_start < tl.nominal_preamble_start
+        assert tl.nominal_preamble_start < tl.nominal_data_start
+        assert tl.nominal_data_start < tl.wifi_end == tl.n_samples
+
+    def test_silent_is_16us(self, rng):
+        tl = build_ap_transmission(random_payload(500, rng), 24)
+        assert tl.nominal_preamble_start - tl.nominal_silent_start == \
+            16 * SAMPLES_PER_US
+
+    def test_preamble_duration_configurable(self, rng):
+        tl = build_ap_transmission(random_payload(500, rng), 24,
+                                   preamble_us=96.0)
+        assert tl.nominal_data_start - tl.nominal_preamble_start == \
+            96 * SAMPLES_PER_US
+
+    def test_power_normalisation(self, rng):
+        tl = build_ap_transmission(random_payload(500, rng), 24,
+                                   tx_power_mw=100.0)
+        ppdu = tl.samples[tl.wifi_start:]
+        assert np.mean(np.abs(ppdu) ** 2) == pytest.approx(100.0, rel=0.05)
+
+    def test_without_cts(self, rng):
+        with_cts = build_ap_transmission(random_payload(200, rng), 24)
+        without = build_ap_transmission(random_payload(200, rng), 24,
+                                        include_cts=False)
+        assert without.n_samples < with_cts.n_samples
+        assert without.id_preamble_start == 0
+
+    def test_ook_preamble_is_on_off(self, rng):
+        tl = build_ap_transmission(random_payload(200, rng), 24, tag_id=0)
+        ook = tl.samples[tl.id_preamble_start:
+                         tl.id_preamble_start + 16 * SAMPLES_PER_US]
+        magnitudes = np.unique(np.round(np.abs(ook), 9))
+        assert magnitudes.size == 2
+        assert magnitudes[0] == 0.0
+
+
+class TestBudget:
+    def test_snr_decreases_with_distance(self):
+        b = LinkBudget()
+        cfg = TagConfig()
+        snrs = [b.symbol_snr_db(d, cfg) for d in (1.0, 2.0, 4.0, 7.0)]
+        assert all(a >= b_ for a, b_ in zip(snrs, snrs[1:]))
+
+    def test_mrc_gain_with_slower_symbols(self):
+        b = LinkBudget()
+        d = 5.0
+        fast = b.symbol_snr_db(d, TagConfig(symbol_rate_hz=2.5e6))
+        slow = b.symbol_snr_db(d, TagConfig(symbol_rate_hz=100e3))
+        assert slow > fast + 8.0
+
+    def test_evm_ceiling_at_close_range(self):
+        b = LinkBudget()
+        snr = b.symbol_snr_db(0.1, TagConfig())
+        ceiling = -20 * np.log10(b.backscatter_evm)
+        assert snr <= ceiling + 0.5
+
+    def test_longer_preamble_helps_at_range(self):
+        b = LinkBudget()
+        cfg = TagConfig("bpsk", "1/2", 100e3)
+        short = b.symbol_snr_db(7.0, cfg, preamble_us=32.0)
+        long_ = b.symbol_snr_db(7.0, cfg, preamble_us=96.0)
+        assert long_ > short
+
+    def test_rx_power_matches_pathloss(self):
+        b = LinkBudget(pathloss_exponent=2.0, tag_reflection_loss_db=0.0,
+                       tag_antenna_gain_dbi=0.0)
+        p1 = b.backscatter_rx_dbm(1.0)
+        p2 = b.backscatter_rx_dbm(2.0)
+        assert p1 - p2 == pytest.approx(12.0, abs=0.1)  # 2x 6 dB
+
+    def test_client_edge_distance_ordering(self):
+        d6 = client_edge_distance_m(6)
+        d54 = client_edge_distance_m(54)
+        assert d6 > d54 > 0.5
+
+    def test_rate_snr_table_monotone(self):
+        rates = sorted(WIFI_RATE_SNR_DB)
+        snrs = [WIFI_RATE_SNR_DB[r] for r in rates]
+        assert snrs == sorted(snrs)

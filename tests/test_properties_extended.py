@@ -1,0 +1,87 @@
+"""Additional property-based tests on decoder and protocol invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.link.downlink import decode_config_command, encode_config_command
+from repro.link.fragmentation import Reassembler, fragment_message
+from repro.reader.mrc import mrc_combine
+from repro.tag.config import TagConfig
+from repro.tag.energy import default_energy_model
+
+finite_floats = st.floats(min_value=-1.0, max_value=1.0,
+                          allow_nan=False, allow_infinity=False)
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.floats(min_value=-np.pi, max_value=np.pi), st.integers(0, 2**32 - 1))
+def test_mrc_recovers_constant_phase_exactly(theta, seed):
+    """Noiseless MRC is exact for any constant phase and any template."""
+    rng = np.random.default_rng(seed)
+    sps, n_sym = 20, 8
+    template = rng.standard_normal(sps * n_sym + 10) \
+        + 1j * rng.standard_normal(sps * n_sym + 10)
+    y = template * np.exp(1j * theta)
+    out = mrc_combine(y, template, 0, sps, n_sym, guard=4)
+    assert np.allclose(np.angle(out.symbols), theta, atol=1e-9)
+    assert np.allclose(np.abs(out.symbols), 1.0, atol=1e-9)
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.sampled_from(["bpsk", "qpsk", "16psk"]),
+       st.sampled_from(["1/2", "2/3"]),
+       st.sampled_from([10e3, 100e3, 500e3, 1e6, 2e6, 2.5e6]))
+def test_energy_model_positive_and_reference_normalised(mod, rate, fs):
+    model = default_energy_model()
+    cfg = TagConfig(mod, rate, fs)
+    assert model.epb_pj(cfg) > 0
+    assert model.repb(cfg) > 0
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.sampled_from(["1/2", "2/3"]),
+       st.sampled_from([100e3, 500e3, 1e6, 2e6, 2.5e6]))
+def test_energy_monotone_in_switch_count(rate, fs):
+    """More modulator switches always cost more energy per bit."""
+    model = default_energy_model()
+    epbs = [model.epb_pj(TagConfig(m, rate, fs))
+            for m in ("bpsk", "qpsk", "16psk")]
+    assert epbs[0] < epbs[1] < epbs[2]
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.integers(1, 3000), st.integers(16, 400), st.integers(0, 2**32 - 1))
+def test_fragmentation_roundtrip(n_bits, chunk, seed):
+    rng = np.random.default_rng(seed)
+    msg = rng.integers(0, 2, size=n_bits, dtype=np.uint8)
+    frags = fragment_message(msg, chunk)
+    r = Reassembler()
+    order = rng.permutation(len(frags))
+    for i in order:
+        r.add(frags[int(i)])
+    assert r.complete
+    assert np.array_equal(r.message(), msg)
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.integers(0, 15),
+       st.sampled_from(["bpsk", "qpsk", "16psk"]),
+       st.sampled_from(["1/2", "2/3"]),
+       st.sampled_from([10e3, 100e3, 500e3, 1e6, 2e6, 2.5e6]))
+def test_downlink_command_roundtrip(tag_id, mod, rate, fs):
+    cfg = TagConfig(mod, rate, fs)
+    out = decode_config_command(encode_config_command(tag_id, cfg))
+    assert out == (tag_id, cfg)
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.integers(0, 15),
+       st.integers(0, 23))
+def test_downlink_command_bitflip_detected(tag_id, pos):
+    bits = encode_config_command(tag_id, TagConfig())
+    bits[pos] ^= 1
+    out = decode_config_command(bits)
+    # Either rejected outright or -- never -- silently accepted as the
+    # original command.
+    assert out is None or out != (tag_id, TagConfig())

@@ -1,0 +1,103 @@
+"""Tests for the PSD estimator and the link doctor."""
+
+import numpy as np
+import pytest
+
+from repro.channel import Scene
+from repro.dsp.spectrum import ascii_spectrum, band_power_mw, psd_db, \
+    welch_psd
+from repro.link import run_backscatter_session
+from repro.reader import BackFiReader
+from repro.reader.diagnostics import diagnose
+from repro.tag import BackFiTag, TagConfig
+
+
+class TestWelch:
+    def test_tone_peak_at_right_bin(self, rng):
+        n = np.arange(8192)
+        f0 = 3e6
+        x = np.exp(2j * np.pi * f0 / 20e6 * n)
+        freqs, psd = welch_psd(x)
+        assert freqs[np.argmax(psd)] == pytest.approx(f0, abs=1e5)
+
+    def test_total_power_parseval(self, rng):
+        x = rng.standard_normal(16384) + 1j * rng.standard_normal(16384)
+        _, psd = welch_psd(x)
+        # Sum over bins approximates the mean power (2 for CN(0,2)).
+        assert np.sum(psd) == pytest.approx(2.0, rel=0.1)
+
+    def test_band_power(self, rng):
+        n = np.arange(8192)
+        x = np.exp(2j * np.pi * 3e6 / 20e6 * n)
+        inside = band_power_mw(x, 2.5e6, 3.5e6)
+        outside = band_power_mw(x, -5e6, -4e6)
+        assert inside > 100 * max(outside, 1e-12)
+
+    def test_band_validation(self, rng):
+        with pytest.raises(ValueError):
+            band_power_mw(np.ones(512, complex), 1e6, 0.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            welch_psd(np.ones(512, complex), segment=4)
+        with pytest.raises(ValueError):
+            welch_psd(np.ones(512, complex), overlap=1.0)
+        with pytest.raises(ValueError):
+            welch_psd(np.ones(16, complex), segment=256)
+
+    def test_psd_db_finite(self, rng):
+        x = rng.standard_normal(2048) + 0j
+        _, p = psd_db(x)
+        assert np.all(np.isfinite(p))
+
+    def test_ascii_spectrum_renders(self, rng):
+        n = np.arange(4096)
+        x = np.exp(2j * np.pi * 0.1 * n)
+        out = ascii_spectrum(x, title="tone")
+        assert "tone" in out and "#" in out and "MHz" in out
+
+
+class TestLinkDoctor:
+    def _result(self, rng, distance):
+        cfg = TagConfig("qpsk", "1/2", 1e6)
+        scene = Scene.build(tag_distance_m=distance, rng=rng)
+        out = run_backscatter_session(scene, BackFiTag(cfg),
+                                      BackFiReader(cfg), rng=rng)
+        return out, cfg
+
+    def test_healthy_link_all_ok(self, rng):
+        out, cfg = self._result(rng, 1.0)
+        diag = diagnose(out.reader, cfg)
+        assert diag.decoded
+        assert diag.first_failure is None
+        assert "DECODED" in diag.format()
+
+    def test_dead_link_blames_snr(self, rng):
+        cfg = TagConfig("16psk", "2/3", 2.5e6)
+        scene = Scene.build(tag_distance_m=12.0, rng=rng)
+        out = run_backscatter_session(scene, BackFiTag(cfg),
+                                      BackFiReader(cfg), rng=rng)
+        diag = diagnose(out.reader, cfg)
+        assert not diag.decoded
+        assert diag.first_failure is not None
+        assert diag.first_failure.stage in ("sync/estimate", "mrc snr")
+
+    def test_saturation_reported(self, rng):
+        from repro.reader.cancellation import SelfInterferenceCanceller
+        from repro.channel import Adc
+
+        cfg = TagConfig()
+        scene = Scene.build(tag_distance_m=2.0, rng=rng)
+        reader = BackFiReader(cfg, canceller=SelfInterferenceCanceller(
+            analog_enabled=False, adc=Adc(bits=8)))
+        out = run_backscatter_session(scene, BackFiTag(cfg), reader,
+                                      rng=rng)
+        diag = diagnose(out.reader, cfg)
+        assert not diag.stages[0].ok
+
+    def test_stage_order_stable(self, rng):
+        out, cfg = self._result(rng, 2.0)
+        diag = diagnose(out.reader, cfg)
+        assert [s.stage for s in diag.stages] == [
+            "cancellation", "sync/estimate", "mrc snr", "frame",
+        ]

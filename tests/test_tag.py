@@ -1,0 +1,227 @@
+"""Unit tests for the BackFi tag: config, modulator, detector, FSM."""
+
+import numpy as np
+import pytest
+
+from repro.constants import SAMPLES_PER_US, SILENT_US
+from repro.tag import (
+    BackFiTag,
+    EnergyDetector,
+    PhaseModulator,
+    TagConfig,
+    all_tag_configs,
+    ap_preamble_bits,
+    tag_preamble_phases,
+)
+from repro.utils import random_bits
+
+
+class TestTagConfig:
+    def test_defaults_valid(self):
+        cfg = TagConfig()
+        assert cfg.bits_per_symbol == 2
+        assert cfg.samples_per_symbol == 20
+
+    def test_throughput_matches_paper_table(self):
+        # Fig. 7: 16psk 2/3 @ 2.5 MHz = 6.67 Mbps.
+        cfg = TagConfig("16psk", "2/3", 2.5e6)
+        assert cfg.throughput_bps == pytest.approx(6.6667e6, rel=1e-3)
+
+    def test_switch_counts(self):
+        assert TagConfig("bpsk").n_switches == 1
+        assert TagConfig("qpsk").n_switches == 3
+        assert TagConfig("16psk").n_switches == 15
+
+    def test_invalid_modulation(self):
+        with pytest.raises(ValueError):
+            TagConfig(modulation="8psk")
+
+    def test_invalid_code_rate(self):
+        with pytest.raises(ValueError):
+            TagConfig(code_rate="3/4")
+
+    def test_symbol_rate_must_divide_sample_rate(self):
+        with pytest.raises(ValueError):
+            TagConfig(symbol_rate_hz=3e6)
+
+    def test_all_tag_configs_grid(self):
+        configs = all_tag_configs()
+        assert len(configs) == 36  # 6 rates x 3 mods x 2 code rates
+
+    def test_describe(self):
+        assert "qpsk" in TagConfig().describe()
+
+
+class TestPhaseModulator:
+    def test_constellation_amplitude_includes_loss(self):
+        cfg = TagConfig(reflection_loss_db=6.0)
+        mod = PhaseModulator(cfg)
+        assert mod.amplitude == pytest.approx(10 ** (-0.3), rel=1e-6)
+
+    def test_waveform_length(self):
+        cfg = TagConfig("qpsk", symbol_rate_hz=1e6)
+        mod = PhaseModulator(cfg)
+        wave = mod.modulate(random_bits(20))
+        assert wave.size == 10 * cfg.samples_per_symbol
+
+    def test_waveform_held_constant_per_symbol(self):
+        cfg = TagConfig("bpsk", symbol_rate_hz=1e6)
+        mod = PhaseModulator(cfg)
+        wave = mod.modulate(np.array([1, 0], dtype=np.uint8))
+        first = wave[: cfg.samples_per_symbol]
+        assert np.all(first == first[0])
+
+    def test_padding_partial_group(self):
+        cfg = TagConfig("16psk", symbol_rate_hz=1e6)
+        mod = PhaseModulator(cfg)
+        # 6 bits -> 2 symbols (padded to 8 bits).
+        assert mod.symbols_from_bits(random_bits(6)).size == 2
+
+    def test_n_symbols_helper(self):
+        cfg = TagConfig("qpsk")
+        assert PhaseModulator(cfg).n_symbols(5) == 3
+
+    def test_discrete_phases_only(self):
+        cfg = TagConfig("qpsk")
+        mod = PhaseModulator(cfg)
+        wave = mod.modulate(random_bits(64))
+        phases = np.unique(np.round(np.angle(wave / mod.amplitude), 6))
+        assert phases.size <= 4
+
+
+class TestEnergyDetector:
+    def _excitation(self, tag_id: int, power: float = 1.0) -> np.ndarray:
+        bits = ap_preamble_bits(tag_id)
+        pulse = np.ones(SAMPLES_PER_US, dtype=complex) * np.sqrt(power)
+        return np.concatenate([pulse * b for b in bits])
+
+    def test_detects_own_preamble(self):
+        det = EnergyDetector(tag_id=0)
+        x = np.concatenate([
+            np.zeros(100, complex), self._excitation(0),
+            np.ones(400, complex),
+        ])
+        res = det.detect(x)
+        assert res.detected
+        assert res.wake_index is not None
+
+    def test_rejects_other_tag_preamble(self):
+        det = EnergyDetector(tag_id=3)
+        x = np.concatenate([
+            np.zeros(100, complex), self._excitation(0),
+            np.ones(400, complex),
+        ])
+        assert not det.detect(x).detected
+
+    def test_below_sensitivity_not_detected(self):
+        det = EnergyDetector(tag_id=0)
+        weak = self._excitation(0, power=1e-9)  # -90 dBm << -41 dBm
+        assert not det.detect(weak).detected
+
+    def test_detection_with_noise(self, rng):
+        det = EnergyDetector(tag_id=0)
+        x = self._excitation(0, power=1e-3)  # -30 dBm
+        x = x + 1e-4 * (rng.standard_normal(x.size)
+                        + 1j * rng.standard_normal(x.size))
+        assert det.detect(x).detected
+
+    def test_envelope_bits_length(self):
+        det = EnergyDetector()
+        bits = det.envelope_bits(np.ones(100, complex))
+        assert bits.size == 5  # 100 samples / 20 per us
+
+    def test_unique_preambles_per_tag(self):
+        assert not np.array_equal(ap_preamble_bits(0), ap_preamble_bits(1))
+
+
+class TestTagPreamble:
+    def test_length(self):
+        assert tag_preamble_phases(32.0).size == 32 * SAMPLES_PER_US
+
+    def test_unit_modulus(self):
+        assert np.allclose(np.abs(tag_preamble_phases(32.0)), 1.0)
+
+    def test_chips_are_bpsk(self):
+        pre = tag_preamble_phases(32.0)
+        assert set(np.unique(pre.real)) <= {-1.0, 1.0}
+
+    def test_longer_preamble(self):
+        assert tag_preamble_phases(96.0).size == 96 * SAMPLES_PER_US
+
+
+class TestTagFsm:
+    def _excitation_for(self, tag: BackFiTag, n_us: float = 600.0):
+        bits = ap_preamble_bits(tag.tag_id)
+        pulse = np.ones(SAMPLES_PER_US, dtype=complex)
+        ook = np.concatenate([pulse * b for b in bits])
+        body = np.ones(int(n_us * SAMPLES_PER_US), dtype=complex)
+        return np.concatenate([ook, body])
+
+    def test_queue_and_pending(self):
+        tag = BackFiTag()
+        tag.queue_data(random_bits(100))
+        tag.queue_data(random_bits(50))
+        assert tag.pending_bits == 150
+
+    def test_no_data_no_payload(self):
+        tag = BackFiTag()
+        x = self._excitation_for(tag)
+        plan = tag.backscatter(x, wake_index=16 * SAMPLES_PER_US)
+        assert plan.info_bits_sent == 0
+        assert plan.n_data_symbols == 0
+
+    def test_silent_period_is_quiet(self):
+        tag = BackFiTag()
+        tag.queue_data(random_bits(200))
+        x = self._excitation_for(tag)
+        wake = 16 * SAMPLES_PER_US
+        plan = tag.backscatter(x, wake_index=wake)
+        silent = plan.reflection[wake:wake + int(SILENT_US * SAMPLES_PER_US)]
+        assert np.all(silent == 0)
+
+    def test_preamble_follows_silent(self):
+        tag = BackFiTag()
+        tag.queue_data(random_bits(200))
+        wake = 16 * SAMPLES_PER_US
+        plan = tag.backscatter(self._excitation_for(tag), wake_index=wake)
+        pre_start = wake + int(SILENT_US * SAMPLES_PER_US)
+        pre = plan.reflection[pre_start:pre_start + 640]
+        assert np.all(np.abs(pre) > 0)
+
+    def test_payload_truncated_to_capacity(self):
+        tag = BackFiTag(TagConfig("bpsk", "1/2", 1e6))
+        tag.queue_data(random_bits(100_000))
+        plan = tag.backscatter(
+            self._excitation_for(tag, 500.0),
+            wake_index=16 * SAMPLES_PER_US,
+        )
+        assert plan.backscattered
+        assert 0 < plan.info_bits_sent < 100_000
+        assert tag.pending_bits == 100_000 - plan.info_bits_sent
+
+    def test_no_room_for_preamble(self):
+        tag = BackFiTag()
+        tag.queue_data(random_bits(100))
+        short = np.ones(20 * SAMPLES_PER_US, dtype=complex)
+        plan = tag.backscatter(short, wake_index=16 * SAMPLES_PER_US)
+        assert not plan.backscattered
+
+    def test_detector_driven_wake(self):
+        tag = BackFiTag()
+        tag.queue_data(random_bits(100))
+        plan = tag.backscatter(self._excitation_for(tag))
+        assert plan.detection.detected
+
+    def test_disrespecting_silent_reflects_early(self):
+        tag = BackFiTag(respect_silent=False)
+        tag.queue_data(random_bits(100))
+        wake = 16 * SAMPLES_PER_US
+        plan = tag.backscatter(self._excitation_for(tag), wake_index=wake)
+        silent = plan.reflection[wake:wake + int(SILENT_US * SAMPLES_PER_US)]
+        assert np.all(np.abs(silent) > 0)
+
+    def test_max_payload_scales_with_symbol_rate(self):
+        slow = BackFiTag(TagConfig("bpsk", "1/2", 100e3))
+        fast = BackFiTag(TagConfig("bpsk", "1/2", 1e6))
+        n = int(1000 * SAMPLES_PER_US)
+        assert fast.max_payload_bits(n, 0) > slow.max_payload_bits(n, 0)

@@ -1,0 +1,89 @@
+"""Tests for the tag energy model against the paper's Fig. 7 table."""
+
+import numpy as np
+import pytest
+
+from repro.constants import TAG_SYMBOL_RATES_HZ
+from repro.tag import (
+    PAPER_FIG7_REPB,
+    TagConfig,
+    default_energy_model,
+    fit_energy_model,
+)
+from repro.tag.energy import REFERENCE_CONFIG, repb_table
+
+
+class TestFit:
+    def test_reference_epb_matches_paper(self):
+        model = default_energy_model()
+        assert model.reference_epb_pj == pytest.approx(3.15, rel=0.01)
+
+    def test_reproduces_every_fig7_entry(self):
+        model = default_energy_model()
+        for (fs, mod, rate), paper in PAPER_FIG7_REPB.items():
+            cfg = TagConfig(modulation=mod, code_rate=rate,
+                            symbol_rate_hz=fs)
+            assert model.repb(cfg) == pytest.approx(paper, rel=0.01), \
+                (fs, mod, rate)
+
+    def test_constants_nonnegative(self):
+        m = default_energy_model()
+        assert m.e_mem_pj >= 0
+        assert m.e_enc_pj >= 0
+        assert m.e_switch_pj >= 0
+        assert m.p_mem_static_pj_per_us >= 0
+        assert m.p_switch_pj_per_us >= 0
+
+    def test_fit_is_cached(self):
+        assert default_energy_model() is default_energy_model()
+
+    def test_refit_matches_default(self):
+        again = fit_energy_model()
+        base = default_energy_model()
+        assert again.e_switch_pj == pytest.approx(base.e_switch_pj)
+
+
+class TestModelStructure:
+    def test_reference_repb_is_one(self):
+        model = default_energy_model()
+        assert model.repb(REFERENCE_CONFIG) == pytest.approx(1.0)
+
+    def test_static_dominates_at_low_symbol_rate(self):
+        model = default_energy_model()
+        slow = TagConfig("bpsk", "1/2", 10e3)
+        fast = TagConfig("bpsk", "1/2", 2.5e6)
+        assert model.epb_pj(slow) > 20 * model.epb_pj(fast)
+
+    def test_more_switches_cost_more_energy(self):
+        model = default_energy_model()
+        for fs in TAG_SYMBOL_RATES_HZ:
+            bpsk = model.epb_pj(TagConfig("bpsk", "1/2", fs))
+            psk16 = model.epb_pj(TagConfig("16psk", "1/2", fs))
+            assert psk16 > bpsk
+
+    def test_paper_non_monotonicity_qpsk(self):
+        # Paper Sec. 6.1: at 1 MSPS, (QPSK, 2/3) has *lower* REPB than
+        # (QPSK, 1/2) despite the higher rate.
+        model = default_energy_model()
+        r12 = model.repb(TagConfig("qpsk", "1/2", 1e6))
+        r23 = model.repb(TagConfig("qpsk", "2/3", 1e6))
+        assert r23 < r12
+
+    def test_energy_for_payload(self):
+        model = default_energy_model()
+        cfg = TagConfig()
+        assert model.energy_for_payload_pj(cfg, 1000) == \
+            pytest.approx(1000 * model.epb_pj(cfg))
+
+    def test_energy_for_payload_invalid(self):
+        with pytest.raises(ValueError):
+            default_energy_model().energy_for_payload_pj(TagConfig(), -1)
+
+    def test_repb_table_complete(self):
+        table = repb_table()
+        assert len(table) == 36
+        for (fs, mod, rate), (repb, tput) in table.items():
+            assert repb > 0
+            cfg = TagConfig(modulation=mod, code_rate=rate,
+                            symbol_rate_hz=fs)
+            assert tput == pytest.approx(cfg.throughput_bps)

@@ -1,0 +1,97 @@
+"""Tests for the synthetic AP trace generator and replay."""
+
+import numpy as np
+import pytest
+
+from repro.channel import Scene
+from repro.tag import TagConfig
+from repro.traces import (
+    ApBurst,
+    generate_ap_trace,
+    generate_testbed_traces,
+    replay_trace,
+)
+
+
+class TestGenerator:
+    def test_bursts_sorted_and_disjoint(self):
+        trace = generate_ap_trace(0.5, rng=np.random.default_rng(1))
+        for a, b in zip(trace.bursts, trace.bursts[1:]):
+            assert b.start_s >= a.end_s
+
+    def test_busy_fraction_tracks_target(self):
+        rng = np.random.default_rng(2)
+        trace = generate_ap_trace(1.0, target_busy_fraction=0.7, rng=rng)
+        assert trace.busy_fraction == pytest.approx(0.7, abs=0.15)
+
+    def test_bursts_within_duration(self):
+        trace = generate_ap_trace(0.3, rng=np.random.default_rng(3))
+        assert all(b.end_s <= 0.3 for b in trace.bursts)
+
+    def test_burst_durations_physical(self):
+        trace = generate_ap_trace(0.2, rng=np.random.default_rng(4))
+        for b in trace.bursts:
+            assert 20e-6 < b.duration_s < 3e-3
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            generate_ap_trace(0.0)
+
+    def test_invalid_busy_fraction(self):
+        with pytest.raises(ValueError):
+            generate_ap_trace(1.0, target_busy_fraction=1.5)
+
+    def test_testbed_set_deterministic(self):
+        a = generate_testbed_traces(3, 0.1, seed=7)
+        b = generate_testbed_traces(3, 0.1, seed=7)
+        assert [len(t) for t in a] == [len(t) for t in b]
+
+    def test_heavy_load_distribution(self):
+        traces = generate_testbed_traces(20, 0.2, seed=9)
+        fractions = [t.busy_fraction for t in traces]
+        assert np.median(fractions) > 0.5
+
+    def test_burst_dataclass(self):
+        b = ApBurst(start_s=0.0, payload_bytes=1500, rate_mbps=24)
+        assert b.end_s == pytest.approx(b.duration_s)
+        assert b.duration_s == pytest.approx(520e-6, rel=0.05)
+
+
+class TestReplay:
+    def test_replay_delivers_bits_at_close_range(self, rng):
+        trace = generate_ap_trace(0.2, target_busy_fraction=0.8, rng=rng)
+        scene = Scene.build(tag_distance_m=1.0, rng=rng)
+        cfg = TagConfig("qpsk", "1/2", 1e6)
+        rep = replay_trace(trace, scene, cfg, rng=rng,
+                           n_calibration_bursts=2)
+        assert rep.per_burst_success > 0
+        assert rep.throughput_bps > 0.1e6
+
+    def test_replay_throughput_below_raw_rate(self, rng):
+        trace = generate_ap_trace(0.2, target_busy_fraction=0.8, rng=rng)
+        scene = Scene.build(tag_distance_m=1.0, rng=rng)
+        cfg = TagConfig("qpsk", "1/2", 1e6)
+        rep = replay_trace(trace, scene, cfg, rng=rng,
+                           n_calibration_bursts=2)
+        # Duty cycle + overhead must cost something.
+        assert rep.throughput_bps < cfg.throughput_bps
+
+    def test_replay_empty_trace(self, rng):
+        from repro.traces.generator import ApTrace
+
+        trace = ApTrace(bursts=(), duration_s=0.1)
+        scene = Scene.build(tag_distance_m=1.0, rng=rng)
+        rep = replay_trace(trace, scene, TagConfig(), rng=rng)
+        assert rep.throughput_bps == 0.0
+        assert rep.n_usable_bursts == 0
+
+    def test_low_symbol_rate_cannot_use_short_bursts(self, rng):
+        from repro.traces.generator import ApTrace
+
+        short = ApTrace(
+            bursts=(ApBurst(0.0, 100, 54),), duration_s=0.01,
+        )
+        scene = Scene.build(tag_distance_m=1.0, rng=rng)
+        cfg = TagConfig("bpsk", "1/2", 10e3)
+        rep = replay_trace(short, scene, cfg, rng=rng)
+        assert rep.n_usable_bursts == 0

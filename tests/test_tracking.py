@@ -1,0 +1,83 @@
+"""Tests for decision-directed phase/gain tracking."""
+
+import numpy as np
+import pytest
+
+from repro.reader.tracking import phase_track
+from repro.utils import random_bits
+from repro.wifi.mapper import psk_demap_hard, psk_map
+
+
+def _drifting_symbols(rng, modulation="qpsk", n=1024,
+                      total_rotation_rad=1.2):
+    bits_per = {"bpsk": 1, "qpsk": 2, "16psk": 4}[modulation]
+    bits = random_bits(n * bits_per, rng)
+    clean = psk_map(bits, modulation)
+    drift = np.exp(1j * np.linspace(0.0, total_rotation_rad, n))
+    return bits, clean, clean * drift
+
+
+class TestPhaseTrack:
+    def test_recovers_slow_rotation(self, rng):
+        bits, clean, drifted = _drifting_symbols(rng, "qpsk")
+        # Without tracking the later symbols cross decision boundaries.
+        raw_errors = np.count_nonzero(
+            psk_demap_hard(drifted, "qpsk") != bits)
+        assert raw_errors > 0
+        tracked = phase_track(drifted, "qpsk", block_size=32)
+        fixed_errors = np.count_nonzero(
+            psk_demap_hard(tracked.symbols, "qpsk") != bits)
+        assert fixed_errors < raw_errors / 4
+
+    def test_16psk_with_gentle_drift(self, rng):
+        bits, clean, drifted = _drifting_symbols(
+            rng, "16psk", total_rotation_rad=0.6)
+        tracked = phase_track(drifted, "16psk", block_size=32)
+        errs = np.count_nonzero(
+            psk_demap_hard(tracked.symbols, "16psk") != bits)
+        assert errs < 0.01 * bits.size
+
+    def test_identity_on_clean_symbols(self, rng):
+        bits = random_bits(512, rng)
+        clean = psk_map(bits, "qpsk")
+        tracked = phase_track(clean, "qpsk")
+        assert np.allclose(tracked.symbols, clean, atol=1e-9)
+        assert np.allclose(tracked.gains, 1.0)
+
+    def test_gain_trajectory_follows_drift(self, rng):
+        _, _, drifted = _drifting_symbols(rng, "qpsk",
+                                          total_rotation_rad=1.0)
+        tracked = phase_track(drifted, "qpsk", block_size=32)
+        phases = np.unwrap(np.angle(tracked.gains))
+        # The estimated gain phase must grow roughly monotonically.
+        assert phases[-1] > 0.5
+
+    def test_amplitude_tracking(self, rng):
+        bits = random_bits(512, rng)
+        clean = psk_map(bits, "bpsk")
+        scaled = clean * np.linspace(1.0, 1.6, clean.size)
+        tracked = phase_track(scaled, "bpsk", block_size=32)
+        # Corrected symbols return close to unit modulus.
+        assert np.median(np.abs(tracked.symbols[-64:])) == \
+            pytest.approx(1.0, abs=0.2)
+
+    def test_parameter_validation(self, rng):
+        sym = psk_map(random_bits(8, rng), "bpsk")
+        with pytest.raises(ValueError):
+            phase_track(sym, "bpsk", block_size=2)
+        with pytest.raises(ValueError):
+            phase_track(sym, "bpsk", smoothing=1.5)
+
+    def test_reader_option_smoke(self, rng):
+        from repro.channel import Scene
+        from repro.link import run_backscatter_session
+        from repro.reader import BackFiReader
+        from repro.tag import BackFiTag, TagConfig
+
+        cfg = TagConfig("qpsk", "1/2", 1e6)
+        scene = Scene.build(tag_distance_m=1.0, rng=rng)
+        out = run_backscatter_session(
+            scene, BackFiTag(cfg), BackFiReader(cfg, track_phase=True),
+            rng=rng,
+        )
+        assert out.ok

@@ -1,0 +1,111 @@
+"""Unit tests for repro.utils.bits."""
+
+import numpy as np
+import pytest
+
+from repro.utils import bits as B
+
+
+class TestBytesRoundtrip:
+    def test_single_byte_lsb_first(self):
+        assert B.bits_from_bytes(b"\x01").tolist() == [1] + [0] * 7
+
+    def test_msb_position(self):
+        assert B.bits_from_bytes(b"\x80").tolist() == [0] * 7 + [1]
+
+    def test_roundtrip_random(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 256, size=64, dtype=np.uint8).tobytes()
+        assert B.bytes_from_bits(B.bits_from_bytes(data)) == data
+
+    def test_bytes_from_bits_rejects_partial_byte(self):
+        with pytest.raises(ValueError):
+            B.bytes_from_bits(np.ones(7, dtype=np.uint8))
+
+    def test_empty(self):
+        assert B.bits_from_bytes(b"").size == 0
+        assert B.bytes_from_bits(np.empty(0, dtype=np.uint8)) == b""
+
+
+class TestIntConversion:
+    def test_roundtrip(self):
+        for v in (0, 1, 5, 255, 4095):
+            assert B.int_from_bits(B.bits_from_int(v, 12)) == v
+
+    def test_lsb_first(self):
+        assert B.bits_from_int(1, 4).tolist() == [1, 0, 0, 0]
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            B.bits_from_int(16, 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            B.bits_from_int(-1, 4)
+
+
+class TestPnSequence:
+    def test_deterministic(self):
+        a = B.pn_sequence(64, seed=0x5A)
+        b = B.pn_sequence(64, seed=0x5A)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_sequence(self):
+        assert not np.array_equal(
+            B.pn_sequence(64, seed=1), B.pn_sequence(64, seed=2)
+        )
+
+    def test_balanced(self):
+        seq = B.pn_sequence(1000)
+        ones = np.count_nonzero(seq)
+        assert 400 < ones < 600
+
+    def test_zero_seed_survives(self):
+        seq = B.pn_sequence(32, seed=0)
+        assert seq.size == 32
+
+    def test_barker_like_values(self):
+        seq = B.barker_like_sequence(16)
+        assert set(np.unique(seq)) <= {-1.0, 1.0}
+
+    def test_barker_like_autocorrelation_peak(self):
+        seq = B.barker_like_sequence(32)
+        full = np.correlate(seq, seq, mode="full")
+        peak = full[len(seq) - 1]
+        sidelobes = np.delete(full, len(seq) - 1)
+        assert peak == pytest.approx(32.0)
+        assert np.max(np.abs(sidelobes)) < 0.5 * peak
+
+
+class TestGray:
+    def test_roundtrip_scalar(self):
+        for v in range(32):
+            assert B.gray_decode(B.gray_encode(v)) == v
+
+    def test_adjacent_differ_by_one_bit(self):
+        for v in range(15):
+            g1 = B.gray_encode(v)
+            g2 = B.gray_encode(v + 1)
+            assert bin(g1 ^ g2).count("1") == 1
+
+    def test_array_roundtrip(self):
+        v = np.arange(64)
+        assert np.array_equal(B.gray_decode(B.gray_encode(v)), v)
+
+
+class TestErrors:
+    def test_hamming_distance(self):
+        a = np.array([0, 1, 1, 0], dtype=np.uint8)
+        b = np.array([1, 1, 0, 0], dtype=np.uint8)
+        assert B.hamming_distance(a, b) == 2
+
+    def test_hamming_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            B.hamming_distance(np.zeros(3, dtype=np.uint8),
+                               np.zeros(4, dtype=np.uint8))
+
+    def test_bit_errors_prefix(self):
+        tx = np.array([0, 1, 0, 1, 1], dtype=np.uint8)
+        rx = np.array([0, 0, 0], dtype=np.uint8)
+        errs, total = B.bit_errors(tx, rx)
+        assert (errs, total) == (1, 3)

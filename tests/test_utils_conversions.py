@@ -1,0 +1,79 @@
+"""Unit tests for repro.utils.conversions."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CARRIER_FREQ_HZ
+from repro.utils import conversions as U
+
+
+class TestDb:
+    def test_db_roundtrip(self):
+        for v in (0.001, 1.0, 42.0):
+            assert U.db_to_linear(U.linear_to_db(v)) == pytest.approx(v)
+
+    def test_known_values(self):
+        assert U.db_to_linear(10.0) == pytest.approx(10.0)
+        assert U.db_to_linear(3.0) == pytest.approx(1.9953, rel=1e-3)
+        assert U.linear_to_db(100.0) == pytest.approx(20.0)
+
+    def test_zero_maps_to_neg_inf(self):
+        assert U.linear_to_db(0.0) == -np.inf
+
+
+class TestDbm:
+    def test_dbm_watt_roundtrip(self):
+        for dbm in (-90.0, 0.0, 30.0):
+            assert U.watt_to_dbm(U.dbm_to_watt(dbm)) == pytest.approx(dbm)
+
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert U.dbm_to_watt(0.0) == pytest.approx(1e-3)
+
+    def test_nonpositive_watt(self):
+        assert U.watt_to_dbm(0.0) == -np.inf
+
+
+class TestPower:
+    def test_power_of_unit_tone(self):
+        x = np.exp(1j * np.linspace(0, 10, 1000))
+        assert U.power(x) == pytest.approx(1.0)
+
+    def test_power_empty(self):
+        assert U.power(np.array([])) == 0.0
+
+    def test_normalize_power(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(512) + 1j * rng.standard_normal(512)
+        y = U.normalize_power(x, 2.5)
+        assert U.power(y) == pytest.approx(2.5)
+
+    def test_normalize_zero_signal(self):
+        z = np.zeros(8, dtype=complex)
+        assert np.array_equal(U.normalize_power(z), z)
+
+    def test_rms(self):
+        assert U.rms(np.ones(10) * 3.0) == pytest.approx(3.0)
+
+
+class TestSnr:
+    def test_snr_db(self):
+        sig = np.ones(100, dtype=complex)
+        noise = np.ones(100, dtype=complex) * 0.1
+        assert U.snr_db(sig, noise) == pytest.approx(20.0)
+
+    def test_snr_no_noise(self):
+        assert U.snr_db(np.ones(4), np.zeros(4)) == np.inf
+
+    def test_evm_to_snr(self):
+        assert U.evm_to_snr_db(0.1) == pytest.approx(20.0)
+        assert U.evm_to_snr_db(0.0) == np.inf
+
+
+class TestWavelength:
+    def test_wifi_wavelength(self):
+        lam = U.wavelength(CARRIER_FREQ_HZ)
+        assert lam == pytest.approx(0.123, abs=0.002)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            U.wavelength(0.0)

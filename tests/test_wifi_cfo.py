@@ -1,0 +1,83 @@
+"""CFO handling in the WiFi receiver and the session's client path."""
+
+import numpy as np
+import pytest
+
+from repro.channel import awgn
+from repro.channel.hardware import carrier_frequency_offset
+from repro.utils.conversions import power
+from repro.wifi import WifiReceiver, WifiTransmitter, random_payload
+
+
+class TestCfoPrimitive:
+    def test_zero_cfo_identity(self, rng):
+        x = rng.standard_normal(100) + 1j * rng.standard_normal(100)
+        assert np.array_equal(carrier_frequency_offset(x, 0.0), x)
+
+    def test_rotation_rate(self):
+        x = np.ones(20_000, dtype=complex)
+        y = carrier_frequency_offset(x, 1e3, sample_rate=20e6)
+        # After 20000 samples (1 ms) at 1 kHz: one full turn.
+        assert np.angle(y[-1] * np.conj(y[0])) == pytest.approx(
+            -2 * np.pi * 1e3 / 20e6, abs=1e-3)
+
+    def test_preserves_magnitude(self, rng):
+        x = rng.standard_normal(512) + 1j * rng.standard_normal(512)
+        y = carrier_frequency_offset(x, 37e3)
+        assert np.allclose(np.abs(y), np.abs(x))
+
+    def test_initial_phase(self):
+        x = np.ones(4, dtype=complex)
+        y = carrier_frequency_offset(x, 0.0, phase0=np.pi / 2)
+        assert np.array_equal(y, x)  # zero CFO short-circuits
+        y2 = carrier_frequency_offset(x, 1.0, phase0=np.pi / 2)
+        assert np.angle(y2[0]) == pytest.approx(np.pi / 2, abs=1e-6)
+
+
+class TestReceiverCfoTolerance:
+    @pytest.mark.parametrize("cfo_hz", [-48e3, -11e3, 17e3, 48e3])
+    def test_survives_standard_ppm_range(self, rng, cfo_hz):
+        tx, rx = WifiTransmitter(), WifiReceiver()
+        psdu = random_payload(300, rng)
+        res = tx.transmit(psdu, 24)
+        y = carrier_frequency_offset(res.samples, cfo_hz,
+                                     phase0=rng.uniform(0, 6))
+        y = np.concatenate([np.zeros(50, complex), y])
+        y = y + awgn(y.size, power(res.samples) / 10 ** 2.0, rng)
+        out = rx.receive(y)
+        assert out.ok and out.psdu == psdu
+
+    def test_cfo_estimator_accuracy(self, rng):
+        rx = WifiReceiver()
+        n = np.arange(2000)
+        cfo = 23e3
+        seg = np.exp(2j * np.pi * cfo / 20e6 * n)
+        # Any 16-periodic structure works; a pure tone is 16-periodic.
+        est = rx._cfo_from_lag(seg[:160], 16)
+        assert est == pytest.approx(cfo, rel=0.02)
+
+    def test_large_cfo_at_64qam(self, rng):
+        tx, rx = WifiTransmitter(), WifiReceiver()
+        psdu = random_payload(200, rng)
+        res = tx.transmit(psdu, 54)
+        y = carrier_frequency_offset(res.samples, 40e3)
+        y = y + awgn(y.size, power(res.samples) / 10 ** 2.8, rng)
+        out = rx.receive(y)
+        assert out.ok and out.psdu == psdu
+
+
+class TestSessionClientCfo:
+    def test_client_decodes_with_random_cfo(self, rng):
+        from repro.channel import Scene
+        from repro.link import run_backscatter_session
+        from repro.reader import BackFiReader
+        from repro.tag import BackFiTag, TagConfig
+
+        cfg = TagConfig()
+        scene = Scene.build(tag_distance_m=1.0, client_distance_m=3.0,
+                            rng=rng)
+        out = run_backscatter_session(
+            scene, BackFiTag(cfg), BackFiReader(cfg),
+            decode_client=True, client_cfo_hz=35e3, rng=rng,
+        )
+        assert out.client is not None and out.client.ok

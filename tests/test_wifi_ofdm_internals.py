@@ -1,0 +1,93 @@
+"""Unit tests for the OFDM symbol assembly layer (repro.wifi.ofdm)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CP_LENGTH, FFT_SIZE
+from repro.utils import random_bits
+from repro.wifi.mapper import qam_map
+from repro.wifi.ofdm import (
+    PILOT_VALUES,
+    add_cyclic_prefix,
+    assemble_symbol,
+    disassemble_symbol,
+    pilot_polarity_sequence,
+    remove_cyclic_prefix,
+)
+
+
+class TestSymbolAssembly:
+    def _data(self, rng):
+        return qam_map(random_bits(96, rng), "qpsk")
+
+    def test_assemble_disassemble_roundtrip(self, rng):
+        data = self._data(rng)
+        sym = assemble_symbol(data, 1.0)
+        out, pilots = disassemble_symbol(sym)
+        assert np.allclose(out, data, atol=1e-12)
+        assert np.allclose(pilots, PILOT_VALUES, atol=1e-12)
+
+    def test_pilot_polarity_applied(self, rng):
+        sym = assemble_symbol(self._data(rng), -1.0)
+        _, pilots = disassemble_symbol(sym)
+        assert np.allclose(pilots, -PILOT_VALUES, atol=1e-12)
+
+    def test_symbol_length(self, rng):
+        assert assemble_symbol(self._data(rng), 1.0).size == FFT_SIZE
+
+    def test_wrong_data_count_rejected(self):
+        with pytest.raises(ValueError):
+            assemble_symbol(np.ones(47, dtype=complex), 1.0)
+
+    def test_disassemble_wrong_length(self):
+        with pytest.raises(ValueError):
+            disassemble_symbol(np.ones(63, dtype=complex))
+
+    def test_unit_power_scaling(self, rng):
+        # 52 unit-power subcarriers over a 64-FFT: mean sample power 1.
+        powers = []
+        for _ in range(50):
+            sym = assemble_symbol(self._data(rng), 1.0)
+            powers.append(np.mean(np.abs(sym) ** 2))
+        assert np.mean(powers) == pytest.approx(1.0, rel=0.15)
+
+
+class TestCyclicPrefix:
+    def test_cp_roundtrip(self, rng):
+        sym = rng.standard_normal(FFT_SIZE) + 0j
+        with_cp = add_cyclic_prefix(sym)
+        assert with_cp.size == FFT_SIZE + CP_LENGTH
+        assert np.array_equal(remove_cyclic_prefix(with_cp), sym)
+
+    def test_cp_is_symbol_tail(self, rng):
+        sym = rng.standard_normal(FFT_SIZE) + 0j
+        with_cp = add_cyclic_prefix(sym)
+        assert np.array_equal(with_cp[:CP_LENGTH], sym[-CP_LENGTH:])
+
+    def test_cp_makes_convolution_circular(self, rng):
+        # The defining property: with a short channel, removing the CP
+        # turns linear convolution into circular convolution.
+        sym = rng.standard_normal(FFT_SIZE) + 1j * rng.standard_normal(
+            FFT_SIZE)
+        h = np.array([0.9, 0.3 - 0.2j, 0.1j])
+        tx = add_cyclic_prefix(sym)
+        rx = np.convolve(tx, h)[: tx.size]
+        rx_sym = remove_cyclic_prefix(rx)
+        circ = np.fft.ifft(np.fft.fft(sym) * np.fft.fft(h, FFT_SIZE))
+        assert np.allclose(rx_sym, circ, atol=1e-10)
+
+
+class TestPilotPolarity:
+    def test_first_values_match_standard(self):
+        # IEEE 802.11 17.3.5.10: p_0..p_3 = 1, 1, 1, 1 (p starts with
+        # seven ones from the all-ones scrambler state).
+        p = pilot_polarity_sequence(8)
+        assert np.all(p[:4] == 1.0)
+
+    def test_periodicity_127(self):
+        p = pilot_polarity_sequence(254)
+        assert np.array_equal(p[:127], p[127:])
+
+    def test_balanced(self):
+        p = pilot_polarity_sequence(127)
+        assert abs(int(np.sum(p))) <= 1

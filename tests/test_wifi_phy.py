@@ -1,0 +1,206 @@
+"""Integration tests of the 802.11a/g OFDM PHY (TX <-> RX)."""
+
+import numpy as np
+import pytest
+
+from repro.channel import awgn, exponential_pdp_channel, apply_channel
+from repro.utils.conversions import power
+from repro.wifi import (
+    SUPPORTED_RATES_MBPS,
+    WifiReceiver,
+    WifiTransmitter,
+    cts_to_self,
+    data_frame,
+    decode_signal_field,
+    duration_us,
+    encode_signal_field,
+    n_symbols_for_payload,
+    parse_frame_type,
+    plcp_preamble,
+    random_payload,
+    rate_params,
+)
+from repro.wifi.preamble import LTF_SYMBOL, long_training_field, \
+    short_training_field
+
+
+class TestParams:
+    def test_rate_table_complete(self):
+        assert SUPPORTED_RATES_MBPS == (6, 9, 12, 18, 24, 36, 48, 54)
+
+    def test_n_dbps_values(self):
+        # IEEE 802.11 Table 17-4.
+        expect = {6: 24, 9: 36, 12: 48, 18: 72, 24: 96, 36: 144,
+                  48: 192, 54: 216}
+        for rate, dbps in expect.items():
+            assert rate_params(rate).n_dbps == dbps
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            rate_params(11)
+
+    def test_symbol_count(self):
+        # 100 bytes at 24 Mbps: 16+800+6 = 822 bits / 96 = 9 symbols.
+        assert n_symbols_for_payload(100, 24) == 9
+
+    def test_duration(self):
+        assert duration_us(100, 24) == pytest.approx(16 + 4 + 9 * 4)
+
+
+class TestPreamble:
+    def test_stf_length_and_periodicity(self):
+        stf = short_training_field()
+        assert stf.size == 160
+        assert np.allclose(stf[:16], stf[16:32])
+
+    def test_ltf_length_and_repetition(self):
+        ltf = long_training_field()
+        assert ltf.size == 160
+        assert np.allclose(ltf[32:96], ltf[96:160])
+
+    def test_ltf_cp_is_tail(self):
+        ltf = long_training_field()
+        assert np.allclose(ltf[:32], LTF_SYMBOL[-32:])
+
+    def test_preamble_duration(self):
+        assert plcp_preamble().size == 320  # 16 us at 20 Msps
+
+
+class TestSignalField:
+    def test_roundtrip(self):
+        for rate in SUPPORTED_RATES_MBPS:
+            coded = encode_signal_field(rate, 1234)
+            llrs = 1.0 - 2.0 * coded.astype(np.float64)
+            sig = decode_signal_field(llrs)
+            assert sig is not None
+            assert sig.rate_mbps == rate
+            assert sig.length_bytes == 1234
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            encode_signal_field(6, 0)
+        with pytest.raises(ValueError):
+            encode_signal_field(6, 5000)
+
+    def test_parity_failure_returns_none(self):
+        coded = encode_signal_field(24, 100)
+        llrs = 1.0 - 2.0 * coded.astype(np.float64)
+        # A strong single-bit LLR flip can still be corrected; corrupt
+        # many bits to force a parity/decode failure.
+        llrs[::3] *= -1
+        assert decode_signal_field(llrs) is None
+
+
+class TestLoopback:
+    @pytest.mark.parametrize("rate", SUPPORTED_RATES_MBPS)
+    def test_clean_channel(self, rate, rng):
+        tx, rx = WifiTransmitter(), WifiReceiver()
+        psdu = random_payload(300, rng)
+        res = tx.transmit(psdu, rate)
+        y = np.concatenate([np.zeros(77, complex), res.samples,
+                            np.zeros(40, complex)])
+        y += awgn(y.size, power(res.samples) * 1e-5, rng)
+        out = rx.receive(y)
+        assert out.ok
+        assert out.psdu == psdu
+        assert out.signal.rate_mbps == rate
+
+    def test_multipath_channel(self, rng):
+        tx, rx = WifiTransmitter(), WifiReceiver()
+        psdu = random_payload(400, rng)
+        res = tx.transmit(psdu, 24)
+        h = exponential_pdp_channel(60e-9, rng=rng)
+        y = apply_channel(h, res.samples)
+        y = np.concatenate([np.zeros(100, complex), y])
+        y += awgn(y.size, power(y) * 1e-5, rng)
+        out = rx.receive(y)
+        assert out.ok and out.psdu == psdu
+
+    def test_moderate_noise_6mbps(self, rng):
+        tx, rx = WifiTransmitter(), WifiReceiver()
+        psdu = random_payload(200, rng)
+        res = tx.transmit(psdu, 6)
+        y = res.samples + awgn(res.samples.size,
+                               power(res.samples) / 10 ** 0.6, rng)
+        out = rx.receive(np.concatenate([np.zeros(64, complex), y]))
+        assert out.ok and out.psdu == psdu  # 6 dB is enough for 6 Mbps
+
+    def test_snr_estimate_reasonable(self, rng):
+        tx, rx = WifiTransmitter(), WifiReceiver()
+        res = tx.transmit(random_payload(150, rng), 12)
+        target_snr = 20.0
+        y = res.samples + awgn(
+            res.samples.size, power(res.samples) / 10 ** (target_snr / 10),
+            rng,
+        )
+        out = rx.receive(y)
+        assert out.ok
+        assert out.snr_db == pytest.approx(target_snr, abs=4.0)
+
+    def test_data_snr_reported(self, rng):
+        tx, rx = WifiTransmitter(), WifiReceiver()
+        res = tx.transmit(random_payload(150, rng), 24)
+        y = res.samples + awgn(res.samples.size,
+                               power(res.samples) / 10 ** 2.5, rng)
+        out = rx.receive(y)
+        assert out.ok
+        assert 15.0 < out.data_snr_db < 35.0
+
+    def test_no_packet_detected_in_noise(self, rng):
+        rx = WifiReceiver()
+        noise = awgn(2000, 1.0, rng)
+        assert rx.receive(noise).failed
+
+    def test_truncated_packet_fails(self, rng):
+        tx, rx = WifiTransmitter(), WifiReceiver()
+        res = tx.transmit(random_payload(500, rng), 6)
+        out = rx.receive(res.samples[: res.samples.size // 2])
+        assert out.failed
+
+    def test_fcs_check(self, rng):
+        tx, rx = WifiTransmitter(), WifiReceiver()
+        frame = data_frame(random_payload(100, rng))
+        res = tx.transmit(frame, 24)
+        y = res.samples + awgn(res.samples.size,
+                               power(res.samples) * 1e-5, rng)
+        out = rx.receive(y, check_fcs=True)
+        assert out.ok and out.fcs_ok
+
+    def test_max_psdu_enforced(self, rng):
+        tx = WifiTransmitter()
+        with pytest.raises(ValueError):
+            tx.transmit(b"\x00" * 4096, 54)
+        with pytest.raises(ValueError):
+            tx.transmit(b"", 54)
+
+    def test_duration_matches_samples(self, rng):
+        tx = WifiTransmitter()
+        res = tx.transmit(random_payload(321, rng), 36)
+        assert res.duration_us == pytest.approx(duration_us(321, 36))
+
+
+class TestFrames:
+    def test_cts_to_self_shape(self):
+        frame = cts_to_self()
+        assert len(frame) == 14
+        assert parse_frame_type(frame) == "cts"
+
+    def test_cts_duration_bounds(self):
+        with pytest.raises(ValueError):
+            cts_to_self(duration_us=40000)
+
+    def test_data_frame_type(self):
+        f = data_frame(b"payload")
+        assert parse_frame_type(f) == "data"
+
+    def test_data_frame_bad_address(self):
+        with pytest.raises(ValueError):
+            data_frame(b"x", src=b"short")
+
+    def test_parse_unknown(self):
+        assert parse_frame_type(b"") == "unknown"
+
+    def test_random_payload_deterministic_with_rng(self):
+        a = random_payload(32, np.random.default_rng(1))
+        b = random_payload(32, np.random.default_rng(1))
+        assert a == b
