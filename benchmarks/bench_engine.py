@@ -1,0 +1,42 @@
+"""Overhead microbenchmarks of the experiment engine itself.
+
+Not a paper figure -- these bound what the engine adds on top of the
+experiment work: seed fan-out, cache keying, and a cached ``run()``
+round-trip (the cost of a ``--plot``-only or repeated ``run_all`` pass).
+"""
+
+import numpy as np
+
+from repro.experiments.engine import (
+    ExperimentEngine,
+    cache_key,
+    spawn_seeds,
+)
+
+
+def _payload():
+    return {"values": np.arange(4096, dtype=np.float64)}
+
+
+def test_seed_fanout(benchmark):
+    """Spawning 1000 trial seed sequences from one root."""
+    seeds = benchmark(spawn_seeds, 7, 1000)
+    assert len(seeds) == 1000
+
+
+def test_cache_keying(benchmark):
+    """Keying a realistic parameter dict (fingerprint is memoised)."""
+    params = {"distances_m": (0.5, 1.0, 2.0, 5.0), "trials": 5,
+              "seed": 7}
+    key = benchmark(cache_key, "fig8_throughput_range", params)
+    assert len(key) == 24
+
+
+def test_cached_run_roundtrip(benchmark, tmp_path):
+    """A cache-hit ``engine.run``: the cost of a free re-run."""
+    with ExperimentEngine(jobs=1, cache_dir=tmp_path) as engine:
+        engine.run("payload", _payload)  # prime the cache
+
+        result = benchmark(engine.run, "payload", _payload)
+    assert result["values"].size == 4096
+    assert all(r.cached for r in engine.records[1:])

@@ -5,9 +5,33 @@ Every ``bench_fig*`` module regenerates one table/figure of the paper
 and prints the regenerated table; run with ``-s`` to see the tables:
 
     pytest benchmarks/ --benchmark-only -s
+
+The whole session runs under one :class:`ExperimentEngine` with caching
+disabled (benchmarks must measure real work, not pickle loads).  Set
+``REPRO_BENCH_JOBS=N`` to fan Monte-Carlo trials out over N worker
+processes; tables are byte-identical at any worker count, only the
+timings change.
 """
 
 from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.engine import ExperimentEngine, use_engine
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_engine():
+    """One engine for the whole benchmark session (cache off)."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    engine = ExperimentEngine(jobs=jobs, cache=False)
+    with engine, use_engine(engine):
+        yield engine
+    if engine.records:
+        print()
+        print(engine.report())
 
 
 def print_result(table) -> None:

@@ -56,11 +56,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="regenerate every paper figure")
     exp.add_argument("--fast", action="store_true")
     exp.add_argument("--plot", action="store_true")
+    exp.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (0 = all CPUs)")
+    exp.add_argument("--no-cache", action="store_true",
+                     help="recompute instead of reading .repro_cache/")
 
     rep = sub.add_parser("report",
                          help="write a markdown reproduction report")
     rep.add_argument("-o", "--output", default="report.md")
     rep.add_argument("--fast", action="store_true")
+    rep.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (0 = all CPUs)")
+    rep.add_argument("--no-cache", action="store_true",
+                     help="recompute instead of reading .repro_cache/")
     return parser
 
 
@@ -160,18 +168,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "experiments":
         from .experiments.run_all import main as run_all_main
 
-        extra = []
+        extra = ["--jobs", str(args.jobs)]
         if args.fast:
             extra.append("--fast")
         if args.plot:
             extra.append("--plot")
+        if args.no_cache:
+            extra.append("--no-cache")
         return run_all_main(extra)
     if args.command == "report":
         from .experiments.report import main as report_main
 
-        extra = ["-o", args.output]
+        extra = ["-o", args.output, "--jobs", str(args.jobs)]
         if args.fast:
             extra.append("--fast")
+        if args.no_cache:
+            extra.append("--no-cache")
         return report_main(extra)
     raise AssertionError(f"unhandled command {args.command!r}")
 

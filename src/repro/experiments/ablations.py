@@ -25,6 +25,7 @@ from ..reader.reader import BackFiReader
 from ..tag.config import TagConfig
 from ..tag.tag import BackFiTag
 from .common import ExperimentTable, median
+from .engine import parallel_map, spawn_seeds
 
 __all__ = ["AblationOutcome", "AblationResult", "run", "mrc_vs_divide"]
 
@@ -54,43 +55,48 @@ class AblationResult:
         raise KeyError(name)
 
 
-def _run_variant(name: str, *, trials: int, distance_m: float,
-                 config: TagConfig, seed: int) -> AblationOutcome:
-    rng = np.random.default_rng(seed)
-    oks, snrs, sats = 0, [], 0
-    for _ in range(trials):
-        scene = Scene.build(tag_distance_m=distance_m, rng=rng)
-        tag = BackFiTag(config, respect_silent=(name != "no_silent"))
-        canceller = SelfInterferenceCanceller(
-            analog_enabled=(name != "no_analog"),
-            digital_enabled=(name != "no_digital"),
-        )
-        reader = BackFiReader(config, canceller=canceller)
-        out = run_backscatter_session(scene, tag, reader, rng=rng,
-                                      wifi_payload_bytes=1200)
-        oks += int(out.ok)
-        if np.isfinite(out.reader.symbol_snr_db):
-            snrs.append(out.reader.symbol_snr_db)
-        if out.reader.cancellation is not None and \
-                out.reader.cancellation.adc_saturated:
-            sats += 1
-    return AblationOutcome(
-        name=name,
-        success_rate=oks / trials,
-        median_snr_db=median(snrs),
-        adc_saturated_rate=sats / trials,
+def _variant_trial(args: tuple) -> tuple[bool, float, bool]:
+    """One (variant, trial) cell -- a picklable engine task."""
+    name, trial_seed, distance_m, config = args
+    rng = np.random.default_rng(trial_seed)
+    scene = Scene.build(tag_distance_m=distance_m, rng=rng)
+    tag = BackFiTag(config, respect_silent=(name != "no_silent"))
+    canceller = SelfInterferenceCanceller(
+        analog_enabled=(name != "no_analog"),
+        digital_enabled=(name != "no_digital"),
     )
+    reader = BackFiReader(config, canceller=canceller)
+    out = run_backscatter_session(scene, tag, reader, rng=rng,
+                                  wifi_payload_bytes=1200)
+    snr = out.reader.symbol_snr_db
+    saturated = bool(out.reader.cancellation is not None
+                     and out.reader.cancellation.adc_saturated)
+    return out.ok, float(snr), saturated
+
+
+VARIANTS = ("full", "no_analog", "no_digital", "no_silent")
 
 
 def run(*, distance_m: float = 2.0, trials: int = 4,
-        config: TagConfig | None = None, seed: int = 43) -> AblationResult:
+        config: TagConfig | None = None, seed: int = 43,
+        jobs: int | None = None) -> AblationResult:
     """Run the full ablation grid at one distance."""
     config = config or TagConfig("qpsk", "1/2", 1e6)
     result = AblationResult()
-    for name in ("full", "no_analog", "no_digital", "no_silent"):
-        result.outcomes.append(_run_variant(
-            name, trials=trials, distance_m=distance_m,
-            config=config, seed=seed,
+    # The same trial seeds for every variant: paired channels, so the
+    # ablation isolates the mechanism, not the realisation.
+    trial_seeds = spawn_seeds(seed, trials)
+    cells = [(name, ts, distance_m, config)
+             for name in VARIANTS for ts in trial_seeds]
+    outcomes = parallel_map(_variant_trial, cells, jobs=jobs)
+    for i, name in enumerate(VARIANTS):
+        per_variant = outcomes[i * trials:(i + 1) * trials]
+        snrs = [snr for _, snr, _ in per_variant if np.isfinite(snr)]
+        result.outcomes.append(AblationOutcome(
+            name=name,
+            success_rate=sum(ok for ok, _, _ in per_variant) / trials,
+            median_snr_db=median(snrs),
+            adc_saturated_rate=sum(s for _, _, s in per_variant) / trials,
         ))
 
     table = ExperimentTable(
@@ -109,50 +115,60 @@ def run(*, distance_m: float = 2.0, trials: int = 4,
     return result
 
 
-def mrc_vs_divide(*, distance_m: float = 4.0, trials: int = 4,
-                  config: TagConfig | None = None,
-                  seed: int = 47) -> ExperimentTable:
-    """Sec. 4.3.2 strawman: estimate the phase by dividing y by the
-    template instead of MRC.  Division amplifies noise wherever the
-    wideband template momentarily fades."""
-    from ..channel.multipath import apply_channel
+def _mrc_divide_trial(args: tuple) -> tuple[float, float]:
+    """(MRC, divide) symbol error power for one realisation."""
     from ..channel.noise import awgn
     from ..link.protocol import build_ap_transmission
     from ..wifi.frames import random_payload
     from ..wifi.mapper import psk_map
 
-    config = config or TagConfig("qpsk", "1/2", 1e6)
-    rng = np.random.default_rng(seed)
-    mrc_err, div_err = [], []
-    for _ in range(trials):
-        scene = Scene.build(tag_distance_m=distance_m, rng=rng)
-        timeline = build_ap_transmission(
-            random_payload(1200, rng), 24, tx_power_mw=scene.tx_power_mw,
-            include_cts=False,
-        )
-        x = timeline.samples
-        hfb = scene.combined_tag_channel()
-        template = np.convolve(x, hfb)[: x.size]
-        sps = config.samples_per_symbol
-        start = timeline.nominal_data_start
-        n_sym = (x.size - start) // sps
-        bits = rng.integers(0, 2, size=n_sym * config.bits_per_symbol,
-                            dtype=np.uint8)
-        phases = psk_map(bits, config.modulation)
-        refl = np.zeros(x.size, dtype=np.complex128)
-        refl[start:start + n_sym * sps] = np.repeat(phases, sps)
-        amp = np.sqrt(10 ** (-config.reflection_loss_db / 10))
-        y = template * refl * amp + awgn(x.size, scene.noise_floor_mw, rng)
+    trial_seed, distance_m, config = args
+    rng = np.random.default_rng(trial_seed)
+    scene = Scene.build(tag_distance_m=distance_m, rng=rng)
+    timeline = build_ap_transmission(
+        random_payload(1200, rng), 24, tx_power_mw=scene.tx_power_mw,
+        include_cts=False,
+    )
+    x = timeline.samples
+    hfb = scene.combined_tag_channel()
+    template = np.convolve(x, hfb)[: x.size]
+    sps = config.samples_per_symbol
+    start = timeline.nominal_data_start
+    n_sym = (x.size - start) // sps
+    bits = rng.integers(0, 2, size=n_sym * config.bits_per_symbol,
+                        dtype=np.uint8)
+    phases = psk_map(bits, config.modulation)
+    refl = np.zeros(x.size, dtype=np.complex128)
+    refl[start:start + n_sym * sps] = np.repeat(phases, sps)
+    amp = np.sqrt(10 ** (-config.reflection_loss_db / 10))
+    y = template * refl * amp + awgn(x.size, scene.noise_floor_mw, rng)
 
-        t_blk = template[start:start + n_sym * sps].reshape(n_sym, sps)
-        y_blk = y[start:start + n_sym * sps].reshape(n_sym, sps)
-        energy = np.maximum(np.sum(np.abs(t_blk) ** 2, axis=1), 1e-30)
-        est_mrc = np.sum(y_blk * np.conj(t_blk), axis=1) / energy / amp
-        with np.errstate(divide="ignore", invalid="ignore"):
-            ratio = np.where(np.abs(t_blk) > 1e-12, y_blk / t_blk, 0.0)
-        est_div = np.mean(ratio, axis=1) / amp
-        mrc_err.append(float(np.mean(np.abs(est_mrc - phases) ** 2)))
-        div_err.append(float(np.mean(np.abs(est_div - phases) ** 2)))
+    t_blk = template[start:start + n_sym * sps].reshape(n_sym, sps)
+    y_blk = y[start:start + n_sym * sps].reshape(n_sym, sps)
+    energy = np.maximum(np.sum(np.abs(t_blk) ** 2, axis=1), 1e-30)
+    est_mrc = np.sum(y_blk * np.conj(t_blk), axis=1) / energy / amp
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(np.abs(t_blk) > 1e-12, y_blk / t_blk, 0.0)
+    est_div = np.mean(ratio, axis=1) / amp
+    return (float(np.mean(np.abs(est_mrc - phases) ** 2)),
+            float(np.mean(np.abs(est_div - phases) ** 2)))
+
+
+def mrc_vs_divide(*, distance_m: float = 4.0, trials: int = 4,
+                  config: TagConfig | None = None,
+                  seed: int = 47,
+                  jobs: int | None = None) -> ExperimentTable:
+    """Sec. 4.3.2 strawman: estimate the phase by dividing y by the
+    template instead of MRC.  Division amplifies noise wherever the
+    wideband template momentarily fades."""
+    config = config or TagConfig("qpsk", "1/2", 1e6)
+    outcomes = parallel_map(
+        _mrc_divide_trial,
+        [(ts, distance_m, config) for ts in spawn_seeds(seed, trials)],
+        jobs=jobs,
+    )
+    mrc_err = [m for m, _ in outcomes]
+    div_err = [d for _, d in outcomes]
 
     table = ExperimentTable(
         title=f"MRC vs divide-by-template @ {distance_m} m",

@@ -19,6 +19,7 @@ from ..reader.reader import BackFiReader
 from ..tag.config import TagConfig
 from ..tag.tag import BackFiTag
 from .common import ExperimentTable
+from .engine import parallel_map, spawn_seeds
 
 __all__ = ["AltExcitationResult", "run"]
 
@@ -35,32 +36,44 @@ class AltExcitationResult:
     table: ExperimentTable | None = None
 
 
+def _excitation_cell(args: tuple) -> tuple[float, float, float]:
+    """(success, median SNR, median goodput) for one ambient signal."""
+    exc, distance_m, trial_seeds, config = args
+    oks, snrs, goodputs = 0, [], []
+    for ts in trial_seeds:
+        rng = np.random.default_rng(ts)
+        scene = Scene.build(tag_distance_m=distance_m, rng=rng)
+        out = run_backscatter_session(
+            scene, BackFiTag(config), BackFiReader(config),
+            excitation=exc, wifi_payload_bytes=250, rng=rng,
+        )
+        oks += int(out.ok)
+        if np.isfinite(out.reader.symbol_snr_db):
+            snrs.append(out.reader.symbol_snr_db)
+        goodputs.append(out.goodput_bps)
+    return (oks / len(trial_seeds),
+            float(np.median(snrs)) if snrs else float("nan"),
+            float(np.median(goodputs)))
+
+
 def run(*, distance_m: float = 2.0, trials: int = 5,
         config: TagConfig | None = None,
-        seed: int = 67) -> AltExcitationResult:
+        seed: int = 67, jobs: int | None = None) -> AltExcitationResult:
     """Run the same backscatter link over each ambient signal type."""
     config = config or TagConfig("qpsk", "1/2", 1e6)
-    base = np.random.default_rng(seed)
-    seeds = [int(s) for s in base.integers(2**32, size=trials)]
+    # The same trial seeds per excitation: paired channel realisations.
+    trial_seeds = spawn_seeds(seed, trials)
     result = AltExcitationResult()
 
-    for exc in EXCITATIONS:
-        oks, snrs, goodputs = 0, [], []
-        for t in range(trials):
-            rng = np.random.default_rng(seeds[t])
-            scene = Scene.build(tag_distance_m=distance_m, rng=rng)
-            out = run_backscatter_session(
-                scene, BackFiTag(config), BackFiReader(config),
-                excitation=exc, wifi_payload_bytes=250, rng=rng,
-            )
-            oks += int(out.ok)
-            if np.isfinite(out.reader.symbol_snr_db):
-                snrs.append(out.reader.symbol_snr_db)
-            goodputs.append(out.goodput_bps)
-        result.success[exc] = oks / trials
-        result.snr_db[exc] = float(np.median(snrs)) if snrs else \
-            float("nan")
-        result.goodput_bps[exc] = float(np.median(goodputs))
+    outcomes = parallel_map(
+        _excitation_cell,
+        [(exc, distance_m, trial_seeds, config) for exc in EXCITATIONS],
+        jobs=jobs,
+    )
+    for exc, (success, snr, goodput) in zip(EXCITATIONS, outcomes):
+        result.success[exc] = success
+        result.snr_db[exc] = snr
+        result.goodput_bps[exc] = goodput
 
     table = ExperimentTable(
         title=f"BackFi over alternative ambient signals @ {distance_m} m "

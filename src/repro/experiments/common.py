@@ -68,7 +68,9 @@ def cdf_points(values: Iterable[float]) -> tuple[np.ndarray, np.ndarray]:
     """Sorted values and their empirical CDF levels."""
     v = np.sort(np.asarray(list(values), dtype=np.float64))
     if v.size == 0:
-        return v, v
+        # Distinct arrays: callers may append to one and must not see the
+        # other alias it.
+        return v, np.zeros_like(v)
     return v, (np.arange(1, v.size + 1)) / v.size
 
 

@@ -72,11 +72,16 @@ class ComparisonResult:
 
 
 def run(distances_m: tuple[float, ...] = (0.5, 1.0, 2.0, 5.0), *,
-        trials: int = 3, seed: int = 41) -> ComparisonResult:
-    """Measure all three systems across the range sweep."""
+        trials: int = 3, seed: int = 41,
+        jobs: int | None = None) -> ComparisonResult:
+    """Measure all three systems across the range sweep.
+
+    The BackFi sweep fans out through the experiment engine; the
+    baselines are orders of magnitude cheaper and run inline.
+    """
     result = ComparisonResult()
     fig8 = run_fig8(distances_m=distances_m, preambles_us=(32.0,),
-                    trials=trials, seed=seed)
+                    trials=trials, seed=seed, jobs=jobs)
     baseline = WifiBackscatterBaseline()
     rng = np.random.default_rng(seed)
 

@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from ..tag.config import TagConfig
 from ..tag.energy import default_energy_model
 from .common import ExperimentTable, format_si
@@ -54,14 +52,14 @@ class Fig10Result:
 def run(targets_bps: tuple[float, ...] = DEFAULT_TARGETS_BPS,
         ranges_m: tuple[float, ...] = DEFAULT_RANGES_M, *,
         trials: int = 2, wifi_payload_bytes: int = 3000,
-        seed: int = 13) -> Fig10Result:
+        seed: int = 13, jobs: int | None = None) -> Fig10Result:
     """Sweep ranges and pick min-REPB configs for each target."""
     model = default_energy_model()
     result = Fig10Result()
     for d in ranges_m:
         feasible = measure_feasible_configs(
             d, trials=trials, wifi_payload_bytes=wifi_payload_bytes,
-            seed=seed,
+            seed=seed, jobs=jobs,
         )
         for target in targets_bps:
             best: Fig10Point | None = None

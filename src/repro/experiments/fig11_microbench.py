@@ -21,6 +21,7 @@ from ..reader.reader import BackFiReader
 from ..tag.config import TagConfig
 from ..tag.tag import BackFiTag
 from .common import ExperimentTable, median
+from .engine import parallel_map, spawn_seeds
 
 __all__ = ["Fig11aResult", "Fig11bResult", "run_snr_scatter", "run_ber_vs_rate"]
 
@@ -45,38 +46,51 @@ class Fig11aResult:
         return median(self.degradations_db)
 
 
+def _snr_location(args: tuple) -> list[tuple[float, float]]:
+    """All runs at one random placement -- a picklable engine task."""
+    loc_seed, runs_per_location, distance_range_m, config, \
+        wifi_payload_bytes = args
+    guard = 8
+    mrc_samples = config.samples_per_symbol - guard
+    d = float(np.random.default_rng(loc_seed).uniform(*distance_range_m))
+    points = []
+    for run_seed in loc_seed.spawn(runs_per_location):
+        rng = np.random.default_rng(run_seed)
+        scene = Scene.build(tag_distance_m=d, rng=rng)
+        expected = scene.expected_backscatter_snr_db(
+            tag_reflection_loss_db=config.reflection_loss_db,
+            mrc_samples=mrc_samples,
+        )
+        out = run_backscatter_session(
+            scene, BackFiTag(config), BackFiReader(config),
+            wifi_payload_bytes=wifi_payload_bytes,
+            backscatter_evm=0.0,
+            rng=rng,
+        )
+        measured = out.reader.symbol_snr_db
+        if np.isfinite(measured):
+            points.append((expected, float(measured)))
+    return points
+
+
 def run_snr_scatter(n_locations: int = 30, runs_per_location: int = 3, *,
                     distance_range_m: tuple[float, float] = (0.5, 4.0),
                     config: TagConfig | None = None,
                     wifi_payload_bytes: int = 1200,
-                    seed: int = 17) -> Fig11aResult:
+                    seed: int = 17,
+                    jobs: int | None = None) -> Fig11aResult:
     """Fig. 11a: measured vs expected SNR over random placements.
 
     The backscatter EVM impairment is disabled so the measured gap
     isolates the cancellation residue, matching the paper's methodology.
     """
-    rng = np.random.default_rng(seed)
     config = config or TagConfig("qpsk", "1/2", 1e6)
     result = Fig11aResult()
-    guard = 8
-    mrc_samples = config.samples_per_symbol - guard
-    for _ in range(n_locations):
-        d = float(rng.uniform(*distance_range_m))
-        for _ in range(runs_per_location):
-            scene = Scene.build(tag_distance_m=d, rng=rng)
-            expected = scene.expected_backscatter_snr_db(
-                tag_reflection_loss_db=config.reflection_loss_db,
-                mrc_samples=mrc_samples,
-            )
-            out = run_backscatter_session(
-                scene, BackFiTag(config), BackFiReader(config),
-                wifi_payload_bytes=wifi_payload_bytes,
-                backscatter_evm=0.0,
-                rng=rng,
-            )
-            measured = out.reader.symbol_snr_db
-            if not np.isfinite(measured):
-                continue
+    tasks = [(loc_seed, runs_per_location, distance_range_m, config,
+              wifi_payload_bytes)
+             for loc_seed in spawn_seeds(seed, n_locations)]
+    for points in parallel_map(_snr_location, tasks, jobs=jobs):
+        for expected, measured in points:
             result.expected_snr_db.append(expected)
             result.measured_snr_db.append(measured)
 
@@ -103,6 +117,27 @@ class Fig11bResult:
     table: ExperimentTable | None = None
 
 
+def _ber_point(args: tuple) -> tuple[int, int]:
+    """(errors, bits) at one (modulation, symbol rate) grid point."""
+    mod, fs, distance_m, scene_seeds, wifi_payload_bytes = args
+    cfg = TagConfig(mod, "1/2", fs)
+    errs, total = 0, 0
+    for ss in scene_seeds:
+        srng = np.random.default_rng(ss)
+        scene = Scene.build(tag_distance_m=distance_m, rng=srng)
+        out = run_backscatter_session(
+            scene, BackFiTag(cfg), BackFiReader(cfg),
+            wifi_payload_bytes=wifi_payload_bytes, rng=srng,
+        )
+        if out.plan.frame_bits is None:
+            continue
+        sent = out.plan.frame_bits
+        ber = out.payload_ber()
+        errs += int(round(ber * sent.size))
+        total += sent.size
+    return errs, total
+
+
 def run_ber_vs_rate(
     symbol_rates_hz: tuple[float, ...] = (2.5e6, 2e6, 1e6, 500e3, 100e3),
     modulations: tuple[str, ...] = ("bpsk", "qpsk"), *,
@@ -110,36 +145,27 @@ def run_ber_vs_rate(
     sessions_per_point: int = 3,
     wifi_payload_bytes: int = 3000,
     seed: int = 19,
+    jobs: int | None = None,
 ) -> Fig11bResult:
     """Fig. 11b: BER vs tag symbol rate at a marginal-SNR placement.
 
     BER is measured on the Viterbi-decoded frame bits against what the
     tag actually sent (before the CRC gate), at a fixed rate-1/2 code.
     """
-    rng = np.random.default_rng(seed)
     result = Fig11bResult()
-    scene_seeds = [int(s) for s in
-                   rng.integers(2**32, size=sessions_per_point)]
-    for mod in modulations:
-        for fs in symbol_rates_hz:
-            cfg = TagConfig(mod, "1/2", fs)
-            errs, total = 0, 0
-            for s in range(sessions_per_point):
-                srng = np.random.default_rng(scene_seeds[s])
-                scene = Scene.build(tag_distance_m=distance_m, rng=srng)
-                out = run_backscatter_session(
-                    scene, BackFiTag(cfg), BackFiReader(cfg),
-                    wifi_payload_bytes=wifi_payload_bytes, rng=srng,
-                )
-                if out.plan.frame_bits is None:
-                    continue
-                sent = out.plan.frame_bits
-                ber = out.payload_ber()
-                errs += int(round(ber * sent.size))
-                total += sent.size
-            key = (mod, fs)
-            result.ber[key] = errs / total if total else 1.0
-            result.bits_tested[key] = total
+    # The same scene seeds for every grid point: paired comparisons.
+    scene_seeds = spawn_seeds(seed, sessions_per_point)
+    grid = [(mod, fs) for mod in modulations for fs in symbol_rates_hz]
+    outcomes = parallel_map(
+        _ber_point,
+        [(mod, fs, distance_m, scene_seeds, wifi_payload_bytes)
+         for mod, fs in grid],
+        jobs=jobs,
+    )
+    for (mod, fs), (errs, total) in zip(grid, outcomes):
+        key = (mod, fs)
+        result.ber[key] = errs / total if total else 1.0
+        result.bits_tested[key] = total
 
     table = ExperimentTable(
         title=f"Fig. 11b - BER vs tag symbol rate @ {distance_m} m "

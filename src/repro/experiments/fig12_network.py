@@ -26,6 +26,7 @@ from ..traces.generator import generate_testbed_traces
 from ..traces.replay import replay_trace
 from ..wifi.params import rate_params
 from .common import ExperimentTable, cdf_points, format_si, median
+from .engine import parallel_map, spawn_seeds
 
 __all__ = [
     "Fig12aResult",
@@ -78,28 +79,42 @@ def _best_config_at(distance_m: float, *, seed: int) -> TagConfig:
     return TagConfig("bpsk", "1/2", 100e3)
 
 
+def _replay_ap(args: tuple) -> tuple[float, float, float | None]:
+    """Replay one AP's trace -- a picklable engine task."""
+    trace, tag_distance_m, n_calibration_bursts, ap_seed = args
+    rng = np.random.default_rng(ap_seed)
+    scene = Scene.build(tag_distance_m=tag_distance_m, rng=rng)
+    # config=None: the tag/reader rate-adapt to each placement's
+    # channels (the deployed behaviour).
+    rep = replay_trace(
+        trace, scene, None,
+        n_calibration_bursts=n_calibration_bursts, rng=rng,
+    )
+    chosen = rep.config.throughput_bps if rep.config is not None else None
+    return rep.throughput_bps, rep.busy_fraction, chosen
+
+
 def run_loaded_network(n_aps: int = 20, trace_duration_s: float = 0.5, *,
                        tag_distance_m: float = 2.0,
                        n_calibration_bursts: int = 2,
-                       seed: int = 23) -> Fig12aResult:
+                       seed: int = 23,
+                       jobs: int | None = None) -> Fig12aResult:
     """Fig. 12a: replay loaded-network traces and collect the tag CDF."""
-    rng = np.random.default_rng(seed)
     result = Fig12aResult()
 
     traces = generate_testbed_traces(n_aps, trace_duration_s, seed=seed)
     chosen_tputs = []
-    for trace in traces:
-        scene = Scene.build(tag_distance_m=tag_distance_m, rng=rng)
-        # config=None: the tag/reader rate-adapt to each placement's
-        # channels (the deployed behaviour).
-        rep = replay_trace(
-            trace, scene, None,
-            n_calibration_bursts=n_calibration_bursts, rng=rng,
-        )
-        result.throughputs_bps.append(rep.throughput_bps)
-        result.busy_fractions.append(rep.busy_fraction)
-        if rep.config is not None:
-            chosen_tputs.append(rep.config.throughput_bps)
+    outcomes = parallel_map(
+        _replay_ap,
+        [(trace, tag_distance_m, n_calibration_bursts, ap_seed)
+         for trace, ap_seed in zip(traces, spawn_seeds(seed, len(traces)))],
+        jobs=jobs,
+    )
+    for tput, busy, chosen in outcomes:
+        result.throughputs_bps.append(tput)
+        result.busy_fractions.append(busy)
+        if chosen is not None:
+            chosen_tputs.append(chosen)
     # The paper's reference point: what continuous excitation would
     # deliver at these placements.
     result.continuous_optimum_bps = float(np.median(chosen_tputs)) \
@@ -142,11 +157,51 @@ class Fig12bResult:
         return max(0.0, 1.0 - on / off)
 
 
+def _impact_placement(args: tuple) -> tuple[int, int, int]:
+    """(ok_on, ok_off, packets) at one client placement."""
+    d, placement_seed, packets_per_placement, wifi_rate_mbps, \
+        wifi_payload_bytes, client_distance_m, config = args
+    rng = np.random.default_rng(placement_seed)
+    angle = float(rng.uniform(0, 360))
+    scene = Scene.build(
+        tag_distance_m=d, client_distance_m=client_distance_m,
+        client_angle_deg=angle, rng=rng,
+    )
+    ok_on, ok_off = 0, 0
+    for _ in range(packets_per_placement):
+        for tag_on in (True, False):
+            tag = BackFiTag(config)
+            if not tag_on:
+                # A tag that is not addressed never wakes: give it
+                # a mismatched identification preamble and let the
+                # real detector reject the AP's wake-up sequence.
+                from ..tag.detector import EnergyDetector
+
+                tag.detector = EnergyDetector(tag_id=7)
+            out = run_backscatter_session(
+                scene, tag, BackFiReader(config),
+                wifi_rate_mbps=wifi_rate_mbps,
+                wifi_payload_bytes=wifi_payload_bytes,
+                use_tag_detector=not tag_on,
+                decode_client=True,
+                rng=rng,
+            )
+            good = bool(
+                out.client is not None and out.client.ok
+                and out.client.psdu is not None
+            )
+            if tag_on:
+                ok_on += int(good)
+            else:
+                ok_off += int(good)
+    return ok_on, ok_off, packets_per_placement
+
+
 def run_wifi_impact(
     tag_distances_m: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0),
     *, n_placements: int = 6, packets_per_placement: int = 2,
     wifi_rate_mbps: int = 54, wifi_payload_bytes: int = 600,
-    seed: int = 29,
+    seed: int = 29, jobs: int | None = None,
 ) -> Fig12bResult:
     """Fig. 12b: client throughput with and without an active tag.
 
@@ -157,47 +212,26 @@ def run_wifi_impact(
     """
     from ..link.budget import client_edge_distance_m
 
-    rng = np.random.default_rng(seed)
     result = Fig12bResult()
     config = TagConfig("16psk", "2/3", 2.5e6)  # strongest interference
     client_distance_m = client_edge_distance_m(wifi_rate_mbps)
 
-    for d in tag_distances_m:
-        ok_on, ok_off, total = 0, 0, 0
-        for p in range(n_placements):
-            angle = float(rng.uniform(0, 360))
-            scene = Scene.build(
-                tag_distance_m=d, client_distance_m=client_distance_m,
-                client_angle_deg=angle, rng=rng,
-            )
-            for _ in range(packets_per_placement):
-                for tag_on in (True, False):
-                    tag = BackFiTag(config)
-                    if not tag_on:
-                        # A tag that is not addressed never wakes: give it
-                        # a mismatched identification preamble and let the
-                        # real detector reject the AP's wake-up sequence.
-                        from ..tag.detector import EnergyDetector
+    tasks = []
+    for d, d_seed in zip(tag_distances_m,
+                         spawn_seeds(seed, len(tag_distances_m))):
+        tasks.extend(
+            (d, placement_seed, packets_per_placement, wifi_rate_mbps,
+             wifi_payload_bytes, client_distance_m, config)
+            for placement_seed in d_seed.spawn(n_placements)
+        )
+    outcomes = parallel_map(_impact_placement, tasks, jobs=jobs)
 
-                        tag.detector = EnergyDetector(tag_id=7)
-                    out = run_backscatter_session(
-                        scene, tag, BackFiReader(config),
-                        wifi_rate_mbps=wifi_rate_mbps,
-                        wifi_payload_bytes=wifi_payload_bytes,
-                        use_tag_detector=not tag_on,
-                        decode_client=True,
-                        rng=rng,
-                    )
-                    good = bool(
-                        out.client is not None and out.client.ok
-                        and out.client.psdu is not None
-                    )
-                    if tag_on:
-                        ok_on += int(good)
-                    else:
-                        ok_off += int(good)
-                total += 1
-        rate = rate_params(wifi_rate_mbps).rate_mbps * 1e6
+    rate = rate_params(wifi_rate_mbps).rate_mbps * 1e6
+    for i, d in enumerate(tag_distances_m):
+        per_d = outcomes[i * n_placements:(i + 1) * n_placements]
+        ok_on = sum(o[0] for o in per_d)
+        ok_off = sum(o[1] for o in per_d)
+        total = sum(o[2] for o in per_d)
         result.distances_m.append(d)
         result.throughput_on_bps[d] = rate * ok_on / max(total, 1)
         result.throughput_off_bps[d] = rate * ok_off / max(total, 1)

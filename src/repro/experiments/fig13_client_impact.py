@@ -23,6 +23,7 @@ from ..tag.config import TagConfig
 from ..tag.detector import EnergyDetector
 from ..tag.tag import BackFiTag
 from .common import ExperimentTable, median
+from .engine import parallel_map, spawn_seeds
 
 __all__ = ["Fig13Result", "run"]
 
@@ -52,50 +53,75 @@ class Fig13Result:
         return max(0.0, 1.0 - self.throughput_on[rate_mbps] / off)
 
 
+def _client_packet(args: tuple) -> tuple[int, int, float, float]:
+    """One downlink packet, tag on vs off -- a picklable engine task.
+
+    Returns (ok_on, ok_off, snr_on, snr_off); SNRs are NaN when the
+    client reported no finite data SNR.
+    """
+    rate, packet_seed, tag_distance_m, d_client, wifi_payload_bytes, \
+        config = args
+    rng = np.random.default_rng(packet_seed)
+    scene = Scene.build(
+        tag_distance_m=tag_distance_m,
+        client_distance_m=d_client,
+        client_angle_deg=float(rng.uniform(0, 360)),
+        rng=rng,
+    )
+    ok = {True: 0, False: 0}
+    snr = {True: float("nan"), False: float("nan")}
+    for tag_on in (True, False):
+        tag = BackFiTag(config)
+        if not tag_on:
+            tag.detector = EnergyDetector(tag_id=7)
+        out = run_backscatter_session(
+            scene, tag, BackFiReader(config),
+            wifi_rate_mbps=rate,
+            wifi_payload_bytes=wifi_payload_bytes,
+            use_tag_detector=not tag_on,
+            decode_client=True,
+            rng=rng,
+        )
+        good = bool(out.client is not None and out.client.ok)
+        ok[tag_on] += int(good)
+        if out.client is not None and \
+                np.isfinite(out.client.data_snr_db):
+            snr[tag_on] = float(out.client.data_snr_db)
+    return ok[True], ok[False], snr[True], snr[False]
+
+
 def run(rates_mbps: tuple[int, ...] = DEFAULT_RATES, *,
         tag_distance_m: float = 0.25,
         n_packets: int = 10,
         wifi_payload_bytes: int = 600,
         edge_margin_db: float = 2.0,
-        seed: int = 31) -> Fig13Result:
+        seed: int = 31, jobs: int | None = None) -> Fig13Result:
     """Sweep WiFi bitrates with the tag at its worst-case position."""
-    rng = np.random.default_rng(seed)
     result = Fig13Result()
     config = TagConfig("16psk", "2/3", 2.5e6)
 
-    for rate in rates_mbps:
+    tasks = []
+    for rate, rate_seed in zip(rates_mbps,
+                               spawn_seeds(seed, len(rates_mbps))):
         d_client = client_edge_distance_m(rate, margin_db=edge_margin_db)
-        ok = {True: 0, False: 0}
-        snrs = {True: [], False: []}
-        for _ in range(n_packets):
-            scene = Scene.build(
-                tag_distance_m=tag_distance_m,
-                client_distance_m=d_client,
-                client_angle_deg=float(rng.uniform(0, 360)),
-                rng=rng,
-            )
-            for tag_on in (True, False):
-                tag = BackFiTag(config)
-                if not tag_on:
-                    tag.detector = EnergyDetector(tag_id=7)
-                out = run_backscatter_session(
-                    scene, tag, BackFiReader(config),
-                    wifi_rate_mbps=rate,
-                    wifi_payload_bytes=wifi_payload_bytes,
-                    use_tag_detector=not tag_on,
-                    decode_client=True,
-                    rng=rng,
-                )
-                good = bool(out.client is not None and out.client.ok)
-                ok[tag_on] += int(good)
-                if out.client is not None and \
-                        np.isfinite(out.client.data_snr_db):
-                    snrs[tag_on].append(out.client.data_snr_db)
+        tasks.extend(
+            (rate, packet_seed, tag_distance_m, d_client,
+             wifi_payload_bytes, config)
+            for packet_seed in rate_seed.spawn(n_packets)
+        )
+    outcomes = parallel_map(_client_packet, tasks, jobs=jobs)
+
+    for i, rate in enumerate(rates_mbps):
+        per_rate = outcomes[i * n_packets:(i + 1) * n_packets]
+        ok_on = sum(o[0] for o in per_rate)
+        ok_off = sum(o[1] for o in per_rate)
+        snr_on = [o[2] for o in per_rate if np.isfinite(o[2])]
+        snr_off = [o[3] for o in per_rate if np.isfinite(o[3])]
         result.rates_mbps.append(rate)
-        result.throughput_on[rate] = rate * 1e6 * ok[True] / n_packets
-        result.throughput_off[rate] = rate * 1e6 * ok[False] / n_packets
-        result.snr_on_db[rate] = median(snrs[True])
-        result.snr_off_db[rate] = median(snrs[False])
+        result.throughput_on[rate] = rate * 1e6 * ok_on / n_packets
+        result.throughput_off[rate] = rate * 1e6 * ok_off / n_packets
+        result.snr_on_db[rate] = median(snr_on)
+        result.snr_off_db[rate] = median(snr_off)
 
     table = ExperimentTable(
         title=f"Fig. 13 - client impact, tag @ {tag_distance_m} m",

@@ -20,6 +20,7 @@ from ..reader.reader import BackFiReader
 from ..tag.config import TagConfig, all_tag_configs
 from ..tag.tag import BackFiTag
 from .common import ExperimentTable, format_si
+from .engine import parallel_map, spawn_seeds
 
 __all__ = ["Fig8Point", "Fig8Result", "run"]
 
@@ -65,60 +66,68 @@ def _candidate_configs() -> list[TagConfig]:
     return sorted(configs, key=lambda c: -c.throughput_bps)
 
 
+def _eval_cell(args: tuple) -> Fig8Point:
+    """One (distance, preamble) sweep cell -- a picklable engine task.
+
+    Walks the candidate operating points fastest-first and returns the
+    first one a majority of trials decodes.
+    """
+    d, pre, trial_seeds, wifi_payload_bytes, snr_margin_db = args
+    budget = LinkBudget()
+    trials = len(trial_seeds)
+    for cfg in _candidate_configs():
+        predicted = budget.symbol_snr_db(d, cfg, preamble_us=pre)
+        if predicted < required_snr_db(cfg) - snr_margin_db:
+            continue
+        oks, snrs = 0, []
+        for ss in trial_seeds:
+            trial_rng = np.random.default_rng(ss)
+            scene = Scene.build(tag_distance_m=d, rng=trial_rng)
+            out = run_backscatter_session(
+                scene,
+                BackFiTag(cfg, preamble_us=pre),
+                BackFiReader(cfg),
+                wifi_payload_bytes=wifi_payload_bytes,
+                preamble_us=pre,
+                rng=trial_rng,
+            )
+            oks += int(out.ok)
+            if np.isfinite(out.reader.symbol_snr_db):
+                snrs.append(out.reader.symbol_snr_db)
+        if oks * 2 > trials:
+            return Fig8Point(
+                distance_m=d, preamble_us=pre,
+                throughput_bps=cfg.throughput_bps, config=cfg,
+                measured_snr_db=float(np.median(snrs))
+                if snrs else float("nan"),
+            )
+    return Fig8Point(
+        distance_m=d, preamble_us=pre, throughput_bps=0.0,
+        config=None, measured_snr_db=float("nan"),
+    )
+
+
 def run(distances_m: tuple[float, ...] = DEFAULT_DISTANCES_M,
         preambles_us: tuple[float, ...] = DEFAULT_PREAMBLES_US,
         *, trials: int = 5, wifi_payload_bytes: int = 4000,
-        snr_margin_db: float = 8.0, seed: int = 7) -> Fig8Result:
+        snr_margin_db: float = 8.0, seed: int = 7,
+        jobs: int | None = None) -> Fig8Result:
     """Run the throughput-vs-range sweep.
 
     ``snr_margin_db`` prunes operating points whose link-budget SNR falls
     that far below the decode threshold (they cannot plausibly work), so
     the sweep spends its sample-level simulations near the frontier.
     """
-    rng = np.random.default_rng(seed)
-    budget = LinkBudget()
     result = Fig8Result()
-    candidates = _candidate_configs()
-
-    for d in distances_m:
-        # One seed per trial index, shared across configs/preambles so the
-        # comparison is paired on the same channel realisations.
-        trial_seeds = [int(s) for s in rng.integers(2**32, size=trials)]
+    cells = []
+    for d, d_seed in zip(distances_m, spawn_seeds(seed, len(distances_m))):
+        # One child seed per trial index, shared across configs/preambles
+        # so the comparison is paired on the same channel realisations.
+        trial_seeds = d_seed.spawn(trials)
         for pre in preambles_us:
-            best: Fig8Point | None = None
-            for cfg in candidates:
-                predicted = budget.symbol_snr_db(d, cfg, preamble_us=pre)
-                if predicted < required_snr_db(cfg) - snr_margin_db:
-                    continue
-                oks, snrs = 0, []
-                for t in range(trials):
-                    trial_rng = np.random.default_rng(trial_seeds[t])
-                    scene = Scene.build(tag_distance_m=d, rng=trial_rng)
-                    out = run_backscatter_session(
-                        scene,
-                        BackFiTag(cfg, preamble_us=pre),
-                        BackFiReader(cfg),
-                        wifi_payload_bytes=wifi_payload_bytes,
-                        preamble_us=pre,
-                        rng=trial_rng,
-                    )
-                    oks += int(out.ok)
-                    if np.isfinite(out.reader.symbol_snr_db):
-                        snrs.append(out.reader.symbol_snr_db)
-                if oks * 2 > trials:
-                    best = Fig8Point(
-                        distance_m=d, preamble_us=pre,
-                        throughput_bps=cfg.throughput_bps, config=cfg,
-                        measured_snr_db=float(np.median(snrs))
-                        if snrs else float("nan"),
-                    )
-                    break
-            if best is None:
-                best = Fig8Point(
-                    distance_m=d, preamble_us=pre, throughput_bps=0.0,
-                    config=None, measured_snr_db=float("nan"),
-                )
-            result.points.append(best)
+            cells.append((d, pre, trial_seeds, wifi_payload_bytes,
+                          snr_margin_db))
+    result.points.extend(parallel_map(_eval_cell, cells, jobs=jobs))
 
     table = ExperimentTable(
         title="Fig. 8 - max throughput vs range",

@@ -19,6 +19,7 @@ from ..tag.config import TagConfig, all_tag_configs
 from ..tag.energy import default_energy_model
 from ..tag.tag import BackFiTag
 from .common import ExperimentTable, format_si
+from .engine import parallel_map, spawn_seeds
 
 __all__ = ["FrontierPoint", "Fig9Result", "run", "measure_feasible_configs"]
 
@@ -50,41 +51,51 @@ class Fig9Result:
         return max(tputs) if tputs else 0.0
 
 
+def _eval_config(args: tuple) -> bool:
+    """Feasibility of one operating point -- a picklable engine task."""
+    cfg, distance_m, trial_seeds, wifi_payload_bytes = args
+    trials = len(trial_seeds)
+    oks = 0
+    for ss in trial_seeds:
+        trial_rng = np.random.default_rng(ss)
+        scene = Scene.build(tag_distance_m=distance_m, rng=trial_rng)
+        out = run_backscatter_session(
+            scene, BackFiTag(cfg), BackFiReader(cfg),
+            wifi_payload_bytes=wifi_payload_bytes, rng=trial_rng,
+        )
+        oks += int(out.ok)
+    return oks * 2 > trials or (trials == 1 and oks == 1)
+
+
 def measure_feasible_configs(distance_m: float, *, trials: int = 2,
                              wifi_payload_bytes: int = 3000,
                              configs: list[TagConfig] | None = None,
-                             seed: int = 11) -> list[TagConfig]:
+                             seed: int = 11,
+                             jobs: int | None = None) -> list[TagConfig]:
     """Sample-level feasibility test of every operating point at a range."""
-    rng = np.random.default_rng(seed)
     if configs is None:
         configs = [c for c in all_tag_configs() if c.symbol_rate_hz >= 100e3]
-    trial_seeds = [int(s) for s in rng.integers(2**32, size=trials)]
-    feasible = []
-    for cfg in configs:
-        oks = 0
-        for t in range(trials):
-            trial_rng = np.random.default_rng(trial_seeds[t])
-            scene = Scene.build(tag_distance_m=distance_m, rng=trial_rng)
-            out = run_backscatter_session(
-                scene, BackFiTag(cfg), BackFiReader(cfg),
-                wifi_payload_bytes=wifi_payload_bytes, rng=trial_rng,
-            )
-            oks += int(out.ok)
-        if oks * 2 > trials or (trials == 1 and oks == 1):
-            feasible.append(cfg)
-    return feasible
+    # The same trial seeds for every config: paired channel realisations.
+    trial_seeds = spawn_seeds(seed, trials)
+    verdicts = parallel_map(
+        _eval_config,
+        [(cfg, distance_m, trial_seeds, wifi_payload_bytes)
+         for cfg in configs],
+        jobs=jobs,
+    )
+    return [cfg for cfg, ok in zip(configs, verdicts) if ok]
 
 
 def run(ranges_m: tuple[float, ...] = DEFAULT_RANGES_M, *,
         trials: int = 2, wifi_payload_bytes: int = 3000,
-        seed: int = 11) -> Fig9Result:
+        seed: int = 11, jobs: int | None = None) -> Fig9Result:
     """Build the REPB-throughput frontier for every range."""
     model = default_energy_model()
     result = Fig9Result()
     for d in ranges_m:
         feasible = measure_feasible_configs(
             d, trials=trials, wifi_payload_bytes=wifi_payload_bytes,
-            seed=seed,
+            seed=seed, jobs=jobs,
         )
         result.feasible[d] = feasible
         # Min REPB per achieved throughput.

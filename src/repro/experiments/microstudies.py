@@ -25,6 +25,7 @@ from ..tag.config import TagConfig
 from ..tag.tag import BackFiTag
 from ..wifi.frames import random_payload
 from .common import ExperimentTable, format_si
+from .engine import parallel_map, spawn_seeds
 
 __all__ = [
     "PreambleSweepResult",
@@ -45,38 +46,47 @@ class PreambleSweepResult:
     table: ExperimentTable | None = None
 
 
+def _preamble_cell(args: tuple) -> tuple[float, float]:
+    """(median SNR, success rate) at one (distance, preamble) cell."""
+    d, pre, trial_seeds, config = args
+    snrs, oks = [], 0
+    for ts in trial_seeds:
+        rng = np.random.default_rng(ts)
+        scene = Scene.build(tag_distance_m=d, rng=rng)
+        out = run_backscatter_session(
+            scene,
+            BackFiTag(config, preamble_us=pre),
+            BackFiReader(config),
+            preamble_us=pre,
+            wifi_payload_bytes=3000,
+            rng=rng,
+        )
+        oks += int(out.ok)
+        if np.isfinite(out.reader.symbol_snr_db):
+            snrs.append(out.reader.symbol_snr_db)
+    snr = float(np.median(snrs)) if snrs else float("nan")
+    return snr, oks / len(trial_seeds)
+
+
 def preamble_sweep(distances_m: tuple[float, ...] = (2.0, 5.0, 7.0),
                    preambles_us: tuple[float, ...] = (16.0, 32.0, 64.0,
                                                       96.0),
                    *, trials: int = 5,
                    config: TagConfig | None = None,
-                   seed: int = 53) -> PreambleSweepResult:
+                   seed: int = 53,
+                   jobs: int | None = None) -> PreambleSweepResult:
     """Sweep tag preamble length: estimation quality vs overhead."""
     config = config or TagConfig("qpsk", "1/2", 500e3)
     result = PreambleSweepResult()
-    base = np.random.default_rng(seed)
-    for d in distances_m:
-        seeds = [int(s) for s in base.integers(2**32, size=trials)]
-        for pre in preambles_us:
-            snrs, oks = [], 0
-            for t in range(trials):
-                rng = np.random.default_rng(seeds[t])
-                scene = Scene.build(tag_distance_m=d, rng=rng)
-                out = run_backscatter_session(
-                    scene,
-                    BackFiTag(config, preamble_us=pre),
-                    BackFiReader(config),
-                    preamble_us=pre,
-                    wifi_payload_bytes=3000,
-                    rng=rng,
-                )
-                oks += int(out.ok)
-                if np.isfinite(out.reader.symbol_snr_db):
-                    snrs.append(out.reader.symbol_snr_db)
-            key = (d, pre)
-            result.snr_db[key] = float(np.median(snrs)) if snrs else \
-                float("nan")
-            result.success[key] = oks / trials
+    cells = []
+    for d, d_seed in zip(distances_m, spawn_seeds(seed, len(distances_m))):
+        # Trial seeds shared across preamble lengths: paired channels.
+        trial_seeds = d_seed.spawn(trials)
+        cells.extend((d, pre, trial_seeds, config) for pre in preambles_us)
+    outcomes = parallel_map(_preamble_cell, cells, jobs=jobs)
+    for (d, pre, *_), (snr, success) in zip(cells, outcomes):
+        result.snr_db[(d, pre)] = snr
+        result.success[(d, pre)] = success
 
     table = ExperimentTable(
         title="Preamble-length sweep (SNR dB / success)",
@@ -96,36 +106,48 @@ def preamble_sweep(distances_m: tuple[float, ...] = (2.0, 5.0, 7.0),
     return result
 
 
+def _channel_cell(args: tuple) -> tuple[int, float]:
+    """(decodes, median SNR) on one WiFi channel."""
+    freq, distance_m, trial_seeds, config = args
+    cfg = SceneConfig(carrier_freq_hz=freq)
+    snrs, oks = [], 0
+    for ts in trial_seeds:
+        rng = np.random.default_rng(ts)
+        scene = Scene.build(tag_distance_m=distance_m, config=cfg,
+                            rng=rng)
+        out = run_backscatter_session(
+            scene, BackFiTag(config), BackFiReader(config), rng=rng,
+        )
+        oks += int(out.ok)
+        if np.isfinite(out.reader.symbol_snr_db):
+            snrs.append(out.reader.symbol_snr_db)
+    return oks, float(np.median(snrs)) if snrs else float("nan")
+
+
 def wifi_channel_similarity(channels: dict[int, float] | None = None, *,
                             distance_m: float = 2.0, trials: int = 4,
                             config: TagConfig | None = None,
-                            seed: int = 59) -> ExperimentTable:
+                            seed: int = 59,
+                            jobs: int | None = None) -> ExperimentTable:
     """Verify BackFi behaves the same on WiFi channels 1/6/11."""
     channels = channels or WIFI_CHANNEL_FREQS_HZ
     config = config or TagConfig("qpsk", "1/2", 1e6)
-    base = np.random.default_rng(seed)
-    seeds = [int(s) for s in base.integers(2**32, size=trials)]
+    # The same trial seeds on every channel: paired realisations.
+    trial_seeds = spawn_seeds(seed, trials)
 
     table = ExperimentTable(
         title=f"WiFi channel similarity @ {distance_m} m "
               f"({config.describe()})",
         columns=["channel", "centre freq", "success", "median SNR (dB)"],
     )
+    outcomes = parallel_map(
+        _channel_cell,
+        [(freq, distance_m, trial_seeds, config)
+         for freq in channels.values()],
+        jobs=jobs,
+    )
     medians = {}
-    for ch, freq in channels.items():
-        cfg = SceneConfig(carrier_freq_hz=freq)
-        snrs, oks = [], 0
-        for t in range(trials):
-            rng = np.random.default_rng(seeds[t])
-            scene = Scene.build(tag_distance_m=distance_m, config=cfg,
-                                rng=rng)
-            out = run_backscatter_session(
-                scene, BackFiTag(config), BackFiReader(config), rng=rng,
-            )
-            oks += int(out.ok)
-            if np.isfinite(out.reader.symbol_snr_db):
-                snrs.append(out.reader.symbol_snr_db)
-        med = float(np.median(snrs)) if snrs else float("nan")
+    for (ch, freq), (oks, med) in zip(channels.items(), outcomes):
         medians[ch] = med
         table.add_row(ch, f"{freq / 1e9:.3f} GHz", f"{oks}/{trials}",
                       f"{med:.1f}")

@@ -1,9 +1,12 @@
 """Generate a markdown reproduction report from live experiment runs.
 
-``python -m repro.experiments.report -o report.md [--fast]`` runs every
-experiment and writes one self-contained markdown document: tables,
-ASCII figure shapes, and the paper-vs-measured commentary skeleton --
-the artifact you attach to a reproduction claim.
+``python -m repro.experiments.report -o report.md [--fast] [--jobs N]``
+runs every experiment through the :mod:`repro.experiments.engine` and
+writes one self-contained markdown document: tables, ASCII figure
+shapes, and the paper-vs-measured commentary skeleton -- the artifact
+you attach to a reproduction claim.  Experiments whose name and
+parameters match an earlier ``run_all`` invocation are served from the
+shared ``.repro_cache/``.
 """
 
 from __future__ import annotations
@@ -12,6 +15,8 @@ import argparse
 import sys
 import time
 
+from .engine import ExperimentEngine, use_engine
+
 __all__ = ["generate_report", "main"]
 
 
@@ -19,7 +24,8 @@ def _fence(text: str) -> str:
     return f"```text\n{text}\n```"
 
 
-def generate_report(*, fast: bool = True) -> str:
+def generate_report(*, fast: bool = True,
+                    engine: ExperimentEngine | None = None) -> str:
     """Run all experiments and return the markdown report."""
     from . import (
         ablations,
@@ -37,74 +43,90 @@ def generate_report(*, fast: bool = True) -> str:
     from .run_all import _plot_fig8, _plot_fig11a, _plot_fig11b, \
         _plot_fig12a
 
+    engine = engine or ExperimentEngine(jobs=1, cache=True)
     trials2 = 1 if fast else 2
     trials3 = 3 if fast else 5
 
     sections: list[tuple[str, str]] = []
+    with engine, use_engine(engine):
+        r7 = engine.run("fig7_energy_table", fig7_energy_table.run)
+        sections.append((
+            "Fig. 7 — energy model",
+            _fence(str(r7.table)) + f"\n\nMax deviation from the paper's "
+            f"table: **{r7.max_rel_error:.2%}**.",
+        ))
 
-    r7 = fig7_energy_table.run()
-    sections.append((
-        "Fig. 7 — energy model",
-        _fence(str(r7.table)) + f"\n\nMax deviation from the paper's "
-        f"table: **{r7.max_rel_error:.2%}**.",
-    ))
+        r8 = engine.run("fig8_throughput_range", fig8_throughput_range.run,
+                        {"trials": trials3})
+        sections.append((
+            "Fig. 8 — throughput vs range",
+            _fence(str(r8.table)) + "\n\n" + _fence(_plot_fig8(r8)),
+        ))
 
-    r8 = fig8_throughput_range.run(trials=trials3)
-    sections.append((
-        "Fig. 8 — throughput vs range",
-        _fence(str(r8.table)) + "\n\n" + _fence(_plot_fig8(r8)),
-    ))
+        r9 = engine.run("fig9_repb_vs_throughput",
+                        fig9_repb_vs_throughput.run, {"trials": trials2})
+        sections.append(("Fig. 9 — REPB/throughput frontier",
+                         _fence(str(r9.table))))
 
-    r9 = fig9_repb_vs_throughput.run(trials=trials2)
-    sections.append(("Fig. 9 — REPB/throughput frontier",
-                     _fence(str(r9.table))))
+        r10 = engine.run("fig10_repb_vs_range", fig10_repb_vs_range.run,
+                         {"trials": trials2})
+        sections.append(("Fig. 10 — REPB vs range at fixed throughput",
+                         _fence(str(r10.table))))
 
-    r10 = fig10_repb_vs_range.run(trials=trials2)
-    sections.append(("Fig. 10 — REPB vs range at fixed throughput",
-                     _fence(str(r10.table))))
+        r11a = engine.run(
+            "fig11_snr_scatter", fig11_microbench.run_snr_scatter,
+            {"n_locations": 10 if fast else 30,
+             "runs_per_location": 2 if fast else 3})
+        sections.append((
+            "Fig. 11a — cancellation residue",
+            _fence(str(r11a.table)) + "\n\n" + _fence(_plot_fig11a(r11a)),
+        ))
 
-    r11a = fig11_microbench.run_snr_scatter(10 if fast else 30,
-                                            2 if fast else 3)
-    sections.append((
-        "Fig. 11a — cancellation residue",
-        _fence(str(r11a.table)) + "\n\n" + _fence(_plot_fig11a(r11a)),
-    ))
+        r11b = engine.run(
+            "fig11_ber_vs_rate", fig11_microbench.run_ber_vs_rate,
+            {"sessions_per_point": 2 if fast else 4})
+        sections.append((
+            "Fig. 11b — BER vs symbol rate",
+            _fence(str(r11b.table)) + "\n\n" + _fence(_plot_fig11b(r11b)),
+        ))
 
-    r11b = fig11_microbench.run_ber_vs_rate(
-        sessions_per_point=2 if fast else 4)
-    sections.append((
-        "Fig. 11b — BER vs symbol rate",
-        _fence(str(r11b.table)) + "\n\n" + _fence(_plot_fig11b(r11b)),
-    ))
+        r12a = engine.run(
+            "fig12_loaded_network", fig12_network.run_loaded_network,
+            {"n_aps": 8 if fast else 20,
+             "trace_duration_s": 0.25 if fast else 0.5})
+        sections.append((
+            "Fig. 12a — loaded networks",
+            _fence(str(r12a.table)) + "\n\n" + _fence(_plot_fig12a(r12a)),
+        ))
 
-    r12a = fig12_network.run_loaded_network(8 if fast else 20,
-                                            0.25 if fast else 0.5)
-    sections.append((
-        "Fig. 12a — loaded networks",
-        _fence(str(r12a.table)) + "\n\n" + _fence(_plot_fig12a(r12a)),
-    ))
+        r12b = engine.run("fig12_wifi_impact",
+                          fig12_network.run_wifi_impact,
+                          {"n_placements": 3 if fast else 6})
+        sections.append(("Fig. 12b — WiFi impact vs tag distance",
+                         _fence(str(r12b.table))))
 
-    r12b = fig12_network.run_wifi_impact(n_placements=3 if fast else 6)
-    sections.append(("Fig. 12b — WiFi impact vs tag distance",
-                     _fence(str(r12b.table))))
+        r13 = engine.run("fig13_client_impact", fig13_client_impact.run,
+                         {"n_packets": 4 if fast else 10})
+        sections.append(("Fig. 13 — worst-case client impact",
+                         _fence(str(r13.table))))
 
-    r13 = fig13_client_impact.run(n_packets=4 if fast else 10)
-    sections.append(("Fig. 13 — worst-case client impact",
-                     _fence(str(r13.table))))
+        rc = engine.run("comparison", comparison.run, {"trials": trials3})
+        sections.append(("Headline comparison", _fence(str(rc.table))))
 
-    rc = comparison.run(trials=trials3)
-    sections.append(("Headline comparison", _fence(str(rc.table))))
+        ra = engine.run("ablations", ablations.run, {"trials": trials3})
+        rad = engine.run("mrc_vs_divide", ablations.mrc_vs_divide,
+                         {"trials": trials3})
+        sections.append(("Ablations", _fence(str(ra.table)) + "\n\n"
+                         + _fence(str(rad))))
 
-    ra = ablations.run(trials=trials3)
-    sections.append(("Ablations", _fence(str(ra.table)) + "\n\n"
-                     + _fence(str(ablations.mrc_vs_divide(
-                         trials=trials3)))))
+        rx = engine.run("alt_excitation", alt_excitation.run,
+                        {"trials": 2 if fast else 5})
+        sections.append(("Alternative excitations", _fence(str(rx.table))))
 
-    rx = alt_excitation.run(trials=2 if fast else 5)
-    sections.append(("Alternative excitations", _fence(str(rx.table))))
-
-    ms = microstudies.wifi_channel_similarity(trials=2 if fast else 4)
-    sections.append(("WiFi channel similarity", _fence(str(ms))))
+        ms = engine.run("wifi_channel_similarity",
+                        microstudies.wifi_channel_similarity,
+                        {"trials": 2 if fast else 4})
+        sections.append(("WiFi channel similarity", _fence(str(ms))))
 
     stamp = time.strftime("%Y-%m-%d %H:%M:%S")
     out = [
@@ -126,14 +148,19 @@ def generate_report(*, fast: bool = True) -> str:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point for the report generator."""
+    from .run_all import add_engine_args
+
     parser = argparse.ArgumentParser(
         description="Generate a markdown reproduction report.")
     parser.add_argument("-o", "--output", default="report.md")
     parser.add_argument("--fast", action="store_true")
+    add_engine_args(parser)
     args = parser.parse_args(argv)
-    text = generate_report(fast=args.fast)
+    engine = ExperimentEngine(jobs=args.jobs, cache=not args.no_cache)
+    text = generate_report(fast=args.fast, engine=engine)
     with open(args.output, "w") as f:
         f.write(text)
+    print(engine.report(), file=sys.stderr)
     print(f"wrote {args.output} ({len(text)} chars)")
     return 0
 

@@ -1,15 +1,23 @@
 """Run every paper experiment and print the regenerated tables.
 
-``python -m repro.experiments.run_all`` takes a few minutes; pass
-``--fast`` for a reduced-size pass (~1 minute) and ``--plot`` to render
-the figure shapes as ASCII plots alongside the tables.
+``python -m repro.experiments.run_all`` regenerates all tables through
+the :mod:`repro.experiments.engine`: ``--jobs N`` fans the Monte-Carlo
+trials out over N worker processes (``--jobs 0`` = all CPUs) and results
+are cached under ``.repro_cache/`` so a re-run -- or a ``--plot``-only
+pass -- is nearly free.  Pass ``--fast`` for a reduced-size pass and
+``--no-cache`` to force recomputation.
+
+Tables go to **stdout** and are byte-identical for any worker count
+(trial seeds are spawned deterministically per trial, never shared
+across workers); timing and progress lines go to **stderr**.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
+
+from .engine import ExperimentEngine, use_engine
 
 
 def _plot_fig8(result) -> str:
@@ -59,17 +67,12 @@ def _plot_fig12a(result) -> str:
     )
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Run every paper experiment and print the regenerated tables."""
-    parser = argparse.ArgumentParser(
-        description="Regenerate every BackFi paper table/figure.")
-    parser.add_argument("--fast", action="store_true",
-                        help="reduced trial counts (~1 minute)")
-    parser.add_argument("--plot", action="store_true",
-                        help="also render ASCII figure shapes")
-    args = parser.parse_args(argv)
-    fast = args.fast
+def experiment_specs(fast: bool) -> list[tuple]:
+    """(title, cache name, fn, params, plotter) for every experiment.
 
+    The cache name plus the params dict *is* the cache identity, so two
+    invocations that agree on them share cached results.
+    """
     from . import (
         ablations,
         comparison,
@@ -82,45 +85,73 @@ def main(argv: list[str] | None = None) -> int:
         fig13_client_impact,
     )
 
-    jobs = [
-        ("Fig. 7", lambda: fig7_energy_table.run(), None),
-        ("Fig. 8", lambda: fig8_throughput_range.run(
-            trials=3 if fast else 5), _plot_fig8),
-        ("Fig. 9", lambda: fig9_repb_vs_throughput.run(
-            trials=1 if fast else 2), None),
-        ("Fig. 10", lambda: fig10_repb_vs_range.run(
-            trials=1 if fast else 2), None),
-        ("Fig. 11a", lambda: fig11_microbench.run_snr_scatter(
-            10 if fast else 30, 2 if fast else 3), _plot_fig11a),
-        ("Fig. 11b", lambda: fig11_microbench.run_ber_vs_rate(
-            sessions_per_point=2 if fast else 4), _plot_fig11b),
-        ("Fig. 12a", lambda: fig12_network.run_loaded_network(
-            8 if fast else 20, 0.25 if fast else 0.5), _plot_fig12a),
-        ("Fig. 12b", lambda: fig12_network.run_wifi_impact(
-            n_placements=3 if fast else 6), None),
-        ("Fig. 13", lambda: fig13_client_impact.run(
-            n_packets=4 if fast else 10), None),
-        ("Comparison", lambda: comparison.run(
-            trials=3 if fast else 5), None),
-        ("Ablations", lambda: ablations.run(
-            trials=3 if fast else 5), None),
+    return [
+        ("Fig. 7", "fig7_energy_table", fig7_energy_table.run,
+         {}, None),
+        ("Fig. 8", "fig8_throughput_range", fig8_throughput_range.run,
+         {"trials": 3 if fast else 5}, _plot_fig8),
+        ("Fig. 9", "fig9_repb_vs_throughput",
+         fig9_repb_vs_throughput.run,
+         {"trials": 1 if fast else 2}, None),
+        ("Fig. 10", "fig10_repb_vs_range", fig10_repb_vs_range.run,
+         {"trials": 1 if fast else 2}, None),
+        ("Fig. 11a", "fig11_snr_scatter",
+         fig11_microbench.run_snr_scatter,
+         {"n_locations": 10 if fast else 30,
+          "runs_per_location": 2 if fast else 3}, _plot_fig11a),
+        ("Fig. 11b", "fig11_ber_vs_rate",
+         fig11_microbench.run_ber_vs_rate,
+         {"sessions_per_point": 2 if fast else 4}, _plot_fig11b),
+        ("Fig. 12a", "fig12_loaded_network",
+         fig12_network.run_loaded_network,
+         {"n_aps": 8 if fast else 20,
+          "trace_duration_s": 0.25 if fast else 0.5}, _plot_fig12a),
+        ("Fig. 12b", "fig12_wifi_impact", fig12_network.run_wifi_impact,
+         {"n_placements": 3 if fast else 6}, None),
+        ("Fig. 13", "fig13_client_impact", fig13_client_impact.run,
+         {"n_packets": 4 if fast else 10}, None),
+        ("Comparison", "comparison", comparison.run,
+         {"trials": 3 if fast else 5}, None),
+        ("Ablations", "ablations", ablations.run,
+         {"trials": 3 if fast else 5}, None),
+        ("MRC vs divide", "mrc_vs_divide", ablations.mrc_vs_divide,
+         {"trials": 3 if fast else 5}, None),
     ]
 
-    t_start = time.time()
-    for name, job, plotter in jobs:
-        t0 = time.time()
-        result = job()
-        print(result.table)
-        if args.plot and plotter is not None:
-            print()
-            print(plotter(result))
-        print(f"[{name} regenerated in {time.time() - t0:.1f} s]\n")
 
-    t0 = time.time()
-    table = ablations.mrc_vs_divide(trials=3 if fast else 5)
-    print(table)
-    print(f"[MRC vs divide regenerated in {time.time() - t0:.1f} s]\n")
-    print(f"all experiments done in {time.time() - t_start:.1f} s")
+def add_engine_args(parser: argparse.ArgumentParser) -> None:
+    """The engine flags shared by run_all / report / the CLI."""
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (0 = all CPUs)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute instead of reading .repro_cache/")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run every paper experiment and print the regenerated tables."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate every BackFi paper table/figure.")
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced trial counts (~1 minute)")
+    parser.add_argument("--plot", action="store_true",
+                        help="also render ASCII figure shapes")
+    add_engine_args(parser)
+    args = parser.parse_args(argv)
+
+    engine = ExperimentEngine(jobs=args.jobs, cache=not args.no_cache)
+    with engine, use_engine(engine):
+        for title, name, fn, params, plotter in experiment_specs(args.fast):
+            result = engine.run(name, fn, params)
+            table = getattr(result, "table", result)
+            print(table)
+            if args.plot and plotter is not None:
+                print()
+                print(plotter(result))
+            print()
+            print(engine.records[-1].describe(), file=sys.stderr)
+    print(engine.report(), file=sys.stderr)
+    print(f"all experiments done in {engine.total_seconds():.1f} s",
+          file=sys.stderr)
     return 0
 
 

@@ -44,10 +44,16 @@ class MrcOutput:
         return int(self.symbols.size)
 
     def mean_snr_db(self) -> float:
-        """Average post-MRC symbol SNR in dB."""
+        """Average post-MRC symbol SNR in dB (NaN when unmeasurable).
+
+        With no positive noise-variance estimate there is no SNR to
+        report; NaN propagates honestly through downstream statistics
+        (``np.isfinite`` filters, table dashes) where ``+inf`` would
+        masquerade as a perfect link.
+        """
         good = self.noise_var > 0
         if not np.any(good):
-            return float("inf")
+            return float("nan")
         snr = np.mean(np.abs(self.symbols[good]) ** 2 / self.noise_var[good])
         return float(10.0 * np.log10(max(snr, 1e-30)))
 
@@ -80,8 +86,8 @@ def mrc_combine(
     noise_floor:
         Per-sample noise power; used to report the per-symbol noise
         variance of the combined statistic for soft decoding.  When zero,
-        the variance is inferred per packet from the combining weights
-        alone (relative LLR scaling still correct).
+        the per-sample noise power is inferred per packet from the
+        post-combine residuals (relative LLR scaling still correct).
     """
     y_clean = np.asarray(y_clean, dtype=np.complex128)
     template = np.asarray(template, dtype=np.complex128)
@@ -104,7 +110,17 @@ def mrc_combine(
     energy = np.maximum(energy, 1e-30)
     combined = np.sum(y_use * np.conj(t_use), axis=1) / energy
     # Var of combined statistic: sigma^2 * sum|t|^2 / (sum|t|^2)^2.
-    noise_var = noise_floor / energy
+    if noise_floor > 0:
+        noise_var = noise_floor / energy
+    else:
+        # No measured floor: infer the per-sample noise power from the
+        # post-combine residuals.  Each symbol's fit consumes one complex
+        # degree of freedom (the phase estimate), hence the m-1 divisor.
+        resid = y_use - combined[:, None] * t_use
+        m = y_use.shape[1]
+        sigma2 = float(np.sum(np.abs(resid) ** 2)) \
+            / (n_symbols * max(m - 1, 1))
+        noise_var = sigma2 / energy
     return MrcOutput(
         symbols=combined,
         noise_var=noise_var,

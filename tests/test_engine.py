@@ -1,0 +1,191 @@
+"""Tests for the parallel + cached experiment engine."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.engine import (
+    ExperimentEngine,
+    JobRecord,
+    cache_key,
+    code_fingerprint,
+    get_engine,
+    parallel_map,
+    resolve_jobs,
+    spawn_rngs,
+    spawn_seeds,
+    use_engine,
+)
+
+_CALLS = {"n": 0}
+
+
+def _square(x):
+    """Module-level so it pickles into pool workers."""
+    return x * x
+
+
+def _draw(seed_seq):
+    """First uniform draw of a spawned trial generator."""
+    return float(np.random.default_rng(seed_seq).uniform())
+
+
+def _counted(n=3):
+    _CALLS["n"] += 1
+    return list(range(n))
+
+
+class TestSeeding:
+    def test_spawn_deterministic(self):
+        a = [_draw(s) for s in spawn_seeds(123, 5)]
+        b = [_draw(s) for s in spawn_seeds(123, 5)]
+        assert a == b
+
+    def test_spawn_prefix_stable(self):
+        # Trial i's stream must not depend on how many trials run.
+        few = [_draw(s) for s in spawn_seeds(9, 3)]
+        many = [_draw(s) for s in spawn_seeds(9, 8)]
+        assert many[:3] == few
+
+    def test_children_independent(self):
+        draws = [_draw(s) for s in spawn_seeds(7, 16)]
+        assert len(set(draws)) == 16
+
+    def test_spawn_rngs(self):
+        r1, r2 = spawn_rngs(5, 2)
+        assert r1.uniform() != r2.uniform()
+
+    def test_accepts_seed_sequence_root(self):
+        root = np.random.SeedSequence(11)
+        a = [_draw(s) for s in spawn_seeds(root.spawn(1)[0], 2)]
+        root2 = np.random.SeedSequence(11)
+        b = [_draw(s) for s in spawn_seeds(root2.spawn(1)[0], 2)]
+        assert a == b
+
+
+class TestCacheKey:
+    def test_stable(self):
+        assert cache_key("e", {"a": 1}) == cache_key("e", {"a": 1})
+
+    def test_sensitive_to_name_and_params(self):
+        base = cache_key("e", {"a": 1})
+        assert cache_key("f", {"a": 1}) != base
+        assert cache_key("e", {"a": 2}) != base
+        assert cache_key("e", {"b": 1}) != base
+
+    def test_param_order_irrelevant(self):
+        assert cache_key("e", {"a": 1, "b": 2}) == \
+            cache_key("e", {"b": 2, "a": 1})
+
+    def test_numpy_params_canonicalised(self):
+        assert cache_key("e", {"a": np.int64(3)}) == \
+            cache_key("e", {"a": 3})
+        assert cache_key("e", {"a": np.arange(3)}) == \
+            cache_key("e", {"a": np.arange(3)})
+
+    def test_fingerprint_in_key(self):
+        assert len(code_fingerprint()) == 16
+
+
+class TestParallelMap:
+    def test_serial_matches_parallel(self):
+        items = list(range(12))
+        assert parallel_map(_square, items, jobs=1) == \
+            parallel_map(_square, items, jobs=2)
+
+    def test_order_preserved(self):
+        with ExperimentEngine(jobs=2, cache=False) as eng:
+            assert eng.map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_uses_current_engine(self):
+        with ExperimentEngine(jobs=2, cache=False) as eng, \
+                use_engine(eng):
+            assert resolve_jobs(None) == 2
+            assert parallel_map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert resolve_jobs(None) == get_engine().jobs
+
+    def test_resolve_explicit(self):
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs(0) >= 1
+
+
+class TestEngineRun:
+    def test_cache_roundtrip(self, tmp_path):
+        _CALLS["n"] = 0
+        with ExperimentEngine(jobs=1, cache_dir=tmp_path) as eng:
+            first = eng.run("counted", _counted, {"n": 4})
+            second = eng.run("counted", _counted, {"n": 4})
+        assert first == second == [0, 1, 2, 3]
+        assert _CALLS["n"] == 1
+        assert [r.cached for r in eng.records] == [False, True]
+        assert len(list((tmp_path / "counted").glob("*.pkl"))) == 1
+
+    def test_param_change_recomputes(self, tmp_path):
+        _CALLS["n"] = 0
+        with ExperimentEngine(jobs=1, cache_dir=tmp_path) as eng:
+            eng.run("counted", _counted, {"n": 4})
+            eng.run("counted", _counted, {"n": 5})
+        assert _CALLS["n"] == 2
+
+    def test_cache_disabled_writes_nothing(self, tmp_path):
+        _CALLS["n"] = 0
+        with ExperimentEngine(jobs=1, cache=False,
+                              cache_dir=tmp_path) as eng:
+            eng.run("counted", _counted)
+            eng.run("counted", _counted)
+        assert _CALLS["n"] == 2
+        assert not (tmp_path / "counted").exists()
+
+    def test_cache_shared_between_engines(self, tmp_path):
+        _CALLS["n"] = 0
+        with ExperimentEngine(cache_dir=tmp_path) as eng:
+            eng.run("counted", _counted, {"n": 2})
+        with ExperimentEngine(cache_dir=tmp_path) as eng2:
+            eng2.run("counted", _counted, {"n": 2})
+        assert _CALLS["n"] == 1
+        assert eng2.records[0].cached
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        _CALLS["n"] = 0
+        with ExperimentEngine(cache_dir=tmp_path) as eng:
+            eng.run("counted", _counted, {"n": 2})
+            pkl, = (tmp_path / "counted").glob("*.pkl")
+            pkl.write_bytes(pkl.read_bytes()[:10])  # truncate
+            again = eng.run("counted", _counted, {"n": 2})
+        assert again == [0, 1]
+        assert _CALLS["n"] == 2  # recomputed, not crashed
+        assert not eng.records[1].cached
+
+    def test_records_and_report(self, tmp_path):
+        with ExperimentEngine(cache_dir=tmp_path) as eng:
+            eng.run("counted", _counted)
+        rec = eng.records[0]
+        assert rec.name == "counted" and rec.seconds >= 0
+        assert "counted" in rec.describe()
+        assert "counted" in eng.report()
+        assert eng.total_seconds() >= 0
+
+    def test_jobs_zero_means_all_cpus(self):
+        eng = ExperimentEngine(jobs=0, cache=False)
+        assert eng.jobs >= 1
+
+    def test_describe_wording(self):
+        assert "(cache)" in JobRecord("x", 0.1, True, 4).describe()
+        assert "4 workers" in JobRecord("x", 0.1, False, 4).describe()
+        assert "1 worker)" in JobRecord("x", 0.1, False, 1).describe()
+
+
+class TestExperimentDeterminism:
+    """Tables must be byte-identical at any worker count."""
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_mobility_identical(self, jobs, tmp_path):
+        from repro.experiments import mobility
+
+        res = mobility.run(speeds_m_s=(0.0, 8.0), trials=2, seed=71,
+                           jobs=jobs)
+        path = tmp_path / f"j{jobs}.txt"
+        path.write_text(str(res.table))
+        # Compare against the serial run recomputed fresh.
+        serial = mobility.run(speeds_m_s=(0.0, 8.0), trials=2, seed=71,
+                              jobs=1)
+        assert str(res.table) == str(serial.table)

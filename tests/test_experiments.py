@@ -33,6 +33,13 @@ class TestCommon:
         assert v.tolist() == [1.0, 2.0, 3.0]
         assert lv.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
 
+    def test_cdf_points_empty_returns_distinct_arrays(self):
+        # Regression: empty input returned the *same* array twice, so
+        # mutating the levels silently mutated the values.
+        v, lv = cdf_points([])
+        assert v.size == 0 and lv.size == 0
+        assert v is not lv
+
     def test_median_empty(self):
         assert np.isnan(median([]))
 

@@ -16,6 +16,7 @@ from repro.reader import (
     psk_soft_llrs,
 )
 from repro.reader.demod import estimate_symbol_noise
+from repro.reader.mrc import MrcOutput
 from repro.tag import TagConfig, tag_preamble_phases
 from repro.utils import random_bits
 from repro.wifi import random_payload
@@ -129,6 +130,34 @@ class TestMrc:
                           noise_floor=1e-9)
         assert out.mean_snr_db() > 20.0
 
+    def test_zero_noise_floor_infers_variance(self, rng):
+        # Regression: noise_floor=0 used to return all-zero noise_var,
+        # collapsing every soft LLR.  The documented fallback infers the
+        # per-sample noise power from the post-combine residuals.
+        noise_mw = 1e-6
+        tl, x, y, h_fb, config, *_ , data_start = \
+            _make_link(rng, noise_mw=noise_mw)
+        template = expected_template(x, h_fb, x.size)
+        inferred = mrc_combine(y, template, data_start,
+                               config.samples_per_symbol, 30, guard=4)
+        exact = mrc_combine(y, template, data_start,
+                            config.samples_per_symbol, 30, guard=4,
+                            noise_floor=noise_mw)
+        assert np.all(inferred.noise_var > 0)
+        # The residual estimate tracks the true floor within a factor ~2.
+        ratio = inferred.noise_var / exact.noise_var
+        assert np.all(ratio > 0.5) and np.all(ratio < 2.0)
+
+    def test_mean_snr_never_inf(self):
+        # Regression: all-zero noise_var used to yield +inf, which
+        # poisoned rate adaptation and experiment tables downstream.
+        out = MrcOutput(
+            symbols=np.ones(8, dtype=complex),
+            noise_var=np.zeros(8),
+            template_energy=np.ones(8),
+        )
+        assert np.isnan(out.mean_snr_db())
+
     def test_guard_too_large(self, rng):
         tl, x, y, h_fb, config, *_ , data_start = _make_link(rng)
         template = expected_template(x, h_fb, x.size)
@@ -185,6 +214,22 @@ class TestDemodDecode:
         out = decode_tag_symbols(symbols, np.full(symbols.size, 1e-3),
                                  config)
         assert out.ok
+
+    @pytest.mark.parametrize("pad", [1, 2])
+    def test_decode_rate_two_thirds_trims_padding(self, rng, pad):
+        # BPSK carries one coded bit per symbol, so tag-side padding can
+        # leave an LLR stream whose length is not a multiple of 3; the
+        # decoder must trim before depuncturing (3 coded -> 4 mother).
+        config = TagConfig("bpsk", "2/3", 1e6)
+        frame = build_frame_bits(random_bits(56, rng))  # 96-bit frame
+        coded = ConvolutionalCode("2/3").encode_with_tail(frame)
+        assert coded.size % 3 == 0  # padding below exercises the trim
+        padded = np.concatenate([coded, np.zeros(pad, dtype=np.uint8)])
+        symbols = psk_map(padded, "bpsk")
+        out = decode_tag_symbols(symbols, np.full(symbols.size, 1e-3),
+                                 config)
+        assert out.ok
+        assert np.array_equal(out.frame.payload_bits, frame[24:-16])
 
     def test_decode_noisy_symbols_with_coding_gain(self, rng):
         config = TagConfig("bpsk", "1/2", 1e6)
