@@ -8,7 +8,15 @@ WiFi packets.  The simulation charges a storage capacitor from ambient
 RF, spends per exchange according to the calibrated pJ/bit model, and
 runs real sample-level exchanges whenever the store can afford one.
 
-Run:  python examples/battery_free_deployment.py
+Usage::
+
+    python examples/battery_free_deployment.py
+
+What to look for: the capacitor voltage saw-tooths -- charging between
+AP packets, dropping at each exchange -- and the duty cycle the store
+can sustain sets the delivered data rate.  A larger capacitor smooths
+the saw-tooth but doesn't change the average rate (harvested power
+does).
 """
 
 from __future__ import annotations

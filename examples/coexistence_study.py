@@ -6,7 +6,15 @@ the edge of each bitrate receives downlink packets while a tag at 0.25 m
 from the AP backscatters at full tilt.  Prints per-rate packet success
 and client data SNR, tag on vs off.
 
-Run:  python examples/coexistence_study.py
+Usage::
+
+    python examples/coexistence_study.py
+
+What to look for: the tag-on and tag-off columns should differ by well
+under 1 dB of client SNR and a few percent of packet success at every
+bitrate -- the paper's <5 % client-impact claim (Fig. 13).  The
+backscatter is ~60+ dB below the direct AP->client path, so the tag is
+noise from the client's point of view even at its closest.
 """
 
 from __future__ import annotations

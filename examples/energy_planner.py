@@ -7,7 +7,15 @@ and a target sensor data rate, find the operating points that are both
 then pick the one the paper's rate-adaptation rule would choose (lowest
 relative energy-per-bit).
 
-Run:  python examples/energy_planner.py
+Usage::
+
+    python examples/energy_planner.py
+
+What to look for: near the AP the planner picks aggressive points
+(16psk, high symbol rates) and duty-cycles them far below the budget;
+at 5+ m the feasible set collapses toward bpsk r1/2 and the average
+power climbs -- distance costs SNR, SNR costs energy-per-bit.  Edit the
+budget or target rate at the bottom to see infeasible cells appear.
 """
 
 from __future__ import annotations

@@ -7,7 +7,14 @@ the mechanism -- per-tag identification preambles -- so this example runs
 the polling scheduler over four heterogeneous tags and compares the
 schedulers' throughput/fairness trade-off.
 
-Run:  python examples/multi_tag_network.py
+Usage::
+
+    python examples/multi_tag_network.py
+
+What to look for: ``max_rate`` wins on aggregate throughput by starving
+the far tags, ``round_robin`` is fairest per poll but wastes airtime on
+weak links, and ``proportional`` sits between them -- the classic
+scheduler trade-off, with Jain's fairness index making it quantitative.
 """
 
 from __future__ import annotations

@@ -3,9 +3,19 @@
 
 A BackFi AP sends a WiFi packet to its client; a battery-free tag 1 m
 away backscatters 1000 bits of sensor data on top of it; the AP cancels
-its own self-interference and decodes the tag.
+its own self-interference and decodes the tag.  The exchange runs under
+a telemetry collector, so it also saves a per-stage pipeline trace.
 
-Run:  python examples/quickstart.py
+Usage::
+
+    python examples/quickstart.py
+
+What to look for: ``decoded OK: True`` with a post-MRC SNR in the
+30-45 dB range at 1 m, total self-interference cancellation beyond
+90 dB, and a trace file under ``.repro_cache/telemetry/`` -- re-render
+it any time with ``python -m repro.cli trace quickstart``.  Try editing
+``tag_distance_m`` to 5.0 and watch the SNR margin collapse in the
+stage table.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ from repro import (
     BackFiTag,
     Scene,
     TagConfig,
+    TelemetryCollector,
     run_backscatter_session,
 )
 
@@ -35,16 +46,17 @@ def main() -> None:
     # 3. The sensor data the tag wants to upload.
     sensor_bits = rng.integers(0, 2, size=1000, dtype=np.uint8)
 
-    # 4. Run one complete exchange.
-    result = run_backscatter_session(
-        scene,
-        BackFiTag(config),
-        BackFiReader(config),
-        payload_bits=sensor_bits,
-        wifi_rate_mbps=24,
-        wifi_payload_bytes=1500,
-        rng=rng,
-    )
+    # 4. Run one complete exchange, recording a pipeline trace.
+    with TelemetryCollector(run_id="quickstart") as tm:
+        result = run_backscatter_session(
+            scene,
+            BackFiTag(config),
+            BackFiReader(config),
+            payload_bits=sensor_bits,
+            wifi_rate_mbps=24,
+            wifi_payload_bytes=1500,
+            rng=rng,
+        )
 
     # 5. Inspect what the reader recovered.
     reader = result.reader
@@ -61,6 +73,8 @@ def main() -> None:
           f"(total {c.total_depth_db:.1f} dB)")
     print(f"noise floor       : "
           f"{10 * np.log10(reader.noise_floor_mw):.1f} dBm")
+    print(f"telemetry trace   : {tm.path} "
+          f"(render: python -m repro.cli trace {tm.run_id})")
 
 
 if __name__ == "__main__":

@@ -6,7 +6,16 @@ from the image method over an 8 m x 6 m room (instead of statistical
 Rician draws), and the Sec. 7 multi-antenna reader combining across
 space and time.
 
-Run:  python examples/room_and_mimo.py
+Usage::
+
+    python examples/room_and_mimo.py
+
+What to look for: the per-antenna post-MRC SNRs differ by several dB
+(each antenna sees its own multipath), and the combined SNR beats the
+best single antenna by roughly ``10*log10(n_antennas)`` minus the
+correlation penalty -- spatial MRC working on top of temporal MRC.
+Move the tag coordinates toward a wall to watch the image-method
+multipath reshape the per-antenna spread.
 """
 
 from __future__ import annotations

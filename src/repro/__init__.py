@@ -19,7 +19,9 @@ numpy/scipy:
   tone-excitation RFID reader for comparison,
 * :mod:`repro.traces` -- synthetic loaded-network traffic for the
   deployment experiments,
-* :mod:`repro.experiments` -- one module per paper table/figure.
+* :mod:`repro.experiments` -- one module per paper table/figure,
+* :mod:`repro.telemetry` -- per-stage spans and signal probes for the
+  decode pipeline (``repro trace`` renders a saved run).
 
 Quickstart::
 
@@ -44,6 +46,7 @@ from .link import (
 )
 from .reader import BackFiReader, ReaderResult, select_config
 from .tag import BackFiTag, TagConfig, all_tag_configs, default_energy_model
+from .telemetry import TelemetryCollector
 from .wifi import WifiReceiver, WifiTransmitter
 
 __version__ = "1.0.0"
@@ -62,6 +65,7 @@ __all__ = [
     "TagConfig",
     "all_tag_configs",
     "default_energy_model",
+    "TelemetryCollector",
     "WifiReceiver",
     "WifiTransmitter",
     "__version__",

@@ -3,10 +3,13 @@
 Commands
 --------
 ``info``         system summary: operating points, REPB, link budget.
-``link``         simulate one end-to-end exchange and print diagnostics.
+``link``         simulate one end-to-end exchange and print diagnostics
+                 (``--telemetry`` records and saves a pipeline trace).
 ``sweep``        throughput-vs-range sweep (a quick Fig. 8).
 ``plan``         pick battery-free operating points under a power budget.
 ``experiments``  regenerate every paper table/figure (run_all).
+``trace``        summarise a recorded telemetry run (timing table,
+                 probe digest, stage-margin waterfall).
 """
 
 from __future__ import annotations
@@ -39,6 +42,9 @@ def build_parser() -> argparse.ArgumentParser:
     link.add_argument("--payload-bits", type=int, default=1000)
     link.add_argument("--wifi-rate", type=int, default=24)
     link.add_argument("--seed", type=int, default=0)
+    link.add_argument("--telemetry", action="store_true",
+                      help="record a pipeline trace under "
+                           ".repro_cache/telemetry/ and summarise it")
 
     sweep = sub.add_parser("sweep", help="throughput vs range")
     sweep.add_argument("--distances", type=float, nargs="+",
@@ -60,6 +66,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes (0 = all CPUs)")
     exp.add_argument("--no-cache", action="store_true",
                      help="recompute instead of reading .repro_cache/")
+
+    trace = sub.add_parser("trace",
+                           help="summarise a recorded telemetry run")
+    trace.add_argument("run", nargs="?", default=None,
+                       help="run id or JSONL path (default: latest)")
+    trace.add_argument("--dir", default=None,
+                       help="telemetry directory to search "
+                            "(default: .repro_cache/telemetry)")
 
     rep = sub.add_parser("report",
                          help="write a markdown reproduction report")
@@ -97,11 +111,23 @@ def _cmd_link(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     cfg = TagConfig(args.modulation, args.code_rate, args.symbol_rate)
     scene = Scene.build(tag_distance_m=args.distance, rng=rng)
-    out = run_backscatter_session(
-        scene, BackFiTag(cfg), BackFiReader(cfg),
-        n_payload_bits=args.payload_bits,
-        wifi_rate_mbps=args.wifi_rate, rng=rng,
-    )
+    collector = None
+    if args.telemetry:
+        from .telemetry import TelemetryCollector
+
+        collector = TelemetryCollector(
+            label=f"repro link --distance {args.distance} "
+                  f"({cfg.describe()}, seed {args.seed})")
+        collector.__enter__()
+    try:
+        out = run_backscatter_session(
+            scene, BackFiTag(cfg), BackFiReader(cfg),
+            n_payload_bits=args.payload_bits,
+            wifi_rate_mbps=args.wifi_rate, rng=rng,
+        )
+    finally:
+        if collector is not None:
+            collector.__exit__(None, None, None)
     r = out.reader
     print(f"operating point : {cfg.describe()}")
     print(f"decoded         : {out.ok}"
@@ -115,7 +141,27 @@ def _cmd_link(args: argparse.Namespace) -> int:
               f"(analog {c.analog_residual_db:.1f}, "
               f"digital {c.digital_residual_db:.1f})")
     print(f"noise floor     : {10 * np.log10(r.noise_floor_mw):.1f} dBm")
+    if collector is not None:
+        from .telemetry import load_run, summarize
+
+        print()
+        print(summarize(load_run(collector.path)))
+        print(f"\ntrace saved to {collector.path} "
+              f"(re-render with: python -m repro.cli trace "
+              f"{collector.run_id})")
     return 0 if out.ok else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .telemetry import load_run, resolve_run_path, summarize
+
+    try:
+        path = resolve_run_path(args.run, args.dir)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(summarize(load_run(path)))
+    return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -165,6 +211,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "plan":
         return _cmd_plan(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "experiments":
         from .experiments.run_all import main as run_all_main
 

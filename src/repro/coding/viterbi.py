@@ -36,7 +36,8 @@ def _build_trellis() -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
 _PRED0, _PRED1, _INPUT_BIT, _OIDX = _build_trellis()
 
 
-def viterbi_decode_soft(llrs: np.ndarray, *, terminated: bool = True) -> np.ndarray:
+def viterbi_decode_soft(llrs: np.ndarray, *, terminated: bool = True,
+                        return_metric: bool = False):
     """Decode a rate-1/2 mother-code LLR stream.
 
     Parameters
@@ -49,18 +50,27 @@ def viterbi_decode_soft(llrs: np.ndarray, *, terminated: bool = True) -> np.ndar
         When true, the encoder was driven back to the zero state with
         K-1 tail bits; the traceback starts from state 0 and the tail
         bits are stripped from the output.
+    return_metric:
+        Also return the winning path metric (the accumulated correlation
+        between the survivor path's coded bits and the LLRs).  Its
+        natural normalisation is ``metric / sum(|llrs|)``: 1.0 means the
+        decoded codeword agrees with every soft bit, values near 0 mean
+        the decoder was guessing -- the telemetry layer's decode-health
+        probe.
 
     Returns
     -------
     numpy.ndarray
-        Decoded information bits (tail removed when ``terminated``).
+        Decoded information bits (tail removed when ``terminated``), or
+        a ``(bits, metric)`` tuple when ``return_metric`` is set.
     """
     llrs = np.asarray(llrs, dtype=np.float64)
     if llrs.size % 2:
         raise ValueError("LLR stream length must be even (2 bits/step)")
     n_steps = llrs.size // 2
     if n_steps == 0:
-        return np.empty(0, dtype=np.uint8)
+        empty = np.empty(0, dtype=np.uint8)
+        return (empty, 0.0) if return_metric else empty
 
     l0 = llrs[0::2]
     l1 = llrs[1::2]
@@ -85,6 +95,7 @@ def viterbi_decode_soft(llrs: np.ndarray, *, terminated: bool = True) -> np.ndar
         path_metric = np.where(take1, cand1, cand0)
 
     state = 0 if terminated else int(np.argmax(path_metric))
+    final_metric = float(path_metric[state])
     bits = np.empty(n_steps, dtype=np.uint8)
     for t in range(n_steps - 1, -1, -1):
         bits[t] = _INPUT_BIT[state]
@@ -95,7 +106,7 @@ def viterbi_decode_soft(llrs: np.ndarray, *, terminated: bool = True) -> np.ndar
         if n_steps < CONSTRAINT - 1:
             raise ValueError("terminated stream shorter than the tail")
         bits = bits[: n_steps - (CONSTRAINT - 1)]
-    return bits
+    return (bits, final_metric) if return_metric else bits
 
 
 def viterbi_decode(coded_bits: np.ndarray, rate: str = "1/2", *,

@@ -144,6 +144,12 @@ class JobRecord:
             ("s" if self.jobs != 1 else "")
         return f"[{self.name}: {self.seconds:.2f} s ({src})]"
 
+    def as_dict(self) -> dict[str, Any]:
+        """The record as plain data (telemetry probes, JSON export)."""
+        return {"name": self.name, "seconds": self.seconds,
+                "cached": self.cached, "jobs": self.jobs,
+                "key": self.key}
+
 
 class ExperimentEngine:
     """Runs experiments with a worker pool and an on-disk result cache.
@@ -216,36 +222,50 @@ class ExperimentEngine:
         through :func:`parallel_map`.  The pickled result lands in the
         cache so the next identical call -- same name, same parameters,
         same package source -- returns it without recomputing.
+
+        Each call also opens an ``experiment.<name>`` telemetry span
+        carrying the :class:`JobRecord` fields, so a collector installed
+        around a sweep sees per-experiment timing next to the per-decode
+        pipeline spans.
         """
+        from ..telemetry import get_collector
+
         params = params or {}
         key = cache_key(name, params)
         path = self._cache_path(name, key)
-        t0 = time.perf_counter()
-        if self.cache_enabled and path.exists():
-            try:
-                with open(path, "rb") as f:
-                    result = pickle.load(f)
-            except Exception:
-                # A truncated or stale-format entry is a miss, not a
-                # crash: drop it and recompute.
-                path.unlink(missing_ok=True)
-            else:
-                self.records.append(JobRecord(
+        with get_collector().span(f"experiment.{name}") as sp:
+            record = None
+            t0 = time.perf_counter()
+            if self.cache_enabled and path.exists():
+                try:
+                    with open(path, "rb") as f:
+                        result = pickle.load(f)
+                except Exception:
+                    # A truncated or stale-format entry is a miss, not
+                    # a crash: drop it and recompute.
+                    path.unlink(missing_ok=True)
+                else:
+                    record = JobRecord(
+                        name=name, seconds=time.perf_counter() - t0,
+                        cached=True, jobs=self.jobs, key=key,
+                    )
+            if record is None:
+                result = fn(**params)
+                if self.cache_enabled:
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    tmp = path.with_suffix(f".tmp{os.getpid()}")
+                    with open(tmp, "wb") as f:
+                        pickle.dump(result, f,
+                                    protocol=pickle.HIGHEST_PROTOCOL)
+                    os.replace(tmp, path)
+                record = JobRecord(
                     name=name, seconds=time.perf_counter() - t0,
-                    cached=True, jobs=self.jobs, key=key,
-                ))
-                return result
-        result = fn(**params)
-        if self.cache_enabled:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f".tmp{os.getpid()}")
-            with open(tmp, "wb") as f:
-                pickle.dump(result, f, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        self.records.append(JobRecord(
-            name=name, seconds=time.perf_counter() - t0,
-            cached=False, jobs=self.jobs, key=key,
-        ))
+                    cached=False, jobs=self.jobs, key=key,
+                )
+            self.records.append(record)
+            for field_name, value in record.as_dict().items():
+                if field_name != "name":
+                    sp.probe(field_name, value)
         return result
 
     # -- reporting ---------------------------------------------------------

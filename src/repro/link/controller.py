@@ -26,6 +26,7 @@ from ..reader.rate_adapt import RateChoice, select_config
 from ..reader.reader import BackFiReader
 from ..tag.config import TagConfig
 from ..tag.tag import BackFiTag
+from ..telemetry import get_collector
 from ..utils.conversions import db_to_linear, linear_to_db
 from .downlink import (
     DownlinkDetector,
@@ -102,6 +103,25 @@ class AdaptiveLink:
     def step(self, *, wifi_rate_mbps: int = 24,
              wifi_payload_bytes: int = 1500) -> AdaptationStep:
         """One uplink exchange followed by an adaptation decision."""
+        tm = get_collector()
+        with tm.span("link.step") as sp:
+            step = self._step(wifi_rate_mbps=wifi_rate_mbps,
+                              wifi_payload_bytes=wifi_payload_bytes)
+            if tm.enabled:
+                sp.probe("operating_point", step.config.describe())
+                sp.probe("ok", step.ok)
+                sp.probe("measured_snr_db", step.measured_snr_db)
+                sp.probe("goodput_bps", step.goodput_bps)
+                sp.probe("command_sent", step.command_sent)
+                sp.probe("command_delivered", step.command_delivered)
+                if step.command_sent:
+                    tm.count("link.commands_sent")
+                if step.command_delivered:
+                    tm.count("link.commands_delivered")
+            return step
+
+    def _step(self, *, wifi_rate_mbps: int,
+              wifi_payload_bytes: int) -> AdaptationStep:
         config = self.tag.config
         reader = BackFiReader(config)
         out: SessionResult = run_backscatter_session(

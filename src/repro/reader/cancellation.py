@@ -27,6 +27,7 @@ import numpy as np
 
 from ..channel.hardware import Adc
 from ..dsp.measurements import residual_power_db
+from ..telemetry import get_collector
 from ..utils.conversions import db_to_linear
 
 __all__ = [
@@ -177,6 +178,13 @@ class SelfInterferenceCanceller:
             Sample indices of the tag's silent period, used to train the
             digital stage without touching the backscatter signal.
         """
+        with get_collector().span("cancellation") as sp:
+            return self._cancel(x, y, h_env, silent_rows, sp, rng=rng)
+
+    def _cancel(self, x: np.ndarray, y: np.ndarray, h_env: np.ndarray,
+                silent_rows: np.ndarray, sp,
+                rng: np.random.Generator | None = None
+                ) -> CancellationResult:
         x = np.asarray(x, dtype=np.complex128)
         y = np.asarray(y, dtype=np.complex128)
         silent_rows = np.asarray(silent_rows, dtype=np.intp)
@@ -212,6 +220,16 @@ class SelfInterferenceCanceller:
         digital_db = residual_power_db(quantized[eval_rows],
                                        cleaned[eval_rows])
         total_db = residual_power_db(y[eval_rows], cleaned[eval_rows])
+        # Residual SI power after the full chain, measured on the
+        # held-out silent tail (the probe GuardRider-style field
+        # debugging wants first).
+        residual_mw = float(np.mean(np.abs(cleaned[eval_rows]) ** 2))
+        sp.probe("analog_depth_db", analog_db)
+        sp.probe("digital_depth_db", digital_db)
+        sp.probe("total_depth_db", total_db)
+        sp.probe("residual_si_dbm",
+                 10.0 * np.log10(max(residual_mw, 1e-30)))
+        sp.probe("adc_saturated", saturated)
         return CancellationResult(
             cleaned=cleaned,
             analog_residual_db=analog_db,

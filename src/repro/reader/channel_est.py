@@ -18,7 +18,8 @@ from ..constants import SAMPLES_PER_US
 from ..tag.tag import PREAMBLE_CHIP_US, tag_preamble_phases
 from .cancellation import ls_channel_estimate
 
-__all__ = ["ChannelEstimate", "estimate_combined_channel"]
+__all__ = ["ChannelEstimate", "estimate_combined_channel",
+           "preamble_condition_number"]
 
 DEFAULT_N_TAPS = 8
 """Taps for h_fb: indoor delay spreads of 50-80 ns are 1-2 samples per
@@ -56,6 +57,38 @@ def _valid_preamble_rows(preamble_start: int, n_chips: int,
         chip_start = preamble_start + c * sps_chip
         rows.append(np.arange(chip_start + guard, chip_start + sps_chip))
     return np.concatenate(rows)
+
+
+def preamble_condition_number(
+    x: np.ndarray,
+    preamble_start: int,
+    preamble_us: float,
+    *,
+    n_taps: int = DEFAULT_N_TAPS,
+) -> float:
+    """2-norm condition number of the LS design matrix at one timing.
+
+    The design matrix depends only on the excitation ``x`` and the row
+    selection, not on the received signal, so this quantifies how well
+    the excitation can identify ``h_fb``: wideband WiFi sits near 1-10,
+    narrowband excitations (BLE) reach into the thousands and make the
+    estimate noise-dominated.  Computed on demand as a telemetry probe
+    -- it costs an extra SVD, so callers gate it on
+    ``get_collector().enabled``.
+    """
+    from .cancellation import convolution_matrix
+
+    x = np.asarray(x, dtype=np.complex128)
+    n_chips = int(round(preamble_us / PREAMBLE_CHIP_US))
+    rows = _valid_preamble_rows(preamble_start, n_chips, n_taps)
+    rows = rows[rows < x.size]
+    if rows.size < n_taps:
+        return float("inf")
+    a = convolution_matrix(x, n_taps, rows)
+    s = np.linalg.svd(a, compute_uv=False)
+    if s.size == 0 or s[-1] <= 0:
+        return float("inf")
+    return float(s[0] / s[-1])
 
 
 def estimate_combined_channel(

@@ -16,7 +16,8 @@ import numpy as np
 from ..tag.config import TagConfig
 from .rate_adapt import required_snr_db
 
-__all__ = ["StageReport", "LinkDiagnosis", "diagnose"]
+__all__ = ["StageReport", "LinkDiagnosis", "diagnose",
+           "diagnose_from_probes"]
 
 
 @dataclass(frozen=True)
@@ -121,4 +122,96 @@ def diagnose(result, config: TagConfig, *,
             f"{'ok' if fr.crc_ok else 'BAD'}, "
             f"{result.payload_bits.size} bits",
         ))
+    return d
+
+
+def _probe_float(probes: dict, name: str) -> float:
+    """One probe as a float (NaN when absent or non-numeric)."""
+    value = probes.get(name)
+    if value is None:
+        return float("nan")
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return float("nan")
+
+
+def diagnose_from_probes(stage_probes: dict[str, dict], *,
+                         thermal_floor_dbm: float = -95.0
+                         ) -> LinkDiagnosis:
+    """The link doctor's verdicts from telemetry probes alone.
+
+    ``stage_probes`` maps span names (``"cancellation"``, ``"sync"``,
+    ``"channel_est"``, ``"mrc"``, ``"decode"``, ``"reader.decode"``) to
+    their probe dicts, exactly as recorded by the instrumented pipeline
+    (see ``docs/TELEMETRY.md``).  The thresholds mirror
+    :func:`diagnose`, so a ``repro trace`` waterfall and an in-process
+    diagnosis of the same decode agree.
+    """
+    root = stage_probes.get("reader.decode", {})
+    d = LinkDiagnosis(decoded=bool(root.get("ok", 0)))
+
+    # 1. self-interference cancellation
+    canc = stage_probes.get("cancellation")
+    if canc is None:
+        d.stages.append(StageReport(
+            "cancellation", False, "stage never ran"))
+        return d
+    floor_dbm = _probe_float(canc, "residual_si_dbm")
+    rise = floor_dbm - thermal_floor_dbm
+    saturated = bool(canc.get("adc_saturated", 0))
+    canc_ok = not saturated and bool(np.isfinite(rise) and rise < 10.0)
+    detail = (f"total {_probe_float(canc, 'total_depth_db'):.1f} dB, "
+              f"floor {floor_dbm:.1f} dBm ({rise:+.1f} dB vs thermal)")
+    if saturated:
+        detail += ", ADC SATURATED (analog stage insufficient)"
+    d.stages.append(StageReport("cancellation", canc_ok, detail))
+
+    # 2. timing + channel estimation
+    sync = stage_probes.get("sync")
+    if sync is None:
+        failure = root.get("failure", "stage never ran")
+        d.stages.append(StageReport(
+            "sync/estimate", False, f"no timing lock ({failure})"))
+        return d
+    est = stage_probes.get("channel_est", {})
+    metric = _probe_float(sync, "metric")
+    est_ok = bool(np.isfinite(metric) and metric < 10.0)
+    offset = _probe_float(sync, "offset_samples")
+    offset_txt = f"{int(offset):+d}" if np.isfinite(offset) else "?"
+    detail = (f"offset {offset_txt} samples, normalised residual "
+              f"{metric:.3g}, channel gain "
+              f"{_probe_float(est, 'gain_db'):.1f} dB")
+    cond = _probe_float(est, "condition_number")
+    if np.isfinite(cond):
+        detail += f", cond {cond:.3g}"
+    d.stages.append(StageReport("sync/estimate", est_ok, detail))
+
+    # 3. post-MRC SNR vs the operating point's requirement
+    snr = _probe_float(root, "symbol_snr_db")
+    if not np.isfinite(snr):
+        snr = _probe_float(stage_probes.get("mrc", {}), "mean_snr_db")
+    need = _probe_float(root, "required_snr_db")
+    if np.isfinite(need):
+        snr_ok = bool(np.isfinite(snr) and snr >= need)
+        detail = (f"{snr:.1f} dB measured vs {need:.1f} dB required "
+                  f"(margin {snr - need:+.1f} dB)")
+    else:
+        snr_ok = bool(np.isfinite(snr))
+        detail = f"{snr:.1f} dB measured (no requirement recorded)"
+    d.stages.append(StageReport("mrc snr", snr_ok, detail))
+
+    # 4. frame
+    dec = stage_probes.get("decode")
+    if dec is None:
+        d.stages.append(StageReport("frame", False, "nothing decoded"))
+        return d
+    frame_ok = bool(dec.get("frame_ok", 0))
+    n_bits = _probe_float(dec, "n_payload_bits")
+    n_bits = int(n_bits) if np.isfinite(n_bits) else 0
+    detail = f"{'ok' if frame_ok else 'BAD'}, {n_bits} bits"
+    agreement = _probe_float(dec, "viterbi_agreement")
+    if np.isfinite(agreement):
+        detail += f", viterbi agreement {agreement:.3f}"
+    d.stages.append(StageReport("frame", frame_ok, detail))
     return d

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..telemetry import get_collector
+
 __all__ = ["MrcOutput", "mrc_combine", "expected_template"]
 
 
@@ -89,6 +91,31 @@ def mrc_combine(
         the per-sample noise power is inferred per packet from the
         post-combine residuals (relative LLR scaling still correct).
     """
+    tm = get_collector()
+    with tm.span("mrc") as sp:
+        out = _mrc_combine(y_clean, template, data_start,
+                           samples_per_symbol, n_symbols,
+                           guard=guard, noise_floor=noise_floor)
+        if tm.enabled:
+            sp.probe("n_symbols", out.n_symbols)
+            sp.probe("samples_per_symbol", samples_per_symbol)
+            sp.probe("guard", guard)
+            sp.probe("mean_snr_db", out.mean_snr_db())
+            sp.probe("mean_template_energy",
+                     float(np.mean(out.template_energy)))
+        return out
+
+
+def _mrc_combine(
+    y_clean: np.ndarray,
+    template: np.ndarray,
+    data_start: int,
+    samples_per_symbol: int,
+    n_symbols: int,
+    *,
+    guard: int,
+    noise_floor: float,
+) -> MrcOutput:
     y_clean = np.asarray(y_clean, dtype=np.complex128)
     template = np.asarray(template, dtype=np.complex128)
     if samples_per_symbol <= guard:

@@ -19,6 +19,7 @@ import numpy as np
 from ..constants import SAMPLES_PER_US, SILENT_US
 from ..link.protocol import ApTimeline
 from ..tag.config import TagConfig
+from ..telemetry import get_collector
 from .cancellation import CancellationResult, SelfInterferenceCanceller
 from .channel_est import ChannelEstimate
 from .decoder import TagDecodeOutput, decode_tag_symbols
@@ -111,6 +112,30 @@ class BackFiReader:
             scene models one; the canceller taps the PA output.  Defaults
             to the ideal waveform.
         """
+        tm = get_collector()
+        with tm.span("reader.decode") as sp:
+            result = self._decode(timeline, rx, h_env,
+                                  pa_output=pa_output, rng=rng)
+            if tm.enabled:
+                from .rate_adapt import required_snr_db
+
+                sp.probe("ok", result.ok)
+                sp.probe("n_symbols", result.n_symbols)
+                sp.probe("symbol_snr_db", result.symbol_snr_db)
+                sp.probe("required_snr_db",
+                         required_snr_db(self.tag_config))
+                nf = result.noise_floor_mw
+                sp.probe("noise_floor_dbm",
+                         10.0 * np.log10(max(nf, 1e-30))
+                         if np.isfinite(nf) else float("nan"))
+                if result.failure:
+                    sp.probe("failure", result.failure)
+            return result
+
+    def _decode(self, timeline: ApTimeline, rx: np.ndarray,
+                h_env: np.ndarray, *,
+                pa_output: np.ndarray | None = None,
+                rng: np.random.Generator | None = None) -> ReaderResult:
         rx = np.asarray(rx, dtype=np.complex128)
         x = timeline.samples if pa_output is None else \
             np.asarray(pa_output, dtype=np.complex128)

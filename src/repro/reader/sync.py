@@ -16,7 +16,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..constants import SAMPLES_PER_US
-from .channel_est import ChannelEstimate, estimate_combined_channel
+from ..telemetry import get_collector
+from .channel_est import (
+    ChannelEstimate,
+    estimate_combined_channel,
+    preamble_condition_number,
+)
 
 __all__ = ["SyncResult", "find_tag_timing"]
 
@@ -51,8 +56,12 @@ def find_tag_timing(
     search = int(search_us * SAMPLES_PER_US)
     if step_samples < 1:
         raise ValueError("step must be >= 1")
+    tm = get_collector()
+    n_evaluated = 0
 
     def metric_at(start: int) -> tuple[float, ChannelEstimate] | None:
+        nonlocal n_evaluated
+        n_evaluated += 1
         if start < 0:
             return None
         try:
@@ -74,45 +83,69 @@ def find_tag_timing(
         penalty = 1.0 + 0.005 * off
         return est.residual_power / gain * penalty, est
 
-    best: tuple[float, int, ChannelEstimate] | None = None
-    for off in range(-search, search + 1, step_samples):
-        out = metric_at(nominal_preamble_start + off)
-        if out is None:
-            continue
-        m, est = out
-        if best is None or m < best[0]:
-            best = (m, off, est)
-    if best is None:
-        raise ValueError("no feasible timing offset found")
+    with tm.span("sync") as sp:
+        best: tuple[float, int, ChannelEstimate] | None = None
+        for off in range(-search, search + 1, step_samples):
+            out = metric_at(nominal_preamble_start + off)
+            if out is None:
+                continue
+            m, est = out
+            if best is None or m < best[0]:
+                best = (m, off, est)
+        if best is None:
+            sp.probe("candidates", n_evaluated)
+            raise ValueError("no feasible timing offset found")
 
-    # Refine around the coarse winner at single-sample resolution.
-    coarse_off = best[1]
-    for off in range(coarse_off - step_samples + 1,
-                     coarse_off + step_samples):
-        if off == coarse_off:
-            continue
-        out = metric_at(nominal_preamble_start + off)
-        if out is None:
-            continue
-        m, est = out
-        if m < best[0]:
-            best = (m, off, est)
+        # Refine around the coarse winner at single-sample resolution.
+        coarse_off = best[1]
+        for off in range(coarse_off - step_samples + 1,
+                         coarse_off + step_samples):
+            if off == coarse_off:
+                continue
+            out = metric_at(nominal_preamble_start + off)
+            if out is None:
+                continue
+            m, est = out
+            if m < best[0]:
+                best = (m, off, est)
 
-    # The LS fit is invariant to starting up to n_taps-1 samples early
-    # (the shift is absorbed as leading delay taps), so the metric is
-    # flat on the early side and cliffs on the late side.  Walk forward
-    # to the latest offset that still fits -- the true chip boundary.
-    # The late-side cliff is orders of magnitude, so this factor cannot
-    # overshoot the boundary for wideband excitations; the timing prior
-    # bounds the walk for narrowband ones.
-    tol = 1.5 * best[0] + 1e-30
-    for _ in range(n_taps + step_samples):
-        out = metric_at(nominal_preamble_start + best[1] + 1)
-        if out is None or out[0] > tol:
-            break
-        best = (out[0], best[1] + 1, out[1])
+        # The LS fit is invariant to starting up to n_taps-1 samples
+        # early (the shift is absorbed as leading delay taps), so the
+        # metric is flat on the early side and cliffs on the late side.
+        # Walk forward to the latest offset that still fits -- the true
+        # chip boundary.  The late-side cliff is orders of magnitude, so
+        # this factor cannot overshoot the boundary for wideband
+        # excitations; the timing prior bounds the walk for narrowband
+        # ones.
+        tol = 1.5 * best[0] + 1e-30
+        for _ in range(n_taps + step_samples):
+            out = metric_at(nominal_preamble_start + best[1] + 1)
+            if out is None or out[0] > tol:
+                break
+            best = (out[0], best[1] + 1, out[1])
 
-    m, off, est = best
+        m, off, est = best
+        sp.probe("offset_samples", off)
+        sp.probe("metric", m)
+        sp.probe("candidates", n_evaluated)
+        sp.probe("search_samples", 2 * search + 1)
+
+    # Report the winning estimate's quality as its own stage: in the
+    # pipeline story channel estimation is a distinct step even though
+    # the search above computes it as a by-product.
+    with tm.span("channel_est") as sp:
+        sp.probe("gain_db", 10.0 * np.log10(max(est.gain, 1e-30)))
+        sp.probe("residual_power", est.residual_power)
+        sp.probe("snr_estimate_db", est.snr_estimate_db())
+        sp.probe("n_rows", est.n_rows)
+        sp.probe("n_taps", int(est.h_fb.size))
+        if tm.enabled:
+            # An extra SVD -- only worth it when someone is listening.
+            sp.probe("condition_number", preamble_condition_number(
+                x, nominal_preamble_start + off, preamble_us,
+                n_taps=n_taps,
+            ))
+
     return SyncResult(
         preamble_start=nominal_preamble_start + off,
         offset_samples=off,

@@ -1,0 +1,249 @@
+"""Load and summarise a telemetry run (the ``repro trace`` command).
+
+A run is the JSONL file a :class:`~repro.telemetry.TelemetryCollector`
+saved under ``.repro_cache/telemetry/``.  The summary has three parts:
+
+1. a per-stage timing table (count, total/mean wall time, share),
+2. a probe digest (last / min / mean / max per probe name),
+3. a stage-margin waterfall for the last decode, rendered through the
+   same :class:`~repro.reader.diagnostics.LinkDiagnosis` machinery the
+   link doctor uses -- so ``repro trace`` and ``diagnose()`` tell the
+   same story from the same numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .collector import decode_scalar, default_telemetry_dir
+
+__all__ = ["TraceRun", "load_run", "resolve_run_path", "summarize",
+           "stage_timing_table", "probe_digest", "decode_waterfall"]
+
+
+@dataclass
+class TraceRun:
+    """One parsed telemetry run."""
+
+    path: Path
+    meta: dict[str, Any] = field(default_factory=dict)
+    spans: list[dict[str, Any]] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def run_id(self) -> str:
+        """The run's name (filename stem when the meta line is absent)."""
+        return str(self.meta.get("run_id", self.path.stem))
+
+    def spans_named(self, name: str) -> list[dict[str, Any]]:
+        """All spans with a given stage name, in completion order."""
+        return [s for s in self.spans if s["name"] == name]
+
+    def children_of(self, seq: int) -> list[dict[str, Any]]:
+        """Direct child spans of the span with sequence number ``seq``."""
+        return [s for s in self.spans if s.get("parent_seq") == seq]
+
+
+def load_run(path: str | Path) -> TraceRun:
+    """Parse one JSONL run file (unknown record kinds are ignored)."""
+    path = Path(path)
+    run = TraceRun(path=path)
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("kind")
+            if kind == "meta":
+                run.meta = record
+            elif kind == "span":
+                record["probes"] = {
+                    k: decode_scalar(v)
+                    for k, v in record.get("probes", {}).items()
+                }
+                run.spans.append(record)
+            elif kind == "counter":
+                run.counters[record["name"]] = int(record["value"])
+    return run
+
+
+def resolve_run_path(run: str | None,
+                     directory: str | Path | None = None) -> Path:
+    """Turn a run argument into a file path.
+
+    ``run`` may be an explicit path, a run id (filename stem) under the
+    telemetry directory, or ``None`` for the most recently modified run.
+    """
+    base = Path(directory) if directory is not None \
+        else default_telemetry_dir()
+    if run:
+        direct = Path(run)
+        if direct.exists():
+            return direct
+        candidate = base / f"{run}.jsonl"
+        if candidate.exists():
+            return candidate
+        raise FileNotFoundError(
+            f"no telemetry run {run!r} (looked for {direct} and "
+            f"{candidate})"
+        )
+    runs = sorted(base.glob("*.jsonl"),
+                  key=lambda p: p.stat().st_mtime)
+    if not runs:
+        raise FileNotFoundError(
+            f"no telemetry runs under {base} -- record one with e.g. "
+            "`python -m repro.cli link --telemetry`"
+        )
+    return runs[-1]
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def _format_table(header: list[str], rows: list[list[str]]) -> str:
+    """Minimal aligned text table (left-align first column, right rest)."""
+    table = [header] + rows
+    widths = [max(len(r[i]) for r in table) for i in range(len(header))]
+
+    def fmt(row: list[str]) -> str:
+        cells = [row[0].ljust(widths[0])]
+        cells += [row[i].rjust(widths[i]) for i in range(1, len(row))]
+        return "  " + "  ".join(cells).rstrip()
+
+    rule = "  " + "-" * (sum(widths) + 2 * (len(widths) - 1))
+    return "\n".join([fmt(header), rule] + [fmt(r) for r in rows])
+
+
+def stage_timing_table(run: TraceRun) -> str:
+    """Per-stage wall-time aggregation over every span in the run."""
+    order: list[str] = []
+    agg: dict[str, list[float]] = {}
+    for s in run.spans:
+        name = s["name"]
+        if name not in agg:
+            agg[name] = []
+            order.append(name)
+        agg[name].append(float(s["wall_s"]))
+    top_total = sum(
+        float(s["wall_s"]) for s in run.spans
+        if s.get("parent_seq") is None
+    )
+    rows = []
+    for name in order:
+        walls = agg[name]
+        total = sum(walls)
+        share = 100.0 * total / top_total if top_total > 0 else 0.0
+        rows.append([
+            name, str(len(walls)), f"{1e3 * total:.2f}",
+            f"{1e3 * total / len(walls):.2f}", f"{share:.1f}%",
+        ])
+    return _format_table(
+        ["stage", "calls", "total ms", "mean ms", "share"], rows)
+
+
+def probe_digest(run: TraceRun) -> str:
+    """Last/min/mean/max of every numeric probe, plus counters."""
+    order: list[tuple[str, str]] = []
+    values: dict[tuple[str, str], list[float]] = {}
+    last: dict[tuple[str, str], Any] = {}
+    for s in run.spans:
+        for pname, value in s["probes"].items():
+            key = (s["name"], pname)
+            if key not in values:
+                values[key] = []
+                order.append(key)
+            last[key] = value
+            if isinstance(value, (int, float)):
+                f = float(value)
+                if math.isfinite(f):
+                    values[key].append(f)
+    rows = []
+    for key in order:
+        stage, pname = key
+        vals = values[key]
+        if vals:
+            stats = [f"{min(vals):.4g}",
+                     f"{sum(vals) / len(vals):.4g}",
+                     f"{max(vals):.4g}"]
+        else:
+            stats = ["-", "-", "-"]
+        tail = last[key]
+        tail_txt = f"{float(tail):.4g}" \
+            if isinstance(tail, (int, float)) else str(tail)
+        rows.append([f"{stage}.{pname}", tail_txt, *stats])
+    out = _format_table(["probe", "last", "min", "mean", "max"], rows)
+    if run.counters:
+        lines = [f"  {name} = {value}"
+                 for name, value in sorted(run.counters.items())]
+        out += "\n\ncounters:\n" + "\n".join(lines)
+    return out
+
+
+def decode_waterfall(run: TraceRun, *, index: int = -1) -> str:
+    """Stage-margin waterfall for one ``reader.decode`` span.
+
+    Feeds the decode's child-span probes through
+    :func:`repro.reader.diagnostics.diagnose_from_probes`, so the
+    verdict logic is shared with the in-process link doctor.
+    """
+    from ..reader.diagnostics import diagnose_from_probes
+
+    decodes = run.spans_named("reader.decode")
+    if not decodes:
+        return "no reader.decode spans in this run"
+    root = decodes[index]
+    stage_probes = {"reader.decode": root["probes"]}
+    for child in run.children_of(root["seq"]):
+        stage_probes[child["name"]] = child["probes"]
+    n = len(decodes)
+    which = index % n if n else 0
+    head = (f"decode {which + 1}/{n} (span seq {root['seq']}, "
+            f"{1e3 * float(root['wall_s']):.2f} ms)")
+    return head + "\n" + diagnose_from_probes(stage_probes).format()
+
+
+def summarize(run: TraceRun) -> str:
+    """The full ``repro trace`` report for one run."""
+    label = run.meta.get("label") or ""
+    head = f"telemetry run {run.run_id}"
+    if label:
+        head += f" -- {label}"
+    head += f"  ({run.path})"
+    parts = [
+        head,
+        "",
+        "per-stage timing:",
+        stage_timing_table(run),
+        "",
+        "probes:",
+        probe_digest(run),
+        "",
+        "stage margins (last decode):",
+        decode_waterfall(run),
+    ]
+    return "\n".join(parts)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.telemetry.trace [run]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="summarise a telemetry run (JSONL)")
+    parser.add_argument("run", nargs="?", default=None,
+                        help="run id or path (default: latest)")
+    parser.add_argument("--dir", default=None,
+                        help="telemetry directory to search")
+    args = parser.parse_args(argv)
+    path = resolve_run_path(args.run, args.dir)
+    print(summarize(load_run(path)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,165 @@
+"""Tests for the link doctor: diagnose() and diagnose_from_probes()."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.channel import Scene
+from repro.link import run_backscatter_session
+from repro.reader import BackFiReader
+from repro.reader.diagnostics import diagnose, diagnose_from_probes
+from repro.tag import BackFiTag, TagConfig
+from repro.telemetry import TelemetryCollector, use_collector
+
+
+@pytest.fixture(scope="module")
+def healthy():
+    """One decoded session at 1 m plus its telemetry probes."""
+    rng = np.random.default_rng(0xD0C)
+    config = TagConfig("qpsk", "1/2", 1e6)
+    scene = Scene.build(tag_distance_m=1.0, rng=rng)
+    tm = TelemetryCollector(run_id="diag")
+    with use_collector(tm):
+        out = run_backscatter_session(
+            scene, BackFiTag(config), BackFiReader(config), rng=rng)
+    assert out.ok
+    probes = {s["name"]: s["probes"] for s in tm.spans}
+    return out, config, probes
+
+
+class TestDiagnose:
+    def test_healthy_link(self, healthy):
+        out, config, _ = healthy
+        d = diagnose(out.reader, config)
+        assert d.decoded
+        assert d.first_failure is None
+        assert [s.stage for s in d.stages] == [
+            "cancellation", "sync/estimate", "mrc snr", "frame"]
+        assert all(s.ok for s in d.stages)
+        assert "DECODED" in d.format()
+
+    def test_si_cancellation_failure_adc_saturated(self, healthy):
+        out, config, _ = healthy
+        broken = dataclasses.replace(
+            out.reader,
+            cancellation=dataclasses.replace(
+                out.reader.cancellation, adc_saturated=True),
+        )
+        d = diagnose(broken, config)
+        assert d.first_failure.stage == "cancellation"
+        assert "ADC SATURATED" in d.first_failure.detail
+
+    def test_si_cancellation_failure_residual_floor(self, healthy):
+        out, config, _ = healthy
+        # Residual SI 15 dB above the thermal floor: cancellation is the
+        # culprit even though later stages might still limp along.
+        broken = dataclasses.replace(
+            out.reader, noise_floor_mw=10 ** (-80.0 / 10.0))
+        d = diagnose(broken, config)
+        assert d.first_failure.stage == "cancellation"
+        assert "+15.0 dB vs thermal" in d.first_failure.detail
+
+    def test_sync_failure_stops_the_walk(self, healthy):
+        out, config, _ = healthy
+        broken = dataclasses.replace(
+            out.reader, ok=False, sync=None, failure="no_timing_lock")
+        d = diagnose(broken, config)
+        assert not d.decoded
+        assert d.first_failure.stage == "sync/estimate"
+        assert "no_timing_lock" in d.first_failure.detail
+        # Later stages are not reported on garbage timing.
+        assert [s.stage for s in d.stages] == [
+            "cancellation", "sync/estimate"]
+
+    def test_cancellation_never_ran(self, healthy):
+        out, config, _ = healthy
+        broken = dataclasses.replace(out.reader, ok=False,
+                                     cancellation=None)
+        d = diagnose(broken, config)
+        assert len(d.stages) == 1
+        assert d.first_failure.stage == "cancellation"
+        assert "never ran" in d.first_failure.detail
+
+    def test_low_snr_flags_mrc_stage(self, healthy):
+        out, config, _ = healthy
+        # Same pipeline outputs, but the combiner only recovered 1 dB:
+        # the walk should pin the shortfall on the MRC stage.
+        starved = dataclasses.replace(out.reader, symbol_snr_db=1.0)
+        d = diagnose(starved, config)
+        assert d.first_failure.stage == "mrc snr"
+        assert "margin -" in d.first_failure.detail
+
+
+class TestDiagnoseFromProbes:
+    def test_healthy_probes(self, healthy):
+        _, _, probes = healthy
+        d = diagnose_from_probes(probes)
+        assert d.decoded
+        assert d.first_failure is None
+        assert len(d.stages) == 4
+
+    def test_agrees_with_in_process_diagnose(self, healthy):
+        out, config, probes = healthy
+        direct = diagnose(out.reader, config)
+        from_probes = diagnose_from_probes(probes)
+        assert from_probes.decoded == direct.decoded
+        assert [s.ok for s in from_probes.stages] == \
+            [s.ok for s in direct.stages]
+
+    def test_saturated_adc(self, healthy):
+        _, _, probes = healthy
+        broken = dict(probes)
+        broken["cancellation"] = dict(probes["cancellation"],
+                                      adc_saturated=1)
+        d = diagnose_from_probes(broken)
+        assert d.first_failure.stage == "cancellation"
+        assert "ADC SATURATED" in d.first_failure.detail
+
+    def test_residual_si_rise(self, healthy):
+        _, _, probes = healthy
+        broken = dict(probes)
+        broken["cancellation"] = dict(probes["cancellation"],
+                                      residual_si_dbm=-70.0)
+        d = diagnose_from_probes(broken)
+        assert d.first_failure.stage == "cancellation"
+
+    def test_missing_sync_span(self, healthy):
+        _, _, probes = healthy
+        broken = {k: v for k, v in probes.items()
+                  if k not in ("sync", "channel_est")}
+        broken["reader.decode"] = dict(probes["reader.decode"], ok=0,
+                                       failure="no_timing_lock")
+        d = diagnose_from_probes(broken)
+        assert not d.decoded
+        assert d.first_failure.stage == "sync/estimate"
+        assert "no_timing_lock" in d.first_failure.detail
+
+    def test_bad_sync_metric(self, healthy):
+        _, _, probes = healthy
+        broken = dict(probes)
+        broken["sync"] = dict(probes["sync"], metric=250.0)
+        d = diagnose_from_probes(broken)
+        assert d.first_failure.stage == "sync/estimate"
+
+    def test_missing_decode_span(self, healthy):
+        _, _, probes = healthy
+        broken = {k: v for k, v in probes.items() if k != "decode"}
+        d = diagnose_from_probes(broken)
+        assert d.first_failure.stage == "frame"
+        assert "nothing decoded" in d.first_failure.detail
+
+    def test_empty_probes_report_cancellation_missing(self):
+        d = diagnose_from_probes({})
+        assert not d.decoded
+        assert d.first_failure.stage == "cancellation"
+
+    def test_nan_sentinels_tolerated(self, healthy):
+        _, _, probes = healthy
+        # Raw JSONL carries "nan" strings; the walker must not crash.
+        broken = dict(probes)
+        broken["sync"] = dict(probes["sync"], metric="nan",
+                              offset_samples="nan")
+        d = diagnose_from_probes(broken)
+        assert d.first_failure.stage == "sync/estimate"
+        assert "?" in d.first_failure.detail

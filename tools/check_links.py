@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Check relative markdown links and heading anchors, stdlib only.
+
+Walks every ``*.md`` file in the repo (skipping caches/venvs), extracts
+inline links and bare reference definitions, and verifies that:
+
+* relative file targets exist (relative to the linking file),
+* ``#fragment`` targets match a heading anchor in the target file
+  (GitHub-style slugs),
+* intra-file anchors (``[x](#section)``) resolve.
+
+External links (``http(s)://``, ``mailto:``) are *not* fetched -- CI
+must pass offline -- but their URLs are syntax-checked for whitespace.
+
+Usage::
+
+    python tools/check_links.py [root]
+
+Exits non-zero listing every broken link, so it slots straight into the
+CI docs job next to ``python -m compileall examples/``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import unicodedata
+from pathlib import Path
+
+SKIP_DIRS = {".git", ".repro_cache", "__pycache__", ".pytest_cache",
+             "node_modules", ".venv", "venv", "build", "dist",
+             "repro.egg-info"}
+
+# Inline links: [text](target) -- tolerates one level of nested
+# brackets in the text, skips images' leading "!" (still checked).
+_LINK_RE = re.compile(r"\[(?:[^\[\]]|\[[^\]]*\])*\]\(([^()\s]+(?:\([^)]*\))?)\)")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (close enough for our docs)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)      # strip code spans
+    text = re.sub(_LINK_RE, "", text)                 # strip links
+    text = re.sub(r"[*_]", "", text)                  # emphasis markers
+    text = unicodedata.normalize("NFKD", text).lower().strip()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> set[str]:
+    """All anchor slugs a markdown file defines (with -1, -2 dups)."""
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def iter_links(path: Path):
+    """Yield (line_number, target) for every inline link."""
+    in_fence = False
+    for i, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if _CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        # Drop inline code spans so `foo](bar)` in code isn't a link.
+        clean = re.sub(r"`[^`]*`", "``", line)
+        for m in _LINK_RE.finditer(clean):
+            yield i, m.group(1)
+
+
+def check_file(md: Path, root: Path) -> list[str]:
+    """All broken-link complaints for one markdown file."""
+    problems: list[str] = []
+    for lineno, target in iter_links(md):
+        where = f"{md.relative_to(root)}:{lineno}"
+        if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+            # External scheme: offline check only.
+            if any(c.isspace() for c in target):
+                problems.append(f"{where}: whitespace in URL {target!r}")
+            continue
+        target, _, fragment = target.partition("#")
+        if target:
+            dest = (md.parent / target).resolve()
+            if not dest.exists():
+                problems.append(f"{where}: missing file {target!r}")
+                continue
+        else:
+            dest = md.resolve()
+        if fragment:
+            if dest.suffix.lower() not in (".md", ".markdown"):
+                continue  # anchors into non-markdown: not our problem
+            if github_slug(fragment) not in heading_anchors(dest):
+                problems.append(
+                    f"{where}: missing anchor #{fragment} in "
+                    f"{dest.relative_to(root)}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    root = Path(args[0]).resolve() if args else Path.cwd()
+    files = sorted(
+        p for p in root.rglob("*.md")
+        if not any(part in SKIP_DIRS for part in p.parts)
+    )
+    problems: list[str] = []
+    for md in files:
+        problems.extend(check_file(md, root))
+    if problems:
+        print(f"{len(problems)} broken link(s) in {len(files)} files:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"checked {len(files)} markdown files: all links ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
