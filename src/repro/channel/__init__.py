@@ -6,6 +6,7 @@ from .doppler import (
     doppler_hz,
     jakes_fading,
 )
+from .dynamics import burst_interference, clock_drift, gain_step, hard_clip
 from .environment import Scene, SceneConfig
 from .geometry import (
     Room,
@@ -40,6 +41,10 @@ __all__ = [
     "coherence_time_s",
     "doppler_hz",
     "jakes_fading",
+    "burst_interference",
+    "clock_drift",
+    "gain_step",
+    "hard_clip",
     "Scene",
     "SceneConfig",
     "Room",

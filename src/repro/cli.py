@@ -8,6 +8,8 @@ Commands
 ``sweep``        throughput-vs-range sweep (a quick Fig. 8).
 ``plan``         pick battery-free operating points under a power budget.
 ``experiments``  regenerate every paper table/figure (run_all).
+``robustness``   delivery/goodput vs injected-fault intensity, ARQ
+                 on/off (the reliability-layer sweep).
 ``trace``        summarise a recorded telemetry run (timing table,
                  probe digest, stage-margin waterfall).
 """
@@ -65,6 +67,19 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--jobs", type=int, default=1,
                      help="worker processes (0 = all CPUs)")
     exp.add_argument("--no-cache", action="store_true",
+                     help="recompute instead of reading .repro_cache/")
+
+    rob = sub.add_parser("robustness",
+                         help="ARQ delivery/goodput vs fault intensity")
+    rob.add_argument("--intensities", type=float, nargs="+",
+                     default=[0.0, 0.3, 0.6, 0.9],
+                     help="blocker trigger probabilities to sweep")
+    rob.add_argument("--trials", type=int, default=3)
+    rob.add_argument("--distance", type=float, default=1.0)
+    rob.add_argument("--seed", type=int, default=47)
+    rob.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (0 = all CPUs)")
+    rob.add_argument("--no-cache", action="store_true",
                      help="recompute instead of reading .repro_cache/")
 
     trace = sub.add_parser("trace",
@@ -152,6 +167,26 @@ def _cmd_link(args: argparse.Namespace) -> int:
     return 0 if out.ok else 1
 
 
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from .experiments.engine import ExperimentEngine, use_engine
+    from .experiments.robustness_sweep import run as robustness_run
+
+    engine = ExperimentEngine(jobs=args.jobs, cache=not args.no_cache)
+    params = {
+        "intensities": tuple(args.intensities),
+        "trials": args.trials,
+        "distance_m": args.distance,
+        "seed": args.seed,
+    }
+    with engine, use_engine(engine):
+        result = engine.run("robustness_sweep", robustness_run, params)
+        print(result.table)
+        print(engine.records[-1].describe(), file=sys.stderr)
+        for failure in engine.trial_failures:
+            print(f"WARNING: {failure}", file=sys.stderr)
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .telemetry import load_run, resolve_run_path, summarize
 
@@ -213,6 +248,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_plan(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "robustness":
+        return _cmd_robustness(args)
     if args.command == "experiments":
         from .experiments.run_all import main as run_all_main
 

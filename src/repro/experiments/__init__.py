@@ -23,6 +23,7 @@ EXPERIMENT_MODULES = (
     "microstudies",
     "alt_excitation",
     "mobility",
+    "robustness_sweep",
 )
 
 __all__ = [

@@ -33,6 +33,7 @@ import hashlib
 import os
 import pickle
 import time
+import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -46,6 +47,7 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "ExperimentEngine",
     "JobRecord",
+    "TrialFailure",
     "cache_key",
     "code_fingerprint",
     "get_engine",
@@ -129,6 +131,18 @@ def cache_key(name: str, params: dict[str, Any] | None = None) -> str:
 # -- the engine ------------------------------------------------------------
 
 @dataclass(frozen=True)
+class TrialFailure:
+    """One crashed trial inside a sweep (isolated, not fatal)."""
+
+    index: int
+    error: str
+    traceback: str
+
+    def __str__(self) -> str:
+        return f"trial {self.index}: {self.error}"
+
+
+@dataclass(frozen=True)
 class JobRecord:
     """One timed experiment run (replaces the ad-hoc timing prints)."""
 
@@ -137,18 +151,24 @@ class JobRecord:
     cached: bool
     jobs: int
     key: str = ""
+    n_failed: int = 0
+    """Trials that raised during this run (isolated by
+    :func:`parallel_map`; their slots carry ``None`` in the results)."""
+    tracebacks: tuple[str, ...] = ()
 
     def describe(self) -> str:
         """One log line for progress output."""
         src = "cache" if self.cached else f"{self.jobs} worker" + \
             ("s" if self.jobs != 1 else "")
-        return f"[{self.name}: {self.seconds:.2f} s ({src})]"
+        failed = f", {self.n_failed} trial(s) FAILED" if self.n_failed \
+            else ""
+        return f"[{self.name}: {self.seconds:.2f} s ({src}){failed}]"
 
     def as_dict(self) -> dict[str, Any]:
         """The record as plain data (telemetry probes, JSON export)."""
         return {"name": self.name, "seconds": self.seconds,
                 "cached": self.cached, "jobs": self.jobs,
-                "key": self.key}
+                "key": self.key, "n_failed": self.n_failed}
 
 
 class ExperimentEngine:
@@ -176,6 +196,7 @@ class ExperimentEngine:
             cache_dir or os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
         )
         self.records: list[JobRecord] = []
+        self.trial_failures: list[TrialFailure] = []
         self._pool: ProcessPoolExecutor | None = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -208,6 +229,11 @@ class ExperimentEngine:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
         return list(self._pool.map(fn, items))
+
+    def record_trial_failures(self,
+                              failures: Iterable[TrialFailure]) -> None:
+        """Log crashed trials (called by :func:`parallel_map`)."""
+        self.trial_failures.extend(failures)
 
     # -- cached experiment calls -------------------------------------------
 
@@ -250,7 +276,9 @@ class ExperimentEngine:
                         cached=True, jobs=self.jobs, key=key,
                     )
             if record is None:
+                n_failures_before = len(self.trial_failures)
                 result = fn(**params)
+                new_failures = self.trial_failures[n_failures_before:]
                 if self.cache_enabled:
                     path.parent.mkdir(parents=True, exist_ok=True)
                     tmp = path.with_suffix(f".tmp{os.getpid()}")
@@ -261,6 +289,8 @@ class ExperimentEngine:
                 record = JobRecord(
                     name=name, seconds=time.perf_counter() - t0,
                     cached=False, jobs=self.jobs, key=key,
+                    n_failed=len(new_failures),
+                    tracebacks=tuple(f.traceback for f in new_failures),
                 )
             self.records.append(record)
             for field_name, value in record.as_dict().items():
@@ -323,20 +353,66 @@ def resolve_jobs(jobs: int | None) -> int:
     return int(jobs)
 
 
+def _guarded_call(task: tuple[Callable[[Any], Any], int, Any]
+                  ) -> tuple[int, Any, TrialFailure | None]:
+    """Run one trial, converting an exception into a TrialFailure.
+
+    Module-level so it pickles into worker processes; the wrapped
+    exception crosses the process boundary as plain strings (exception
+    objects themselves may not pickle).
+    """
+    fn, index, item = task
+    try:
+        return index, fn(item), None
+    except Exception as exc:  # crash isolation: any trial error
+        return index, None, TrialFailure(
+            index=index,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=_traceback.format_exc(),
+        )
+
+
 def parallel_map(fn: Callable[[Any], Any], items: Sequence[Any], *,
-                 jobs: int | None = None) -> list[Any]:
+                 jobs: int | None = None,
+                 on_error: str = "record") -> list[Any]:
     """Map a picklable task over items with the resolved worker count.
 
     The workhorse every experiment sweep calls.  With ``jobs=None`` the
     current engine's pool is reused; an explicit ``jobs`` spins up a
     dedicated pool for just this map.
+
+    A raising trial does not abort the sweep: with the default
+    ``on_error="record"`` its slot comes back as ``None``, the failure
+    (with traceback) lands on the current engine's ``trial_failures``
+    list, and every other trial completes.  ``on_error="raise"``
+    restores fail-fast semantics.
     """
+    if on_error not in ("record", "raise"):
+        raise ValueError(f"on_error must be 'record' or 'raise', "
+                         f"got {on_error!r}")
     items = list(items)
     n = resolve_jobs(jobs)
-    if n <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+    tasks = [(fn, i, item) for i, item in enumerate(items)]
     engine = get_engine()
-    if jobs is None or n == engine.jobs:
-        return engine.map(fn, items)
-    with ProcessPoolExecutor(max_workers=min(n, len(items))) as pool:
-        return list(pool.map(fn, items))
+    if n <= 1 or len(items) <= 1:
+        outs = [_guarded_call(t) for t in tasks]
+    elif jobs is None or n == engine.jobs:
+        outs = engine.map(_guarded_call, tasks)
+    else:
+        with ProcessPoolExecutor(max_workers=min(n, len(items))) as pool:
+            outs = list(pool.map(_guarded_call, tasks))
+    results: list[Any] = [None] * len(items)
+    failures: list[TrialFailure] = []
+    for index, value, failure in outs:
+        if failure is None:
+            results[index] = value
+        else:
+            failures.append(failure)
+    if failures:
+        if on_error == "raise":
+            raise RuntimeError(
+                f"{len(failures)} trial(s) failed; first: "
+                f"{failures[0]}\n{failures[0].traceback}"
+            )
+        engine.record_trial_failures(failures)
+    return results

@@ -39,6 +39,7 @@ def generate_report(*, fast: bool = True,
         fig12_network,
         fig13_client_impact,
         microstudies,
+        robustness_sweep,
     )
     from .run_all import _plot_fig8, _plot_fig11a, _plot_fig11b, \
         _plot_fig12a
@@ -127,6 +128,19 @@ def generate_report(*, fast: bool = True,
                         microstudies.wifi_channel_similarity,
                         {"trials": 2 if fast else 4})
         sections.append(("WiFi channel similarity", _fence(str(ms))))
+
+        rr = engine.run(
+            "robustness_sweep", robustness_sweep.run,
+            {"intensities": (0.0, 0.6) if fast
+             else (0.0, 0.3, 0.6, 0.9),
+             "trials": 1 if fast else 3})
+        sections.append((
+            "Robustness — ARQ under injected faults",
+            _fence(str(rr.table)) + "\n\nDelivery ratio with the ARQ "
+            "layer should hold near 100% while the one-shot arm decays "
+            "with blocker probability; the gap is the reliability "
+            "layer's contribution.",
+        ))
 
     stamp = time.strftime("%Y-%m-%d %H:%M:%S")
     out = [

@@ -83,6 +83,7 @@ def experiment_specs(fast: bool) -> list[tuple]:
         fig11_microbench,
         fig12_network,
         fig13_client_impact,
+        robustness_sweep,
     )
 
     return [
@@ -116,6 +117,9 @@ def experiment_specs(fast: bool) -> list[tuple]:
          {"trials": 3 if fast else 5}, None),
         ("MRC vs divide", "mrc_vs_divide", ablations.mrc_vs_divide,
          {"trials": 3 if fast else 5}, None),
+        ("Robustness", "robustness_sweep", robustness_sweep.run,
+         {"intensities": (0.0, 0.6) if fast else (0.0, 0.3, 0.6, 0.9),
+          "trials": 1 if fast else 3}, None),
     ]
 
 
@@ -149,6 +153,8 @@ def main(argv: list[str] | None = None) -> int:
                 print(plotter(result))
             print()
             print(engine.records[-1].describe(), file=sys.stderr)
+        for failure in engine.trial_failures:
+            print(f"WARNING: {failure}", file=sys.stderr)
     print(engine.report(), file=sys.stderr)
     print(f"all experiments done in {engine.total_seconds():.1f} s",
           file=sys.stderr)

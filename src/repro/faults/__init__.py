@@ -1,0 +1,40 @@
+"""Deterministic fault injection for BackFi links.
+
+Build a :class:`FaultPlan` from typed events, hand it to
+:func:`repro.link.run_backscatter_session` (or an
+:class:`repro.link.ArqLink`), and the same seed reproduces the same
+faults at any ``--jobs N``::
+
+    from repro.faults import Blocker, FaultPlan
+
+    plan = FaultPlan([Blocker(gain_db=-30, probability=0.6)], seed=42)
+    out = run_backscatter_session(scene, tag, reader,
+                                  faults=plan, exchange_index=0, rng=rng)
+
+See ``docs/ROBUSTNESS.md`` for the fault taxonomy and the determinism
+contract.
+"""
+
+from .plan import (
+    AdcSaturation,
+    Blocker,
+    Brownout,
+    ClockDrift,
+    DetectorMiss,
+    FaultEvent,
+    FaultPlan,
+    FaultRealization,
+    InterferenceBurst,
+)
+
+__all__ = [
+    "AdcSaturation",
+    "Blocker",
+    "Brownout",
+    "ClockDrift",
+    "DetectorMiss",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultRealization",
+    "InterferenceBurst",
+]

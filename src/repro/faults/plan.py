@@ -1,0 +1,282 @@
+"""Deterministic fault injection for BackFi exchanges.
+
+A :class:`FaultPlan` is a seedable list of typed fault events -- the
+failure modes a deployed backscatter link actually meets: blockers
+stepping into the channel mid-packet, co-channel interference bursts,
+wake-up detector misses, tag clock drift, energy brownouts that truncate
+the modulated tail, and ADC saturation episodes.
+
+Determinism contract
+--------------------
+``plan.realize(exchange_index)`` is a pure function of
+``(plan.seed, exchange_index)``: which events trigger, where their
+windows land and what waveform noise they add never depend on worker
+count, scheduling or the session's own RNG stream.  The session RNG is
+untouched, so a plan with no triggered events is bit-identical to no
+plan at all, and a sweep over faulty links caches and parallelises
+exactly like a clean one.
+
+Each applied event emits a ``fault.<kind>`` telemetry span, so
+``repro trace`` shows injected faults next to the decode-stage margins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import ClassVar, Sequence
+
+import numpy as np
+
+from ..channel.dynamics import (
+    burst_interference,
+    clock_drift,
+    gain_step,
+    hard_clip,
+)
+from ..telemetry import get_collector
+
+__all__ = [
+    "AdcSaturation",
+    "Blocker",
+    "Brownout",
+    "ClockDrift",
+    "DetectorMiss",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultRealization",
+    "InterferenceBurst",
+]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: one typed failure mode with a trigger probability."""
+
+    probability: float = 1.0
+    """Chance this event fires on any given exchange (i.i.d. across
+    exchange indices, from the plan's seed)."""
+
+    kind: ClassVar[str] = "event"
+
+    def describe(self, **resolved) -> str:
+        """Short label, e.g. ``blocker(gain_db=-30)``.
+
+        ``resolved`` overrides field values drawn per exchange (e.g. a
+        window start drawn from the plan stream), so the label records
+        what actually happened rather than the ``-1`` draw sentinel.
+        """
+        parts = []
+        for f in fields(self):
+            if f.name == "probability":
+                continue
+            value = resolved.get(f.name, getattr(self, f.name))
+            parts.append(f"{f.name}={value:g}")
+        return f"{self.kind}({', '.join(parts)})"
+
+
+@dataclass(frozen=True)
+class Blocker(FaultEvent):
+    """Mid-packet channel gain step on the backscatter path.
+
+    A person or object crossing the tag<->reader path drops the channel
+    gain by ``gain_db`` for a window of the packet.  ``start_frac`` may
+    be negative to draw the window start uniformly per exchange.
+    """
+
+    gain_db: float = -30.0
+    start_frac: float = -1.0
+    """Window start as a fraction of the packet; negative = draw
+    uniformly in [0.1, 0.5] per exchange."""
+    duration_frac: float = 0.6
+
+    kind: ClassVar[str] = "blocker"
+
+
+@dataclass(frozen=True)
+class InterferenceBurst(FaultEvent):
+    """Co-channel interference burst at the reader's receive antenna."""
+
+    inr_db: float = 25.0
+    """Burst power over the thermal noise floor."""
+    start_frac: float = -1.0
+    duration_frac: float = 0.4
+
+    kind: ClassVar[str] = "interference"
+
+
+@dataclass(frozen=True)
+class DetectorMiss(FaultEvent):
+    """The tag's wake-up detector misses the AP preamble entirely.
+
+    The tag never backscatters this exchange; its queued data is not
+    consumed (the reader sees only self-interference and noise).
+    """
+
+    kind: ClassVar[str] = "detector-miss"
+
+
+@dataclass(frozen=True)
+class ClockDrift(FaultEvent):
+    """Tag clock / symbol-rate drift.
+
+    The tag's oscillator runs ``ppm`` parts-per-million fast, so its
+    chip boundaries slide against the reader's MRC windows -- the later
+    the symbol, the larger the misalignment.
+    """
+
+    ppm: float = 1000.0
+
+    kind: ClassVar[str] = "clock-drift"
+
+
+@dataclass(frozen=True)
+class Brownout(FaultEvent):
+    """Energy brownout: the harvester dies mid-frame.
+
+    The tag's reflection is truncated after ``survive_frac`` of the
+    post-wake window, cutting off the modulated tail (and usually the
+    frame CRC with it).
+    """
+
+    survive_frac: float = 0.5
+
+    kind: ClassVar[str] = "brownout"
+
+
+@dataclass(frozen=True)
+class AdcSaturation(FaultEvent):
+    """Front-end saturation episode at the reader.
+
+    For a window of the packet the converter rails clamp at
+    ``clip_db_below_peak`` dB below the packet's peak amplitude --
+    a strong transient (or AGC mis-track) that clips the composite
+    received signal.
+    """
+
+    clip_db_below_peak: float = 12.0
+    start_frac: float = -1.0
+    duration_frac: float = 0.3
+
+    kind: ClassVar[str] = "adc-saturation"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seedable, typed schedule of fault events.
+
+    Parameters
+    ----------
+    events:
+        The fault events that may trigger each exchange.
+    seed:
+        Root of the plan's private random stream.  All realisations are
+        pure functions of ``(seed, exchange_index)``.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: int = 0
+
+    def __init__(self, events: Sequence[FaultEvent] = (), seed: int = 0):
+        object.__setattr__(self, "events", tuple(events))
+        object.__setattr__(self, "seed", int(seed))
+
+    def realize(self, exchange_index: int = 0) -> "FaultRealization":
+        """Draw which events fire on one exchange (deterministically)."""
+        rng = np.random.default_rng(np.random.SeedSequence(
+            self.seed, spawn_key=(int(exchange_index),)))
+        triggered = []
+        for ev in self.events:
+            u = float(rng.random())  # always drawn: stream stays aligned
+            if u < ev.probability:
+                triggered.append(ev)
+        return FaultRealization(events=tuple(triggered), rng=rng,
+                                exchange_index=int(exchange_index))
+
+
+@dataclass
+class FaultRealization:
+    """The events that fire on one exchange, plus their private RNG.
+
+    The session calls the ``apply_*`` hooks at fixed pipeline points;
+    each applied event appends a description to :attr:`injected` and
+    emits a ``fault.<kind>`` telemetry span.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    rng: np.random.Generator = field(
+        default_factory=np.random.default_rng, repr=False)
+    exchange_index: int = 0
+    injected: list[str] = field(default_factory=list)
+
+    def _of(self, cls) -> list:
+        return [ev for ev in self.events if isinstance(ev, cls)]
+
+    def _record(self, ev: FaultEvent, **resolved) -> None:
+        names = {f.name for f in fields(ev)}
+        desc = ev.describe(
+            **{k: v for k, v in resolved.items() if k in names})
+        self.injected.append(desc)
+        tm = get_collector()
+        if tm.enabled:
+            with tm.span(f"fault.{ev.kind}") as sp:
+                sp.probe("exchange", self.exchange_index)
+                sp.probe("event", desc)
+                for name, value in resolved.items():
+                    sp.probe(name, value)
+            tm.count("faults.injected")
+
+    def _start_frac(self, configured: float) -> float:
+        """A configured window start, or a per-exchange uniform draw."""
+        if configured >= 0.0:
+            return configured
+        return float(self.rng.uniform(0.1, 0.5))
+
+    # -- hooks, in the order the session calls them ---------------------
+
+    @property
+    def detector_miss(self) -> bool:
+        """Whether the tag's wake-up detector misses this exchange."""
+        misses = self._of(DetectorMiss)
+        for ev in misses:
+            self._record(ev)
+        return bool(misses)
+
+    def apply_reflection(self, reflection: np.ndarray,
+                         wake_index: int) -> np.ndarray:
+        """Tag-side faults: clock drift, energy brownout."""
+        for ev in self._of(ClockDrift):
+            reflection = clock_drift(reflection, wake_index, ev.ppm)
+            self._record(ev)
+        for ev in self._of(Brownout):
+            reflection = reflection.copy()
+            cut = wake_index + int(
+                ev.survive_frac * (reflection.size - wake_index))
+            reflection[cut:] = 0.0
+            self._record(ev, cut_index=cut)
+        return reflection
+
+    def apply_backscatter(self, backscatter: np.ndarray) -> np.ndarray:
+        """Backscatter-channel faults: the mid-packet blocker."""
+        for ev in self._of(Blocker):
+            start = self._start_frac(ev.start_frac)
+            backscatter = gain_step(backscatter, start,
+                                    ev.duration_frac, ev.gain_db)
+            self._record(ev, start_frac=start, gain_db=ev.gain_db)
+        return backscatter
+
+    def apply_rx(self, y: np.ndarray,
+                 noise_floor_mw: float) -> np.ndarray:
+        """Receiver-side faults: interference bursts, ADC saturation."""
+        for ev in self._of(InterferenceBurst):
+            start = self._start_frac(ev.start_frac)
+            power = noise_floor_mw * 10.0 ** (ev.inr_db / 10.0)
+            y = y + burst_interference(y.size, start, ev.duration_frac,
+                                       power, self.rng)
+            self._record(ev, start_frac=start, inr_db=ev.inr_db)
+        for ev in self._of(AdcSaturation):
+            start = self._start_frac(ev.start_frac)
+            peak = float(np.max(np.abs(y))) if y.size else 0.0
+            level = peak * 10.0 ** (-ev.clip_db_below_peak / 20.0)
+            y = hard_clip(y, start, ev.duration_frac, level)
+            self._record(ev, start_frac=start, clip_level=level)
+        return y

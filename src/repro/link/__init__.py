@@ -1,5 +1,6 @@
 """BackFi link layer: protocol, frames, budget, sessions, extensions."""
 
+from .arq import ArqConfig, ArqLink, ArqResult
 from .budget import LinkBudget, client_edge_distance_m, \
     expected_symbol_snr_db
 from .controller import AdaptationStep, AdaptiveLink
@@ -12,6 +13,7 @@ from .downlink import (
 from .fragmentation import (
     Reassembler,
     TransferResult,
+    fragment_capacity_bits,
     fragment_message,
     parse_fragment,
     run_fragmented_transfer,
@@ -22,6 +24,9 @@ from .protocol import ApTimeline, build_ap_transmission
 from .session import SessionResult, run_backscatter_session
 
 __all__ = [
+    "ArqConfig",
+    "ArqLink",
+    "ArqResult",
     "LinkBudget",
     "client_edge_distance_m",
     "expected_symbol_snr_db",
@@ -33,6 +38,7 @@ __all__ = [
     "encode_config_command",
     "Reassembler",
     "TransferResult",
+    "fragment_capacity_bits",
     "fragment_message",
     "parse_fragment",
     "run_fragmented_transfer",

@@ -1,0 +1,323 @@
+"""Reliable ARQ link layer with graceful degradation.
+
+:func:`run_fragmented_transfer` is the minimal stop-and-wait baseline;
+this module is the full reliability story a deployed BackFi link needs
+when the channel misbehaves:
+
+* **Selective retransmission** -- a lost fragment rotates to the back of
+  the pending queue instead of head-of-line blocking the transfer.
+* **Timeout + exponential backoff** -- consecutive losses back the tag
+  off for ``1, 2, 4, ... <= backoff_max_slots`` idle excitation slots,
+  so a transient blocker is waited out rather than hammered.
+* **Rate fallback** -- after ``fallback_after`` consecutive losses the
+  link steps down :func:`repro.reader.rate_adapt.fallback_ladder`
+  (restricted to rungs whose per-exchange capacity still fits a
+  fragment), then extends the tag preamble to the paper's long 96 us
+  PN sequence for a better channel estimate.
+* **Graceful degradation** -- a fragment that exhausts its retry budget
+  is dropped and the transfer continues, reporting partial delivery
+  instead of aborting.
+
+Every exchange feeds the plan's ``exchange_index`` forward (idle
+backoff slots advance it too), so a :class:`repro.faults.FaultPlan`
+hits deterministic exchanges regardless of the link's adaptation path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..channel.environment import Scene
+from ..constants import TAG_PREAMBLE_US
+from ..faults import FaultPlan
+from ..reader.rate_adapt import fallback_ladder, step_down
+from ..reader.reader import BackFiReader
+from ..tag.config import TagConfig
+from ..tag.tag import BackFiTag
+from ..telemetry import get_collector
+from .fragmentation import (
+    FRAGMENT_HEADER_BITS,
+    Reassembler,
+    fragment_capacity_bits,
+    fragment_message,
+)
+from .session import run_backscatter_session
+
+__all__ = ["ArqConfig", "ArqResult", "ArqLink"]
+
+
+@dataclass(frozen=True)
+class ArqConfig:
+    """Reliability policy knobs."""
+
+    max_exchanges: int = 64
+    """Hard budget of excitation packets (idle slots not included)."""
+
+    max_retries_per_fragment: int = 10
+    """Retries before a fragment is dropped (0 = no ARQ: one shot)."""
+
+    backoff_base_slots: int = 1
+    """Idle slots after the first consecutive loss (0 disables backoff)."""
+
+    backoff_max_slots: int = 8
+    """Backoff ceiling: slots double per consecutive loss up to this."""
+
+    fallback_after: int = 3
+    """Consecutive losses before stepping down the rate ladder."""
+
+    extend_preamble: bool = True
+    """After the ladder floor, extend the tag preamble once."""
+
+    long_preamble_us: float = 96.0
+    """The extended PN preamble length (paper Sec. 5.2 upper range)."""
+
+    floor_config: TagConfig = field(
+        default_factory=lambda: TagConfig("bpsk", "1/2", 500e3))
+    """Most robust rung the link may fall back to.  Fragments are sized
+    to this rung's capacity at the long preamble, so every reachable
+    operating point can carry every fragment."""
+
+
+@dataclass
+class ArqResult:
+    """Outcome of one reliable transfer."""
+
+    ok: bool
+    message_bits: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.uint8), repr=False
+    )
+    total_fragments: int = 0
+    delivered_fragments: int = 0
+    exchanges: int = 0
+    retransmissions: int = 0
+    idle_slots: int = 0
+    airtime_s: float = 0.0
+    """Total occupied time: exchanges plus backoff idle slots."""
+    retry_latency_s: float = 0.0
+    """Summed first-transmission-to-delivery delay of retried fragments."""
+    retried_fragments: int = 0
+    delivered_bits: int = 0
+    """Validated chunk bits across (counts partial deliveries too)."""
+    fallbacks: int = 0
+    """Rate-ladder steps plus preamble extensions taken."""
+    final_config: TagConfig | None = None
+    final_preamble_us: float = TAG_PREAMBLE_US
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of fragments (payload) that made it across."""
+        if self.total_fragments == 0:
+            return 0.0
+        return self.delivered_fragments / self.total_fragments
+
+    @property
+    def goodput_bps(self) -> float:
+        """Delivered message bits over the occupied air time."""
+        if self.airtime_s <= 0:
+            return 0.0
+        return self.delivered_bits / self.airtime_s
+
+    @property
+    def mean_retry_latency_s(self) -> float:
+        """Mean extra delay a retried fragment paid (0 if none retried)."""
+        if self.retried_fragments == 0:
+            return 0.0
+        return self.retry_latency_s / self.retried_fragments
+
+
+class ArqLink:
+    """A reliable tag->reader transfer pipe over one scene.
+
+    Parameters
+    ----------
+    scene:
+        The channel realisation.
+    config:
+        The starting operating point (rate fallback may leave it).
+    arq:
+        The reliability policy; defaults to :class:`ArqConfig`.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` injected per exchange
+        (the plan's ``exchange_index`` advances monotonically across
+        transmissions *and* idle backoff slots).
+    seed:
+        Seeds the link's session RNG stream; a transfer is a pure
+        function of (scene, configs, faults, seed, message).
+    """
+
+    def __init__(self, scene: Scene, config: TagConfig | None = None, *,
+                 arq: ArqConfig | None = None,
+                 faults: FaultPlan | None = None,
+                 seed: int = 0,
+                 wifi_rate_mbps: int = 24,
+                 wifi_payload_bytes: int = 3000):
+        self.scene = scene
+        self.config = config or TagConfig()
+        self.arq = arq or ArqConfig()
+        self.faults = faults
+        self.seed = int(seed)
+        self.wifi_rate_mbps = wifi_rate_mbps
+        self.wifi_payload_bytes = wifi_payload_bytes
+
+    # -- helpers -----------------------------------------------------------
+
+    def _capacity(self, config: TagConfig, preamble_us: float) -> int:
+        return fragment_capacity_bits(
+            config,
+            wifi_rate_mbps=self.wifi_rate_mbps,
+            wifi_payload_bytes=self.wifi_payload_bytes,
+            preamble_us=preamble_us,
+        )
+
+    def _usable_ladder(self, chunk_bits: int,
+                       preamble_us: float) -> list[TagConfig]:
+        """Ladder rungs that can still carry a fragment, fastest first."""
+        floor = self.arq.floor_config
+        rungs = [c for c in fallback_ladder()
+                 if c.symbol_rate_hz >= floor.symbol_rate_hz
+                 and self._capacity(c, preamble_us) >= chunk_bits]
+        return rungs
+
+    # -- main entry --------------------------------------------------------
+
+    def transfer(self, message_bits: np.ndarray) -> ArqResult:
+        """Ship a message reliably; degrade gracefully when it cannot."""
+        tm = get_collector()
+        with tm.span("arq.transfer") as sp:
+            result = self._transfer(message_bits)
+            if tm.enabled:
+                sp.probe("ok", result.ok)
+                sp.probe("delivery_ratio", result.delivery_ratio)
+                sp.probe("goodput_bps", result.goodput_bps)
+                sp.probe("exchanges", result.exchanges)
+                sp.probe("retransmissions", result.retransmissions)
+                sp.probe("idle_slots", result.idle_slots)
+                sp.probe("fallbacks", result.fallbacks)
+            return result
+
+    def _transfer(self, message_bits: np.ndarray) -> ArqResult:
+        arq = self.arq
+        message_bits = np.asarray(message_bits, dtype=np.uint8)
+        rng = np.random.default_rng(np.random.SeedSequence(self.seed))
+
+        # Fragments sized so even the terminal fallback rung (floor
+        # config at the long preamble) can carry them.
+        chunk = self._capacity(arq.floor_config, arq.long_preamble_us)
+        if chunk < 1:
+            return ArqResult(ok=False, final_config=self.config)
+        fragments = fragment_message(message_bits, chunk)
+        n_frag = len(fragments)
+
+        current = self.config
+        preamble_us = float(TAG_PREAMBLE_US)
+        if self._capacity(current, preamble_us) < chunk:
+            # The requested start point cannot even carry a fragment:
+            # start from the floor instead of wasting exchanges.
+            current = arq.floor_config
+
+        reassembler = Reassembler()
+        pending: deque[int] = deque(range(n_frag))
+        retries = [0] * n_frag
+        first_tx_s: dict[int, float] = {}
+        retry_latency = 0.0
+        retried_delivered = 0
+        delivered = 0
+        exchanges = retransmissions = idle_slots = fallbacks = 0
+        consecutive = 0
+        exchange_index = 0
+        airtime = 0.0
+
+        while pending and exchanges < arq.max_exchanges:
+            seq = pending[0]
+            tag = BackFiTag(current, preamble_us=preamble_us)
+            reader = BackFiReader(current)
+            first_tx_s.setdefault(seq, airtime)
+            out = run_backscatter_session(
+                self.scene, tag, reader,
+                payload_bits=fragments[seq],
+                wifi_rate_mbps=self.wifi_rate_mbps,
+                wifi_payload_bytes=self.wifi_payload_bytes,
+                preamble_us=preamble_us,
+                faults=self.faults,
+                exchange_index=exchange_index,
+                rng=rng,
+            )
+            exchanges += 1
+            exchange_index += 1
+            airtime += out.airtime_s
+
+            got = reassembler.add(out.reader.payload_bits) \
+                if out.ok else None
+            if got == seq:
+                pending.popleft()
+                delivered += 1
+                consecutive = 0
+                if retries[seq] > 0:
+                    retry_latency += airtime - first_tx_s[seq]
+                    retried_delivered += 1
+                continue
+
+            # -- loss path -------------------------------------------------
+            consecutive += 1
+            retries[seq] += 1
+            if retries[seq] > arq.max_retries_per_fragment:
+                # Budget exhausted: drop and move on (partial delivery
+                # beats an aborted transfer).
+                pending.popleft()
+            else:
+                retransmissions += 1
+                pending.rotate(-1)
+
+            # Exponential backoff: wait out a (possibly transient)
+            # bad channel.  Idle slots occupy air time and advance the
+            # fault clock, but do not consume the exchange budget.
+            if arq.backoff_base_slots > 0 and pending:
+                slots = min(
+                    arq.backoff_base_slots * 2 ** (consecutive - 1),
+                    arq.backoff_max_slots,
+                )
+                idle_slots += slots
+                exchange_index += slots
+                airtime += slots * out.airtime_s
+
+            # Rate fallback: persistent loss means the operating point
+            # is wrong, not unlucky.
+            if consecutive >= arq.fallback_after and pending:
+                ladder = self._usable_ladder(chunk, preamble_us)
+                lower = step_down(current, ladder) if ladder else None
+                if lower is not None:
+                    current = lower
+                    fallbacks += 1
+                    consecutive = 0
+                elif (arq.extend_preamble
+                      and preamble_us < arq.long_preamble_us):
+                    preamble_us = arq.long_preamble_us
+                    fallbacks += 1
+                    consecutive = 0
+
+        # Count fragments never attempted (exchange budget ran out) as
+        # undelivered; the reassembler already has everything received.
+        ok = reassembler.complete
+        got_bits = reassembler.message() if ok \
+            else np.empty(0, dtype=np.uint8)
+        delivered_bits = int(sum(
+            c.size for c in reassembler.fragments.values()))
+        return ArqResult(
+            ok=ok and np.array_equal(got_bits, message_bits),
+            message_bits=got_bits,
+            total_fragments=n_frag,
+            delivered_fragments=delivered,
+            exchanges=exchanges,
+            retransmissions=retransmissions,
+            idle_slots=idle_slots,
+            airtime_s=airtime,
+            retry_latency_s=retry_latency,
+            retried_fragments=retried_delivered,
+            delivered_bits=delivered_bits,
+            fallbacks=fallbacks,
+            final_config=current,
+            final_preamble_us=preamble_us,
+        )

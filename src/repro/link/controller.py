@@ -49,6 +49,10 @@ class AdaptationStep:
     command_sent: bool
     command_delivered: bool
     goodput_bps: float
+    fallback: bool = False
+    """No operating point met the throughput floor at the predicted
+    SNR; the controller parked the tag at the most robust point
+    instead of leaving it silent."""
 
 
 @dataclass
@@ -114,6 +118,7 @@ class AdaptiveLink:
                 sp.probe("goodput_bps", step.goodput_bps)
                 sp.probe("command_sent", step.command_sent)
                 sp.probe("command_delivered", step.command_delivered)
+                sp.probe("fallback", step.fallback)
                 if step.command_sent:
                     tm.count("link.commands_sent")
                 if step.command_delivered:
@@ -133,14 +138,19 @@ class AdaptiveLink:
         measured = out.reader.symbol_snr_db
 
         command_sent = command_delivered = False
+        fallback = False
         if out.ok and np.isfinite(measured):
             choice: RateChoice | None = select_config(
                 lambda cfg: self._predict_snr(measured, config, cfg),
                 min_throughput_bps=self.min_throughput_bps,
+                fallback_most_robust=True,
             )
-            if choice is not None and choice.config != config:
-                command_sent = True
-                command_delivered = self._deliver_command(choice.config)
+            if choice is not None:
+                fallback = choice.fallback
+                if choice.config != config:
+                    command_sent = True
+                    command_delivered = self._deliver_command(
+                        choice.config)
         elif not out.ok:
             if out.plan.info_bits_sent == 0:
                 # Capacity failure, not an SNR failure: the symbol rate
@@ -165,6 +175,7 @@ class AdaptiveLink:
             command_sent=command_sent,
             command_delivered=command_delivered,
             goodput_bps=out.goodput_bps,
+            fallback=fallback,
         )
         self.history.append(step)
         return step

@@ -27,6 +27,7 @@ from ..utils.bits import bits_from_int, int_from_bits
 from .session import run_backscatter_session
 
 __all__ = [
+    "fragment_capacity_bits",
     "fragment_message",
     "parse_fragment",
     "Reassembler",
@@ -37,6 +38,30 @@ __all__ = [
 
 FRAGMENT_HEADER_BITS = 16
 MAX_SEQ = 256
+
+
+def fragment_capacity_bits(config: TagConfig, *,
+                           wifi_rate_mbps: int = 24,
+                           wifi_payload_bytes: int = 3000,
+                           preamble_us: float | None = None) -> int:
+    """Chunk bits one fragment can carry at this operating point.
+
+    Builds a probe excitation packet (the capacity depends only on the
+    packet duration, not its contents) and subtracts the fragment
+    header from the tag's frame capacity.  May be zero or negative for
+    slow operating points that cannot fit a frame in one packet.
+    """
+    from ..wifi.frames import random_payload
+    from .protocol import build_ap_transmission
+
+    kwargs = {} if preamble_us is None else {"preamble_us": preamble_us}
+    probe_tag = BackFiTag(config, **kwargs)
+    tl = build_ap_transmission(
+        random_payload(wifi_payload_bytes, np.random.default_rng(0)),
+        wifi_rate_mbps, **kwargs,
+    )
+    capacity = probe_tag.max_payload_bits(tl.n_samples, tl.wifi_start)
+    return capacity - FRAGMENT_HEADER_BITS
 
 
 def fragment_message(message_bits: np.ndarray,
@@ -153,14 +178,9 @@ def run_fragmented_transfer(
     message_bits = np.asarray(message_bits, dtype=np.uint8)
 
     # Size chunks to the per-exchange capacity at this operating point.
-    probe_tag = BackFiTag(config)
-    from .protocol import build_ap_transmission
-    from ..wifi.frames import random_payload
-
-    tl = build_ap_transmission(random_payload(wifi_payload_bytes, rng),
-                               wifi_rate_mbps)
-    capacity = probe_tag.max_payload_bits(tl.n_samples, tl.wifi_start)
-    chunk = capacity - FRAGMENT_HEADER_BITS
+    chunk = fragment_capacity_bits(config,
+                                   wifi_rate_mbps=wifi_rate_mbps,
+                                   wifi_payload_bytes=wifi_payload_bytes)
     if chunk < 1:
         return TransferResult(ok=False)
 

@@ -27,6 +27,8 @@ from ..constants import (
     SAMPLES_PER_US,
     TAG_PREAMBLE_US,
 )
+from ..faults import FaultPlan
+from ..tag.detector import DetectionResult
 from ..tag.tag import BackFiTag, BackscatterPlan
 
 if TYPE_CHECKING:  # avoids a circular import; reader depends on link
@@ -49,6 +51,8 @@ class SessionResult:
     payload_bits: np.ndarray = field(repr=False)
     client: RxResult | None = None
     client_snr_db: float = float("nan")
+    injected_faults: tuple[str, ...] = ()
+    """Descriptions of the fault events injected into this exchange."""
 
     @property
     def ok(self) -> bool:
@@ -107,6 +111,8 @@ def run_backscatter_session(
     use_tag_detector: bool = False,
     decode_client: bool = False,
     include_cts: bool = True,
+    faults: FaultPlan | None = None,
+    exchange_index: int = 0,
     rng: np.random.Generator | None = None,
 ) -> SessionResult:
     """Simulate one complete AP->tag->reader exchange.
@@ -143,10 +149,20 @@ def run_backscatter_session(
         protocol timeline.
     decode_client:
         Also simulate the WiFi client receiving the downlink packet.
+    faults:
+        A :class:`repro.faults.FaultPlan` to inject into this exchange.
+        The plan draws from its own seeded stream (a pure function of
+        ``(plan.seed, exchange_index)``), never from ``rng``, so a plan
+        whose events do not trigger leaves the session bit-identical to
+        a fault-free run.
+    exchange_index:
+        Which retry/opportunity this exchange is (selects the fault
+        realisation; ARQ layers increment it per opportunity).
     """
     rng = rng or np.random.default_rng()
     if preamble_us is None:
         preamble_us = getattr(tag, "preamble_us", TAG_PREAMBLE_US)
+    fault = faults.realize(exchange_index) if faults is not None else None
 
     # --- AP transmission -------------------------------------------------
     burst = None
@@ -192,7 +208,19 @@ def run_backscatter_session(
     tag.queue_data(payload_bits)
     z_tag = apply_channel(scene.h_f, x_pa)
     wake = None if use_tag_detector else timeline.wifi_start
-    plan = tag.backscatter(z_tag, wake_index=wake)
+    if fault is not None and fault.detector_miss:
+        # The wake-up detector slept through the AP preamble: the tag
+        # never reflects and its queued data stays in memory.
+        plan = BackscatterPlan(
+            reflection=np.zeros(x.size, dtype=np.complex128),
+            detection=DetectionResult(detected=False),
+        )
+    else:
+        plan = tag.backscatter(z_tag, wake_index=wake)
+    reflection = plan.reflection
+    if fault is not None:
+        reflection = fault.apply_reflection(reflection,
+                                            timeline.wifi_start)
 
     # --- interfering tags ----------------------------------------------
     interference = np.zeros(x.size, dtype=np.complex128)
@@ -213,7 +241,9 @@ def run_backscatter_session(
             si.size, scene.config.env_drift_rms,
             scene.config.env_drift_coherence_us * SAMPLES_PER_US, rng,
         )
-    backscatter = apply_channel(scene.h_b, z_tag * plan.reflection)
+    backscatter = apply_channel(scene.h_b, z_tag * reflection)
+    if fault is not None:
+        backscatter = fault.apply_backscatter(backscatter)
     if tag_speed_m_s > 0:
         from ..channel.doppler import backscatter_fading
 
@@ -227,6 +257,8 @@ def run_backscatter_session(
         )
     noise = awgn(x.size, scene.noise_floor_mw, rng)
     y = si + backscatter + interference + noise
+    if fault is not None:
+        y = fault.apply_rx(y, scene.noise_floor_mw)
     result = reader.decode(timeline, y, scene.h_env, pa_output=x_pa,
                            rng=rng)
 
@@ -236,7 +268,7 @@ def run_backscatter_session(
     if decode_client:
         rx_client = apply_channel(scene.h_ap_client, x_pa)
         rx_client = rx_client + apply_channel(
-            scene.h_tag_client, z_tag * plan.reflection
+            scene.h_tag_client, z_tag * reflection
         )
         rx_client = rx_client + awgn(x.size, scene.noise_floor_mw, rng)
         # The client's oscillator is independent of the AP's (802.11
@@ -257,4 +289,5 @@ def run_backscatter_session(
         payload_bits=payload_bits,
         client=client_rx,
         client_snr_db=client_snr,
+        injected_faults=tuple(fault.injected) if fault is not None else (),
     )

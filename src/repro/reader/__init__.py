@@ -12,14 +12,19 @@ from .channel_est import ChannelEstimate, estimate_combined_channel
 from .decoder import TagDecodeOutput, decode_tag_symbols
 from .demod import estimate_symbol_noise, psk_hard_bits, psk_soft_llrs
 from .diagnostics import LinkDiagnosis, StageReport, diagnose
+from .failures import FailureKind, ReaderFailure
 from .mrc import MrcOutput, expected_template, mrc_combine
 from .rate_adapt import (
     REQUIRED_SNR_DB,
     RateChoice,
+    fallback_ladder,
     feasible_configs,
     max_throughput_config,
+    most_robust_config,
     required_snr_db,
+    robustness_margin_db,
     select_config,
+    step_down,
 )
 from .mimo import MimoBackFiReader, MimoResult, MimoScene, run_mimo_session
 from .reader import BackFiReader, ReaderResult
@@ -43,15 +48,21 @@ __all__ = [
     "LinkDiagnosis",
     "StageReport",
     "diagnose",
+    "FailureKind",
+    "ReaderFailure",
     "MrcOutput",
     "expected_template",
     "mrc_combine",
     "REQUIRED_SNR_DB",
     "RateChoice",
+    "fallback_ladder",
     "feasible_configs",
     "max_throughput_config",
+    "most_robust_config",
     "required_snr_db",
+    "robustness_margin_db",
     "select_config",
+    "step_down",
     "BackFiReader",
     "ReaderResult",
     "MimoBackFiReader",

@@ -158,6 +158,21 @@ class SelfInterferenceCanceller:
         self.analog_enabled = analog_enabled
         self.digital_enabled = digital_enabled
 
+    def deepen(self, factor: int = 2) -> SelfInterferenceCanceller:
+        """A copy of this chain with a longer digital filter.
+
+        The reader's recovery escalation uses this when a decode fails
+        with an anomalously high residual floor: more taps capture more
+        of the residual SI channel's delay spread.
+        """
+        return SelfInterferenceCanceller(
+            analog=self.analog,
+            digital=DigitalCanceller(n_taps=self.digital.n_taps * factor),
+            adc=self.adc,
+            analog_enabled=self.analog_enabled,
+            digital_enabled=self.digital_enabled,
+        )
+
     def cancel(self, x: np.ndarray, y: np.ndarray, h_env: np.ndarray,
                silent_rows: np.ndarray,
                rng: np.random.Generator | None = None) -> CancellationResult:

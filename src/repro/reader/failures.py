@@ -1,0 +1,74 @@
+"""Typed failure taxonomy for the reader pipeline.
+
+The reader used to report failures as free-form strings, which made
+recovery policies (and telemetry aggregation) impossible to write
+robustly.  Every decode failure is now a :class:`ReaderFailure` with a
+:class:`FailureKind` that maps 1:1 onto a recovery action:
+
+==================  ===============================================
+kind                recovery escalation
+==================  ===============================================
+``SYNC``            retry timing search with a widened window
+``RESIDUAL_FLOOR``  re-run cancellation at higher digital depth
+``SATURATION``      re-run cancellation at higher digital depth
+``CRC``             none at the reader -- the link layer retransmits
+``NO_CAPACITY``     none -- the excitation packet is too short
+==================  ===============================================
+
+``str(failure)`` keeps the old human-readable form, so log lines and
+diagnostics that interpolate the failure keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["FailureKind", "ReaderFailure"]
+
+
+class FailureKind(Enum):
+    """Where in the pipeline (and why) a decode failed."""
+
+    SYNC = "sync"
+    """Timing recovery found no plausible preamble offset."""
+
+    NO_CAPACITY = "no-capacity"
+    """The excitation packet has no room for payload symbols."""
+
+    CRC = "crc"
+    """Symbols decoded but the frame CRC failed (plain SNR shortfall)."""
+
+    RESIDUAL_FLOOR = "residual-floor"
+    """CRC failed with a noise floor well above thermal: the
+    self-interference canceller left too much residue."""
+
+    SATURATION = "adc-saturation"
+    """CRC failed with the ADC driven past full scale."""
+
+
+#: Kinds the reader can escalate on (vs. kinds only the link layer can
+#: recover from, by retransmitting or falling back in rate).
+RECOVERABLE_KINDS = frozenset({
+    FailureKind.SYNC,
+    FailureKind.RESIDUAL_FLOOR,
+    FailureKind.SATURATION,
+})
+
+
+@dataclass(frozen=True)
+class ReaderFailure:
+    """One classified decode failure."""
+
+    kind: FailureKind
+    detail: str = ""
+
+    def __str__(self) -> str:
+        if self.detail:
+            return f"{self.kind.value}: {self.detail}"
+        return self.kind.value
+
+    @property
+    def recoverable(self) -> bool:
+        """Whether the reader itself has an escalation for this kind."""
+        return self.kind in RECOVERABLE_KINDS

@@ -7,6 +7,7 @@ lowest REPB since the most precious resource here is energy."
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..tag.config import TagConfig, all_tag_configs
@@ -15,6 +16,10 @@ from ..tag.energy import EnergyModel, default_energy_model
 __all__ = [
     "REQUIRED_SNR_DB",
     "required_snr_db",
+    "robustness_margin_db",
+    "fallback_ladder",
+    "step_down",
+    "most_robust_config",
     "feasible_configs",
     "select_config",
     "max_throughput_config",
@@ -34,8 +39,74 @@ REQUIRED_SNR_DB: dict[tuple[str, str], float] = {
 
 
 def required_snr_db(config: TagConfig) -> float:
-    """Decoding threshold for one operating point."""
-    return REQUIRED_SNR_DB[(config.modulation, config.code_rate)]
+    """Decoding threshold for one operating point.
+
+    Raises
+    ------
+    ValueError
+        If the (modulation, code rate) pair has no calibrated
+        threshold, naming the pair and the supported set.
+    """
+    key = (config.modulation, config.code_rate)
+    try:
+        return REQUIRED_SNR_DB[key]
+    except KeyError:
+        supported = ", ".join(
+            f"{m}/{r}" for m, r in sorted(REQUIRED_SNR_DB))
+        raise ValueError(
+            f"no calibrated SNR threshold for modulation="
+            f"{config.modulation!r}, code_rate={config.code_rate!r}; "
+            f"supported pairs: {supported}"
+        ) from None
+
+
+def robustness_margin_db(config: TagConfig) -> float:
+    """How much link headroom an operating point buys, in dB.
+
+    Slower symbol rates integrate more samples per symbol through MRC
+    (post-MRC SNR scales with the unguarded samples per symbol), and
+    sparser constellations / stronger codes need less SNR -- so the
+    margin is the MRC integration gain minus the decoding threshold.
+    Relative values order the fallback ladder; absolute values are not
+    link budgets.
+    """
+    sps = config.samples_per_symbol
+    guard = min(6, max(sps // 2, 1), sps - 1)
+    return 10.0 * math.log10(sps - guard) - required_snr_db(config)
+
+
+def fallback_ladder(configs: list[TagConfig] | None = None
+                    ) -> list[TagConfig]:
+    """Operating points ordered from fastest to most robust.
+
+    The default ladder keeps symbol rates >= 100 kHz: the 10 kHz point
+    is so slow that a single fragment no longer fits in one excitation
+    packet, which makes it useless as an ARQ fallback.
+    """
+    if configs is None:
+        configs = [c for c in all_tag_configs()
+                   if c.symbol_rate_hz >= 100e3]
+    return sorted(configs, key=robustness_margin_db)
+
+
+def step_down(config: TagConfig,
+              configs: list[TagConfig] | None = None) -> TagConfig | None:
+    """The next more-robust rung below ``config`` on the ladder.
+
+    Returns ``None`` from the most robust rung (the caller has run out
+    of rate fallbacks and must escalate differently, e.g. by extending
+    the tag preamble).
+    """
+    current = robustness_margin_db(config)
+    for candidate in fallback_ladder(configs):
+        if robustness_margin_db(candidate) > current + 1e-9:
+            return candidate
+    return None
+
+
+def most_robust_config(configs: list[TagConfig] | None = None) -> TagConfig:
+    """The ladder's terminal rung (largest robustness margin)."""
+    return fallback_ladder(configs)[-1]
 
 
 @dataclass(frozen=True)
@@ -45,6 +116,9 @@ class RateChoice:
     config: TagConfig
     repb: float
     throughput_bps: float
+    fallback: bool = False
+    """True when no operating point was actually feasible and the
+    selector fell back to the most robust rung instead of giving up."""
 
 
 def feasible_configs(snr_db_for: "callable",
@@ -61,8 +135,15 @@ def feasible_configs(snr_db_for: "callable",
 def select_config(snr_db_for: "callable", *,
                   min_throughput_bps: float = 0.0,
                   configs: list[TagConfig] | None = None,
-                  energy_model: EnergyModel | None = None) -> RateChoice | None:
-    """Lowest-REPB feasible point meeting a throughput floor."""
+                  energy_model: EnergyModel | None = None,
+                  fallback_most_robust: bool = False) -> RateChoice | None:
+    """Lowest-REPB feasible point meeting a throughput floor.
+
+    With ``fallback_most_robust=True``, an empty feasible set returns
+    the ladder's most robust operating point flagged as a fallback
+    instead of ``None`` -- a degraded link keeps limping along at the
+    safest rung rather than going silent.
+    """
     model = energy_model or default_energy_model()
     best: RateChoice | None = None
     for cfg in feasible_configs(snr_db_for, configs):
@@ -74,6 +155,13 @@ def select_config(snr_db_for: "callable", *,
         )
         if best is None or choice.repb < best.repb:
             best = choice
+    if best is None and fallback_most_robust:
+        cfg = most_robust_config(configs)
+        best = RateChoice(
+            config=cfg, repb=model.repb(cfg),
+            throughput_bps=cfg.throughput_bps,
+            fallback=True,
+        )
     return best
 
 

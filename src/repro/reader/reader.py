@@ -12,10 +12,11 @@ Order of operations for one excitation packet:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..channel.noise import noise_power_mw
 from ..constants import SAMPLES_PER_US, SILENT_US
 from ..link.protocol import ApTimeline
 from ..tag.config import TagConfig
@@ -23,10 +24,16 @@ from ..telemetry import get_collector
 from .cancellation import CancellationResult, SelfInterferenceCanceller
 from .channel_est import ChannelEstimate
 from .decoder import TagDecodeOutput, decode_tag_symbols
+from .failures import FailureKind, ReaderFailure
 from .mrc import MrcOutput, expected_template, mrc_combine
 from .sync import SyncResult, find_tag_timing
 
 __all__ = ["BackFiReader", "ReaderResult"]
+
+RESIDUAL_FLOOR_RISE_DB = 10.0
+"""Noise-floor rise over thermal beyond which a CRC failure is blamed on
+the cancellation residue rather than on plain SNR shortfall (the same
+threshold :func:`repro.reader.diagnostics.diagnose` uses)."""
 
 
 @dataclass
@@ -45,7 +52,12 @@ class ReaderResult:
     channel: ChannelEstimate | None = None
     mrc: MrcOutput | None = None
     decode: TagDecodeOutput | None = None
-    failure: str | None = None
+    failure: ReaderFailure | None = None
+    recovery_attempts: tuple[str, ...] = ()
+    """Escalations tried before this result (empty when the first pass
+    succeeded or the failure kind has no reader-side recovery)."""
+    recovered: bool = False
+    """Whether an escalation turned an initial failure into a decode."""
 
     def throughput_bps(self, airtime_s: float) -> float:
         """Delivered information rate over a given air time."""
@@ -67,7 +79,9 @@ class BackFiReader:
                  n_channel_taps: int = 12,
                  sync_search_us: float = 2.0,
                  preamble_seed: int = 0x35,
-                 track_phase: bool = False):
+                 track_phase: bool = False,
+                 recovery: bool = True,
+                 sync_widen_factor: float = 3.0):
         self.tag_config = tag_config or TagConfig()
         self.canceller = canceller or SelfInterferenceCanceller()
         self.n_channel_taps = n_channel_taps
@@ -76,6 +90,12 @@ class BackFiReader:
         self.track_phase = track_phase
         """Enable decision-directed gain tracking across the payload
         (see :mod:`repro.reader.tracking`)."""
+        self.recovery = recovery
+        """Escalate on recoverable failures: a sync failure retries with
+        a widened search window, a residual-floor/saturation failure
+        re-runs cancellation at doubled digital depth.  Each escalation
+        runs at most once per decode."""
+        self.sync_widen_factor = sync_widen_factor
 
     # -- helpers -----------------------------------------------------------
 
@@ -114,8 +134,9 @@ class BackFiReader:
         """
         tm = get_collector()
         with tm.span("reader.decode") as sp:
-            result = self._decode(timeline, rx, h_env,
-                                  pa_output=pa_output, rng=rng)
+            result = self._decode_with_recovery(timeline, rx, h_env,
+                                                pa_output=pa_output,
+                                                rng=rng)
             if tm.enabled:
                 from .rate_adapt import required_snr_db
 
@@ -129,13 +150,73 @@ class BackFiReader:
                          10.0 * np.log10(max(nf, 1e-30))
                          if np.isfinite(nf) else float("nan"))
                 if result.failure:
-                    sp.probe("failure", result.failure)
+                    sp.probe("failure", str(result.failure))
+                    sp.probe("failure_kind", result.failure.kind.value)
+                if result.recovery_attempts:
+                    sp.probe("recovery_attempts",
+                             "; ".join(result.recovery_attempts))
+                    sp.probe("recovered", result.recovered)
             return result
+
+    def _decode_with_recovery(self, timeline: ApTimeline, rx: np.ndarray,
+                              h_env: np.ndarray, *,
+                              pa_output: np.ndarray | None = None,
+                              rng: np.random.Generator | None = None
+                              ) -> ReaderResult:
+        """First pass, then escalate once per recoverable failure kind.
+
+        The ladder: a ``SYNC`` failure widens the timing search window;
+        a ``RESIDUAL_FLOOR`` or ``SATURATION`` failure re-runs the whole
+        chain with the digital canceller at doubled depth.  Escalations
+        compose (a widened window persists into a deeper-canceller
+        retry) and each action runs at most once, so the decode cost is
+        bounded at three passes.
+        """
+        search_us = self.sync_search_us
+        canceller = self.canceller
+        attempts: list[str] = []
+        tried: set[FailureKind] = set()
+        result = self._decode(timeline, rx, h_env, pa_output=pa_output,
+                              rng=rng, search_us=search_us,
+                              canceller=canceller)
+        while (self.recovery and not result.ok
+               and result.failure is not None
+               and result.failure.recoverable
+               and result.failure.kind not in tried):
+            kind = result.failure.kind
+            tried.add(kind)
+            if kind is FailureKind.SYNC:
+                search_us = search_us * self.sync_widen_factor
+                attempts.append(
+                    f"sync: widened search window to {search_us:g} us")
+            else:  # RESIDUAL_FLOOR or SATURATION
+                canceller = canceller.deepen()
+                attempts.append(
+                    "cancellation: re-ran with "
+                    f"{canceller.digital.n_taps} digital taps")
+                # Both floor kinds share one deepen action.
+                tried.update({FailureKind.RESIDUAL_FLOOR,
+                              FailureKind.SATURATION})
+            result = self._decode(timeline, rx, h_env,
+                                  pa_output=pa_output, rng=rng,
+                                  search_us=search_us,
+                                  canceller=canceller)
+        if attempts:
+            result = replace(result, recovery_attempts=tuple(attempts),
+                             recovered=result.ok)
+        return result
 
     def _decode(self, timeline: ApTimeline, rx: np.ndarray,
                 h_env: np.ndarray, *,
                 pa_output: np.ndarray | None = None,
-                rng: np.random.Generator | None = None) -> ReaderResult:
+                rng: np.random.Generator | None = None,
+                search_us: float | None = None,
+                canceller: SelfInterferenceCanceller | None = None
+                ) -> ReaderResult:
+        if search_us is None:
+            search_us = self.sync_search_us
+        if canceller is None:
+            canceller = self.canceller
         rx = np.asarray(rx, dtype=np.complex128)
         x = timeline.samples if pa_output is None else \
             np.asarray(pa_output, dtype=np.complex128)
@@ -144,7 +225,7 @@ class BackFiReader:
 
         # 1. self-interference cancellation
         silent = self.silent_rows(timeline)
-        canc = self.canceller.cancel(x, rx, h_env, silent, rng=rng)
+        canc = canceller.cancel(x, rx, h_env, silent, rng=rng)
         cleaned = canc.cleaned
         # Estimate the effective noise floor on the part of the silent
         # period the digital canceller did not train on (last quarter).
@@ -156,14 +237,16 @@ class BackFiReader:
             sync = find_tag_timing(
                 x, cleaned, timeline.nominal_preamble_start,
                 timeline.preamble_us,
-                search_us=self.sync_search_us,
+                search_us=search_us,
                 n_taps=self.n_channel_taps,
                 preamble_seed=self.preamble_seed,
             )
         except ValueError as exc:
-            return ReaderResult(ok=False, cancellation=canc,
-                                noise_floor_mw=noise_floor,
-                                failure=f"sync: {exc}")
+            return ReaderResult(
+                ok=False, cancellation=canc,
+                noise_floor_mw=noise_floor,
+                failure=ReaderFailure(FailureKind.SYNC, str(exc)),
+            )
         est = sync.estimate
 
         # 3. MRC combining over the payload region
@@ -172,9 +255,12 @@ class BackFiReader:
             int(timeline.preamble_us * SAMPLES_PER_US)
         n_symbols = (timeline.wifi_end - data_start) // sps
         if n_symbols < 1:
-            return ReaderResult(ok=False, cancellation=canc, sync=sync,
-                                channel=est, noise_floor_mw=noise_floor,
-                                failure="no room for payload symbols")
+            return ReaderResult(
+                ok=False, cancellation=canc, sync=sync,
+                channel=est, noise_floor_mw=noise_floor,
+                failure=ReaderFailure(FailureKind.NO_CAPACITY,
+                                      "no room for payload symbols"),
+            )
         template = expected_template(x, est.h_fb, cleaned.size)
         # Guard only the channel's actual delay spread (the ISI region at
         # each phase switch), not the full estimation-filter length --
@@ -196,6 +282,9 @@ class BackFiReader:
         decode = decode_tag_symbols(symbols, mrc.noise_var,
                                     self.tag_config)
         ok = decode.ok
+        failure = None
+        if not ok:
+            failure = self._classify_crc_failure(canc, noise_floor)
         return ReaderResult(
             ok=ok,
             payload_bits=decode.payload_bits,
@@ -207,5 +296,29 @@ class BackFiReader:
             channel=est,
             mrc=mrc,
             decode=decode,
-            failure=None if ok else "frame CRC failed",
+            failure=failure,
         )
+
+    @staticmethod
+    def _classify_crc_failure(canc: CancellationResult,
+                              noise_floor_mw: float) -> ReaderFailure:
+        """Blame a CRC failure on the most anomalous upstream symptom.
+
+        An ADC driven past full scale or a noise floor far above
+        thermal points at the cancellation chain (recoverable by
+        deepening the digital canceller); otherwise the frame simply
+        did not have the SNR, and only the link layer can help.
+        """
+        if getattr(canc, "adc_saturated", False):
+            return ReaderFailure(FailureKind.SATURATION,
+                                 "frame CRC failed with ADC at full scale")
+        thermal = noise_power_mw()
+        if noise_floor_mw > 0 and thermal > 0:
+            rise_db = 10.0 * float(np.log10(noise_floor_mw / thermal))
+            if rise_db > RESIDUAL_FLOOR_RISE_DB:
+                return ReaderFailure(
+                    FailureKind.RESIDUAL_FLOOR,
+                    f"frame CRC failed with noise floor {rise_db:.1f} dB "
+                    "above thermal",
+                )
+        return ReaderFailure(FailureKind.CRC, "frame CRC failed")

@@ -6,6 +6,7 @@ import pytest
 from repro.experiments.engine import (
     ExperimentEngine,
     JobRecord,
+    TrialFailure,
     cache_key,
     code_fingerprint,
     get_engine,
@@ -22,6 +23,17 @@ _CALLS = {"n": 0}
 def _square(x):
     """Module-level so it pickles into pool workers."""
     return x * x
+
+
+def _maybe_boom(x):
+    """Module-level crashy trial for the isolation tests."""
+    if x == 2:
+        raise ValueError("boom on 2")
+    return x + 100
+
+
+def _boomy_sweep():
+    return parallel_map(_maybe_boom, range(4))
 
 
 def _draw(seed_seq):
@@ -172,6 +184,51 @@ class TestEngineRun:
         assert "(cache)" in JobRecord("x", 0.1, True, 4).describe()
         assert "4 workers" in JobRecord("x", 0.1, False, 4).describe()
         assert "1 worker)" in JobRecord("x", 0.1, False, 1).describe()
+
+
+class TestCrashIsolation:
+    """A raising trial must not take the sweep down with it."""
+
+    def test_serial_failure_recorded_sweep_continues(self):
+        with ExperimentEngine(jobs=1, cache=False) as eng, \
+                use_engine(eng):
+            out = parallel_map(_maybe_boom, range(5))
+        assert out == [100, 101, None, 103, 104]
+        assert len(eng.trial_failures) == 1
+        failure = eng.trial_failures[0]
+        assert isinstance(failure, TrialFailure)
+        assert failure.index == 2
+        assert "ValueError" in failure.error
+        assert "boom on 2" in failure.traceback
+
+    def test_pool_failure_recorded_sweep_continues(self):
+        with ExperimentEngine(jobs=2, cache=False) as eng, \
+                use_engine(eng):
+            out = parallel_map(_maybe_boom, range(5))
+        assert out == [100, 101, None, 103, 104]
+        assert [f.index for f in eng.trial_failures] == [2]
+        assert "boom on 2" in eng.trial_failures[0].traceback
+
+    def test_job_record_carries_failures(self, tmp_path):
+        with ExperimentEngine(jobs=1, cache_dir=tmp_path) as eng, \
+                use_engine(eng):
+            out = eng.run("boomy", _boomy_sweep)
+        assert out == [100, 101, None, 103]
+        rec = eng.records[-1]
+        assert rec.n_failed == 1
+        assert "boom on 2" in rec.tracebacks[0]
+        assert "FAILED" in rec.describe()
+        assert rec.as_dict()["n_failed"] == 1
+
+    def test_on_error_raise_restores_fail_fast(self):
+        with ExperimentEngine(jobs=1, cache=False) as eng, \
+                use_engine(eng):
+            with pytest.raises(RuntimeError, match="boom on 2"):
+                parallel_map(_maybe_boom, range(5), on_error="raise")
+
+    def test_on_error_validated(self):
+        with pytest.raises(ValueError, match="on_error"):
+            parallel_map(_square, [1, 2], on_error="nope")
 
 
 class TestExperimentDeterminism:

@@ -237,7 +237,8 @@ class TestEngineSpans:
         rec = JobRecord(name="fig8", seconds=1.25, cached=True, jobs=2,
                         key="abc")
         assert rec.as_dict() == {"name": "fig8", "seconds": 1.25,
-                                 "cached": True, "jobs": 2, "key": "abc"}
+                                 "cached": True, "jobs": 2, "key": "abc",
+                                 "n_failed": 0}
 
     def test_engine_run_emits_experiment_span(self, tmp_path):
         tm = TelemetryCollector(run_id="eng", directory=tmp_path)
