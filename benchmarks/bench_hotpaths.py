@@ -1,0 +1,228 @@
+"""Micro-benchmarks for the fast-path DSP kernels.
+
+Times each tracked hot kernel in both its fast form and its direct
+reference form on realistic operand sizes (the default 20 Msps packet),
+reporting median wall time and the fast/direct speedup.  The speedup
+ratio -- both forms measured back-to-back on the same machine -- is the
+number the CI perf gate tracks, because absolute milliseconds are not
+comparable across runners.
+
+Usage::
+
+    python benchmarks/bench_hotpaths.py                # table to stdout
+    python benchmarks/bench_hotpaths.py --json out.json
+    python benchmarks/bench_hotpaths.py --kernels fine_timing_search
+
+Feed the JSON to ``tools/perf_report.py`` to build or check the
+committed ``BENCH_hotpaths.json`` baseline (see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.coding.scrambler import _sequence_direct, scrambler_sequence
+from repro.dsp.correlation import (
+    normalized_cross_correlation,
+    sliding_correlation,
+)
+from repro.dsp.fastpath import set_fastpath_enabled
+from repro.link.protocol import build_ap_transmission
+from repro.reader.cancellation import DigitalCanceller
+from repro.reader.reader import BackFiReader
+from repro.reader.sync import find_tag_timing
+from repro.tag import tag_preamble_phases
+from repro.wifi import random_payload
+
+SCHEMA = 1
+
+
+def _median_ms(fn, repeats: int) -> float:
+    """Median wall time of ``fn()`` over ``repeats`` runs, in ms."""
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times)) * 1e3
+
+
+def _fast_vs_direct(fn, repeats: int) -> dict[str, float]:
+    """Time ``fn`` with the fast path globally on, then off."""
+    prev = set_fastpath_enabled(True)
+    try:
+        fast_ms = _median_ms(fn, repeats)
+        set_fastpath_enabled(False)
+        direct_ms = _median_ms(fn, repeats)
+    finally:
+        set_fastpath_enabled(prev)
+    return {
+        "fast_ms": round(fast_ms, 4),
+        "direct_ms": round(direct_ms, 4),
+        "speedup": round(direct_ms / max(fast_ms, 1e-9), 3),
+    }
+
+
+def _make_frame(rng: np.random.Generator):
+    """One AP packet with a backscatter reflection (no cancellers)."""
+    tl = build_ap_transmission(random_payload(1500, rng), 24,
+                               include_cts=False, preamble_us=32.0)
+    x = tl.samples
+    h_fb = np.array([0.02, 0.008 - 0.004j, 0.002j])
+    preamble = tag_preamble_phases(32.0)
+    refl = np.zeros(x.size, dtype=complex)
+    start = tl.nominal_preamble_start + 5
+    refl[start:start + preamble.size] = preamble
+    y = np.convolve(x, h_fb)[: x.size] * refl
+    y = y + (rng.standard_normal(x.size)
+             + 1j * rng.standard_normal(x.size)) * np.sqrt(1e-8 / 2)
+    return tl, x, y
+
+
+def bench_fine_timing_search(repeats: int) -> dict[str, float]:
+    """Full fine-timing search: batched solver vs per-offset SVD."""
+    rng = np.random.default_rng(3)
+    tl, x, y = _make_frame(rng)
+
+    def run():
+        find_tag_timing(x, y, tl.nominal_preamble_start, 32.0)
+
+    return _fast_vs_direct(run, repeats)
+
+
+def _make_cancel_problem():
+    """Default-size digital-cancellation inputs (24 taps, 1500 B frame)."""
+    rng = np.random.default_rng(5)
+    tl, x, _ = _make_frame(rng)
+    h_resid = 1e-3 * (rng.standard_normal(8) + 1j * rng.standard_normal(8))
+    residual = np.convolve(x, h_resid)[: x.size]
+    residual = residual + (rng.standard_normal(x.size)
+                           + 1j * rng.standard_normal(x.size)) * 1e-6
+    silent = BackFiReader.silent_rows(tl)
+    return x, residual, silent
+
+
+def bench_digital_cancellation(repeats: int) -> dict[str, float]:
+    """The silent-period LS channel fit: normal equations vs SVD.
+
+    This is the kernel the fast path rewrites; the packet-long
+    subtraction that completes a cancel pass is benchmarked separately
+    as ``digital_cancel_full`` because its reconstruction convolution is
+    below the FFT crossover and costs the same on both paths.
+    """
+    x, residual, silent = _make_cancel_problem()
+    canceller = DigitalCanceller()
+
+    def run():
+        canceller.estimate(x, residual, silent)
+
+    return _fast_vs_direct(run, repeats)
+
+
+def bench_digital_cancel_full(repeats: int) -> dict[str, float]:
+    """End-to-end cancel: fit + full-packet reconstruct-and-subtract."""
+    x, residual, silent = _make_cancel_problem()
+    canceller = DigitalCanceller()
+
+    def run():
+        canceller.cancel(x, residual, silent)
+
+    return _fast_vs_direct(run, repeats)
+
+
+def bench_sliding_correlation(repeats: int) -> dict[str, float]:
+    """Long-template correlation: overlap-save FFT vs the C loop."""
+    rng = np.random.default_rng(11)
+    x = rng.standard_normal(1 << 16) + 1j * rng.standard_normal(1 << 16)
+    t = rng.standard_normal(256) + 1j * rng.standard_normal(256)
+
+    def run():
+        sliding_correlation(x, t)
+
+    return _fast_vs_direct(run, repeats)
+
+
+def bench_normalized_cross_correlation(repeats: int) -> dict[str, float]:
+    """Detection metric on the same long-template geometry."""
+    rng = np.random.default_rng(13)
+    x = rng.standard_normal(1 << 16) + 1j * rng.standard_normal(1 << 16)
+    t = rng.standard_normal(256) + 1j * rng.standard_normal(256)
+
+    def run():
+        normalized_cross_correlation(x, t)
+
+    return _fast_vs_direct(run, repeats)
+
+
+def bench_scrambler_sequence(repeats: int) -> dict[str, float]:
+    """127-periodic table lookup vs the stepwise LFSR loop."""
+    n = 4096
+
+    fast_ms = _median_ms(lambda: scrambler_sequence(n), repeats)
+    direct_ms = _median_ms(lambda: _sequence_direct(n, 0x7F), repeats)
+    return {
+        "fast_ms": round(fast_ms, 4),
+        "direct_ms": round(direct_ms, 4),
+        "speedup": round(direct_ms / max(fast_ms, 1e-9), 3),
+    }
+
+
+KERNELS = {
+    "fine_timing_search": bench_fine_timing_search,
+    "digital_cancellation": bench_digital_cancellation,
+    "digital_cancel_full": bench_digital_cancel_full,
+    "sliding_correlation": bench_sliding_correlation,
+    "normalized_cross_correlation": bench_normalized_cross_correlation,
+    "scrambler_sequence": bench_scrambler_sequence,
+}
+
+
+def run_suite(kernels: list[str], repeats: int) -> dict:
+    """Run the selected kernels; returns the bench JSON document."""
+    results = {}
+    for name in kernels:
+        results[name] = KERNELS[name](repeats)
+    return {"schema": SCHEMA, "kind": "bench_hotpaths",
+            "repeats": repeats, "kernels": results}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kernels", default=",".join(KERNELS),
+                        help="comma-separated kernel subset "
+                             f"(default: all of {', '.join(KERNELS)})")
+    parser.add_argument("--repeats", type=int, default=15,
+                        help="timed runs per kernel variant (median taken)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the results as JSON")
+    args = parser.parse_args(argv)
+
+    names = [k.strip() for k in args.kernels.split(",") if k.strip()]
+    unknown = [k for k in names if k not in KERNELS]
+    if unknown:
+        parser.error(f"unknown kernels: {', '.join(unknown)}")
+
+    doc = run_suite(names, args.repeats)
+    width = max(len(n) for n in names)
+    print(f"{'kernel'.ljust(width)}  {'fast ms':>9}  {'direct ms':>9}  "
+          f"{'speedup':>7}")
+    for name in names:
+        r = doc["kernels"][name]
+        print(f"{name.ljust(width)}  {r['fast_ms']:9.3f}  "
+              f"{r['direct_ms']:9.3f}  {r['speedup']:6.2f}x")
+    if args.json:
+        Path(args.json).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,9 @@ Commands
                  on/off (the reliability-layer sweep).
 ``trace``        summarise a recorded telemetry run (timing table,
                  probe digest, stage-margin waterfall).
+``profile``      run one exchange under cProfile and print the
+                 function-level profile next to the telemetry stage
+                 timing table.
 """
 
 from __future__ import annotations
@@ -90,6 +93,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="telemetry directory to search "
                             "(default: .repro_cache/telemetry)")
 
+    prof = sub.add_parser("profile",
+                          help="profile one exchange (cProfile + "
+                               "telemetry stage timings)")
+    prof.add_argument("--distance", type=float, default=1.0)
+    prof.add_argument("--payload-bits", type=int, default=1000)
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument("--top", type=int, default=15,
+                      help="rows of the cProfile table to print")
+    prof.add_argument("--no-fastpath", action="store_true",
+                      help="profile with the DSP fast paths disabled")
+
     rep = sub.add_parser("report",
                          help="write a markdown reproduction report")
     rep.add_argument("-o", "--output", default="report.md")
@@ -165,6 +179,69 @@ def _cmd_link(args: argparse.Namespace) -> int:
               f"(re-render with: python -m repro.cli trace "
               f"{collector.run_id})")
     return 0 if out.ok else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """One exchange under cProfile, merged with the telemetry trace.
+
+    The function-level profile says *where the interpreter spent its
+    time*; the telemetry stage table says *which pipeline stage* -- the
+    two views together are what the perf work in docs/PERFORMANCE.md is
+    navigated with.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    from .channel import Scene
+    from .dsp.fastpath import set_fastpath_enabled
+    from .link import run_backscatter_session
+    from .reader import BackFiReader
+    from .tag import BackFiTag, TagConfig
+    from .telemetry import TelemetryCollector, load_run
+    from .telemetry.trace import stage_timing_table
+
+    cfg = TagConfig("qpsk", "1/2", 1e6)
+    # Warm-up exchange: triggers the pipeline's lazy imports and cache
+    # setup so the profiled run measures steady-state decode cost.
+    warm_rng = np.random.default_rng(args.seed)
+    run_backscatter_session(
+        Scene.build(tag_distance_m=args.distance, rng=warm_rng),
+        BackFiTag(cfg), BackFiReader(cfg),
+        n_payload_bits=args.payload_bits, rng=warm_rng,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    scene = Scene.build(tag_distance_m=args.distance, rng=rng)
+    previous = set_fastpath_enabled(not args.no_fastpath)
+    profiler = cProfile.Profile()
+    try:
+        with TelemetryCollector(
+                label=f"repro profile (seed {args.seed})") as collector:
+            profiler.enable()
+            out = run_backscatter_session(
+                scene, BackFiTag(cfg), BackFiReader(cfg),
+                n_payload_bits=args.payload_bits, rng=rng,
+            )
+            profiler.disable()
+    finally:
+        set_fastpath_enabled(previous)
+
+    fastpath = "off" if args.no_fastpath else "on"
+    print(f"profiled one exchange (fast path {fastpath}, "
+          f"decoded: {out.ok})\n")
+    print("pipeline stages (telemetry):")
+    print(stage_timing_table(load_run(collector.path)))
+    print(f"\ntop {args.top} functions by cumulative time (cProfile):")
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    # Drop the pstats banner lines; keep the table.
+    lines = buf.getvalue().splitlines()
+    table_from = next(i for i, ln in enumerate(lines) if "ncalls" in ln)
+    print("\n".join(lines[table_from:]).rstrip())
+    print(f"\ntrace saved to {collector.path}")
+    return 0
 
 
 def _cmd_robustness(args: argparse.Namespace) -> int:
@@ -250,6 +327,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "robustness":
         return _cmd_robustness(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "experiments":
         from .experiments.run_all import main as run_all_main
 

@@ -8,6 +8,7 @@ once inside the WiFi OFDM PHY and once as the BackFi tag's channel code
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -121,11 +122,24 @@ def conv_encode(bits: np.ndarray) -> np.ndarray:
     return out
 
 
+@lru_cache(maxsize=64)
+def _keep_mask(rate: str, n_bits: int) -> np.ndarray:
+    """Tiled (read-only) puncturing keep-mask for an ``n_bits`` stream.
+
+    Every packet at a given rate and length reuses the same mask, so the
+    tiling cost is paid once rather than per puncture/depuncture call.
+    """
+    mask = np.resize(_PUNCTURE_PATTERNS[rate], n_bits)
+    mask.setflags(write=False)
+    return mask
+
+
 def puncture(mother_bits: np.ndarray, rate: str) -> np.ndarray:
     """Remove bits from the rate-1/2 stream per the 802.11 pattern."""
-    pattern = _PUNCTURE_PATTERNS[rate]
+    if rate not in _PUNCTURE_PATTERNS:
+        raise KeyError(rate)
     mother_bits = np.asarray(mother_bits)
-    keep = np.resize(pattern, mother_bits.size)
+    keep = _keep_mask(rate, mother_bits.size)
     return mother_bits[keep]
 
 
@@ -136,8 +150,9 @@ def depuncture(punctured: np.ndarray, rate: str,
     ``punctured`` may be hard bits mapped to +-1 or soft LLRs; erased
     positions are filled with ``erasure`` (zero LLR = no information).
     """
-    pattern = _PUNCTURE_PATTERNS[rate]
-    keep = np.resize(pattern, n_mother_bits)
+    if rate not in _PUNCTURE_PATTERNS:
+        raise KeyError(rate)
+    keep = _keep_mask(rate, n_mother_bits)
     if np.count_nonzero(keep) != np.asarray(punctured).size:
         raise ValueError(
             f"punctured length {np.asarray(punctured).size} inconsistent "

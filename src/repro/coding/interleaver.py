@@ -8,13 +8,22 @@ point.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 __all__ = ["interleave", "deinterleave", "interleave_indices"]
 
 
+@lru_cache(maxsize=None)
 def interleave_indices(n_cbps: int, n_bpsc: int) -> np.ndarray:
-    """Return ``idx`` such that ``out[idx[k]] = in[k]``."""
+    """Return ``idx`` such that ``out[idx[k]] = in[k]``.
+
+    The permutation depends only on ``(n_cbps, n_bpsc)``, so results are
+    cached (and returned read-only) -- the per-symbol interleave in the
+    WiFi PHY becomes a single fancy-index.  The standard rates are primed
+    below at import.
+    """
     if n_cbps % 48:
         raise ValueError("n_cbps must be a multiple of 48")
     if n_bpsc * 48 != n_cbps:
@@ -23,7 +32,13 @@ def interleave_indices(n_cbps: int, n_bpsc: int) -> np.ndarray:
     k = np.arange(n_cbps)
     i = (n_cbps // 16) * (k % 16) + k // 16
     j = s * (i // s) + (i + n_cbps - (16 * i) // n_cbps) % s
+    j.setflags(write=False)
     return j
+
+
+for _n_bpsc in (1, 2, 4, 6):  # BPSK, QPSK, 16-QAM, 64-QAM
+    interleave_indices(48 * _n_bpsc, _n_bpsc)
+del _n_bpsc
 
 
 def interleave(bits: np.ndarray, n_bpsc: int) -> np.ndarray:

@@ -6,6 +6,12 @@ from .correlation import (
     schmidl_cox_metric,
     sliding_correlation,
 )
+from .fastpath import (
+    fast_convolve,
+    fast_correlate_valid,
+    fastpath_enabled,
+    set_fastpath_enabled,
+)
 from .filters import (
     design_lowpass,
     fir_filter,
@@ -27,6 +33,10 @@ __all__ = [
     "normalized_cross_correlation",
     "schmidl_cox_metric",
     "sliding_correlation",
+    "fast_convolve",
+    "fast_correlate_valid",
+    "fastpath_enabled",
+    "set_fastpath_enabled",
     "design_lowpass",
     "fir_filter",
     "fractional_delay_filter",

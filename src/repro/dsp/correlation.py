@@ -2,11 +2,21 @@
 
 Used by the tag's wake-up preamble correlator, the reader's fine symbol
 timing search, and WiFi packet detection.
+
+Long templates take the FFT overlap-save fast path automatically (see
+:mod:`repro.dsp.fastpath`); short ones keep the direct ``np.correlate``
+C loop.  Both primitives return a consistent dtype in every case --
+complex128 from :func:`sliding_correlation` and float64 from
+:func:`normalized_cross_correlation` -- including the empty output when
+the template is longer than the signal, so callers can concatenate
+results without dtype surprises.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from .fastpath import fast_correlate_valid
 
 __all__ = [
     "sliding_correlation",
@@ -20,13 +30,9 @@ def sliding_correlation(x: np.ndarray, template: np.ndarray) -> np.ndarray:
     """Complex sliding cross-correlation ``c[n] = sum_k x[n+k] conj(t[k])``.
 
     Output length is ``len(x) - len(template) + 1``; empty if the template
-    is longer than the signal.
+    is longer than the signal.  Always complex128.
     """
-    x = np.asarray(x)
-    template = np.asarray(template)
-    if x.size < template.size:
-        return np.empty(0, dtype=np.complex128)
-    return np.correlate(x, template, mode="valid")
+    return fast_correlate_valid(x, template)
 
 
 def normalized_cross_correlation(x: np.ndarray,
@@ -34,9 +40,11 @@ def normalized_cross_correlation(x: np.ndarray,
     """Sliding correlation normalised to [0, 1] by local signal energy."""
     x = np.asarray(x, dtype=np.complex128)
     template = np.asarray(template, dtype=np.complex128)
+    if template.size == 0:
+        raise ValueError("template must be non-empty")
     if x.size < template.size:
         return np.empty(0, dtype=np.float64)
-    corr = np.abs(np.correlate(x, template, mode="valid"))
+    corr = np.abs(fast_correlate_valid(x, template))
     e_t = np.sqrt(np.sum(np.abs(template) ** 2))
     # Local energy of x under each template placement.
     p = np.abs(x) ** 2

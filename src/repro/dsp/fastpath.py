@@ -1,0 +1,152 @@
+"""FFT-accelerated fast paths for the hot DSP kernels.
+
+The decode pipeline spends most of its time in a handful of O(N*M)
+primitives: sliding correlation (packet detection, fine timing),
+FIR reconstruction (``np.convolve`` inside the cancellers and the MRC
+template), and least-squares channel fits.  This module provides
+overlap-save FFT variants of the convolution/correlation kernels with an
+automatic crossover on operand length, so short filters keep the very
+fast direct C loop and long ones switch to O(N log N).
+
+Every fast kernel agrees with its direct counterpart to float64
+rounding (``max |fast - direct| <= 1e-10 * max |direct|``); the
+equivalence suite in ``tests/test_fastpath.py`` enforces this across
+the crossover boundary.
+
+The global switch :func:`fastpath_enabled` (env ``REPRO_FASTPATH=0`` to
+disable) lets benchmarks and debugging sessions force the direct forms
+everywhere without touching call sites.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = [
+    "FFT_MIN_TAPS",
+    "FFT_MIN_WORK",
+    "fast_convolve",
+    "fast_correlate_valid",
+    "fastpath_enabled",
+    "set_fastpath_enabled",
+    "use_fft",
+]
+
+FFT_MIN_TAPS = 96
+"""Shorter operand length below which the direct form always wins.
+
+``np.convolve``/``np.correlate`` run a tight C loop that beats FFT
+block processing until the filter is ~a hundred taps long (measured on
+the default 3700-sample packet; see docs/PERFORMANCE.md for the
+calibration table)."""
+
+FFT_MIN_WORK = 1 << 18
+"""Minimum direct-form work (``len(x) * len(h)``) before the FFT path
+pays for its setup."""
+
+_ENABLED = os.environ.get("REPRO_FASTPATH", "1") != "0"
+
+
+def fastpath_enabled() -> bool:
+    """Whether fast kernels are globally enabled (default: yes)."""
+    return _ENABLED
+
+
+def set_fastpath_enabled(enabled: bool) -> bool:
+    """Flip the global fast-path switch; returns the previous value."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+def use_fft(n: int, m: int) -> bool:
+    """Crossover predicate: should an (n x m) kernel take the FFT path?
+
+    ``m`` is the shorter operand.  Both thresholds must clear: the
+    filter must be long enough that block FFTs amortise (``FFT_MIN_TAPS``)
+    and the total direct work big enough to matter (``FFT_MIN_WORK``).
+    """
+    if not _ENABLED:
+        return False
+    return m >= FFT_MIN_TAPS and n * m >= FFT_MIN_WORK
+
+
+def _pow2_at_least(n: int) -> int:
+    """Smallest power of two >= n."""
+    return 1 << max(int(n - 1).bit_length(), 0)
+
+
+def _overlap_save(x: np.ndarray, h: np.ndarray) -> np.ndarray:
+    """Full linear convolution of ``x`` and ``h`` by overlap-save FFT.
+
+    ``h`` must be the shorter operand.  Block length is a power of two,
+    at least ``8 * len(h)`` (so >= 7/8 of each FFT produces output) but
+    never larger than one FFT covering the whole result.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    h = np.asarray(h, dtype=np.complex128)
+    n, m = x.size, h.size
+    out_len = n + m - 1
+    block = min(_pow2_at_least(out_len),
+                max(_pow2_at_least(8 * m), 1024))
+    hop = block - m + 1
+    h_f = np.fft.fft(h, block)
+    # Prefix of m-1 zeros implements the "save" overlap; the suffix pad
+    # lets the last block read a full window.
+    padded = np.concatenate([
+        np.zeros(m - 1, dtype=np.complex128), x,
+        np.zeros(block, dtype=np.complex128),
+    ])
+    out = np.empty(out_len + hop, dtype=np.complex128)
+    for pos in range(0, out_len, hop):
+        seg = padded[pos:pos + block]
+        y = np.fft.ifft(np.fft.fft(seg) * h_f)
+        out[pos:pos + hop] = y[m - 1:]
+    return out[:out_len]
+
+
+def fast_convolve(x: np.ndarray, h: np.ndarray) -> np.ndarray:
+    """Full linear convolution, FFT-accelerated past the crossover.
+
+    Drop-in for ``np.convolve(x, h)`` (mode="full"), always returning
+    complex128.  Short filters -- the cancellers' default tap counts,
+    the MRC template -- keep the direct form; long ones (deepened
+    cancellers, long templates) switch to overlap-save.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    h = np.asarray(h, dtype=np.complex128)
+    if x.size == 0 or h.size == 0:
+        return np.empty(0, dtype=np.complex128)
+    if x.size < h.size:
+        x, h = h, x
+    if use_fft(x.size, h.size):
+        return _overlap_save(x, h)
+    return np.convolve(x, h)
+
+
+def _fft_correlate_valid(x: np.ndarray, t: np.ndarray) -> np.ndarray:
+    """Valid-mode sliding correlation via the overlap-save convolver."""
+    m = t.size
+    full = _overlap_save(x, np.conj(t[::-1]))
+    return full[m - 1:x.size]
+
+
+def fast_correlate_valid(x: np.ndarray, t: np.ndarray) -> np.ndarray:
+    """``c[n] = sum_k x[n+k] conj(t[k])`` for every full placement.
+
+    Drop-in for ``np.correlate(x, t, mode="valid")`` on complex128
+    inputs, with the same empty-output convention when the template is
+    longer than the signal.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    t = np.asarray(t, dtype=np.complex128)
+    if t.size == 0:
+        raise ValueError("template must be non-empty")
+    if x.size < t.size:
+        return np.empty(0, dtype=np.complex128)
+    if use_fft(x.size, t.size):
+        return _fft_correlate_valid(x, t)
+    return np.correlate(x, t, mode="valid")

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..constants import SAMPLES_PER_US
+from ..dsp.fastpath import fast_convolve
 from ..tag.tag import PREAMBLE_CHIP_US, tag_preamble_phases
 from .cancellation import ls_channel_estimate
 
@@ -134,7 +135,7 @@ def estimate_combined_channel(
 
     h = ls_channel_estimate(x, y_derot, n_taps, rows=rows)
 
-    recon = np.convolve(x, h)[: y_clean.size]
+    recon = fast_convolve(x, h)[: y_clean.size]
     resid = y_derot[rows] - recon[rows]
     residual_power = float(np.mean(np.abs(resid) ** 2))
     return ChannelEstimate(h_fb=h, residual_power=residual_power,

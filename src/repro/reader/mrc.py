@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..dsp.fastpath import fast_convolve
 from ..telemetry import get_collector
 
 __all__ = ["MrcOutput", "mrc_combine", "expected_template"]
@@ -29,7 +30,7 @@ __all__ = ["MrcOutput", "mrc_combine", "expected_template"]
 def expected_template(x: np.ndarray, h_fb: np.ndarray,
                       n_out: int) -> np.ndarray:
     """``yhat[n] = (x * h_fb)[n]``: the unmodulated backscatter replica."""
-    return np.convolve(np.asarray(x), np.asarray(h_fb))[:n_out]
+    return fast_convolve(x, h_fb)[:n_out]
 
 
 @dataclass

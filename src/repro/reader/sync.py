@@ -7,6 +7,22 @@ comparator/decision latency).  The reader therefore searches a window of
 candidate offsets and picks the one whose LS channel fit to the known
 preamble leaves the smallest residual -- equivalent to correlating with
 the PN preamble, but reusing the estimator we already have.
+
+Two implementations of the search share identical selection logic:
+
+* the **fast path** (default) scores every candidate offset through
+  :class:`~repro.reader.fastpath.PreambleSolver` -- correlation tables
+  computed once, then one batched normal-equation solve per sweep --
+  and runs the full SVD estimator exactly once, at the winning offset;
+* the **direct path** (``fast=False``, or ``REPRO_FASTPATH=0``) runs
+  :func:`estimate_combined_channel` at every candidate, as the original
+  pipeline did.  It is kept as the reference for the equivalence suite
+  and for the perf benchmarks.
+
+Both paths return the same winning offset on the tier-1 scenarios
+(asserted by ``tests/test_fastpath.py``), and the returned
+:class:`ChannelEstimate` always comes from the reference estimator, so
+everything downstream of sync is bit-identical between the two.
 """
 
 from __future__ import annotations
@@ -16,12 +32,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..constants import SAMPLES_PER_US
+from ..dsp.fastpath import fastpath_enabled
 from ..telemetry import get_collector
 from .channel_est import (
     ChannelEstimate,
     estimate_combined_channel,
     preamble_condition_number,
 )
+from .fastpath import PreambleSolver
 
 __all__ = ["SyncResult", "find_tag_timing"]
 
@@ -46,68 +64,103 @@ def find_tag_timing(
     step_samples: int = 4,
     n_taps: int = 8,
     preamble_seed: int = 0x35,
+    fast: bool | None = None,
 ) -> SyncResult:
     """Search +-``search_us`` around the nominal preamble start.
 
     The metric is the normalised LS residual: sharper (smaller) when the
     assumed chip boundaries line up with the tag's actual switching
     instants.  A final pass refines to single-sample resolution.
+
+    ``fast=None`` follows the global switch
+    (:func:`repro.dsp.fastpath.fastpath_enabled`); ``True``/``False``
+    force the batched normal-equation sweep or the per-offset SVD
+    reference respectively.
     """
     search = int(search_us * SAMPLES_PER_US)
     if step_samples < 1:
         raise ValueError("step must be >= 1")
+    if fast is None:
+        fast = fastpath_enabled()
     tm = get_collector()
     n_evaluated = 0
 
-    def metric_at(start: int) -> tuple[float, ChannelEstimate] | None:
-        nonlocal n_evaluated
-        n_evaluated += 1
-        if start < 0:
-            return None
-        try:
-            est = estimate_combined_channel(
-                x, y_clean, start, preamble_us,
-                n_taps=n_taps, preamble_seed=preamble_seed,
-            )
-        except ValueError:
-            return None
-        gain = est.gain
-        if gain <= 0:
-            return None
+    def penalty(start: int) -> float:
         # A gentle prior toward the nominal timing: for wideband
         # excitations the residual contrast is orders of magnitude, so
         # this never changes the answer; for narrowband excitations
         # (BLE/Zigbee) whose autocorrelation makes the metric nearly
         # flat, it pins the flat region to the protocol timeline.
         off = abs(start - nominal_preamble_start)
-        penalty = 1.0 + 0.005 * off
-        return est.residual_power / gain * penalty, est
+        return 1.0 + 0.005 * off
+
+    if fast:
+        # Every candidate the coarse sweep, refinement and boundary walk
+        # can visit lies inside this window; the solver only builds its
+        # correlation tables over the samples the window can touch.
+        window = (nominal_preamble_start - search - step_samples,
+                  nominal_preamble_start + search + n_taps
+                  + 2 * step_samples)
+        solver = PreambleSolver(x, y_clean, preamble_us,
+                                n_taps=n_taps, preamble_seed=preamble_seed,
+                                start_window=window)
+
+        def metric_batch(offsets: list[int]) -> list[float | None]:
+            """Fast metric (or None = infeasible) per candidate offset."""
+            nonlocal n_evaluated
+            n_evaluated += len(offsets)
+            starts = nominal_preamble_start + np.asarray(offsets)
+            feasible, residual_power, gain = solver.evaluate(starts)
+            return [
+                float(residual_power[i] / gain[i]
+                      * penalty(int(starts[i]))) if feasible[i] else None
+                for i in range(len(offsets))
+            ]
+    else:
+        estimates: dict[int, ChannelEstimate] = {}
+
+        def metric_one(start: int) -> float | None:
+            nonlocal n_evaluated
+            n_evaluated += 1
+            if start < 0:
+                return None
+            try:
+                est = estimate_combined_channel(
+                    x, y_clean, start, preamble_us,
+                    n_taps=n_taps, preamble_seed=preamble_seed,
+                )
+            except ValueError:
+                return None
+            if est.gain <= 0:
+                return None
+            estimates[start] = est
+            return est.residual_power / est.gain * penalty(start)
+
+        def metric_batch(offsets: list[int]) -> list[float | None]:
+            return [metric_one(nominal_preamble_start + off)
+                    for off in offsets]
 
     with tm.span("sync") as sp:
-        best: tuple[float, int, ChannelEstimate] | None = None
-        for off in range(-search, search + 1, step_samples):
-            out = metric_at(nominal_preamble_start + off)
-            if out is None:
+        # Coarse sweep at step_samples resolution.
+        coarse_offs = list(range(-search, search + 1, step_samples))
+        best: tuple[float, int] | None = None
+        for off, m in zip(coarse_offs, metric_batch(coarse_offs)):
+            if m is None:
                 continue
-            m, est = out
             if best is None or m < best[0]:
-                best = (m, off, est)
+                best = (m, off)
         if best is None:
             sp.probe("candidates", n_evaluated)
             raise ValueError("no feasible timing offset found")
 
         # Refine around the coarse winner at single-sample resolution.
         coarse_off = best[1]
-        for off in range(coarse_off - step_samples + 1,
-                         coarse_off + step_samples):
-            if off == coarse_off:
-                continue
-            out = metric_at(nominal_preamble_start + off)
-            if out is None:
-                continue
-            m, est = out
-            if m < best[0]:
-                best = (m, off, est)
+        refine_offs = [off for off in range(coarse_off - step_samples + 1,
+                                            coarse_off + step_samples)
+                       if off != coarse_off]
+        for off, m in zip(refine_offs, metric_batch(refine_offs)):
+            if m is not None and m < best[0]:
+                best = (m, off)
 
         # The LS fit is invariant to starting up to n_taps-1 samples
         # early (the shift is absorbed as leading delay taps), so the
@@ -118,17 +171,30 @@ def find_tag_timing(
         # excitations; the timing prior bounds the walk for narrowband
         # ones.
         tol = 1.5 * best[0] + 1e-30
-        for _ in range(n_taps + step_samples):
-            out = metric_at(nominal_preamble_start + best[1] + 1)
-            if out is None or out[0] > tol:
+        walk_offs = [best[1] + 1 + i for i in range(n_taps + step_samples)]
+        for off, m in zip(walk_offs, metric_batch(walk_offs)):
+            if m is None or m > tol:
                 break
-            best = (out[0], best[1] + 1, out[1])
+            best = (m, off)
 
-        m, off, est = best
+        m, off = best
+        start = nominal_preamble_start + off
+        if fast:
+            # One reference-estimator run at the winner, so the returned
+            # estimate (and everything downstream) is identical to the
+            # direct path's.
+            est = estimate_combined_channel(
+                x, y_clean, start, preamble_us,
+                n_taps=n_taps, preamble_seed=preamble_seed,
+            )
+            m = est.residual_power / max(est.gain, 1e-300) * penalty(start)
+        else:
+            est = estimates[start]
         sp.probe("offset_samples", off)
         sp.probe("metric", m)
         sp.probe("candidates", n_evaluated)
         sp.probe("search_samples", 2 * search + 1)
+        sp.probe("fast_path", fast)
 
     # Report the winning estimate's quality as its own stage: in the
     # pipeline story channel estimation is a distinct step even though

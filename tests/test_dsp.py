@@ -99,6 +99,38 @@ class TestCorrelation:
     def test_sliding_correlation_short_signal(self):
         assert sliding_correlation(np.ones(3), np.ones(5)).size == 0
 
+    def test_sliding_correlation_dtype_consistent(self):
+        # The empty (template-longer-than-signal) result must carry the
+        # same dtype as the normal case, even for real-valued inputs.
+        full = sliding_correlation(np.ones(8), np.ones(3))
+        empty = sliding_correlation(np.ones(3), np.ones(5))
+        assert full.dtype == np.complex128
+        assert empty.dtype == np.complex128
+
+    def test_sliding_correlation_length_one_template(self):
+        x = np.arange(5, dtype=float)
+        c = sliding_correlation(x, np.array([2.0]))
+        assert np.allclose(c, 2.0 * x)
+
+    def test_sliding_correlation_odd_sizes(self):
+        rng = np.random.default_rng(9)
+        x = rng.standard_normal(101) + 1j * rng.standard_normal(101)
+        t = rng.standard_normal(7) + 1j * rng.standard_normal(7)
+        ref = np.correlate(x, t, mode="valid")
+        assert np.allclose(sliding_correlation(x, t), ref)
+
+    def test_empty_template_rejected(self):
+        with pytest.raises(ValueError):
+            sliding_correlation(np.ones(4), np.empty(0))
+        with pytest.raises(ValueError):
+            normalized_cross_correlation(np.ones(4), np.empty(0))
+
+    def test_ncc_dtype_consistent(self):
+        full = normalized_cross_correlation(np.ones(8), np.ones(3))
+        empty = normalized_cross_correlation(np.ones(3), np.ones(5))
+        assert full.dtype == np.float64
+        assert empty.dtype == np.float64 and empty.size == 0
+
     def test_ncc_is_bounded(self):
         rng = np.random.default_rng(8)
         x = rng.standard_normal(500) + 1j * rng.standard_normal(500)

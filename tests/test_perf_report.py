@@ -1,0 +1,120 @@
+"""Unit tests for tools/perf_report.py on canned inputs."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+from perf_report import (  # noqa: E402  (path set up above)
+    aggregate_spans,
+    build_report,
+    check_regressions,
+    load_jsonl,
+    main,
+)
+
+CANNED_SPANS = [
+    {"kind": "meta", "run_id": "r1"},
+    {"kind": "span", "name": "sync", "wall_s": 0.004},
+    {"kind": "span", "name": "sync", "wall_s": 0.006},
+    {"kind": "span", "name": "sync", "wall_s": 0.005},
+    {"kind": "span", "name": "mrc", "wall_s": 0.0003},
+    {"kind": "counter", "name": "decodes", "value": 3},
+]
+
+
+class TestAggregateSpans:
+    def test_stats_per_stage(self):
+        agg = aggregate_spans(CANNED_SPANS)
+        assert set(agg) == {"sync", "mrc"}
+        sync = agg["sync"]
+        assert sync["count"] == 3
+        assert sync["median_ms"] == pytest.approx(5.0)
+        assert sync["total_ms"] == pytest.approx(15.0)
+        assert sync["p90_ms"] == pytest.approx(6.0)
+
+    def test_non_span_records_ignored(self):
+        assert aggregate_spans([{"kind": "meta"}, {"kind": "counter",
+                                                   "name": "x",
+                                                   "value": 1}]) == {}
+
+
+class TestLoadJsonl:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("\n".join(json.dumps(r) for r in CANNED_SPANS)
+                        + "\n\n")
+        assert load_jsonl(path) == CANNED_SPANS
+
+
+class TestBuildReport:
+    def test_merges_kernels_and_telemetry(self):
+        bench = {"kernels": {"k": {"fast_ms": 1.0, "direct_ms": 3.0,
+                                   "speedup": 3.0}}}
+        report = build_report(bench, aggregate_spans(CANNED_SPANS))
+        assert report["kernels"]["k"]["speedup"] == 3.0
+        assert report["telemetry_spans"]["sync"]["count"] == 3
+
+    def test_telemetry_optional(self):
+        report = build_report({"kernels": {}})
+        assert "telemetry_spans" not in report
+
+
+def _doc(**speedups):
+    return {"kernels": {name: {"fast_ms": 1.0,
+                               "direct_ms": s,
+                               "speedup": s}
+                        for name, s in speedups.items()}}
+
+
+class TestCheckRegressions:
+    def test_passes_when_ratio_holds(self):
+        assert check_regressions(_doc(a=3.0), _doc(a=3.2)) == []
+
+    def test_fails_on_big_regression(self):
+        problems = check_regressions(_doc(a=1.4), _doc(a=3.0))
+        assert len(problems) == 1
+        assert "a" in problems[0]
+
+    def test_boundary_is_factor_of_two(self):
+        baseline = _doc(a=4.0)
+        assert check_regressions(_doc(a=2.0), baseline) == []
+        assert check_regressions(_doc(a=1.99), baseline)
+
+    def test_missing_kernel_flagged(self):
+        problems = check_regressions(_doc(), _doc(a=2.0))
+        assert any("missing" in p for p in problems)
+
+    def test_untracked_kernel_flagged(self):
+        problems = check_regressions(_doc(b=9.0), _doc())
+        assert any("not in baseline" in p for p in problems)
+
+
+class TestCli:
+    def test_build_then_check(self, tmp_path, capsys):
+        bench = tmp_path / "bench.json"
+        bench.write_text(json.dumps(_doc(a=3.0)))
+        run = tmp_path / "run.jsonl"
+        run.write_text("\n".join(json.dumps(r) for r in CANNED_SPANS))
+        out = tmp_path / "report.json"
+
+        assert main(["build", "--bench", str(bench),
+                     "--telemetry", str(run), "-o", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["telemetry_spans"]["sync"]["count"] == 3
+
+        assert main(["check", str(bench),
+                     "--baseline", str(out)]) == 0
+        assert "perf gate OK" in capsys.readouterr().out
+
+    def test_check_fails_on_regression(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(_doc(a=8.0)))
+        current = tmp_path / "cur.json"
+        current.write_text(json.dumps(_doc(a=1.0)))
+        assert main(["check", str(current),
+                     "--baseline", str(baseline)]) == 1
+        assert "FAILED" in capsys.readouterr().out
