@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""A fully battery-free BackFi sensor: harvest, store, backscatter.
+"""A fully battery-free BackFi sensor: harvest, store, backscatter
+(preset: ``sensor-2m``).
 
 Closes the loop on the paper's three requirements:
 R1 (throughput/range) via the BackFi link, R2 (power) via RF harvesting
@@ -23,13 +24,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import BackFiReader, BackFiTag, Scene, TagConfig
-from repro.link import run_backscatter_session
+from repro import get_scenario
 from repro.tag.harvester import EnergyStore, HarvestingBudget, RfHarvester, \
     sustainable_bitrate_bps
 
 AMBIENT_DBM = -8.0        # a strong ambient RF environment
-DISTANCE_M = 2.0
 BITS_PER_EXCHANGE = 1000
 EXCHANGE_PERIOD_S = 0.02  # one backscatter opportunity every 20 ms
 SIM_DURATION_S = 2.0
@@ -37,7 +36,8 @@ SIM_DURATION_S = 2.0
 
 def main() -> None:
     rng = np.random.default_rng(13)
-    config = TagConfig("qpsk", "2/3", 2e6)
+    scenario = get_scenario("sensor-2m")
+    config = scenario.tag
 
     harvester = RfHarvester()
     income_uw = harvester.harvested_power_w(AMBIENT_DBM) * 1e6
@@ -65,21 +65,18 @@ def main() -> None:
 
     # Now close the loop with real sample-level exchanges for the
     # opportunities the store could afford.
-    scene = Scene.build(tag_distance_m=DISTANCE_M, rng=rng)
-    tag = BackFiTag(config)
-    reader = BackFiReader(config)
+    built = scenario.build(rng=rng)
     sent = ok = 0
     for _ in range(min(stats["exchanges_sent"], 10)):
-        out = run_backscatter_session(
-            scene, tag, reader,
+        out = built.run(
+            rng=rng,
             payload_bits=rng.integers(0, 2, BITS_PER_EXCHANGE,
                                       dtype=np.uint8),
-            rng=rng,
         )
         sent += 1
         ok += int(out.ok)
     print(f"\nsample-level check: {ok}/{sent} affordable exchanges "
-          f"decoded at {DISTANCE_M} m")
+          f"decoded at {scenario.distance_m:g} m")
 
 
 if __name__ == "__main__":

@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
 """Does BackFi hurt the WiFi network it piggybacks on?
+(preset: ``coex-0.25m``)
 
 Reproduces the paper's Sec. 6.4/6.5 worry at example scale: a client at
 the edge of each bitrate receives downlink packets while a tag at 0.25 m
@@ -21,19 +22,21 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import BackFiReader, BackFiTag, Scene, TagConfig
-from repro.link import run_backscatter_session
+from dataclasses import replace
+
+from repro import get_scenario
 from repro.link.budget import client_edge_distance_m
 from repro.tag.detector import EnergyDetector
 
 RATES = (6, 24, 54)
 PACKETS = 8
-TAG_DISTANCE_M = 0.25
 
 
 def main() -> None:
     rng = np.random.default_rng(99)
-    config = TagConfig("16psk", "2/3", 2.5e6)  # loudest tag setting
+    # 16-PSK r2/3 @ 2.5 Msym/s, 0.25 m from the AP: the loudest tag
+    # setting at its closest.
+    base = get_scenario("coex-0.25m")
 
     print(f"{'rate':>6} {'client dist':>12} {'PER off':>8} {'PER on':>8} "
           f"{'SNR off':>8} {'SNR on':>8}")
@@ -41,22 +44,21 @@ def main() -> None:
         d_client = client_edge_distance_m(rate)
         stats = {True: [0, []], False: [0, []]}
         for _ in range(PACKETS):
-            scene = Scene.build(
-                tag_distance_m=TAG_DISTANCE_M,
+            sc = base.replace(
                 client_distance_m=d_client,
                 client_angle_deg=float(rng.uniform(0, 360)),
-                rng=rng,
+                link=replace(base.link, wifi_rate_mbps=rate,
+                             wifi_payload_bytes=600),
             )
+            scene = sc.build(rng=rng).scene
             for tag_on in (True, False):
-                tag = BackFiTag(config)
+                built = sc.build(rng=rng, scene=scene)
                 if not tag_on:
                     # Unaddressed tags never wake (Sec. 4.1).
-                    tag.detector = EnergyDetector(tag_id=9)
-                out = run_backscatter_session(
-                    scene, tag, BackFiReader(config),
-                    wifi_rate_mbps=rate, wifi_payload_bytes=600,
-                    use_tag_detector=not tag_on,
-                    decode_client=True, rng=rng,
+                    built.tag.detector = EnergyDetector(tag_id=9)
+                out = built.run(
+                    rng=rng, use_tag_detector=not tag_on,
+                    decode_client=True,
                 )
                 good = out.client is not None and out.client.ok
                 stats[tag_on][0] += int(not good)

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Quickstart: one BackFi exchange, end to end.
+"""Quickstart: one BackFi exchange, end to end (preset: ``paper-1m``).
 
 A BackFi AP sends a WiFi packet to its client; a battery-free tag 1 m
 away backscatters 1000 bits of sensor data on top of it; the AP cancels
-its own self-interference and decodes the tag.  The exchange runs under
-a telemetry collector, so it also saves a per-stage pipeline trace.
+its own self-interference and decodes the tag.  The whole deployment
+comes from the registered ``paper-1m`` scenario preset, and the
+exchange runs under a telemetry collector, so it also saves a per-stage
+pipeline trace stamped with the scenario hash.
 
 Usage::
 
@@ -13,50 +15,36 @@ Usage::
 What to look for: ``decoded OK: True`` with a post-MRC SNR in the
 30-45 dB range at 1 m, total self-interference cancellation beyond
 90 dB, and a trace file under ``.repro_cache/telemetry/`` -- re-render
-it any time with ``python -m repro.cli trace quickstart``.  Try editing
-``tag_distance_m`` to 5.0 and watch the SNR margin collapse in the
-stage table.
+it any time with ``python -m repro.cli trace quickstart``.  Try
+``get_scenario("paper-5m")`` (or ``.with_overrides("distance_m=5")``)
+and watch the SNR margin collapse in the stage table.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    BackFiReader,
-    BackFiTag,
-    Scene,
-    TagConfig,
-    TelemetryCollector,
-    run_backscatter_session,
-)
+from repro import TelemetryCollector, get_scenario
 
 
 def main() -> None:
     rng = np.random.default_rng(2015)
 
-    # 1. Choose the tag's operating point: QPSK, rate-1/2 code, 1 Msym/s
-    #    => 1 Mbps of raw uplink (paper Fig. 7).
-    config = TagConfig(modulation="qpsk", code_rate="1/2",
-                       symbol_rate_hz=1e6)
+    # 1. The paper's canonical near operating point: QPSK r1/2 @ 1 Msym/s
+    #    with the tag 1 m from the AP (paper Fig. 7 / Fig. 8).
+    scenario = get_scenario("paper-1m")
+    print(f"scenario          : {scenario.name} "
+          f"[{scenario.scenario_hash()}]")
 
-    # 2. Realise a deployment: tag 1 m from the AP, client further away.
-    scene = Scene.build(tag_distance_m=1.0, rng=rng)
+    # 2. Realise the deployment: scene, tag and reader in one build.
+    built = scenario.build(rng=rng)
 
     # 3. The sensor data the tag wants to upload.
     sensor_bits = rng.integers(0, 2, size=1000, dtype=np.uint8)
 
     # 4. Run one complete exchange, recording a pipeline trace.
     with TelemetryCollector(run_id="quickstart") as tm:
-        result = run_backscatter_session(
-            scene,
-            BackFiTag(config),
-            BackFiReader(config),
-            payload_bits=sensor_bits,
-            wifi_rate_mbps=24,
-            wifi_payload_bytes=1500,
-            rng=rng,
-        )
+        result = built.run(rng=rng, payload_bits=sensor_bits)
 
     # 5. Inspect what the reader recovered.
     reader = result.reader

@@ -22,9 +22,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import BackFiReader, BackFiTag, TagConfig
+from repro import BackFiTag, ScenarioConfig
 from repro.channel import Room, build_geometric_scene
-from repro.link import run_backscatter_session
 from repro.reader import MimoBackFiReader, MimoScene, run_mimo_session
 
 ROOM = Room(width_m=8.0, length_m=6.0, wall_loss_db=6.0)
@@ -34,7 +33,10 @@ TAG_SPOTS = [(2.5, 1.5), (5.0, 3.0), (7.0, 5.0)]
 
 def main() -> None:
     rng = np.random.default_rng(21)
-    config = TagConfig("qpsk", "1/2", 1e6)
+    # Default QPSK r1/2 operating point; the image-method scene below
+    # replaces the preset's statistical channel draw.
+    sc = ScenarioConfig()
+    config = sc.tag
 
     print(f"room: {ROOM.width_m:g} x {ROOM.length_m:g} m, "
           f"{ROOM.wall_loss_db:g} dB per wall bounce, AP at {AP}\n")
@@ -42,8 +44,7 @@ def main() -> None:
     print("-- geometric (image-method) channels, single antenna --")
     for tag_pos in TAG_SPOTS:
         scene = build_geometric_scene(room=ROOM, ap=AP, tag=tag_pos)
-        out = run_backscatter_session(
-            scene, BackFiTag(config), BackFiReader(config), rng=rng)
+        out = sc.build(scene=scene).run(rng=rng)
         d = float(np.hypot(tag_pos[0] - AP[0], tag_pos[1] - AP[1]))
         print(f"  tag at {tag_pos} ({d:.1f} m): "
               f"{'decoded' if out.ok else 'FAILED':8} "

@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""A battery-free temperature/audio sensor streaming over BackFi.
+"""A battery-free temperature/audio sensor streaming over BackFi
+(preset: ``sensor-2m``).
 
 The paper's motivating workload (Sec. 1): an IoT sensor accumulates
 readings and uploads them opportunistically whenever its AP transmits.
@@ -22,22 +23,19 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import BackFiReader, BackFiTag, Scene, TagConfig
-from repro.link import run_backscatter_session
+from repro import get_scenario
 from repro.tag import AudioSensor, default_energy_model
 from repro.traces import generate_ap_trace
-
-TAG_DISTANCE_M = 2.0
 
 
 def main() -> None:
     rng = np.random.default_rng(7)
-    config = TagConfig(modulation="qpsk", code_rate="2/3",
-                       symbol_rate_hz=2e6)
+    # QPSK r2/3 @ 2 Msym/s, tag 2 m from the AP -- the registered
+    # battery-free sensor deployment.
+    built = get_scenario("sensor-2m").build(rng=rng)
+    config = built.config.tag
     energy = default_energy_model()
-    scene = Scene.build(tag_distance_m=TAG_DISTANCE_M, rng=rng)
-    tag = BackFiTag(config)
-    reader = BackFiReader(config)
+    tag = built.tag
 
     trace = generate_ap_trace(0.25, target_busy_fraction=0.8, rng=rng)
     print(f"trace: {len(trace)} AP bursts over {trace.duration_s:.2f} s "
@@ -62,13 +60,12 @@ def main() -> None:
 
         if tag.pending_bits == 0:
             continue
-        out = run_backscatter_session(
-            scene, tag, reader,
+        out = built.run(
+            rng=rng,
             payload_bits=np.empty(0, dtype=np.uint8),  # already queued
             wifi_rate_mbps=burst.rate_mbps,
             wifi_payload_bytes=burst.payload_bytes,
             include_cts=False,
-            rng=rng,
         )
         exchanges += 1
         if out.ok:

@@ -21,20 +21,23 @@ numpy/scipy:
   deployment experiments,
 * :mod:`repro.experiments` -- one module per paper table/figure,
 * :mod:`repro.telemetry` -- per-stage spans and signal probes for the
-  decode pipeline (``repro trace`` renders a saved run).
+  decode pipeline (``repro trace`` renders a saved run),
+* :mod:`repro.scenario` -- declarative, serializable deployment
+  descriptions and the preset registry every entry point builds from.
 
 Quickstart::
 
     import numpy as np
-    from repro import (BackFiReader, BackFiTag, Scene, TagConfig,
-                       run_backscatter_session)
+    from repro import get_scenario
 
-    rng = np.random.default_rng(0)
-    cfg = TagConfig(modulation="qpsk", code_rate="1/2", symbol_rate_hz=1e6)
-    scene = Scene.build(tag_distance_m=1.0, rng=rng)
-    out = run_backscatter_session(
-        scene, BackFiTag(cfg), BackFiReader(cfg), rng=rng)
+    out = get_scenario("paper-1m").build().run()
     assert out.ok
+
+or, explicitly seeded and tweaked::
+
+    sc = get_scenario("paper-1m").with_overrides("distance_m=2.5")
+    rng = np.random.default_rng(0)
+    out = sc.build(rng=rng).run(rng=rng)
 """
 
 from .channel import Scene, SceneConfig
@@ -44,16 +47,29 @@ from .link import (
     build_ap_transmission,
     run_backscatter_session,
 )
-from .reader import BackFiReader, ReaderResult, select_config
+from .reader import BackFiReader, ReaderConfig, ReaderResult, select_config
+from .scenario import (
+    LinkConfig,
+    ScenarioConfig,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
 from .tag import BackFiTag, TagConfig, all_tag_configs, default_energy_model
 from .telemetry import TelemetryCollector
 from .wifi import WifiReceiver, WifiTransmitter
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Scene",
     "SceneConfig",
+    "LinkConfig",
+    "ScenarioConfig",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "ReaderConfig",
     "LinkBudget",
     "SessionResult",
     "build_ap_transmission",

@@ -15,6 +15,14 @@ Commands
 ``profile``      run one exchange under cProfile and print the
                  function-level profile next to the telemetry stage
                  timing table.
+``scenarios``    list/inspect the registered scenario presets
+                 (``--describe NAME``, ``--dump NAME``).
+
+``link``, ``sweep``, ``profile`` and ``robustness`` all accept
+``--scenario NAME`` (start from a registered preset) and
+``--set key=value`` (dotted-path overrides, e.g.
+``--set reader.sync_search_us=4``); explicit flags sit between the
+two in precedence.
 """
 
 from __future__ import annotations
@@ -38,20 +46,22 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("info", help="operating points and link budget table")
 
     link = sub.add_parser("link", help="simulate one exchange")
-    link.add_argument("--distance", type=float, default=1.0)
-    link.add_argument("--modulation", default="qpsk",
+    _add_scenario_flags(link)
+    link.add_argument("--distance", type=float, default=None)
+    link.add_argument("--modulation", default=None,
                       choices=("bpsk", "qpsk", "16psk"))
-    link.add_argument("--code-rate", default="1/2",
+    link.add_argument("--code-rate", default=None,
                       choices=("1/2", "2/3"))
-    link.add_argument("--symbol-rate", type=float, default=1e6)
-    link.add_argument("--payload-bits", type=int, default=1000)
-    link.add_argument("--wifi-rate", type=int, default=24)
-    link.add_argument("--seed", type=int, default=0)
+    link.add_argument("--symbol-rate", type=float, default=None)
+    link.add_argument("--payload-bits", type=int, default=None)
+    link.add_argument("--wifi-rate", type=int, default=None)
+    link.add_argument("--seed", type=int, default=None)
     link.add_argument("--telemetry", action="store_true",
                       help="record a pipeline trace under "
                            ".repro_cache/telemetry/ and summarise it")
 
     sweep = sub.add_parser("sweep", help="throughput vs range")
+    _add_scenario_flags(sweep)
     sweep.add_argument("--distances", type=float, nargs="+",
                        default=[0.5, 1.0, 2.0, 5.0])
     sweep.add_argument("--trials", type=int, default=3)
@@ -74,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     rob = sub.add_parser("robustness",
                          help="ARQ delivery/goodput vs fault intensity")
+    _add_scenario_flags(rob)
     rob.add_argument("--intensities", type=float, nargs="+",
                      default=[0.0, 0.3, 0.6, 0.9],
                      help="blocker trigger probabilities to sweep")
@@ -96,13 +107,24 @@ def build_parser() -> argparse.ArgumentParser:
     prof = sub.add_parser("profile",
                           help="profile one exchange (cProfile + "
                                "telemetry stage timings)")
-    prof.add_argument("--distance", type=float, default=1.0)
-    prof.add_argument("--payload-bits", type=int, default=1000)
-    prof.add_argument("--seed", type=int, default=0)
+    _add_scenario_flags(prof)
+    prof.add_argument("--distance", type=float, default=None)
+    prof.add_argument("--payload-bits", type=int, default=None)
+    prof.add_argument("--seed", type=int, default=None)
     prof.add_argument("--top", type=int, default=15,
                       help="rows of the cProfile table to print")
     prof.add_argument("--no-fastpath", action="store_true",
                       help="profile with the DSP fast paths disabled")
+
+    scen = sub.add_parser("scenarios",
+                          help="list/inspect scenario presets")
+    scen.add_argument("--list", action="store_true",
+                      help="list registered presets (the default)")
+    scen.add_argument("--describe", metavar="NAME", default=None,
+                      help="print one preset's fields and hash")
+    scen.add_argument("--dump", metavar="NAME", default=None,
+                      help="print one preset as JSON (reloadable via "
+                           "ScenarioConfig.from_json)")
 
     rep = sub.add_parser("report",
                          help="write a markdown reproduction report")
@@ -113,6 +135,64 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--no-cache", action="store_true",
                      help="recompute instead of reading .repro_cache/")
     return parser
+
+
+def _add_scenario_flags(parser: argparse.ArgumentParser) -> None:
+    """``--scenario`` / ``--set`` on every scenario-driven command."""
+    parser.add_argument("--scenario", metavar="NAME", default=None,
+                        help="start from a registered preset "
+                             "(see: repro scenarios)")
+    parser.add_argument("--set", dest="overrides", action="append",
+                        metavar="KEY=VALUE", default=None,
+                        help="dotted-path override, e.g. "
+                             "--set reader.sync_search_us=4 "
+                             "(repeatable)")
+
+
+_FLAG_TO_TAG = {"modulation": "modulation", "code_rate": "code_rate",
+                "symbol_rate": "symbol_rate_hz"}
+_FLAG_TO_LINK = {"payload_bits": "n_payload_bits",
+                 "wifi_rate": "wifi_rate_mbps"}
+
+
+def _scenario_from_args(args: argparse.Namespace, *,
+                        map_flags: bool = True):
+    """Resolve the command's flags into one :class:`ScenarioConfig`.
+
+    Precedence, lowest to highest: the ``--scenario`` preset (or the
+    stock defaults), explicit flags (``--distance``, ``--modulation``,
+    ...), then ``--set`` dotted-path overrides.  Flags left at their
+    ``None`` default never override the preset.  ``map_flags=False``
+    skips the explicit-flag layer for commands whose ``--seed`` /
+    ``--distance`` parameterise the sweep rather than the scenario.
+    """
+    from dataclasses import replace
+
+    from .scenario import ScenarioConfig, get_scenario
+
+    sc = get_scenario(args.scenario) if getattr(args, "scenario", None) \
+        else ScenarioConfig()
+    if map_flags:
+        top: dict = {}
+        if getattr(args, "distance", None) is not None:
+            top["distance_m"] = float(args.distance)
+        if getattr(args, "seed", None) is not None:
+            top["seed"] = int(args.seed)
+        tag_kw = {dst: getattr(args, src)
+                  for src, dst in _FLAG_TO_TAG.items()
+                  if getattr(args, src, None) is not None}
+        if tag_kw:
+            top["tag"] = replace(sc.tag, **tag_kw)
+        link_kw = {dst: getattr(args, src)
+                   for src, dst in _FLAG_TO_LINK.items()
+                   if getattr(args, src, None) is not None}
+        if link_kw:
+            top["link"] = replace(sc.link, **link_kw)
+        if top:
+            sc = sc.replace(**top)
+    if getattr(args, "overrides", None):
+        sc = sc.with_overrides(*args.overrides)
+    return sc
 
 
 def _cmd_info() -> int:
@@ -132,33 +212,28 @@ def _cmd_info() -> int:
 
 
 def _cmd_link(args: argparse.Namespace) -> int:
-    from .channel import Scene
-    from .link import run_backscatter_session
-    from .reader import BackFiReader
-    from .tag import BackFiTag, TagConfig
-
-    rng = np.random.default_rng(args.seed)
-    cfg = TagConfig(args.modulation, args.code_rate, args.symbol_rate)
-    scene = Scene.build(tag_distance_m=args.distance, rng=rng)
+    sc = _scenario_from_args(args)
+    rng = np.random.default_rng(sc.seed)
+    built = sc.build(rng=rng)
     collector = None
     if args.telemetry:
         from .telemetry import TelemetryCollector
 
+        what = (f"--scenario {sc.name}" if sc.name
+                else f"--distance {sc.distance_m:g}")
         collector = TelemetryCollector(
-            label=f"repro link --distance {args.distance} "
-                  f"({cfg.describe()}, seed {args.seed})")
+            label=f"repro link {what} "
+                  f"({sc.tag.describe()}, seed {sc.seed})")
         collector.__enter__()
     try:
-        out = run_backscatter_session(
-            scene, BackFiTag(cfg), BackFiReader(cfg),
-            n_payload_bits=args.payload_bits,
-            wifi_rate_mbps=args.wifi_rate, rng=rng,
-        )
+        out = built.run(rng=rng)
     finally:
         if collector is not None:
             collector.__exit__(None, None, None)
     r = out.reader
-    print(f"operating point : {cfg.describe()}")
+    print(f"scenario        : {sc.name or '(custom)'} "
+          f"[{sc.scenario_hash()}]")
+    print(f"operating point : {sc.tag.describe()}")
     print(f"decoded         : {out.ok}"
           + (f" ({r.failure})" if r.failure else ""))
     print(f"delivered       : {out.delivered_bits} bits "
@@ -193,36 +268,25 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     import io
     import pstats
 
-    from .channel import Scene
     from .dsp.fastpath import set_fastpath_enabled
-    from .link import run_backscatter_session
-    from .reader import BackFiReader
-    from .tag import BackFiTag, TagConfig
     from .telemetry import TelemetryCollector, load_run
     from .telemetry.trace import stage_timing_table
 
-    cfg = TagConfig("qpsk", "1/2", 1e6)
+    sc = _scenario_from_args(args)
     # Warm-up exchange: triggers the pipeline's lazy imports and cache
     # setup so the profiled run measures steady-state decode cost.
-    warm_rng = np.random.default_rng(args.seed)
-    run_backscatter_session(
-        Scene.build(tag_distance_m=args.distance, rng=warm_rng),
-        BackFiTag(cfg), BackFiReader(cfg),
-        n_payload_bits=args.payload_bits, rng=warm_rng,
-    )
+    warm_rng = np.random.default_rng(sc.seed)
+    sc.build(rng=warm_rng).run(rng=warm_rng)
 
-    rng = np.random.default_rng(args.seed)
-    scene = Scene.build(tag_distance_m=args.distance, rng=rng)
+    rng = np.random.default_rng(sc.seed)
+    built = sc.build(rng=rng)
     previous = set_fastpath_enabled(not args.no_fastpath)
     profiler = cProfile.Profile()
     try:
         with TelemetryCollector(
-                label=f"repro profile (seed {args.seed})") as collector:
+                label=f"repro profile (seed {sc.seed})") as collector:
             profiler.enable()
-            out = run_backscatter_session(
-                scene, BackFiTag(cfg), BackFiReader(cfg),
-                n_payload_bits=args.payload_bits, rng=rng,
-            )
+            out = built.run(rng=rng)
             profiler.disable()
     finally:
         set_fastpath_enabled(previous)
@@ -255,6 +319,11 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
         "distance_m": args.distance,
         "seed": args.seed,
     }
+    if args.scenario or args.overrides:
+        # The scenario baseline participates in the cache key via its
+        # scenario_hash, so preset/override runs never collide with the
+        # stock sweep.
+        params["scenario"] = _scenario_from_args(args, map_flags=False)
     with engine, use_engine(engine):
         result = engine.run("robustness_sweep", robustness_run, params)
         print(result.table)
@@ -279,10 +348,53 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .experiments.fig8_throughput_range import run as fig8
 
+    scenario = None
+    if args.scenario or args.overrides:
+        scenario = _scenario_from_args(args, map_flags=False)
     result = fig8(distances_m=tuple(args.distances),
                   preambles_us=(32.0,), trials=args.trials,
-                  seed=args.seed)
+                  seed=args.seed, scenario=scenario)
     print(result.table)
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .scenario import get_scenario, list_scenarios
+
+    name = args.dump or args.describe
+    if name:
+        try:
+            sc = get_scenario(name)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 1
+        if args.dump:
+            print(sc.to_json())
+            return 0
+        print(f"name        : {sc.name}")
+        print(f"description : {sc.description}")
+        print(f"hash        : {sc.scenario_hash()}")
+        print(f"tag         : {sc.tag.describe()}")
+        print(f"distance    : {sc.distance_m:g} m (client "
+              f"{sc.client_distance_m:g} m @ "
+              f"{sc.client_angle_deg:g} deg)")
+        print(f"link        : {sc.link.excitation} excitation @ "
+              f"{sc.link.wifi_rate_mbps} Mbps, "
+              f"{sc.link.wifi_payload_bytes} B packets, "
+              f"{sc.link.n_payload_bits} payload bits")
+        print(f"reader      : {sc.reader.n_channel_taps} taps, "
+              f"sync +/-{sc.reader.sync_search_us:g} us, "
+              f"tracking {'on' if sc.reader.track_phase else 'off'}")
+        print(f"arq         : "
+              f"{'configured' if sc.arq is not None else 'none'}")
+        n_faults = len(sc.faults.events) if sc.faults is not None else 0
+        print(f"faults      : {n_faults} event(s)")
+        return 0
+    width = max((len(n) for n in list_scenarios()), default=0)
+    for preset in list_scenarios():
+        sc = get_scenario(preset)
+        print(f"{preset:<{width}}  {sc.scenario_hash()}  "
+              f"{sc.description}")
     return 0
 
 
@@ -329,6 +441,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_robustness(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "scenarios":
+        return _cmd_scenarios(args)
     if args.command == "experiments":
         from .experiments.run_all import main as run_all_main
 

@@ -18,10 +18,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..channel.environment import Scene
-from ..link.session import run_backscatter_session
 from ..reader.cancellation import SelfInterferenceCanceller
-from ..reader.reader import BackFiReader
+from ..scenario import LinkConfig, ScenarioConfig
 from ..tag.config import TagConfig
 from ..tag.tag import BackFiTag
 from .common import ExperimentTable, median
@@ -59,15 +57,19 @@ def _variant_trial(args: tuple) -> tuple[bool, float, bool]:
     """One (variant, trial) cell -- a picklable engine task."""
     name, trial_seed, distance_m, config = args
     rng = np.random.default_rng(trial_seed)
-    scene = Scene.build(tag_distance_m=distance_m, rng=rng)
+    sc = ScenarioConfig(
+        distance_m=distance_m, tag=config,
+        link=LinkConfig(wifi_payload_bytes=1200),
+    )
+    # The ablation arms swap in stateful variants the serializable
+    # config cannot express: a silence-violating tag, a lobotomised
+    # canceller.
     tag = BackFiTag(config, respect_silent=(name != "no_silent"))
     canceller = SelfInterferenceCanceller(
         analog_enabled=(name != "no_analog"),
         digital_enabled=(name != "no_digital"),
     )
-    reader = BackFiReader(config, canceller=canceller)
-    out = run_backscatter_session(scene, tag, reader, rng=rng,
-                                  wifi_payload_bytes=1200)
+    out = sc.build(rng=rng, tag=tag, canceller=canceller).run(rng=rng)
     snr = out.reader.symbol_snr_db
     saturated = bool(out.reader.cancellation is not None
                      and out.reader.cancellation.adc_saturated)
@@ -124,7 +126,8 @@ def _mrc_divide_trial(args: tuple) -> tuple[float, float]:
 
     trial_seed, distance_m, config = args
     rng = np.random.default_rng(trial_seed)
-    scene = Scene.build(tag_distance_m=distance_m, rng=rng)
+    scene = ScenarioConfig(distance_m=distance_m, tag=config) \
+        .build(rng=rng).scene
     timeline = build_ap_transmission(
         random_payload(1200, rng), 24, tx_power_mw=scene.tx_power_mw,
         include_cts=False,

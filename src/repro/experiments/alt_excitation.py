@@ -13,11 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..channel.environment import Scene
-from ..link.session import run_backscatter_session
-from ..reader.reader import BackFiReader
+from ..scenario import LinkConfig, ScenarioConfig
 from ..tag.config import TagConfig
-from ..tag.tag import BackFiTag
 from .common import ExperimentTable
 from .engine import parallel_map, spawn_seeds
 
@@ -39,14 +36,14 @@ class AltExcitationResult:
 def _excitation_cell(args: tuple) -> tuple[float, float, float]:
     """(success, median SNR, median goodput) for one ambient signal."""
     exc, distance_m, trial_seeds, config = args
+    sc = ScenarioConfig(
+        distance_m=distance_m, tag=config,
+        link=LinkConfig(excitation=exc, wifi_payload_bytes=250),
+    )
     oks, snrs, goodputs = 0, [], []
     for ts in trial_seeds:
         rng = np.random.default_rng(ts)
-        scene = Scene.build(tag_distance_m=distance_m, rng=rng)
-        out = run_backscatter_session(
-            scene, BackFiTag(config), BackFiReader(config),
-            excitation=exc, wifi_payload_bytes=250, rng=rng,
-        )
+        out = sc.build(rng=rng).run(rng=rng)
         oks += int(out.ok)
         if np.isfinite(out.reader.symbol_snr_db):
             snrs.append(out.reader.symbol_snr_db)

@@ -29,7 +29,9 @@ parallelises every sweep without touching their signatures, while a
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
+import json
 import os
 import pickle
 import time
@@ -110,21 +112,47 @@ def code_fingerprint() -> str:
 
 
 def _canonical(value: Any) -> Any:
-    """Parameters reduced to a stable, repr-able form."""
+    """Parameters reduced to a stable, JSON-serializable form.
+
+    Anything that cannot be canonicalised raises ``TypeError``: a
+    ``str()``/``repr()`` fallback would let two distinct configs whose
+    reprs collide (or objects with address-based reprs) silently alias
+    each other's cache entries.
+    """
     if isinstance(value, dict):
         return {str(k): _canonical(v) for k, v in sorted(value.items())}
     if isinstance(value, (list, tuple)):
         return [_canonical(v) for v in value]
+    if isinstance(value, np.bool_):
+        return bool(value)
     if isinstance(value, (np.integer, np.floating)):
         return value.item()
     if isinstance(value, np.ndarray):
-        return ["ndarray", value.shape, value.tobytes().hex()]
-    return value
+        return ["__ndarray__", list(value.shape), str(value.dtype),
+                value.tobytes().hex()]
+    scenario_hash = getattr(value, "scenario_hash", None)
+    if callable(scenario_hash):
+        # A ScenarioConfig (or compatible): key on its canonical hash,
+        # which already excludes labels and is stable across spellings.
+        return ["__scenario__", scenario_hash()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return ["__dataclass__", type(value).__name__,
+                _canonical(dataclasses.asdict(value))]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"cache_key cannot canonicalise parameter of type "
+        f"{type(value).__name__} ({value!r}); pass JSON-compatible "
+        "values, numpy scalars/arrays, dataclasses, or a ScenarioConfig"
+    )
 
 
 def cache_key(name: str, params: dict[str, Any] | None = None) -> str:
     """Digest of (experiment name, parameters, code version)."""
-    blob = repr((name, _canonical(params or {}), code_fingerprint()))
+    blob = json.dumps(
+        [name, _canonical(params or {}), code_fingerprint()],
+        sort_keys=True, separators=(",", ":"),
+    )
     return hashlib.sha256(blob.encode()).hexdigest()[:24]
 
 

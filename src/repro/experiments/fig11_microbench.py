@@ -15,11 +15,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..channel.environment import Scene
-from ..link.session import run_backscatter_session
-from ..reader.reader import BackFiReader
+from ..scenario import LinkConfig, ScenarioConfig
 from ..tag.config import TagConfig
-from ..tag.tag import BackFiTag
 from .common import ExperimentTable, median
 from .engine import parallel_map, spawn_seeds
 
@@ -53,20 +50,21 @@ def _snr_location(args: tuple) -> list[tuple[float, float]]:
     guard = 8
     mrc_samples = config.samples_per_symbol - guard
     d = float(np.random.default_rng(loc_seed).uniform(*distance_range_m))
+    # EVM zeroed so the measured gap isolates the cancellation residue.
+    sc = ScenarioConfig(
+        distance_m=d, tag=config,
+        link=LinkConfig(wifi_payload_bytes=wifi_payload_bytes,
+                        backscatter_evm=0.0),
+    )
     points = []
     for run_seed in loc_seed.spawn(runs_per_location):
         rng = np.random.default_rng(run_seed)
-        scene = Scene.build(tag_distance_m=d, rng=rng)
-        expected = scene.expected_backscatter_snr_db(
+        built = sc.build(rng=rng)
+        expected = built.scene.expected_backscatter_snr_db(
             tag_reflection_loss_db=config.reflection_loss_db,
             mrc_samples=mrc_samples,
         )
-        out = run_backscatter_session(
-            scene, BackFiTag(config), BackFiReader(config),
-            wifi_payload_bytes=wifi_payload_bytes,
-            backscatter_evm=0.0,
-            rng=rng,
-        )
+        out = built.run(rng=rng)
         measured = out.reader.symbol_snr_db
         if np.isfinite(measured):
             points.append((expected, float(measured)))
@@ -121,14 +119,14 @@ def _ber_point(args: tuple) -> tuple[int, int]:
     """(errors, bits) at one (modulation, symbol rate) grid point."""
     mod, fs, distance_m, scene_seeds, wifi_payload_bytes = args
     cfg = TagConfig(mod, "1/2", fs)
+    sc = ScenarioConfig(
+        distance_m=distance_m, tag=cfg,
+        link=LinkConfig(wifi_payload_bytes=wifi_payload_bytes),
+    )
     errs, total = 0, 0
     for ss in scene_seeds:
         srng = np.random.default_rng(ss)
-        scene = Scene.build(tag_distance_m=distance_m, rng=srng)
-        out = run_backscatter_session(
-            scene, BackFiTag(cfg), BackFiReader(cfg),
-            wifi_payload_bytes=wifi_payload_bytes, rng=srng,
-        )
+        out = sc.build(rng=srng).run(rng=srng)
         if out.plan.frame_bits is None:
             continue
         sent = out.plan.frame_bits

@@ -16,12 +16,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..channel.environment import Scene
-from ..link.session import run_backscatter_session
 from ..reader.rate_adapt import required_snr_db
-from ..reader.reader import BackFiReader
+from ..scenario import LinkConfig, ScenarioConfig
 from ..tag.config import TagConfig, all_tag_configs
-from ..tag.tag import BackFiTag
 from ..traces.generator import generate_testbed_traces
 from ..traces.replay import replay_trace
 from ..wifi.params import rate_params
@@ -64,15 +61,15 @@ def _best_config_at(distance_m: float, *, seed: int) -> TagConfig:
     for cfg in candidates:
         if budget.symbol_snr_db(distance_m, cfg) < required_snr_db(cfg) - 6:
             continue
+        sc = ScenarioConfig(
+            distance_m=distance_m, tag=cfg,
+            link=LinkConfig(wifi_payload_bytes=2000),
+        )
         # Require a *robust* operating point (all trials decode): under
         # trace replay every burst must decode, not just a lucky one.
         oks = 0
         for _ in range(3):
-            scene = Scene.build(tag_distance_m=distance_m, rng=rng)
-            out = run_backscatter_session(
-                scene, BackFiTag(cfg), BackFiReader(cfg),
-                wifi_payload_bytes=2000, rng=rng,
-            )
+            out = sc.build(rng=rng).run(rng=rng)
             oks += int(out.ok)
         if oks == 3:
             return cfg
@@ -83,7 +80,7 @@ def _replay_ap(args: tuple) -> tuple[float, float, float | None]:
     """Replay one AP's trace -- a picklable engine task."""
     trace, tag_distance_m, n_calibration_bursts, ap_seed = args
     rng = np.random.default_rng(ap_seed)
-    scene = Scene.build(tag_distance_m=tag_distance_m, rng=rng)
+    scene = ScenarioConfig(distance_m=tag_distance_m).build(rng=rng).scene
     # config=None: the tag/reader rate-adapt to each placement's
     # channels (the deployed behaviour).
     rep = replay_trace(
@@ -163,28 +160,28 @@ def _impact_placement(args: tuple) -> tuple[int, int, int]:
         wifi_payload_bytes, client_distance_m, config = args
     rng = np.random.default_rng(placement_seed)
     angle = float(rng.uniform(0, 360))
-    scene = Scene.build(
-        tag_distance_m=d, client_distance_m=client_distance_m,
-        client_angle_deg=angle, rng=rng,
+    sc = ScenarioConfig(
+        distance_m=d, client_distance_m=client_distance_m,
+        client_angle_deg=angle, tag=config,
+        link=LinkConfig(wifi_rate_mbps=wifi_rate_mbps,
+                        wifi_payload_bytes=wifi_payload_bytes),
     )
+    scene = sc.build(rng=rng).scene
     ok_on, ok_off = 0, 0
     for _ in range(packets_per_placement):
         for tag_on in (True, False):
-            tag = BackFiTag(config)
+            built = sc.build(rng=rng, scene=scene)
             if not tag_on:
                 # A tag that is not addressed never wakes: give it
                 # a mismatched identification preamble and let the
                 # real detector reject the AP's wake-up sequence.
                 from ..tag.detector import EnergyDetector
 
-                tag.detector = EnergyDetector(tag_id=7)
-            out = run_backscatter_session(
-                scene, tag, BackFiReader(config),
-                wifi_rate_mbps=wifi_rate_mbps,
-                wifi_payload_bytes=wifi_payload_bytes,
+                built.tag.detector = EnergyDetector(tag_id=7)
+            out = built.run(
+                rng=rng,
                 use_tag_detector=not tag_on,
                 decode_client=True,
-                rng=rng,
             )
             good = bool(
                 out.client is not None and out.client.ok

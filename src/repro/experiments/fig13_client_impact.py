@@ -15,13 +15,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..channel.environment import Scene
 from ..link.budget import client_edge_distance_m
-from ..link.session import run_backscatter_session
-from ..reader.reader import BackFiReader
+from ..scenario import LinkConfig, ScenarioConfig
 from ..tag.config import TagConfig
 from ..tag.detector import EnergyDetector
-from ..tag.tag import BackFiTag
 from .common import ExperimentTable, median
 from .engine import parallel_map, spawn_seeds
 
@@ -62,25 +59,25 @@ def _client_packet(args: tuple) -> tuple[int, int, float, float]:
     rate, packet_seed, tag_distance_m, d_client, wifi_payload_bytes, \
         config = args
     rng = np.random.default_rng(packet_seed)
-    scene = Scene.build(
-        tag_distance_m=tag_distance_m,
+    sc = ScenarioConfig(
+        distance_m=tag_distance_m,
         client_distance_m=d_client,
         client_angle_deg=float(rng.uniform(0, 360)),
-        rng=rng,
+        tag=config,
+        link=LinkConfig(wifi_rate_mbps=rate,
+                        wifi_payload_bytes=wifi_payload_bytes),
     )
+    scene = sc.build(rng=rng).scene
     ok = {True: 0, False: 0}
     snr = {True: float("nan"), False: float("nan")}
     for tag_on in (True, False):
-        tag = BackFiTag(config)
+        built = sc.build(rng=rng, scene=scene)
         if not tag_on:
-            tag.detector = EnergyDetector(tag_id=7)
-        out = run_backscatter_session(
-            scene, tag, BackFiReader(config),
-            wifi_rate_mbps=rate,
-            wifi_payload_bytes=wifi_payload_bytes,
+            built.tag.detector = EnergyDetector(tag_id=7)
+        out = built.run(
+            rng=rng,
             use_tag_detector=not tag_on,
             decode_client=True,
-            rng=rng,
         )
         good = bool(out.client is not None and out.client.ok)
         ok[tag_on] += int(good)

@@ -8,17 +8,14 @@ combinations of symbol switching rates and modulations".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from ..channel.environment import Scene
 from ..link.budget import LinkBudget
-from ..link.session import run_backscatter_session
 from ..reader.rate_adapt import required_snr_db
-from ..reader.reader import BackFiReader
+from ..scenario import LinkConfig, ScenarioConfig
 from ..tag.config import TagConfig, all_tag_configs
-from ..tag.tag import BackFiTag
 from .common import ExperimentTable, format_si
 from .engine import parallel_map, spawn_seeds
 
@@ -72,25 +69,21 @@ def _eval_cell(args: tuple) -> Fig8Point:
     Walks the candidate operating points fastest-first and returns the
     first one a majority of trials decodes.
     """
-    d, pre, trial_seeds, wifi_payload_bytes, snr_margin_db = args
+    d, pre, trial_seeds, base, snr_margin_db = args
     budget = LinkBudget()
     trials = len(trial_seeds)
     for cfg in _candidate_configs():
         predicted = budget.symbol_snr_db(d, cfg, preamble_us=pre)
         if predicted < required_snr_db(cfg) - snr_margin_db:
             continue
+        sc = base.replace(
+            distance_m=d, tag=cfg,
+            link=replace(base.link, preamble_us=pre),
+        )
         oks, snrs = 0, []
         for ss in trial_seeds:
             trial_rng = np.random.default_rng(ss)
-            scene = Scene.build(tag_distance_m=d, rng=trial_rng)
-            out = run_backscatter_session(
-                scene,
-                BackFiTag(cfg, preamble_us=pre),
-                BackFiReader(cfg),
-                wifi_payload_bytes=wifi_payload_bytes,
-                preamble_us=pre,
-                rng=trial_rng,
-            )
+            out = sc.build(rng=trial_rng).run(rng=trial_rng)
             oks += int(out.ok)
             if np.isfinite(out.reader.symbol_snr_db):
                 snrs.append(out.reader.symbol_snr_db)
@@ -111,13 +104,22 @@ def run(distances_m: tuple[float, ...] = DEFAULT_DISTANCES_M,
         preambles_us: tuple[float, ...] = DEFAULT_PREAMBLES_US,
         *, trials: int = 5, wifi_payload_bytes: int = 4000,
         snr_margin_db: float = 8.0, seed: int = 7,
-        jobs: int | None = None) -> Fig8Result:
+        jobs: int | None = None,
+        scenario: ScenarioConfig | None = None) -> Fig8Result:
     """Run the throughput-vs-range sweep.
 
     ``snr_margin_db`` prunes operating points whose link-budget SNR falls
     that far below the decode threshold (they cannot plausibly work), so
     the sweep spends its sample-level simulations near the frontier.
+
+    ``scenario`` supplies the channel/link baseline each cell derives
+    from (its distance, tag config and preamble are the sweep axes and
+    get replaced per cell); when omitted the default scene with
+    ``wifi_payload_bytes``-sized excitation packets is used.
     """
+    if scenario is None:
+        scenario = ScenarioConfig(
+            link=LinkConfig(wifi_payload_bytes=wifi_payload_bytes))
     result = Fig8Result()
     cells = []
     for d, d_seed in zip(distances_m, spawn_seeds(seed, len(distances_m))):
@@ -125,8 +127,7 @@ def run(distances_m: tuple[float, ...] = DEFAULT_DISTANCES_M,
         # so the comparison is paired on the same channel realisations.
         trial_seeds = d_seed.spawn(trials)
         for pre in preambles_us:
-            cells.append((d, pre, trial_seeds, wifi_payload_bytes,
-                          snr_margin_db))
+            cells.append((d, pre, trial_seeds, scenario, snr_margin_db))
     result.points.extend(parallel_map(_eval_cell, cells, jobs=jobs))
 
     table = ExperimentTable(

@@ -12,12 +12,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..channel.environment import Scene
-from ..link.session import run_backscatter_session
-from ..reader.reader import BackFiReader
+from ..scenario import LinkConfig, ScenarioConfig
 from ..tag.config import TagConfig, all_tag_configs
 from ..tag.energy import default_energy_model
-from ..tag.tag import BackFiTag
 from .common import ExperimentTable, format_si
 from .engine import parallel_map, spawn_seeds
 
@@ -53,16 +50,13 @@ class Fig9Result:
 
 def _eval_config(args: tuple) -> bool:
     """Feasibility of one operating point -- a picklable engine task."""
-    cfg, distance_m, trial_seeds, wifi_payload_bytes = args
+    cfg, distance_m, trial_seeds, base = args
+    sc = base.replace(distance_m=distance_m, tag=cfg)
     trials = len(trial_seeds)
     oks = 0
     for ss in trial_seeds:
         trial_rng = np.random.default_rng(ss)
-        scene = Scene.build(tag_distance_m=distance_m, rng=trial_rng)
-        out = run_backscatter_session(
-            scene, BackFiTag(cfg), BackFiReader(cfg),
-            wifi_payload_bytes=wifi_payload_bytes, rng=trial_rng,
-        )
+        out = sc.build(rng=trial_rng).run(rng=trial_rng)
         oks += int(out.ok)
     return oks * 2 > trials or (trials == 1 and oks == 1)
 
@@ -71,16 +65,20 @@ def measure_feasible_configs(distance_m: float, *, trials: int = 2,
                              wifi_payload_bytes: int = 3000,
                              configs: list[TagConfig] | None = None,
                              seed: int = 11,
-                             jobs: int | None = None) -> list[TagConfig]:
+                             jobs: int | None = None,
+                             scenario: ScenarioConfig | None = None,
+                             ) -> list[TagConfig]:
     """Sample-level feasibility test of every operating point at a range."""
     if configs is None:
         configs = [c for c in all_tag_configs() if c.symbol_rate_hz >= 100e3]
+    if scenario is None:
+        scenario = ScenarioConfig(
+            link=LinkConfig(wifi_payload_bytes=wifi_payload_bytes))
     # The same trial seeds for every config: paired channel realisations.
     trial_seeds = spawn_seeds(seed, trials)
     verdicts = parallel_map(
         _eval_config,
-        [(cfg, distance_m, trial_seeds, wifi_payload_bytes)
-         for cfg in configs],
+        [(cfg, distance_m, trial_seeds, scenario) for cfg in configs],
         jobs=jobs,
     )
     return [cfg for cfg, ok in zip(configs, verdicts) if ok]
@@ -88,14 +86,15 @@ def measure_feasible_configs(distance_m: float, *, trials: int = 2,
 
 def run(ranges_m: tuple[float, ...] = DEFAULT_RANGES_M, *,
         trials: int = 2, wifi_payload_bytes: int = 3000,
-        seed: int = 11, jobs: int | None = None) -> Fig9Result:
+        seed: int = 11, jobs: int | None = None,
+        scenario: ScenarioConfig | None = None) -> Fig9Result:
     """Build the REPB-throughput frontier for every range."""
     model = default_energy_model()
     result = Fig9Result()
     for d in ranges_m:
         feasible = measure_feasible_configs(
             d, trials=trials, wifi_payload_bytes=wifi_payload_bytes,
-            seed=seed, jobs=jobs,
+            seed=seed, jobs=jobs, scenario=scenario,
         )
         result.feasible[d] = feasible
         # Min REPB per achieved throughput.

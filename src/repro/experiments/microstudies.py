@@ -15,14 +15,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..channel.environment import Scene, SceneConfig
+from ..channel.environment import SceneConfig
 from ..channel.multipath import apply_channel
 from ..dsp.measurements import occupied_bandwidth_hz
 from ..link.protocol import build_ap_transmission
-from ..link.session import run_backscatter_session
-from ..reader.reader import BackFiReader
+from ..scenario import LinkConfig, ScenarioConfig
 from ..tag.config import TagConfig
-from ..tag.tag import BackFiTag
 from ..wifi.frames import random_payload
 from .common import ExperimentTable, format_si
 from .engine import parallel_map, spawn_seeds
@@ -49,18 +47,14 @@ class PreambleSweepResult:
 def _preamble_cell(args: tuple) -> tuple[float, float]:
     """(median SNR, success rate) at one (distance, preamble) cell."""
     d, pre, trial_seeds, config = args
+    sc = ScenarioConfig(
+        distance_m=d, tag=config,
+        link=LinkConfig(preamble_us=pre, wifi_payload_bytes=3000),
+    )
     snrs, oks = [], 0
     for ts in trial_seeds:
         rng = np.random.default_rng(ts)
-        scene = Scene.build(tag_distance_m=d, rng=rng)
-        out = run_backscatter_session(
-            scene,
-            BackFiTag(config, preamble_us=pre),
-            BackFiReader(config),
-            preamble_us=pre,
-            wifi_payload_bytes=3000,
-            rng=rng,
-        )
+        out = sc.build(rng=rng).run(rng=rng)
         oks += int(out.ok)
         if np.isfinite(out.reader.symbol_snr_db):
             snrs.append(out.reader.symbol_snr_db)
@@ -109,15 +103,14 @@ def preamble_sweep(distances_m: tuple[float, ...] = (2.0, 5.0, 7.0),
 def _channel_cell(args: tuple) -> tuple[int, float]:
     """(decodes, median SNR) on one WiFi channel."""
     freq, distance_m, trial_seeds, config = args
-    cfg = SceneConfig(carrier_freq_hz=freq)
+    sc = ScenarioConfig(
+        distance_m=distance_m, tag=config,
+        scene=SceneConfig(carrier_freq_hz=freq),
+    )
     snrs, oks = [], 0
     for ts in trial_seeds:
         rng = np.random.default_rng(ts)
-        scene = Scene.build(tag_distance_m=distance_m, config=cfg,
-                            rng=rng)
-        out = run_backscatter_session(
-            scene, BackFiTag(config), BackFiReader(config), rng=rng,
-        )
+        out = sc.build(rng=rng).run(rng=rng)
         oks += int(out.ok)
         if np.isfinite(out.reader.symbol_snr_db):
             snrs.append(out.reader.symbol_snr_db)
@@ -182,8 +175,8 @@ def backscatter_spectrum(*, symbol_rates_hz: tuple[float, ...] =
     table.add_row("WiFi excitation", format_si(bw_x, "Hz"))
     for fs in symbol_rates_hz:
         config = TagConfig("qpsk", "1/2", fs)
-        scene = Scene.build(tag_distance_m=1.0, rng=rng)
-        tag = BackFiTag(config)
+        built = ScenarioConfig(tag=config).build(rng=rng)
+        scene, tag = built.scene, built.tag
         tag.queue_data(rng.integers(0, 2, size=4000, dtype=np.uint8))
         z = apply_channel(scene.h_f, x)
         plan = tag.backscatter(z, wake_index=timeline.wifi_start)

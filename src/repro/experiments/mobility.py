@@ -15,11 +15,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..channel.doppler import coherence_time_s, doppler_hz
-from ..channel.environment import Scene
-from ..link.session import run_backscatter_session
-from ..reader.reader import BackFiReader
+from ..reader.config import ReaderConfig
+from ..scenario import LinkConfig, ScenarioConfig
 from ..tag.config import TagConfig
-from ..tag.tag import BackFiTag
 from .common import ExperimentTable
 from .engine import parallel_map, spawn_seeds
 
@@ -43,17 +41,16 @@ def _speed_cell(args: tuple) -> tuple[float, float]:
     """(success rate, median BER) at one (speed, tracking) cell."""
     speed, track, trial_seeds, distance_m, wifi_payload_bytes, \
         config = args
+    sc = ScenarioConfig(
+        distance_m=distance_m, tag=config,
+        reader=ReaderConfig(track_phase=track),
+        link=LinkConfig(wifi_payload_bytes=wifi_payload_bytes,
+                        tag_speed_m_s=speed),
+    )
     oks, bers = 0, []
     for ts in trial_seeds:
         rng = np.random.default_rng(ts)
-        scene = Scene.build(tag_distance_m=distance_m, rng=rng)
-        out = run_backscatter_session(
-            scene, BackFiTag(config),
-            BackFiReader(config, track_phase=track),
-            tag_speed_m_s=speed,
-            wifi_payload_bytes=wifi_payload_bytes,
-            rng=rng,
-        )
+        out = sc.build(rng=rng).run(rng=rng)
         oks += int(out.ok)
         bers.append(out.payload_ber())
     return oks / len(trial_seeds), float(np.median(bers))

@@ -18,10 +18,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..channel.environment import Scene
 from ..faults import Blocker, FaultPlan
 from ..link.arq import ArqConfig, ArqLink
-from ..tag.config import TagConfig
+from ..scenario import LinkConfig, ScenarioConfig, arq_disabled_config
 from .common import ExperimentTable, format_si
 from .engine import parallel_map, spawn_seeds
 
@@ -64,27 +63,24 @@ class RobustnessResult:
 
 def _arq_off_config() -> ArqConfig:
     """One shot per fragment: no retries, no backoff, no fallback."""
-    return ArqConfig(max_retries_per_fragment=0, backoff_base_slots=0,
-                     fallback_after=10 ** 9)
+    return arq_disabled_config()
 
 
 def _transfer_cell(args: tuple) -> tuple[float, float, int, float, int, int]:
     """One (intensity, arq, trial) transfer -- a picklable engine task."""
-    intensity, arq_on, scene_seed, fault_seed, distance_m, n_bits = args
-    scene = Scene.build(tag_distance_m=distance_m,
-                        rng=np.random.default_rng(scene_seed))
+    intensity, arq_on, scene_seed, fault_seed, base, n_bits = args
+    sc = base.replace(
+        seed=scene_seed,
+        arq=ArqConfig() if arq_on else _arq_off_config(),
+        faults=FaultPlan(
+            [Blocker(gain_db=BLOCKER_GAIN_DB, probability=intensity,
+                     start_frac=0.15, duration_frac=0.7)],
+            seed=fault_seed,
+        ),
+    )
     message = np.random.default_rng(scene_seed + 1).integers(
         0, 2, size=n_bits, dtype=np.uint8)
-    faults = FaultPlan(
-        [Blocker(gain_db=BLOCKER_GAIN_DB, probability=intensity,
-                 start_frac=0.15, duration_frac=0.7)],
-        seed=fault_seed,
-    )
-    link = ArqLink(
-        scene, TagConfig("qpsk", "1/2", 1e6),
-        arq=ArqConfig() if arq_on else _arq_off_config(),
-        faults=faults, seed=scene_seed,
-    )
+    link = ArqLink.from_scenario(sc)
     out = link.transfer(message)
     return (out.delivery_ratio, out.goodput_bps, out.retransmissions,
             out.mean_retry_latency_s, out.fallbacks, out.exchanges)
@@ -93,15 +89,25 @@ def _transfer_cell(args: tuple) -> tuple[float, float, int, float, int, int]:
 def run(*, intensities: tuple[float, ...] = (0.0, 0.3, 0.6, 0.9),
         trials: int = 3, distance_m: float = 1.0,
         message_bits: int = 600, seed: int = 47,
-        jobs: int | None = None) -> RobustnessResult:
-    """Sweep blocker intensity for the ARQ-on and ARQ-off arms."""
+        jobs: int | None = None,
+        scenario: ScenarioConfig | None = None) -> RobustnessResult:
+    """Sweep blocker intensity for the ARQ-on and ARQ-off arms.
+
+    ``scenario`` supplies the channel/tag/link baseline (its seed, arq
+    and faults are replaced per cell); by default the paper's QPSK r1/2
+    point with 3000-byte excitation packets.
+    """
+    if scenario is None:
+        scenario = ScenarioConfig(
+            link=LinkConfig(wifi_payload_bytes=3000))
+    base = scenario.replace(distance_m=float(distance_m))
     trial_seeds = spawn_seeds(seed, trials)
     # Integer seeds, paired across arms: both arms of a trial see the
     # same channel, message and fault realisations.
     pairs = [tuple(int(v) for v in ts.generate_state(2))
              for ts in trial_seeds]
     cells = [(float(intensity), arq_on, scene_seed, fault_seed,
-              float(distance_m), int(message_bits))
+              base, int(message_bits))
              for intensity in intensities
              for arq_on in (True, False)
              for scene_seed, fault_seed in pairs]

@@ -21,7 +21,8 @@ from .fragmentation import (
 from .frames import TagFrame, build_frame_bits, parse_frame_bits
 from .network import BackFiNetwork, NetworkStats, RegisteredTag
 from .protocol import ApTimeline, build_ap_transmission
-from .session import SessionResult, run_backscatter_session
+from .session import SessionResult, run_backscatter_session, \
+    run_scenario_session
 
 __all__ = [
     "ArqConfig",
@@ -52,4 +53,5 @@ __all__ = [
     "build_ap_transmission",
     "SessionResult",
     "run_backscatter_session",
+    "run_scenario_session",
 ]

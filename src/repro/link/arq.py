@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -45,6 +46,9 @@ from .fragmentation import (
     fragment_message,
 )
 from .session import run_backscatter_session
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from ..scenario import ScenarioConfig
 
 __all__ = ["ArqConfig", "ArqResult", "ArqLink"]
 
@@ -161,6 +165,35 @@ class ArqLink:
         self.seed = int(seed)
         self.wifi_rate_mbps = wifi_rate_mbps
         self.wifi_payload_bytes = wifi_payload_bytes
+
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario: "str | ScenarioConfig",
+        *,
+        scene: Scene | None = None,
+        rng: "np.random.Generator | None" = None,
+    ) -> "ArqLink":
+        """A reliable pipe wired from a scenario (preset name or config).
+
+        The scene is realised from the scenario's seed (or ``rng``)
+        unless one is passed in; the tag config, ARQ policy, fault plan,
+        seed and excitation sizing all come from the scenario.
+        """
+        from ..scenario import resolve_scenario
+
+        sc = resolve_scenario(scenario)
+        if scene is None:
+            scene = sc.build(rng=rng).scene
+        return cls(
+            scene,
+            sc.tag,
+            arq=sc.arq,
+            faults=sc.faults,
+            seed=sc.seed,
+            wifi_rate_mbps=sc.link.wifi_rate_mbps,
+            wifi_payload_bytes=sc.link.wifi_payload_bytes,
+        )
 
     # -- helpers -----------------------------------------------------------
 

@@ -17,6 +17,7 @@ rule as an actual control loop:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -35,6 +36,9 @@ from .downlink import (
     encode_config_command,
 )
 from .session import SessionResult, run_backscatter_session
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from ..scenario import ScenarioConfig
 
 __all__ = ["AdaptationStep", "AdaptiveLink"]
 
@@ -67,6 +71,33 @@ class AdaptiveLink:
     rng: np.random.Generator = field(
         default_factory=np.random.default_rng)
     history: list[AdaptationStep] = field(default_factory=list)
+
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario: "str | ScenarioConfig",
+        *,
+        min_throughput_bps: float = 0.0,
+        headroom_db: float = 1.5,
+        scene: Scene | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> "AdaptiveLink":
+        """An adaptive link wired from a scenario (preset name or config).
+
+        The scenario supplies scene/tag; its rng (``default_rng(seed)``
+        unless ``rng`` is given) seeds both the scene draw and the
+        link's session stream, matching the hand-wired pattern.
+        """
+        from ..scenario import resolve_scenario
+
+        built = resolve_scenario(scenario).build(rng=rng, scene=scene)
+        return cls(
+            scene=built.scene,
+            tag=built.tag,
+            min_throughput_bps=min_throughput_bps,
+            headroom_db=headroom_db,
+            rng=built.rng,
+        )
 
     def _predict_snr(self, measured_snr_db: float, current: TagConfig,
                      candidate: TagConfig) -> float:

@@ -21,11 +21,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from ..channel.environment import Scene, SceneConfig
-from ..reader.reader import BackFiReader
 from ..tag.config import TagConfig
 from ..tag.tag import BackFiTag
 from .session import SessionResult, run_backscatter_session
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from ..scenario import ScenarioConfig
 
 __all__ = ["RegisteredTag", "NetworkStats", "BackFiNetwork", "SCHEDULERS"]
 
@@ -40,6 +44,7 @@ class RegisteredTag:
     distance_m: float
     config: TagConfig
     tag: BackFiTag = field(init=False)
+    scenario: "ScenarioConfig | None" = field(default=None, repr=False)
     scene: Scene | None = field(default=None, repr=False)
     delivered_bits: int = 0
     exchanges: int = 0
@@ -100,13 +105,15 @@ class BackFiNetwork:
     def register_tag(self, distance_m: float, config: TagConfig,
                      *, queue_bits: int = 0) -> RegisteredTag:
         """Add a tag at a distance; optionally pre-fill its queue."""
+        from ..scenario import ScenarioConfig
+
         reg = RegisteredTag(
             tag_id=len(self.tags), distance_m=distance_m, config=config,
         )
-        reg.scene = Scene.build(
-            tag_distance_m=distance_m, config=self.scene_config,
-            rng=self.rng,
+        reg.scenario = ScenarioConfig(
+            distance_m=distance_m, scene=self.scene_config, tag=config,
         )
+        reg.scene = reg.scenario.build(rng=self.rng, tag=reg.tag).scene
         if queue_bits:
             reg.tag.queue_data(
                 self.rng.integers(0, 2, size=queue_bits, dtype=np.uint8)
@@ -144,13 +151,12 @@ class BackFiNetwork:
         reg = self._pick()
         if reg is None:
             return None, None
-        reader = BackFiReader(reg.config)
-        out = run_backscatter_session(
-            reg.scene, reg.tag, reader,
+        built = reg.scenario.build(scene=reg.scene, tag=reg.tag)
+        out = built.run(
+            rng=self.rng,
             payload_bits=np.empty(0, dtype=np.uint8),
             wifi_rate_mbps=wifi_rate_mbps,
             wifi_payload_bytes=wifi_payload_bytes,
-            rng=self.rng,
         )
         reg.exchanges += 1
         if out.ok:

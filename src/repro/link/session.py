@@ -9,7 +9,7 @@ run" every experiment builds on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -38,7 +38,8 @@ from ..wifi.frames import random_payload
 from ..wifi.receiver import RxResult, WifiReceiver
 from .protocol import ApTimeline, build_ap_transmission
 
-__all__ = ["SessionResult", "run_backscatter_session"]
+__all__ = ["SessionResult", "run_backscatter_session",
+           "run_scenario_session"]
 
 
 @dataclass
@@ -291,3 +292,24 @@ def run_backscatter_session(
         client_snr_db=client_snr,
         injected_faults=tuple(fault.injected) if fault is not None else (),
     )
+
+
+def run_scenario_session(
+    scenario: "str | Any",
+    *,
+    rng: np.random.Generator | None = None,
+    scene: Scene | None = None,
+    **overrides: Any,
+) -> SessionResult:
+    """One exchange at a named or explicit scenario.
+
+    ``scenario`` is a registered preset name or a
+    :class:`~repro.scenario.ScenarioConfig`.  The scenario is built
+    (``rng`` defaults to ``default_rng(scenario.seed)``; pass ``scene=``
+    to reuse an existing realisation) and run, with keyword overrides
+    forwarded to :func:`run_backscatter_session`.
+    """
+    from ..scenario import resolve_scenario
+
+    built = resolve_scenario(scenario).build(rng=rng, scene=scene)
+    return built.run(**overrides)

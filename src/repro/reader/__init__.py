@@ -26,6 +26,7 @@ from .rate_adapt import (
     select_config,
     step_down,
 )
+from .config import ReaderConfig
 from .mimo import MimoBackFiReader, MimoResult, MimoScene, run_mimo_session
 from .reader import BackFiReader, ReaderResult
 from .sync import SyncResult, find_tag_timing
@@ -64,6 +65,7 @@ __all__ = [
     "select_config",
     "step_down",
     "BackFiReader",
+    "ReaderConfig",
     "ReaderResult",
     "MimoBackFiReader",
     "MimoResult",

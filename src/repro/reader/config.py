@@ -1,0 +1,54 @@
+"""Serializable configuration of the BackFi reader pipeline.
+
+:class:`ReaderConfig` captures every knob of
+:class:`repro.reader.reader.BackFiReader` that is plain data -- the
+constructor keeps its keyword API for callers, but the canonical source
+of defaults lives here so a reader setup can be stored, hashed and
+rebuilt by the scenario layer (:mod:`repro.scenario`).
+
+The canceller is deliberately *not* part of this config: it is a
+stateful object (ablations swap in partially-disabled ones), so the
+scenario layer passes it separately when an experiment needs to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ReaderConfig"]
+
+
+@dataclass(frozen=True)
+class ReaderConfig:
+    """The plain-data knobs of the reader receive pipeline."""
+
+    n_channel_taps: int = 12
+    """Taps of the combined forward-backward channel estimate."""
+
+    sync_search_us: float = 2.0
+    """Half-width of the tag timing search window around the nominal
+    preamble start."""
+
+    preamble_seed: int = 0x35
+    """Seed of the tag's PN synchronisation preamble (must match the
+    tag's)."""
+
+    track_phase: bool = False
+    """Enable decision-directed gain tracking across the payload
+    (see :mod:`repro.reader.tracking`)."""
+
+    recovery: bool = True
+    """Escalate on recoverable failures: a sync failure retries with a
+    widened search window, a residual-floor/saturation failure re-runs
+    cancellation at doubled digital depth."""
+
+    sync_widen_factor: float = 3.0
+    """Search-window multiplier applied by the sync recovery escalation."""
+
+    def __post_init__(self) -> None:
+        if self.n_channel_taps < 1:
+            raise ValueError("n_channel_taps must be >= 1")
+        if self.sync_search_us <= 0:
+            raise ValueError("sync_search_us must be positive")
+        if self.sync_widen_factor < 1.0:
+            raise ValueError("sync_widen_factor must be >= 1")

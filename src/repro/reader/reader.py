@@ -23,6 +23,7 @@ from ..tag.config import TagConfig
 from ..telemetry import get_collector
 from .cancellation import CancellationResult, SelfInterferenceCanceller
 from .channel_est import ChannelEstimate
+from .config import ReaderConfig
 from .decoder import TagDecodeOutput, decode_tag_symbols
 from .failures import FailureKind, ReaderFailure
 from .mrc import MrcOutput, expected_template, mrc_combine
@@ -75,27 +76,46 @@ class BackFiReader:
     """
 
     def __init__(self, tag_config: TagConfig | None = None, *,
+                 config: ReaderConfig | None = None,
                  canceller: SelfInterferenceCanceller | None = None,
-                 n_channel_taps: int = 12,
-                 sync_search_us: float = 2.0,
-                 preamble_seed: int = 0x35,
-                 track_phase: bool = False,
-                 recovery: bool = True,
-                 sync_widen_factor: float = 3.0):
+                 n_channel_taps: int | None = None,
+                 sync_search_us: float | None = None,
+                 preamble_seed: int | None = None,
+                 track_phase: bool | None = None,
+                 recovery: bool | None = None,
+                 sync_widen_factor: float | None = None):
+        base = config if config is not None else ReaderConfig()
         self.tag_config = tag_config or TagConfig()
         self.canceller = canceller or SelfInterferenceCanceller()
-        self.n_channel_taps = n_channel_taps
-        self.sync_search_us = sync_search_us
-        self.preamble_seed = preamble_seed
-        self.track_phase = track_phase
+        self.n_channel_taps = base.n_channel_taps \
+            if n_channel_taps is None else n_channel_taps
+        self.sync_search_us = base.sync_search_us \
+            if sync_search_us is None else sync_search_us
+        self.preamble_seed = base.preamble_seed \
+            if preamble_seed is None else preamble_seed
+        self.track_phase = base.track_phase \
+            if track_phase is None else track_phase
         """Enable decision-directed gain tracking across the payload
         (see :mod:`repro.reader.tracking`)."""
-        self.recovery = recovery
+        self.recovery = base.recovery if recovery is None else recovery
         """Escalate on recoverable failures: a sync failure retries with
         a widened search window, a residual-floor/saturation failure
         re-runs cancellation at doubled digital depth.  Each escalation
         runs at most once per decode."""
-        self.sync_widen_factor = sync_widen_factor
+        self.sync_widen_factor = base.sync_widen_factor \
+            if sync_widen_factor is None else sync_widen_factor
+
+    @property
+    def config(self) -> ReaderConfig:
+        """The reader's current plain-data knobs as a :class:`ReaderConfig`."""
+        return ReaderConfig(
+            n_channel_taps=self.n_channel_taps,
+            sync_search_us=self.sync_search_us,
+            preamble_seed=self.preamble_seed,
+            track_phase=self.track_phase,
+            recovery=self.recovery,
+            sync_widen_factor=self.sync_widen_factor,
+        )
 
     # -- helpers -----------------------------------------------------------
 

@@ -1,0 +1,40 @@
+"""Declarative scenarios: serializable operating points + preset registry.
+
+One :class:`ScenarioConfig` fully specifies a BackFi operating point
+(geometry, channel, tag, reader, link, ARQ, faults) as frozen data.
+``build()`` turns it into ready-to-run objects; the registry maps the
+paper's named operating points (``paper-1m``, ``fig8-2m``,
+``robust-p0.6-arq``, ...) to their configs.
+
+    >>> from repro.scenario import get_scenario
+    >>> sc = get_scenario("paper-1m").with_overrides("distance_m=2")
+    >>> result = sc.build().run()
+"""
+
+from .config import (
+    BuiltScenario,
+    LinkConfig,
+    ScenarioConfig,
+    fault_plan_from_dict,
+    fault_plan_to_dict,
+)
+from .registry import (
+    arq_disabled_config,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    resolve_scenario,
+)
+
+__all__ = [
+    "BuiltScenario",
+    "LinkConfig",
+    "ScenarioConfig",
+    "arq_disabled_config",
+    "fault_plan_from_dict",
+    "fault_plan_to_dict",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "resolve_scenario",
+]

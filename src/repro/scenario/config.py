@@ -1,0 +1,435 @@
+"""Declarative scenario configs: one serializable object per operating point.
+
+A :class:`ScenarioConfig` is the single source of truth for a BackFi
+operating point -- geometry, channel statistics, tag modulation, reader
+knobs, link/session parameters, and (optionally) an ARQ policy and a
+fault plan.  It is frozen, hashable, round-trips losslessly through
+``to_dict``/``from_dict`` and JSON, and :meth:`ScenarioConfig.build`
+realises it into ready-to-run scene/tag/reader objects.
+
+Design rules that keep scenario runs byte-identical to hand-wiring:
+
+* ``build(rng=...)`` consumes the RNG stream exactly like the historical
+  inline pattern: one :meth:`Scene.build` draw, and nothing else.  Tag
+  and reader construction never touch the RNG.
+* Every :class:`LinkConfig` default equals the corresponding
+  :func:`repro.link.session.run_backscatter_session` default, so passing
+  them explicitly changes nothing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..channel.environment import Scene, SceneConfig
+from ..faults import (
+    AdcSaturation,
+    Blocker,
+    Brownout,
+    ClockDrift,
+    DetectorMiss,
+    FaultEvent,
+    FaultPlan,
+    InterferenceBurst,
+)
+from ..link.arq import ArqConfig
+from ..reader.config import ReaderConfig
+from ..reader.reader import BackFiReader
+from ..tag.config import TagConfig
+from ..tag.tag import BackFiTag
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from ..link.session import SessionResult
+    from ..reader.cancellation import SelfInterferenceCanceller
+
+__all__ = [
+    "BuiltScenario",
+    "LinkConfig",
+    "ScenarioConfig",
+    "fault_plan_from_dict",
+    "fault_plan_to_dict",
+]
+
+_FAULT_EVENT_TYPES: dict[str, type[FaultEvent]] = {
+    cls.kind: cls
+    for cls in (
+        Blocker,
+        InterferenceBurst,
+        DetectorMiss,
+        ClockDrift,
+        Brownout,
+        AdcSaturation,
+    )
+}
+
+
+def _from_fields(cls: type, data: dict[str, Any], what: str) -> Any:
+    """Build dataclass ``cls`` from ``data``, rejecting unknown keys."""
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown {what} field(s) {unknown}; known: {sorted(known)}"
+        )
+    return cls(**data)
+
+
+def fault_plan_to_dict(plan: FaultPlan) -> dict[str, Any]:
+    """A fault plan as plain data, each event tagged with its ``kind``."""
+    events = []
+    for ev in plan.events:
+        d = {"kind": ev.kind}
+        d.update(dataclasses.asdict(ev))
+        events.append(d)
+    return {"seed": plan.seed, "events": events}
+
+
+def fault_plan_from_dict(data: dict[str, Any]) -> FaultPlan:
+    """Inverse of :func:`fault_plan_to_dict`."""
+    events = []
+    for spec in data.get("events", ()):
+        spec = dict(spec)
+        kind = spec.pop("kind", None)
+        cls = _FAULT_EVENT_TYPES.get(kind)
+        if cls is None:
+            raise ValueError(
+                f"unknown fault event kind {kind!r}; "
+                f"known: {sorted(_FAULT_EVENT_TYPES)}"
+            )
+        events.append(_from_fields(cls, spec, f"fault event {kind!r}"))
+    return FaultPlan(events, seed=int(data.get("seed", 0)))
+
+
+def _arq_to_dict(arq: ArqConfig) -> dict[str, Any]:
+    return dataclasses.asdict(arq)
+
+
+def _arq_from_dict(data: dict[str, Any]) -> ArqConfig:
+    data = dict(data)
+    floor = data.get("floor_config")
+    if isinstance(floor, dict):
+        data["floor_config"] = _from_fields(
+            TagConfig, floor, "arq.floor_config")
+    return _from_fields(ArqConfig, data, "arq")
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Session-layer knobs of a scenario.
+
+    Defaults mirror :func:`repro.link.session.run_backscatter_session`
+    exactly; ``None`` means "use the session default" for knobs whose
+    defaults live in the session layer (preamble length, backscatter
+    EVM).
+    """
+
+    n_payload_bits: int = 1000
+    """Random payload length when no explicit payload is supplied."""
+
+    wifi_rate_mbps: int = 24
+    """Excitation WiFi rate."""
+
+    wifi_payload_bytes: int = 1500
+    """Excitation packet payload size (sets the tag's airtime window)."""
+
+    preamble_us: float | None = None
+    """Tag PN preamble length; ``None`` = protocol default."""
+
+    excitation: str = "wifi"
+    """Excitation waveform: ``wifi``, ``ble``, ``zigbee`` or ``dsss``."""
+
+    backscatter_evm: float | None = None
+    """Tag modulator EVM; ``None`` = the measured paper default."""
+
+    tag_speed_m_s: float = 0.0
+    """Tag radial speed (Doppler) during the exchange."""
+
+    include_cts: bool = True
+    """Count the CTS-to-self handshake in the airtime accounting."""
+
+    def __post_init__(self) -> None:
+        if self.n_payload_bits < 0:
+            raise ValueError("n_payload_bits must be >= 0")
+        if self.wifi_payload_bytes <= 0:
+            raise ValueError("wifi_payload_bytes must be positive")
+        if self.excitation not in ("wifi", "ble", "zigbee", "dsss"):
+            raise ValueError(
+                f"unknown excitation {self.excitation!r}: "
+                "expected wifi, ble, zigbee or dsss"
+            )
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One fully-specified BackFi operating point, as data."""
+
+    name: str = ""
+    """Registry name; empty for ad-hoc scenarios."""
+
+    description: str = ""
+    """One-line human description (shown by ``repro scenarios``)."""
+
+    distance_m: float = 1.0
+    """AP <-> tag distance."""
+
+    client_distance_m: float = 10.0
+    """AP <-> WiFi client distance."""
+
+    client_angle_deg: float = 60.0
+    """Client bearing relative to the AP->tag axis."""
+
+    seed: int = 0
+    """Default RNG seed used by :meth:`build` when no rng is passed."""
+
+    scene: SceneConfig = field(default_factory=SceneConfig)
+    tag: TagConfig = field(default_factory=TagConfig)
+    reader: ReaderConfig = field(default_factory=ReaderConfig)
+    link: LinkConfig = field(default_factory=LinkConfig)
+
+    arq: ArqConfig | None = None
+    """Reliability policy for ARQ transfers; ``None`` = plain sessions."""
+
+    faults: FaultPlan | None = None
+    """Deterministic fault environment; ``None`` = clean channel."""
+
+    def __post_init__(self) -> None:
+        if self.distance_m <= 0:
+            raise ValueError("distance_m must be positive")
+        if self.client_distance_m <= 0:
+            raise ValueError("client_distance_m must be positive")
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """The scenario as plain nested data (JSON-serializable)."""
+        out: dict[str, Any] = {
+            "name": self.name,
+            "description": self.description,
+            "distance_m": self.distance_m,
+            "client_distance_m": self.client_distance_m,
+            "client_angle_deg": self.client_angle_deg,
+            "seed": self.seed,
+            "scene": dataclasses.asdict(self.scene),
+            "tag": dataclasses.asdict(self.tag),
+            "reader": dataclasses.asdict(self.reader),
+            "link": dataclasses.asdict(self.link),
+            "arq": None if self.arq is None else _arq_to_dict(self.arq),
+            "faults": None if self.faults is None
+            else fault_plan_to_dict(self.faults),
+        }
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ScenarioConfig":
+        """Inverse of :meth:`to_dict`.
+
+        Missing sections fall back to defaults; unknown keys raise, so a
+        typo'd override or stale file fails loudly instead of silently
+        configuring nothing.
+        """
+        data = dict(data)
+        kwargs: dict[str, Any] = {}
+        for key in ("name", "description", "distance_m",
+                    "client_distance_m", "client_angle_deg", "seed"):
+            if key in data:
+                kwargs[key] = data.pop(key)
+        section_builders = {
+            "scene": lambda d: _from_fields(SceneConfig, d, "scene"),
+            "tag": lambda d: _from_fields(TagConfig, d, "tag"),
+            "reader": lambda d: _from_fields(ReaderConfig, d, "reader"),
+            "link": lambda d: _from_fields(LinkConfig, d, "link"),
+            "arq": _arq_from_dict,
+            "faults": fault_plan_from_dict,
+        }
+        for key, build in section_builders.items():
+            if key in data:
+                raw = data.pop(key)
+                if raw is not None:
+                    kwargs[key] = build(raw)
+        if data:
+            raise ValueError(
+                f"unknown scenario field(s) {sorted(data)}; "
+                f"known: {sorted(f.name for f in fields(cls))}"
+            )
+        return cls(**kwargs)
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioConfig":
+        return cls.from_dict(json.loads(text))
+
+    def scenario_hash(self) -> str:
+        """A stable digest of the physics.
+
+        ``name`` and ``description`` are excluded: two spellings of the
+        same operating point hash identically, so cache keys and
+        telemetry headers identify *configurations*, not labels.
+        """
+        payload = self.to_dict()
+        payload.pop("name")
+        payload.pop("description")
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    # -- derivation -------------------------------------------------------
+
+    def replace(self, **changes: Any) -> "ScenarioConfig":
+        """A copy with top-level fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    def with_overrides(self, *assignments: str) -> "ScenarioConfig":
+        """A copy with dotted-path assignments applied.
+
+        Each assignment is ``path=value``; the path addresses a field of
+        the serialized form (``reader.sync_search_us=4``,
+        ``tag.modulation=bpsk``, ``distance_m=5``).  Values parse as
+        JSON, falling back to a raw string (so ``tag.code_rate=1/2``
+        works without quoting).  Paths must name existing fields.
+        """
+        data = self.to_dict()
+        for assignment in assignments:
+            path, sep, raw = assignment.partition("=")
+            if not sep or not path.strip():
+                raise ValueError(
+                    f"override {assignment!r} is not of the form key=value"
+                )
+            try:
+                value = json.loads(raw)
+            except json.JSONDecodeError:
+                value = raw
+            keys = path.strip().split(".")
+            node: Any = data
+            for i, key in enumerate(keys[:-1]):
+                if not isinstance(node, dict) or key not in node:
+                    raise KeyError(
+                        f"override path {path!r} has no field "
+                        f"{'.'.join(keys[:i + 1])!r}"
+                    )
+                if node[key] is None:
+                    # e.g. "arq.fallback_after=2" on a scenario without
+                    # ARQ: start from the section's defaults.
+                    defaults = {
+                        "arq": lambda: _arq_to_dict(ArqConfig()),
+                        "faults": lambda: fault_plan_to_dict(FaultPlan()),
+                    }.get(key)
+                    if defaults is None:
+                        raise KeyError(
+                            f"override path {path!r}: {key!r} is null"
+                        )
+                    node[key] = defaults()
+                node = node[key]
+            leaf = keys[-1]
+            if not isinstance(node, dict) or leaf not in node:
+                raise KeyError(
+                    f"override path {path!r} has no field {leaf!r}"
+                )
+            node[leaf] = value
+        return type(self).from_dict(data)
+
+    # -- realisation ------------------------------------------------------
+
+    def build(
+        self,
+        rng: np.random.Generator | None = None,
+        *,
+        scene: Scene | None = None,
+        tag: BackFiTag | None = None,
+        canceller: "SelfInterferenceCanceller | None" = None,
+    ) -> "BuiltScenario":
+        """Realise the scenario into ready-to-run objects.
+
+        The rng (``default_rng(self.seed)`` when omitted) is consumed by
+        exactly one :meth:`Scene.build` draw; passing ``scene=``
+        consumes nothing.  ``tag``/``canceller`` let experiments swap in
+        stateful variants (ablations, detector arms) while keeping the
+        rest of the build path shared.
+        """
+        if rng is None:
+            rng = np.random.default_rng(self.seed)
+        if scene is None:
+            scene = Scene.build(
+                tag_distance_m=self.distance_m,
+                client_distance_m=self.client_distance_m,
+                client_angle_deg=self.client_angle_deg,
+                config=self.scene,
+                rng=rng,
+            )
+        if tag is None:
+            if self.link.preamble_us is not None:
+                tag = BackFiTag(self.tag, preamble_us=self.link.preamble_us)
+            else:
+                tag = BackFiTag(self.tag)
+        reader = BackFiReader(
+            self.tag, config=self.reader, canceller=canceller)
+        return BuiltScenario(
+            config=self, scene=scene, tag=tag, reader=reader, rng=rng)
+
+
+@dataclass
+class BuiltScenario:
+    """Ready-to-run objects realised from one :class:`ScenarioConfig`."""
+
+    config: ScenarioConfig
+    scene: Scene
+    tag: BackFiTag
+    reader: BackFiReader
+    rng: np.random.Generator
+
+    def session_kwargs(self) -> dict[str, Any]:
+        """The scenario's link knobs as ``run_backscatter_session`` kwargs.
+
+        ``None``-valued optional knobs are omitted so the session-layer
+        defaults apply (byte-identical to not passing them at all).
+        """
+        link = self.config.link
+        kwargs: dict[str, Any] = {
+            "n_payload_bits": link.n_payload_bits,
+            "wifi_rate_mbps": link.wifi_rate_mbps,
+            "wifi_payload_bytes": link.wifi_payload_bytes,
+            "excitation": link.excitation,
+            "tag_speed_m_s": link.tag_speed_m_s,
+            "include_cts": link.include_cts,
+        }
+        if link.preamble_us is not None:
+            kwargs["preamble_us"] = link.preamble_us
+        if link.backscatter_evm is not None:
+            kwargs["backscatter_evm"] = link.backscatter_evm
+        if self.config.faults is not None:
+            kwargs["faults"] = self.config.faults
+        return kwargs
+
+    def run(
+        self,
+        rng: np.random.Generator | None = None,
+        **overrides: Any,
+    ) -> "SessionResult":
+        """Run one backscatter exchange at this operating point.
+
+        Keyword overrides are passed straight to
+        :func:`repro.link.session.run_backscatter_session` on top of the
+        scenario's link knobs.  When telemetry is enabled the scenario
+        hash + dict are stamped into the run header.
+        """
+        from ..link.session import run_backscatter_session
+        from ..telemetry import get_collector
+
+        tm = get_collector()
+        if tm.enabled:
+            tm.set_scenario(self.config)
+        kwargs = self.session_kwargs()
+        kwargs.update(overrides)
+        return run_backscatter_session(
+            self.scene,
+            self.tag,
+            self.reader,
+            rng=self.rng if rng is None else rng,
+            **kwargs,
+        )

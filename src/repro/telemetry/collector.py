@@ -174,6 +174,9 @@ class NullCollector:
         """Nothing to save."""
         return None
 
+    def set_scenario(self, scenario: Any) -> None:
+        """No-op scenario stamp."""
+
 
 class TelemetryCollector:
     """Buffers spans/counters for one run and writes them as JSONL.
@@ -210,6 +213,8 @@ class TelemetryCollector:
             else default_telemetry_dir()
         self.label = label
         self.created_unix = time.time()
+        self.scenario: dict[str, Any] | None = None
+        self.scenario_hash: str | None = None
         self.path: Path | None = None
         self._records: list[dict[str, Any]] = []
         self._counters: dict[str, int] = {}
@@ -235,6 +240,21 @@ class TelemetryCollector:
         if self._stack:
             self._stack[-1].probe(name, value)
 
+    def set_scenario(self, scenario: Any) -> None:
+        """Stamp the run with the scenario it realises.
+
+        The scenario's hash and full serialized dict land in the meta
+        record, so a saved JSONL alone is enough to rebuild the exact
+        operating point (``ScenarioConfig.from_dict``).  Accepts a
+        :class:`repro.scenario.ScenarioConfig` or any object with
+        compatible ``to_dict``/``scenario_hash`` methods (or a plain
+        dict, stored as-is without a hash).
+        """
+        to_dict = getattr(scenario, "to_dict", None)
+        self.scenario = to_dict() if callable(to_dict) else dict(scenario)
+        hash_fn = getattr(scenario, "scenario_hash", None)
+        self.scenario_hash = hash_fn() if callable(hash_fn) else None
+
     # -- introspection -----------------------------------------------------
 
     @property
@@ -258,6 +278,9 @@ class TelemetryCollector:
             "label": self.label,
             "created_unix": self.created_unix,
         }
+        if self.scenario is not None:
+            meta["scenario_hash"] = self.scenario_hash
+            meta["scenario"] = self.scenario
         counters = [
             {"v": RECORD_VERSION, "kind": "counter", "name": k, "value": n}
             for k, n in sorted(self._counters.items())

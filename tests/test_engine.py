@@ -97,6 +97,26 @@ class TestCacheKey:
     def test_fingerprint_in_key(self):
         assert len(code_fingerprint()) == 16
 
+    def test_unserializable_param_rejected(self):
+        with pytest.raises(TypeError, match="cache_key"):
+            cache_key("e", {"a": object()})
+        with pytest.raises(TypeError, match="cache_key"):
+            cache_key("e", {"a": lambda: None})
+
+    def test_scenario_param_keyed_by_hash(self):
+        from repro.scenario import ScenarioConfig
+
+        base = ScenarioConfig()
+        assert cache_key("e", {"scenario": base}) == \
+            cache_key("e", {"scenario": ScenarioConfig()})
+        far = base.replace(distance_m=5.0)
+        assert cache_key("e", {"scenario": far}) != \
+            cache_key("e", {"scenario": base})
+        # The name does not participate (it is not physics).
+        named = base.replace(name="x")
+        assert cache_key("e", {"scenario": named}) == \
+            cache_key("e", {"scenario": base})
+
 
 class TestParallelMap:
     def test_serial_matches_parallel(self):
