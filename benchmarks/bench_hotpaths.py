@@ -29,6 +29,9 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.channel import Scene
+from repro.channel.multipath import apply_channel
+from repro.channel.noise import awgn
 from repro.coding.scrambler import _sequence_direct, scrambler_sequence
 from repro.dsp.correlation import (
     normalized_cross_correlation,
@@ -36,10 +39,12 @@ from repro.dsp.correlation import (
 )
 from repro.dsp.fastpath import set_fastpath_enabled
 from repro.link.protocol import build_ap_transmission
+from repro.reader.batch import BatchedDecoder
 from repro.reader.cancellation import DigitalCanceller
 from repro.reader.reader import BackFiReader
 from repro.reader.sync import find_tag_timing
-from repro.tag import tag_preamble_phases
+from repro.tag import BackFiTag, tag_preamble_phases
+from repro.tag.config import TagConfig
 from repro.wifi import random_payload
 
 SCHEMA = 1
@@ -175,6 +180,60 @@ def bench_scrambler_sequence(repeats: int) -> dict[str, float]:
     }
 
 
+def bench_batched_decode(repeats: int) -> dict[str, float]:
+    """100-exchange decode: one stacked batch vs the per-exchange loop.
+
+    Both forms run with the DSP fast paths enabled -- the ratio
+    measures batching alone (shared Gram factorisations, one batched
+    Viterbi sweep) on the multi-tag simulator's calibration workload.
+    Seconds-scale per run, so the repeat count is capped.
+    """
+    n_batch = 100
+    cfg = TagConfig("qpsk", "1/2", 1e6)
+    rng = np.random.default_rng(77)
+    psdu = random_payload(300, rng)
+    scene0 = Scene.build(tag_distance_m=1.0, rng=np.random.default_rng(0))
+    tl = build_ap_transmission(psdu, 24, include_cts=False,
+                               tx_power_mw=scene0.tx_power_mw)
+    x = tl.samples
+    rx = np.empty((n_batch, x.size), dtype=np.complex128)
+    h_envs = []
+    for b in range(n_batch):
+        srng = np.random.default_rng(1000 + b)
+        scene = Scene.build(tag_distance_m=1.0 + 0.02 * b, rng=srng)
+        tag = BackFiTag(cfg)
+        tag.queue_data(srng.integers(0, 2, size=600, dtype=np.uint8))
+        z_tag = apply_channel(scene.h_f, x)
+        plan = tag.backscatter(z_tag, wake_index=tl.wifi_start)
+        rx[b] = (apply_channel(scene.h_env, x)
+                 + apply_channel(scene.h_b, z_tag * plan.reflection)
+                 + awgn(x.size, scene.noise_floor_mw, srng))
+        h_envs.append(scene.h_env)
+    reader = BackFiReader(cfg)
+    decoder = BatchedDecoder(reader)
+
+    def rngs():
+        return [np.random.default_rng(5000 + b) for b in range(n_batch)]
+
+    repeats = min(repeats, 5)
+    prev = set_fastpath_enabled(True)
+    try:
+        fast_ms = _median_ms(
+            lambda: decoder.decode_batch(tl, rx, h_envs, rngs=rngs()),
+            repeats)
+        direct_ms = _median_ms(
+            lambda: [reader.decode(tl, rx[b], h_envs[b], rng=r)
+                     for b, r in enumerate(rngs())],
+            repeats)
+    finally:
+        set_fastpath_enabled(prev)
+    return {
+        "fast_ms": round(fast_ms, 4),
+        "direct_ms": round(direct_ms, 4),
+        "speedup": round(direct_ms / max(fast_ms, 1e-9), 3),
+    }
+
+
 KERNELS = {
     "fine_timing_search": bench_fine_timing_search,
     "digital_cancellation": bench_digital_cancellation,
@@ -182,6 +241,7 @@ KERNELS = {
     "sliding_correlation": bench_sliding_correlation,
     "normalized_cross_correlation": bench_normalized_cross_correlation,
     "scrambler_sequence": bench_scrambler_sequence,
+    "batched_decode": bench_batched_decode,
 }
 
 

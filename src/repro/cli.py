@@ -17,6 +17,9 @@ Commands
                  timing table.
 ``scenarios``    list/inspect the registered scenario presets
                  (``--describe NAME``, ``--dump NAME``).
+``network``      discrete-event multi-tag simulation of a scenario's
+                 ``network`` section (e.g. ``--scenario warehouse-10k``),
+                 sharded per AP and cached like the other sweeps.
 
 ``link``, ``sweep``, ``profile`` and ``robustness`` all accept
 ``--scenario NAME`` (start from a registered preset) and
@@ -125,6 +128,25 @@ def build_parser() -> argparse.ArgumentParser:
     scen.add_argument("--dump", metavar="NAME", default=None,
                       help="print one preset as JSON (reloadable via "
                            "ScenarioConfig.from_json)")
+
+    net = sub.add_parser("network",
+                         help="discrete-event multi-tag network "
+                              "simulation")
+    _add_scenario_flags(net)
+    net.add_argument("--polls", type=int, default=200,
+                     help="total polls split across the APs")
+    net.add_argument("--tags", type=int, default=None,
+                     help="override the scenario's tag count")
+    net.add_argument("--aps", type=int, default=None,
+                     help="override the scenario's AP count")
+    net.add_argument("--scheduler", default=None,
+                     choices=("round_robin", "max_rate", "proportional"))
+    net.add_argument("--seed", type=int, default=None,
+                     help="override the scenario seed")
+    net.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (0 = all CPUs)")
+    net.add_argument("--no-cache", action="store_true",
+                     help="recompute instead of reading .repro_cache/")
 
     rep = sub.add_parser("report",
                          help="write a markdown reproduction report")
@@ -333,6 +355,39 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_network(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .experiments.engine import ExperimentEngine, use_engine
+    from .experiments.network_sim import run as network_run
+    from .link.simulator import NetworkConfig
+
+    sc = _scenario_from_args(args, map_flags=False)
+    network = sc.network or NetworkConfig()
+    over = {}
+    if args.tags is not None:
+        over["n_tags"] = args.tags
+    if args.aps is not None:
+        over["n_aps"] = args.aps
+    if args.scheduler is not None:
+        over["scheduler"] = args.scheduler
+    if over:
+        network = replace(network, **over)
+    sc = sc.replace(network=network)
+
+    engine = ExperimentEngine(jobs=args.jobs, cache=not args.no_cache)
+    # jobs stays out of the cache key: results are byte-identical at
+    # any worker count, so every jobs value shares one cache entry.
+    params: dict = {"scenario": sc, "polls": args.polls}
+    if args.seed is not None:
+        params["seed"] = args.seed
+    with engine, use_engine(engine):
+        result = engine.run("network_sim", network_run, params)
+        print(result.table)
+        print(engine.records[-1].describe(), file=sys.stderr)
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .telemetry import load_run, resolve_run_path, summarize
 
@@ -443,6 +498,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_profile(args)
     if args.command == "scenarios":
         return _cmd_scenarios(args)
+    if args.command == "network":
+        return _cmd_network(args)
     if args.command == "experiments":
         from .experiments.run_all import main as run_all_main
 

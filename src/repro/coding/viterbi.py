@@ -11,7 +11,8 @@ import numpy as np
 
 from .convolutional import _PARITY, CONSTRAINT, N_STATES, depuncture
 
-__all__ = ["viterbi_decode", "viterbi_decode_soft"]
+__all__ = ["viterbi_decode", "viterbi_decode_soft",
+           "viterbi_decode_soft_batch"]
 
 
 def _build_trellis() -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -106,6 +107,73 @@ def viterbi_decode_soft(llrs: np.ndarray, *, terminated: bool = True,
         if n_steps < CONSTRAINT - 1:
             raise ValueError("terminated stream shorter than the tail")
         bits = bits[: n_steps - (CONSTRAINT - 1)]
+    return (bits, final_metric) if return_metric else bits
+
+
+def viterbi_decode_soft_batch(llrs: np.ndarray, *,
+                              terminated: bool = True,
+                              return_metric: bool = False):
+    """Decode ``B`` equal-length LLR streams in one trellis sweep.
+
+    ``llrs`` has shape ``(B, L)`` with ``L`` even.  The add-compare-
+    select update and the traceback are the same elementwise float64
+    operations as :func:`viterbi_decode_soft` with a leading batch
+    axis, so every row of the output is bit-identical to decoding that
+    row alone -- the batch form only amortises the per-step Python
+    dispatch across the whole batch (the dominant cost of the decoder,
+    and the reason :class:`repro.reader.batch.BatchedDecoder` exists).
+
+    Returns decoded bits of shape ``(B, n_info)`` (plus a length-``B``
+    metric array when ``return_metric`` is set).
+    """
+    llrs = np.asarray(llrs, dtype=np.float64)
+    if llrs.ndim != 2:
+        raise ValueError("batch LLRs must be 2-D (B, L)")
+    n_batch, length = llrs.shape
+    if length % 2:
+        raise ValueError("LLR stream length must be even (2 bits/step)")
+    n_steps = length // 2
+    if n_steps == 0 or n_batch == 0:
+        empty = np.empty((n_batch, 0), dtype=np.uint8)
+        metrics = np.zeros(n_batch)
+        return (empty, metrics) if return_metric else empty
+
+    l0 = llrs[:, 0::2]
+    l1 = llrs[:, 1::2]
+    bm = np.empty((n_batch, n_steps, 4))
+    bm[:, :, 0] = l0 + l1
+    bm[:, :, 1] = l0 - l1
+    bm[:, :, 2] = -l0 + l1
+    bm[:, :, 3] = -l0 - l1
+
+    path_metric = np.full((n_batch, N_STATES), -1e18)
+    path_metric[:, 0] = 0.0
+    decisions = np.empty((n_steps, n_batch, N_STATES), dtype=np.uint8)
+
+    for t in range(n_steps):
+        bmt = bm[:, t]
+        cand0 = path_metric[:, _PRED0] + bmt[:, _OIDX[0]]
+        cand1 = path_metric[:, _PRED1] + bmt[:, _OIDX[1]]
+        take1 = cand1 > cand0
+        decisions[t] = take1
+        path_metric = np.where(take1, cand1, cand0)
+
+    if terminated:
+        state = np.zeros(n_batch, dtype=np.intp)
+    else:
+        state = np.argmax(path_metric, axis=1)
+    final_metric = path_metric[np.arange(n_batch), state]
+    bits = np.empty((n_batch, n_steps), dtype=np.uint8)
+    rows = np.arange(n_batch)
+    for t in range(n_steps - 1, -1, -1):
+        bits[:, t] = _INPUT_BIT[state]
+        take1 = decisions[t, rows, state].astype(bool)
+        state = np.where(take1, _PRED1[state], _PRED0[state])
+
+    if terminated:
+        if n_steps < CONSTRAINT - 1:
+            raise ValueError("terminated stream shorter than the tail")
+        bits = bits[:, : n_steps - (CONSTRAINT - 1)]
     return (bits, final_metric) if return_metric else bits
 
 

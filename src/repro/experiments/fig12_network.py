@@ -16,11 +16,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..link.simulator import replay_loaded_network
 from ..reader.rate_adapt import required_snr_db
 from ..scenario import LinkConfig, ScenarioConfig
 from ..tag.config import TagConfig, all_tag_configs
 from ..traces.generator import generate_testbed_traces
-from ..traces.replay import replay_trace
 from ..wifi.params import rate_params
 from .common import ExperimentTable, cdf_points, format_si, median
 from .engine import parallel_map, spawn_seeds
@@ -76,21 +76,6 @@ def _best_config_at(distance_m: float, *, seed: int) -> TagConfig:
     return TagConfig("bpsk", "1/2", 100e3)
 
 
-def _replay_ap(args: tuple) -> tuple[float, float, float | None]:
-    """Replay one AP's trace -- a picklable engine task."""
-    trace, tag_distance_m, n_calibration_bursts, ap_seed = args
-    rng = np.random.default_rng(ap_seed)
-    scene = ScenarioConfig(distance_m=tag_distance_m).build(rng=rng).scene
-    # config=None: the tag/reader rate-adapt to each placement's
-    # channels (the deployed behaviour).
-    rep = replay_trace(
-        trace, scene, None,
-        n_calibration_bursts=n_calibration_bursts, rng=rng,
-    )
-    chosen = rep.config.throughput_bps if rep.config is not None else None
-    return rep.throughput_bps, rep.busy_fraction, chosen
-
-
 def run_loaded_network(n_aps: int = 20, trace_duration_s: float = 0.5, *,
                        tag_distance_m: float = 2.0,
                        n_calibration_bursts: int = 2,
@@ -101,11 +86,13 @@ def run_loaded_network(n_aps: int = 20, trace_duration_s: float = 0.5, *,
 
     traces = generate_testbed_traces(n_aps, trace_duration_s, seed=seed)
     chosen_tputs = []
-    outcomes = parallel_map(
-        _replay_ap,
-        [(trace, tag_distance_m, n_calibration_bursts, ap_seed)
-         for trace, ap_seed in zip(traces, spawn_seeds(seed, len(traces)))],
-        jobs=jobs,
+    # The per-AP replay fan-out now lives in the simulator module
+    # (repro.link.simulator.replay_loaded_network); seeds and task order
+    # are unchanged, so the outputs are byte-identical to the old
+    # inline loop.
+    outcomes = replay_loaded_network(
+        traces, tag_distance_m=tag_distance_m,
+        n_calibration_bursts=n_calibration_bursts, seed=seed, jobs=jobs,
     )
     for tput, busy, chosen in outcomes:
         result.throughputs_bps.append(tput)

@@ -23,6 +23,14 @@ from .network import BackFiNetwork, NetworkStats, RegisteredTag
 from .protocol import ApTimeline, build_ap_transmission
 from .session import SessionResult, run_backscatter_session, \
     run_scenario_session
+from .simulator import (
+    NetworkConfig,
+    NetworkSimulator,
+    TagPopulation,
+    build_population,
+    replay_loaded_network,
+    simulate_ap,
+)
 
 __all__ = [
     "ArqConfig",
@@ -49,6 +57,12 @@ __all__ = [
     "BackFiNetwork",
     "NetworkStats",
     "RegisteredTag",
+    "NetworkConfig",
+    "NetworkSimulator",
+    "TagPopulation",
+    "build_population",
+    "replay_loaded_network",
+    "simulate_ap",
     "ApTimeline",
     "build_ap_transmission",
     "SessionResult",

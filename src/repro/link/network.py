@@ -31,9 +31,34 @@ from .session import SessionResult, run_backscatter_session
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
     from ..scenario import ScenarioConfig
 
-__all__ = ["RegisteredTag", "NetworkStats", "BackFiNetwork", "SCHEDULERS"]
+__all__ = ["RegisteredTag", "NetworkStats", "BackFiNetwork", "SCHEDULERS",
+           "proportional_pick"]
 
 SCHEDULERS = ("round_robin", "max_rate", "proportional")
+
+
+def proportional_pick(weights, rng: np.random.Generator) -> int:
+    """One backlog-weighted lottery draw over candidate indices.
+
+    The contract every scheduler caller relies on for byte-identical
+    runs at any ``--jobs N``: **exactly one** ``rng.random()`` value is
+    consumed per call, whatever the weights.  A zero total weight (all
+    queues empty, or a poll forced on an idle network) falls back to a
+    uniform draw over the candidates -- it is a defined outcome, not an
+    error, so an idle poll cannot desynchronise the stream.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.size == 0:
+        raise ValueError("proportional_pick needs at least one candidate")
+    if np.any(w < 0):
+        raise ValueError("negative lottery weights")
+    u = rng.random()
+    total = float(w.sum())
+    if total <= 0.0:
+        return min(int(u * w.size), w.size - 1)
+    edges = np.cumsum(w)
+    idx = int(np.searchsorted(edges, u * total, side="right"))
+    return min(idx, w.size - 1)
 
 
 @dataclass
@@ -55,20 +80,40 @@ class RegisteredTag:
 
     @property
     def success_rate(self) -> float:
-        """Fraction of polls that decoded."""
+        """Fraction of polls that decoded; NaN if never polled.
+
+        A never-scheduled tag has no measured link quality -- returning
+        0.0 here used to conflate "starved by the scheduler" with
+        "always failed", which poisoned any accounting that averages or
+        thresholds success rates (the ``max_rate`` starvation stat now
+        counts ``exchanges == 0`` directly instead).
+        """
         if self.exchanges == 0:
-            return 0.0
+            return float("nan")
         return self.successes / self.exchanges
 
 
 @dataclass
 class NetworkStats:
-    """Aggregate outcome of a polling run."""
+    """Aggregate outcome of a polling run.
+
+    Also the accumulator the discrete-event simulator
+    (:mod:`repro.link.simulator`) merges per-AP shard results into; at
+    that scale ``per_tag_bits`` holds only the tags that actually
+    received bits (bounded by the poll count) and ``n_registered``
+    carries the full population size for the fairness denominator.
+    """
 
     total_airtime_s: float = 0.0
     total_delivered_bits: int = 0
     polls: int = 0
     per_tag_bits: dict[int, int] = field(default_factory=dict)
+    per_tag_polls: dict[int, int] = field(default_factory=dict)
+    n_registered: int = 0
+    starved_tags: int = 0
+    collisions: int = 0
+    captures: int = 0
+    duration_s: float = 0.0
 
     @property
     def aggregate_throughput_bps(self) -> float:
@@ -77,13 +122,36 @@ class NetworkStats:
             return 0.0
         return self.total_delivered_bits / self.total_airtime_s
 
+    @property
+    def aggregate_goodput_bps(self) -> float:
+        """Delivered bits over the simulated wall-clock window.
+
+        Unlike :attr:`aggregate_throughput_bps` this counts idle time
+        between excitation bursts against the network (the paper's
+        Fig. 12 convention).  Falls back to the airtime number when no
+        wall-clock window was tracked (the plain
+        :class:`BackFiNetwork` path).
+        """
+        if self.duration_s <= 0:
+            return self.aggregate_throughput_bps
+        return self.total_delivered_bits / self.duration_s
+
     def fairness_index(self) -> float:
-        """Jain's fairness index over per-tag delivered bits."""
+        """Jain's fairness index over per-tag delivered bits.
+
+        Degenerate runs -- no registered tags, nobody polled, or zero
+        bits delivered -- return 1.0 (a network that served nobody
+        served everybody equally) instead of dividing by zero.  Tags
+        registered but absent from ``per_tag_bits`` count as zero-bit
+        entries via ``n_registered``, so scheduler starvation lowers
+        the index even when the stats dict stays sparse.
+        """
         v = np.array([b for b in self.per_tag_bits.values()],
                      dtype=np.float64)
         if v.size == 0 or np.all(v == 0):
             return 1.0
-        return float(np.sum(v) ** 2 / (v.size * np.sum(v ** 2)))
+        n = max(self.n_registered, v.size)
+        return float(np.sum(v) ** 2 / (n * np.sum(v ** 2)))
 
 
 class BackFiNetwork:
@@ -136,11 +204,12 @@ class BackFiNetwork:
             return None
         if self.scheduler == "max_rate":
             return max(backlogged, key=lambda t: t.config.throughput_bps)
-        # proportional: lottery weighted by backlog.
-        weights = np.array([t.tag.pending_bits for t in backlogged],
-                           dtype=np.float64)
-        weights /= weights.sum()
-        return backlogged[int(self.rng.choice(len(backlogged), p=weights))]
+        # proportional: lottery weighted by backlog.  proportional_pick
+        # consumes exactly one rng value per poll (the old rng.choice
+        # call drew an implementation-defined number of variates, which
+        # desynchronised streams between runs).
+        weights = [t.tag.pending_bits for t in backlogged]
+        return backlogged[proportional_pick(weights, self.rng)]
 
     # -- operation -----------------------------------------------------
 
@@ -166,7 +235,7 @@ class BackFiNetwork:
 
     def run(self, n_polls: int, **poll_kwargs) -> NetworkStats:
         """Poll the network ``n_polls`` times and aggregate statistics."""
-        stats = NetworkStats()
+        stats = NetworkStats(n_registered=len(self.tags))
         # Every registered tag counts toward fairness, polled or not.
         for t in self.tags:
             stats.per_tag_bits[t.tag_id] = 0
@@ -179,4 +248,10 @@ class BackFiNetwork:
             stats.total_delivered_bits += out.delivered_bits
             stats.per_tag_bits[reg.tag_id] = \
                 stats.per_tag_bits.get(reg.tag_id, 0) + out.delivered_bits
+            stats.per_tag_polls[reg.tag_id] = \
+                stats.per_tag_polls.get(reg.tag_id, 0) + 1
+        # Starvation is "never scheduled" (exchanges == 0), not
+        # "success_rate == 0": a tag that was polled and always failed
+        # has a link problem, not a scheduler problem.
+        stats.starved_tags = sum(1 for t in self.tags if t.exchanges == 0)
         return stats

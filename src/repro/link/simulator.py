@@ -1,0 +1,659 @@
+"""Discrete-event multi-tag network simulator (paper Sec. 7 at scale).
+
+:class:`repro.link.network.BackFiNetwork` runs the full sample-level
+pipeline for every poll, which caps it at tens of tags.  This module
+scales the same medium-access model to 10k-1M tags by separating the
+*event* layer from the *physics* layer:
+
+* **Events** come from the synthetic loaded-network generator
+  (:mod:`repro.traces.generator`): each AP transmission burst is one
+  backscatter opportunity, consumed in start-time order through a
+  priority queue.  A trace shorter than the requested poll count is
+  recycled with a per-epoch time offset, so the simulated clock keeps
+  advancing monotonically.
+* **Physics** is precomputed per tag from the analytic
+  :class:`repro.link.budget.LinkBudget` (``fidelity="budget"``), or
+  measured by running the real batched decode path once per operating
+  point over representative distances (``fidelity="calibrated"``, built
+  on :class:`repro.reader.batch.BatchedDecoder`).
+
+Determinism contract (byte-identical stats at any ``--jobs N``):
+
+* Each AP shard owns four spawned seed streams (population, trace,
+  polling, calibration), a pure function of ``(seed, ap_index)``.
+* Population placement consumes exactly **one** ``rng.uniform(size=n)``
+  call; every poll consumes exactly **one** ``rng.standard_normal()``
+  (the shadowing draw), plus exactly one ``rng.random()`` *only* under
+  the ``proportional`` scheduler (inside
+  :func:`repro.link.network.proportional_pick`).
+
+Collision/capture semantics (documented in docs/NETWORK.md): tags whose
+identification preambles alias (``tag_id mod 2**id_bits``) answer the
+same poll.  The addressed tag wins outright when its received power
+exceeds the sum of the other responders by ``capture_db``.  Otherwise
+the strongest responder captures the slot -- but only if it runs the
+same operating point the reader is configured for; a mismatched capture
+is a collision and the burst delivers nothing.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..channel.noise import noise_power_mw
+from ..constants import CARRIER_FREQ_HZ
+from ..tag.config import TagConfig, all_tag_configs
+from ..utils.conversions import db_to_linear, wavelength
+from .budget import LinkBudget
+from .network import SCHEDULERS, NetworkStats, proportional_pick
+
+__all__ = [
+    "FIDELITIES",
+    "NetworkConfig",
+    "NetworkSimulator",
+    "TagPopulation",
+    "build_population",
+    "replay_loaded_network",
+    "simulate_ap",
+]
+
+FIDELITIES = ("budget", "calibrated")
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """A multi-tag deployment, as data (the scenario ``network`` section).
+
+    ``fidelity`` selects how per-poll decode success is modelled:
+    ``budget`` thresholds the analytic link budget (fast, any scale);
+    ``calibrated`` measures the success probability with the real
+    batched decoder at representative distances per operating point and
+    interpolates.
+    """
+
+    n_tags: int = 64
+    """Registered tags across the whole deployment."""
+
+    n_aps: int = 1
+    """APs (= independent simulation shards); tags are assigned to AP
+    ``tag_id mod n_aps``, so preamble-aliased tags land on one AP."""
+
+    scheduler: str = "round_robin"
+    """Per-AP query scheduling policy (see :data:`SCHEDULERS`)."""
+
+    cell_radius_m: float = 5.0
+    """Tags are placed area-uniform in an annulus out to this radius."""
+
+    min_distance_m: float = 0.5
+    """Inner annulus radius (no tag sits on top of the AP antenna)."""
+
+    queue_bits: int = 8192
+    """Initial sensor backlog per tag; the run drains these queues."""
+
+    id_bits: int = 16
+    """Identification-preamble width (paper Sec. 4.1: 16 bits).  More
+    tags than ``2**id_bits`` per AP forces preamble aliasing and hence
+    collisions -- shrink it to study contention."""
+
+    capture_db: float = 6.0
+    """Power ratio at which the addressed tag survives aliased
+    responders (classic capture threshold)."""
+
+    shadowing_sigma_db: float = 2.0
+    """Per-poll lognormal shadowing spread around the budget SNR."""
+
+    trace_duration_s: float = 0.5
+    """Length of each AP's synthetic traffic trace (recycled as needed)."""
+
+    target_busy_fraction: float | None = None
+    """Channel occupancy of the excitation traffic; ``None`` draws from
+    the heavy-load distribution per AP."""
+
+    fidelity: str = "budget"
+    """Decode-success model: ``budget`` or ``calibrated``."""
+
+    calibration_tags: int = 8
+    """Distance quantiles sampled per operating point when calibrating."""
+
+    rate_margin_db: float = 1.0
+    """Headroom required when assigning operating points from the link
+    budget (mirrors deployed rate adaptation's conservatism)."""
+
+    def __post_init__(self) -> None:
+        if self.n_tags < 1:
+            raise ValueError("n_tags must be >= 1")
+        if self.n_aps < 1:
+            raise ValueError("n_aps must be >= 1")
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"choose from {SCHEDULERS}"
+            )
+        if not 0 < self.min_distance_m < self.cell_radius_m:
+            raise ValueError(
+                "need 0 < min_distance_m < cell_radius_m, got "
+                f"{self.min_distance_m} / {self.cell_radius_m}"
+            )
+        if self.queue_bits < 0:
+            raise ValueError("queue_bits must be >= 0")
+        if not 1 <= self.id_bits <= 32:
+            raise ValueError("id_bits must be in [1, 32]")
+        if self.fidelity not in FIDELITIES:
+            raise ValueError(
+                f"unknown fidelity {self.fidelity!r}; "
+                f"choose from {FIDELITIES}"
+            )
+        if self.calibration_tags < 1:
+            raise ValueError("calibration_tags must be >= 1")
+        if self.trace_duration_s <= 0:
+            raise ValueError("trace_duration_s must be positive")
+
+
+@dataclass
+class TagPopulation:
+    """One AP's registered tags, structure-of-arrays.
+
+    A 1M-tag deployment cannot afford one Python object per tag
+    (:class:`repro.link.network.RegisteredTag` instantiates a full
+    :class:`BackFiTag`); everything the event loop touches per poll is a
+    flat numpy array indexed by local tag position.
+    """
+
+    tag_ids: np.ndarray
+    """Global tag ids (int64)."""
+    distance_m: np.ndarray
+    config_idx: np.ndarray
+    """Index into :attr:`ladder` per tag."""
+    ladder: tuple[TagConfig, ...]
+    """Candidate operating points, fastest first."""
+    backlog_bits: np.ndarray
+    delivered_bits: np.ndarray
+    exchanges: np.ndarray
+    successes: np.ndarray
+    throughput_bps: np.ndarray
+    required_snr_db: np.ndarray
+    budget_snr_db: np.ndarray
+    rx_power_mw: np.ndarray
+    """Backscatter power each tag lands at the reader (capture model)."""
+    preamble_id: np.ndarray
+    """``tag_id mod 2**id_bits``: which wake-up preamble the tag obeys."""
+
+    def __len__(self) -> int:
+        return int(self.tag_ids.size)
+
+
+# -- vectorised link budget -------------------------------------------------
+#
+# LinkBudget.symbol_snr_db is scalar (log_distance_pathloss_db branches on
+# a python float).  These replicas apply the identical arithmetic
+# elementwise so a 1M-tag population is budgeted in one pass; parity with
+# the scalar path is pinned by tests/test_simulator.py.
+
+def _one_way_pathloss_db_vec(d: np.ndarray, exponent: float) -> np.ndarray:
+    """Elementwise :func:`repro.channel.pathloss.log_distance_pathloss_db`
+    (reference 1 m; Friis inside the reference distance)."""
+    lam = wavelength(CARRIER_FREQ_HZ)
+    friis = 20.0 * np.log10(4.0 * np.pi * d / lam)
+    pl_ref = 20.0 * np.log10(4.0 * np.pi * 1.0 / lam)
+    far = pl_ref + 10.0 * exponent * np.log10(np.maximum(d, 1.0))
+    return np.where(d <= 1.0, friis, far)
+
+
+def _rx_power_mw_vec(budget: LinkBudget, d: np.ndarray) -> np.ndarray:
+    """Elementwise :meth:`LinkBudget.backscatter_rx_dbm`, in mW."""
+    one_way = _one_way_pathloss_db_vec(d, budget.pathloss_exponent)
+    loss = (2.0 * one_way + budget.tag_reflection_loss_db
+            - 2.0 * budget.tag_antenna_gain_dbi)
+    return db_to_linear(budget.tx_power_dbm - loss)
+
+
+def _symbol_snr_db_vec(budget: LinkBudget, d: np.ndarray,
+                       config: TagConfig, *, guard: int = 8,
+                       preamble_us: float = 32.0) -> np.ndarray:
+    """Elementwise :meth:`LinkBudget.symbol_snr_db`."""
+    floor = noise_power_mw() * db_to_linear(budget.si_residue_db)
+    per_sample_db = 10.0 * np.log10(_rx_power_mw_vec(budget, d) / floor)
+    sample_snr = db_to_linear(per_sample_db)
+    sps = config.samples_per_symbol
+    n_comb = max(sps - guard, 1)
+    snr_lin = sample_snr * n_comb
+    pre_samples = preamble_us * 20.0
+    est_err = 12.0 / np.maximum(pre_samples * sample_snr, 1e-12)
+    snr_eff = 1.0 / (1.0 / np.maximum(snr_lin, 1e-12) + est_err
+                     + budget.backscatter_evm ** 2)
+    return 10.0 * np.log10(snr_eff)
+
+
+def _rate_ladder() -> tuple[TagConfig, ...]:
+    """Candidate operating points, fastest first (the replay ladder)."""
+    return tuple(sorted(
+        (c for c in all_tag_configs() if c.symbol_rate_hz >= 100e3),
+        key=lambda c: -c.throughput_bps,
+    ))
+
+
+def _max_feasible_distance_m(budget: LinkBudget, config: TagConfig,
+                             required_db: float, lo: float,
+                             hi: float) -> float:
+    """Largest distance at which ``config`` still closes the link.
+
+    ``symbol_snr_db`` is monotone decreasing in distance, so a bisection
+    gives the feasibility boundary with ~60 scalar budget calls per
+    operating point -- independent of the population size.
+    """
+    def margin(d: float) -> float:
+        return budget.symbol_snr_db(d, config) - required_db
+
+    if margin(lo) < 0.0:
+        return 0.0
+    if margin(hi) >= 0.0:
+        return hi
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if margin(mid) >= 0.0:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def build_population(config: NetworkConfig, tag_ids: np.ndarray,
+                     rng: np.random.Generator) -> TagPopulation:
+    """Place one AP's tags and assign their operating points.
+
+    Placement is area-uniform over the ``[min_distance_m,
+    cell_radius_m]`` annulus and consumes exactly one
+    ``rng.uniform(size=n)`` call.  Each tag gets the fastest ladder
+    entry whose link-budget feasibility boundary lies beyond its
+    distance (with ``rate_margin_db`` headroom); tags beyond every
+    boundary fall back to the most robust point.
+    """
+    from ..reader.rate_adapt import required_snr_db
+
+    tag_ids = np.asarray(tag_ids, dtype=np.int64)
+    n = int(tag_ids.size)
+    budget = LinkBudget()
+    ladder = _rate_ladder()
+    req = np.array([required_snr_db(c) for c in ladder])
+
+    u = rng.uniform(size=n)
+    r0sq = config.min_distance_m ** 2
+    distance = np.sqrt(u * (config.cell_radius_m ** 2 - r0sq) + r0sq)
+
+    dmax = np.array([
+        _max_feasible_distance_m(
+            budget, c, req[i] + config.rate_margin_db,
+            config.min_distance_m, config.cell_radius_m)
+        for i, c in enumerate(ladder)
+    ])
+    config_idx = np.full(n, len(ladder) - 1, dtype=np.int64)
+    assigned = np.zeros(n, dtype=bool)
+    for i in range(len(ladder)):
+        pick = ~assigned & (distance <= dmax[i])
+        config_idx[pick] = i
+        assigned |= pick
+
+    budget_snr = np.empty(n)
+    for i in np.unique(config_idx):
+        mask = config_idx == i
+        budget_snr[mask] = _symbol_snr_db_vec(
+            budget, distance[mask], ladder[i])
+
+    throughput = np.array([c.throughput_bps for c in ladder])
+    return TagPopulation(
+        tag_ids=tag_ids,
+        distance_m=distance,
+        config_idx=config_idx,
+        ladder=ladder,
+        backlog_bits=np.full(n, config.queue_bits, dtype=np.int64),
+        delivered_bits=np.zeros(n, dtype=np.int64),
+        exchanges=np.zeros(n, dtype=np.int64),
+        successes=np.zeros(n, dtype=np.int64),
+        throughput_bps=throughput[config_idx] if n else np.empty(0),
+        required_snr_db=req[config_idx] if n else np.empty(0),
+        budget_snr_db=budget_snr,
+        rx_power_mw=_rx_power_mw_vec(budget, distance),
+        preamble_id=tag_ids % (1 << config.id_bits),
+    )
+
+
+# -- calibrated fidelity ----------------------------------------------------
+
+def _calibrate_success(pop: TagPopulation, config: NetworkConfig,
+                       rng: np.random.Generator,
+                       *, trials: int = 2) -> np.ndarray:
+    """Per-tag decode probability measured with the batched decoder.
+
+    For each operating point present in the population, up to
+    ``calibration_tags`` distance quantiles are simulated at full sample
+    fidelity -- every trial of every quantile stacked into **one**
+    :meth:`BatchedDecoder.decode_batch` call -- and each tag
+    interpolates its success probability from its group's curve.
+    """
+    from ..channel.environment import Scene
+    from ..channel.multipath import apply_channel
+    from ..channel.noise import awgn
+    from ..reader.batch import BatchedDecoder
+    from ..reader.reader import BackFiReader
+    from ..tag.tag import BackFiTag
+    from ..wifi.frames import random_payload
+    from .protocol import build_ap_transmission
+
+    p_tag = np.ones(len(pop))
+    for ci in np.unique(pop.config_idx):
+        idx = np.flatnonzero(pop.config_idx == ci)
+        cfg = pop.ladder[int(ci)]
+        k = int(min(config.calibration_tags, idx.size))
+        qs = np.linspace(0.0, 1.0, k) if k > 1 else np.array([0.5])
+        dq = np.quantile(pop.distance_m[idx], qs)
+
+        psdu = random_payload(1000, rng)
+        scene0 = Scene.build(tag_distance_m=float(dq[0]),
+                             rng=np.random.default_rng(0))
+        tl = build_ap_transmission(psdu, 24, include_cts=False,
+                                   tx_power_mw=scene0.tx_power_mw)
+        x = tl.samples
+        rx = np.empty((dq.size * trials, x.size), dtype=np.complex128)
+        h_envs = []
+        b = 0
+        for d in dq:
+            for _ in range(trials):
+                scene = Scene.build(tag_distance_m=float(d), rng=rng)
+                tag = BackFiTag(cfg)
+                tag.queue_data(
+                    rng.integers(0, 2, size=600, dtype=np.uint8))
+                z_tag = apply_channel(scene.h_f, x)
+                plan = tag.backscatter(z_tag, wake_index=tl.wifi_start)
+                rx[b] = (apply_channel(scene.h_env, x)
+                         + apply_channel(scene.h_b,
+                                         z_tag * plan.reflection)
+                         + awgn(x.size, scene.noise_floor_mw, rng))
+                h_envs.append(scene.h_env)
+                b += 1
+        decoder = BatchedDecoder(BackFiReader(cfg))
+        rngs = [np.random.default_rng(s)
+                for s in np.random.SeedSequence(
+                    int(rng.integers(0, 2 ** 31))).spawn(b)]
+        results = decoder.decode_batch(tl, rx, h_envs, rngs=rngs)
+        ok = np.array([r.ok for r in results],
+                      dtype=np.float64).reshape(dq.size, trials)
+        p_tag[idx] = np.interp(pop.distance_m[idx], dq, ok.mean(axis=1))
+    return p_tag
+
+
+def _phi(z: float) -> float:
+    """Standard normal CDF (no scipy dependency)."""
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+# -- the per-AP event loop --------------------------------------------------
+
+@dataclass
+class _Scheduler:
+    """Per-AP scheduler state over a :class:`TagPopulation`.
+
+    ``max_rate`` walks a precomputed throughput order with a monotone
+    pointer -- valid because backlogs only drain in this model (no
+    refill), so a passed-over drained tag never becomes eligible again.
+    """
+
+    pop: TagPopulation
+    policy: str
+    rr_ptr: int = 0
+    mr_order: np.ndarray = field(init=False)
+    mr_ptr: int = 0
+
+    def __post_init__(self) -> None:
+        # Highest throughput first; ties break toward the lowest local
+        # index (matching BackFiNetwork's max()-over-list semantics).
+        self.mr_order = np.lexsort(
+            (np.arange(len(self.pop)), -self.pop.throughput_bps))
+
+    def pick(self, rng: np.random.Generator) -> int:
+        """Local index of the tag the next poll addresses."""
+        backlog = self.pop.backlog_bits
+        if self.policy == "max_rate":
+            while backlog[self.mr_order[self.mr_ptr]] == 0:
+                self.mr_ptr += 1
+            return int(self.mr_order[self.mr_ptr])
+        cand = np.flatnonzero(backlog > 0)
+        if self.policy == "round_robin":
+            pos = int(np.searchsorted(cand, self.rr_ptr))
+            if pos == cand.size:
+                pos = 0
+            a = int(cand[pos])
+            self.rr_ptr = (a + 1) % len(self.pop)
+            return a
+        # proportional: exactly one rng.random() per poll.
+        return int(cand[proportional_pick(backlog[cand], rng)])
+
+
+def simulate_ap(pop: TagPopulation, trace, config: NetworkConfig,
+                n_polls: int, rng: np.random.Generator, *,
+                calib_rng: np.random.Generator | None = None
+                ) -> NetworkStats:
+    """Run one AP's discrete-event polling loop.
+
+    Every excitation burst of ``trace`` (recycled with a time offset
+    when exhausted) is one polling opportunity, consumed in start-time
+    order from a priority queue.  The loop ends after ``n_polls`` bursts
+    or when every queue has drained.  Exactly one
+    ``rng.standard_normal()`` is consumed per poll (shadowing), plus one
+    ``rng.random()`` under the ``proportional`` policy.
+    """
+    from ..traces.replay import burst_payload_bits
+
+    stats = NetworkStats(n_registered=len(pop))
+    if len(pop) == 0 or n_polls <= 0 or not trace.bursts:
+        return stats
+
+    p_tag = None
+    if config.fidelity == "calibrated":
+        p_tag = _calibrate_success(
+            pop, config, calib_rng or np.random.default_rng(0))
+
+    capture_lin = float(db_to_linear(config.capture_db))
+    sigma = config.shadowing_sigma_db
+    buckets: dict[int, np.ndarray] = {}
+    for pid in np.unique(pop.preamble_id):
+        buckets[int(pid)] = np.flatnonzero(pop.preamble_id == pid)
+    sched = _Scheduler(pop, config.scheduler)
+
+    heap: list[tuple[float, int, object]] = []
+    seq = 0
+    epoch = 0
+
+    def load_epoch(e: int) -> None:
+        nonlocal seq
+        off = e * trace.duration_s
+        for burst in trace.bursts:
+            heapq.heappush(heap, (burst.start_s + off, seq, burst))
+            seq += 1
+
+    load_epoch(0)
+    total_backlog = int(pop.backlog_bits.sum())
+    t_end = 0.0
+    capacity_cache: dict[tuple[float, int], int] = {}
+
+    while stats.polls < n_polls and total_backlog > 0:
+        if not heap:
+            epoch += 1
+            load_epoch(epoch)
+        start_s, _, burst = heapq.heappop(heap)
+        a = sched.pick(rng)
+        z = float(rng.standard_normal())
+
+        stats.polls += 1
+        stats.total_airtime_s += burst.duration_s
+        t_end = start_s + burst.duration_s
+        pop.exchanges[a] += 1
+        gid_a = int(pop.tag_ids[a])
+        stats.per_tag_polls[gid_a] = stats.per_tag_polls.get(gid_a, 0) + 1
+
+        # Aliased responders: every backlogged tag sharing the preamble.
+        winner = a
+        bucket = buckets[int(pop.preamble_id[a])]
+        others = bucket[(pop.backlog_bits[bucket] > 0) & (bucket != a)]
+        if others.size:
+            p_addr = float(pop.rx_power_mw[a])
+            p_rest = float(pop.rx_power_mw[others].sum())
+            if p_addr < capture_lin * p_rest:
+                strongest = int(others[np.argmax(pop.rx_power_mw[others])])
+                if pop.config_idx[strongest] == pop.config_idx[a]:
+                    winner = strongest
+                    stats.captures += 1
+                    pop.exchanges[winner] += 1
+                else:
+                    # Mismatched operating point: the reader cannot
+                    # decode the overpowering tag; the slot is lost.
+                    stats.collisions += 1
+                    continue
+
+        key = (burst.duration_s, int(pop.config_idx[winner]))
+        capacity = capacity_cache.get(key)
+        if capacity is None:
+            capacity = burst_payload_bits(
+                burst.duration_s * 1e6,
+                pop.ladder[int(pop.config_idx[winner])], 32.0)
+            capacity_cache[key] = capacity
+        if capacity <= 0:
+            continue
+
+        if p_tag is None:
+            ok = (pop.budget_snr_db[winner] + sigma * z
+                  >= pop.required_snr_db[winner])
+        else:
+            ok = _phi(z) < p_tag[winner]
+        if not ok:
+            continue
+        pop.successes[winner] += 1
+        delivered = int(min(pop.backlog_bits[winner], capacity))
+        if delivered > 0:
+            pop.backlog_bits[winner] -= delivered
+            pop.delivered_bits[winner] += delivered
+            total_backlog -= delivered
+            stats.total_delivered_bits += delivered
+            gid_w = int(pop.tag_ids[winner])
+            stats.per_tag_bits[gid_w] = \
+                stats.per_tag_bits.get(gid_w, 0) + delivered
+
+    stats.duration_s = t_end
+    stats.starved_tags = int(np.sum(pop.exchanges == 0))
+    return stats
+
+
+# -- sharded execution ------------------------------------------------------
+
+def _simulate_ap_shard(spec: tuple) -> NetworkStats:
+    """One AP shard -- a picklable :func:`parallel_map` task.
+
+    The four per-AP streams (population, trace, polling, calibration)
+    are spawned from the shard's own seed sequence, so the shard result
+    depends only on ``(root seed, ap_index)`` -- never on worker count.
+    """
+    config, ap_index, tag_ids, n_polls, seed_seq = spec
+    pop_ss, trace_ss, poll_ss, calib_ss = seed_seq.spawn(4)
+    pop = build_population(config, tag_ids, np.random.default_rng(pop_ss))
+    from ..traces.generator import generate_ap_trace
+
+    trace = generate_ap_trace(
+        config.trace_duration_s,
+        target_busy_fraction=config.target_busy_fraction,
+        ap_id=ap_index,
+        rng=np.random.default_rng(trace_ss),
+    )
+    return simulate_ap(pop, trace, config, n_polls,
+                       np.random.default_rng(poll_ss),
+                       calib_rng=np.random.default_rng(calib_ss))
+
+
+class NetworkSimulator:
+    """Sharded multi-AP simulation of a :class:`NetworkConfig`."""
+
+    def __init__(self, config: NetworkConfig | None = None, *,
+                 seed: int = 0):
+        self.config = config or NetworkConfig()
+        self.seed = int(seed)
+
+    def run(self, n_polls: int, *,
+            jobs: int | None = None) -> NetworkStats:
+        """Simulate ``n_polls`` polls split across the APs.
+
+        AP ``i`` runs ``n_polls // n_aps`` polls (+1 for the first
+        ``n_polls mod n_aps`` APs) against its own trace and tag shard;
+        shard stats merge in AP order.  Results are byte-identical at
+        any ``jobs`` count.
+        """
+        from ..experiments.engine import parallel_map, spawn_seeds
+
+        cfg = self.config
+        if n_polls < 0:
+            raise ValueError("n_polls must be >= 0")
+        seeds = spawn_seeds(self.seed, cfg.n_aps)
+        shards = []
+        for i in range(cfg.n_aps):
+            tag_ids = np.arange(i, cfg.n_tags, cfg.n_aps, dtype=np.int64)
+            polls_i = n_polls // cfg.n_aps \
+                + (1 if i < n_polls % cfg.n_aps else 0)
+            shards.append((cfg, i, tag_ids, polls_i, seeds[i]))
+        outs = parallel_map(_simulate_ap_shard, shards, jobs=jobs,
+                            on_error="raise")
+        merged = NetworkStats()
+        for s in outs:
+            merged.total_airtime_s += s.total_airtime_s
+            merged.total_delivered_bits += s.total_delivered_bits
+            merged.polls += s.polls
+            merged.per_tag_bits.update(s.per_tag_bits)
+            merged.per_tag_polls.update(s.per_tag_polls)
+            merged.n_registered += s.n_registered
+            merged.starved_tags += s.starved_tags
+            merged.collisions += s.collisions
+            merged.captures += s.captures
+            # APs run in parallel wall-clock; the window is the slowest.
+            merged.duration_s = max(merged.duration_s, s.duration_s)
+        return merged
+
+
+# -- trace replay fan-out (Fig. 12a's engine task) --------------------------
+
+def _replay_ap(args: tuple) -> tuple[float, float, float | None]:
+    """Replay one AP's trace -- a picklable engine task."""
+    trace, tag_distance_m, n_calibration_bursts, ap_seed = args
+    from ..scenario import ScenarioConfig
+    from ..traces.replay import replay_trace
+
+    rng = np.random.default_rng(ap_seed)
+    scene = ScenarioConfig(distance_m=tag_distance_m).build(rng=rng).scene
+    # config=None: the tag/reader rate-adapt to each placement's
+    # channels (the deployed behaviour).
+    rep = replay_trace(
+        trace, scene, None,
+        n_calibration_bursts=n_calibration_bursts, rng=rng,
+    )
+    chosen = rep.config.throughput_bps if rep.config is not None else None
+    return rep.throughput_bps, rep.busy_fraction, chosen
+
+
+def replay_loaded_network(traces, *, tag_distance_m: float = 2.0,
+                          n_calibration_bursts: int = 2, seed: int = 23,
+                          jobs: int | None = None
+                          ) -> list[tuple[float, float, float | None]]:
+    """Replay each trace with a rate-adapted tag (Fig. 12a fan-out).
+
+    Per-AP seeds spawn from ``seed`` exactly as the historical inline
+    loop in ``fig12_network.run_loaded_network`` did, so the migration
+    onto this helper is byte-identical.
+    """
+    from ..experiments.engine import parallel_map, spawn_seeds
+
+    return parallel_map(
+        _replay_ap,
+        [(trace, tag_distance_m, n_calibration_bursts, ap_seed)
+         for trace, ap_seed in zip(traces,
+                                   spawn_seeds(seed, len(traces)))],
+        jobs=jobs,
+    )

@@ -29,6 +29,7 @@ from .rate_adapt import (
 from .config import ReaderConfig
 from .mimo import MimoBackFiReader, MimoResult, MimoScene, run_mimo_session
 from .reader import BackFiReader, ReaderResult
+from .batch import BatchedDecoder
 from .sync import SyncResult, find_tag_timing
 from .tracking import TrackingResult, phase_track
 
@@ -65,6 +66,7 @@ __all__ = [
     "select_config",
     "step_down",
     "BackFiReader",
+    "BatchedDecoder",
     "ReaderConfig",
     "ReaderResult",
     "MimoBackFiReader",

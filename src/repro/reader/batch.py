@@ -1,0 +1,526 @@
+"""Batched decode of many backscatter exchanges against one excitation.
+
+A dense BackFi deployment decodes the same excitation against many
+received signals (one per responding tag placement): the AP transmits
+once, and every exchange in the round shares ``timeline.samples``.  The
+per-exchange pipeline (:meth:`BackFiReader.decode`) then repeats a lot
+of excitation-only work per element -- the digital canceller's Gram
+matrix, the sync sweep's correlation tables and Gram factorisations,
+the Viterbi trellis' per-step Python dispatch.
+
+:class:`BatchedDecoder` runs the identical pipeline once over a whole
+stack of exchanges:
+
+* analog cancellation keeps the per-element error draws (each element's
+  generator stream is untouched), but everything downstream shares the
+  excitation-side factorisations;
+* digital cancellation trains all elements through **one** convolution
+  matrix / Gram factorisation and a multi-RHS solve;
+* the fine-timing sweep scores the full candidate grid for every
+  element through :class:`~repro.reader.fastpath.BatchPreambleSolver`
+  (excitation tables and Gram LU shared), then replays
+  :func:`~repro.reader.sync.find_tag_timing`'s coarse/refine/walk
+  selection per element on the precomputed metric table;
+* the reference channel estimate, MRC, soft demap and Viterbi decode
+  run batched, grouped by winning preamble start (one group in the
+  common case).
+
+Equivalence contract: every element's result matches a standalone
+``reader.decode`` call to float64 rounding -- decoded bits and ok flags
+exactly, float diagnostics to rtol ``1e-10`` (the only differences come
+from BLAS summation-order changes around 1e-15).  Elements whose first
+pass fails a recoverable failure fall back to the per-exchange recovery
+ladder with their generator rewound, so even the escalation path is
+byte-identical to the loop.  ``tests/test_batch_decode.py`` asserts the
+contract over a 100-exchange snapshot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..coding.convolutional import CONSTRAINT, _keep_mask
+from ..coding.viterbi import viterbi_decode_soft_batch
+from ..constants import SAMPLES_PER_US
+from ..dsp.fastpath import fast_convolve, fastpath_enabled
+from ..dsp.measurements import residual_power_db
+from ..link.frames import parse_frame_bits
+from ..link.protocol import ApTimeline
+from ..tag.tag import PREAMBLE_CHIP_US, tag_preamble_phases
+from ..telemetry import get_collector
+from ..wifi.mapper import BITS_PER_SYMBOL, psk_constellation
+from .cancellation import CancellationResult, convolution_matrix
+from .channel_est import (
+    ChannelEstimate,
+    _valid_preamble_rows,
+    estimate_combined_channel,
+)
+from .decoder import TagDecodeOutput
+from .failures import FailureKind, ReaderFailure
+from .fastpath import BatchPreambleSolver
+from .mrc import MrcOutput, _mrc_combine
+from .reader import BackFiReader, ReaderResult
+from .sync import SyncResult
+
+__all__ = ["BatchedDecoder"]
+
+_SYNC_STEP = 4
+"""Coarse sweep stride; must match find_tag_timing's default."""
+
+_DIGITAL_RIDGE = 1e-3
+"""ls_channel_estimate's default ridge (the per-exchange path's)."""
+
+
+def _rng_state(rng: np.random.Generator | None):
+    return None if rng is None else rng.bit_generator.state
+
+
+def _restore_rng(rng: np.random.Generator | None, state) -> None:
+    if rng is not None and state is not None:
+        rng.bit_generator.state = state
+
+
+class BatchedDecoder:
+    """Vectorised many-exchange decode sharing one reader's pipeline."""
+
+    def __init__(self, reader: BackFiReader):
+        self.reader = reader
+
+    def decode_batch(self, timeline: ApTimeline, rx_batch: np.ndarray,
+                     h_env_batch, *,
+                     pa_output: np.ndarray | None = None,
+                     rngs: list[np.random.Generator | None] | None = None,
+                     ) -> list[ReaderResult]:
+        """Decode every exchange of the batch.
+
+        Parameters mirror :meth:`BackFiReader.decode` with a leading
+        batch axis: ``rx_batch`` is ``(n_batch, n_samples)`` aligned
+        with ``timeline.samples``, ``h_env_batch`` a sequence of
+        per-element self-interference channels, ``rngs`` the
+        per-element generators the analog canceller draws its
+        component-precision error from (``None`` entries use the
+        deterministic default seed, exactly like the scalar path).
+        """
+        reader = self.reader
+        x = timeline.samples if pa_output is None else \
+            np.asarray(pa_output, dtype=np.complex128)
+        rx = np.asarray(rx_batch, dtype=np.complex128)
+        if rx.ndim != 2 or rx.shape[1] != x.size:
+            raise ValueError("rx_batch must be (n_batch, len(samples))")
+        n_batch = rx.shape[0]
+        h_env = [np.asarray(h) for h in h_env_batch]
+        if len(h_env) != n_batch:
+            raise ValueError("one h_env per batch element required")
+        if rngs is None:
+            rngs = [None] * n_batch
+        if len(rngs) != n_batch:
+            raise ValueError("one rng per batch element required")
+
+        tm = get_collector()
+        with tm.span("reader.decode_batch") as sp:
+            if reader.track_phase:
+                # Decision-directed tracking is sequential per symbol;
+                # the batch API degrades to the per-exchange loop.
+                results = [
+                    reader.decode(timeline, rx[b], h_env[b],
+                                  pa_output=pa_output, rng=rngs[b])
+                    for b in range(n_batch)
+                ]
+                if tm.enabled:
+                    sp.probe("n_batch", n_batch)
+                    sp.probe("vectorized", False)
+                return results
+
+            states = [_rng_state(r) for r in rngs]
+            results = self._decode_batch_single_pass(
+                timeline, x, rx, h_env, rngs)
+            # Recoverable first-pass failures re-enter the per-exchange
+            # escalation ladder with the generator rewound, replaying
+            # the (failing) first pass so the stream consumption -- and
+            # therefore every later draw -- matches the scalar path.
+            n_fallback = 0
+            for b, res in enumerate(results):
+                if (reader.recovery and not res.ok
+                        and res.failure is not None
+                        and res.failure.recoverable):
+                    _restore_rng(rngs[b], states[b])
+                    results[b] = reader._decode_with_recovery(
+                        timeline, rx[b], h_env[b],
+                        pa_output=pa_output, rng=rngs[b])
+                    n_fallback += 1
+            if tm.enabled:
+                sp.probe("n_batch", n_batch)
+                sp.probe("vectorized", True)
+                sp.probe("n_ok", sum(1 for r in results if r.ok))
+                sp.probe("n_fallback", n_fallback)
+            return results
+
+    # -- single pass ---------------------------------------------------
+
+    def _decode_batch_single_pass(self, timeline: ApTimeline,
+                                  x: np.ndarray, rx: np.ndarray,
+                                  h_env: list[np.ndarray],
+                                  rngs) -> list[ReaderResult]:
+        reader = self.reader
+        canceller = reader.canceller
+        n_batch, n = rx.shape
+        silent = reader.silent_rows(timeline)
+
+        # 1. self-interference cancellation (per-element analog error
+        # draws, shared digital Gram).
+        if canceller.analog_enabled:
+            after_analog = np.empty_like(rx)
+            for b in range(n_batch):
+                after_analog[b] = canceller.analog.cancel(
+                    x, rx[b], h_env[b], rng=rngs[b])
+        else:
+            after_analog = rx.copy()
+        analog_db = [
+            residual_power_db(rx[b, silent], after_analog[b, silent])
+            for b in range(n_batch)
+        ]
+
+        quantized = np.empty_like(rx)
+        saturated = np.empty(n_batch, dtype=bool)
+        for b in range(n_batch):
+            adc = canceller.adc.for_signal(after_analog[b])
+            quantized[b] = adc.quantize(after_analog[b])
+            saturated[b] = bool(
+                np.max(np.abs(after_analog[b].real)) > adc.full_scale
+                or np.max(np.abs(after_analog[b].imag)) > adc.full_scale
+            )
+
+        split = (3 * silent.size) // 4
+        train_rows = silent[:split]
+        eval_rows = silent[split:]
+        if canceller.digital_enabled:
+            cleaned = self._digital_cancel_batch(
+                x, quantized, canceller.digital, train_rows)
+        else:
+            cleaned = quantized
+        cancs = [
+            CancellationResult(
+                cleaned=cleaned[b],
+                analog_residual_db=analog_db[b],
+                digital_residual_db=residual_power_db(
+                    quantized[b, eval_rows], cleaned[b, eval_rows]),
+                total_depth_db=residual_power_db(
+                    rx[b, eval_rows], cleaned[b, eval_rows]),
+                adc_saturated=bool(saturated[b]),
+            )
+            for b in range(n_batch)
+        ]
+        held_out = silent[(3 * silent.size) // 4:]
+        noise_floor = np.mean(np.abs(cleaned[:, held_out]) ** 2, axis=1)
+
+        # 2. fine timing: score the full candidate grid for every
+        # element at once, then replay the scalar selection walk on the
+        # metric table.
+        results: list[ReaderResult | None] = [None] * n_batch
+        search = int(reader.sync_search_us * SAMPLES_PER_US)
+        step = _SYNC_STEP
+        n_taps = reader.n_channel_taps
+        nominal = timeline.nominal_preamble_start
+        window = (nominal - search - step,
+                  nominal + search + n_taps + 2 * step)
+        solver = BatchPreambleSolver(
+            x, cleaned, timeline.preamble_us, n_taps=n_taps,
+            preamble_seed=reader.preamble_seed, start_window=window)
+        grid = np.arange(-search - step + 1,
+                         search + n_taps + 2 * step + 1)
+        feasible, resid_p, gain = solver.evaluate(nominal + grid)
+        pen = 1.0 + 0.005 * np.abs(grid).astype(np.float64)
+        with np.errstate(invalid="ignore"):
+            metric = resid_p / gain * pen[None, :]
+        grid0 = int(grid[0])
+
+        groups: dict[int, list[int]] = {}
+        for b in range(n_batch):
+            best = _select_offset(feasible[b], metric[b], grid0,
+                                  search, step, n_taps)
+            if best is None:
+                results[b] = ReaderResult(
+                    ok=False, cancellation=cancs[b],
+                    noise_floor_mw=float(noise_floor[b]),
+                    failure=ReaderFailure(
+                        FailureKind.SYNC,
+                        "no feasible timing offset found"),
+                )
+            else:
+                groups.setdefault(best[1], []).append(b)
+
+        # 3.-4. per winning offset: reference estimate, MRC, decode.
+        sps = reader.tag_config.samples_per_symbol
+        for off, idxs in groups.items():
+            start = nominal + off
+            ests = self._estimate_group(x, cleaned, idxs, start,
+                                        timeline.preamble_us, n_taps,
+                                        reader.preamble_seed)
+            penalty = 1.0 + 0.005 * abs(off)
+            syncs = [
+                SyncResult(
+                    preamble_start=start, offset_samples=off,
+                    estimate=est,
+                    metric=est.residual_power
+                    / max(est.gain, 1e-300) * penalty,
+                )
+                for est in ests
+            ]
+            data_start = start + int(timeline.preamble_us
+                                     * SAMPLES_PER_US)
+            n_symbols = (timeline.wifi_end - data_start) // sps
+            if n_symbols < 1:
+                for j, b in enumerate(idxs):
+                    results[b] = ReaderResult(
+                        ok=False, cancellation=cancs[b], sync=syncs[j],
+                        channel=ests[j],
+                        noise_floor_mw=float(noise_floor[b]),
+                        failure=ReaderFailure(
+                            FailureKind.NO_CAPACITY,
+                            "no room for payload symbols"),
+                    )
+                continue
+            mrcs = self._mrc_group(x, cleaned, idxs, ests, data_start,
+                                   sps, int(n_symbols), noise_floor)
+            decodes = self._decode_group(mrcs)
+            for j, b in enumerate(idxs):
+                decode = decodes[j]
+                ok = decode.ok
+                failure = None
+                if not ok:
+                    failure = BackFiReader._classify_crc_failure(
+                        cancs[b], float(noise_floor[b]))
+                results[b] = ReaderResult(
+                    ok=ok,
+                    payload_bits=decode.payload_bits,
+                    n_symbols=int(n_symbols),
+                    symbol_snr_db=mrcs[j].mean_snr_db(),
+                    noise_floor_mw=float(noise_floor[b]),
+                    cancellation=cancs[b],
+                    sync=syncs[j],
+                    channel=ests[j],
+                    mrc=mrcs[j],
+                    decode=decode,
+                    failure=failure,
+                )
+        return results
+
+    # -- stage helpers -------------------------------------------------
+
+    @staticmethod
+    def _digital_cancel_batch(x: np.ndarray, quantized: np.ndarray,
+                              digital, train_rows: np.ndarray
+                              ) -> np.ndarray:
+        """All elements' digital cancellation off one Gram factorisation.
+
+        Mirrors ``DigitalCanceller.cancel`` per element: the normal-
+        equation path whenever the scalar path would take it, else (or
+        on a singular Gram) a per-element fallback through the
+        canceller itself.
+        """
+        n_batch, n = quantized.shape
+        nt = digital.n_taps
+        use_normal = digital.method == "normal" or (
+            digital.method == "auto" and fastpath_enabled()
+            and train_rows.size >= 4 * nt
+        )
+        if use_normal:
+            a = convolution_matrix(x, nt, train_rows)
+            ac = a.conj().T
+            g = ac @ a
+            col_energy = float(np.mean(g.diagonal().real))
+            g.flat[:: nt + 1] += _DIGITAL_RIDGE * max(col_energy, 1e-300)
+            rhs = ac @ quantized[:, train_rows].T        # (nt, n_batch)
+            try:
+                h_all = np.linalg.solve(g, rhs)
+            except np.linalg.LinAlgError:
+                use_normal = False
+            else:
+                cleaned = np.empty_like(quantized)
+                for b in range(n_batch):
+                    cleaned[b] = quantized[b] - \
+                        fast_convolve(x, h_all[:, b])[:n]
+                return cleaned
+        cleaned = np.empty_like(quantized)
+        for b in range(n_batch):
+            cleaned[b], _ = digital.cancel(x, quantized[b], train_rows)
+        return cleaned
+
+    @staticmethod
+    def _estimate_group(x: np.ndarray, cleaned: np.ndarray,
+                        idxs: list[int], start: int, preamble_us: float,
+                        n_taps: int, preamble_seed: int
+                        ) -> list[ChannelEstimate]:
+        """Reference channel estimates for one winning preamble start.
+
+        The group shares the excitation-side work of
+        :func:`estimate_combined_channel` -- chip derotation geometry,
+        convolution matrix, Gram factorisation -- and solves all
+        elements as one multi-RHS system.
+        """
+        n = cleaned.shape[1]
+        if not fastpath_enabled():
+            # The scalar path would take the SVD solver; run it.
+            return [
+                estimate_combined_channel(
+                    x, cleaned[b], start, preamble_us, n_taps=n_taps,
+                    preamble_seed=preamble_seed)
+                for b in idxs
+            ]
+        preamble = tag_preamble_phases(preamble_us, seed=preamble_seed)
+        n_chips = int(round(preamble_us / PREAMBLE_CHIP_US))
+        rows = _valid_preamble_rows(start, n_chips, n_taps)
+        rows = rows[rows < n]
+        phase = preamble[rows - start]
+        yd = cleaned[np.asarray(idxs)[:, None], rows[None, :]] \
+            * np.conj(phase)[None, :]
+        a = convolution_matrix(x, n_taps, rows)
+        ac = a.conj().T
+        g = ac @ a
+        col_energy = float(np.mean(g.diagonal().real))
+        g.flat[:: n_taps + 1] += _DIGITAL_RIDGE * max(col_energy, 1e-300)
+        try:
+            h = np.linalg.solve(g, ac @ yd.T)            # (nt, n_group)
+        except np.linalg.LinAlgError:
+            return [
+                estimate_combined_channel(
+                    x, cleaned[b], start, preamble_us, n_taps=n_taps,
+                    preamble_seed=preamble_seed)
+                for b in idxs
+            ]
+        resid = yd - (a @ h).T
+        residual_power = np.mean(np.abs(resid) ** 2, axis=1)
+        return [
+            ChannelEstimate(h_fb=h[:, j].copy(),
+                            residual_power=float(residual_power[j]),
+                            n_rows=int(rows.size))
+            for j in range(len(idxs))
+        ]
+
+    def _mrc_group(self, x: np.ndarray, cleaned: np.ndarray,
+                   idxs: list[int], ests: list[ChannelEstimate],
+                   data_start: int, sps: int, n_symbols: int,
+                   noise_floor: np.ndarray) -> list[MrcOutput]:
+        guard = min(6, max(sps // 2, 1), sps - 1)
+        span0 = data_start
+        span1 = data_start + n_symbols * sps
+        n_taps = ests[0].h_fb.size
+        # Template on the payload span only, one GEMM for the group:
+        # T[j, i] = sum_k h[j, k] x[span0 + i - k].
+        xs = np.empty((n_taps, span1 - span0), dtype=np.complex128)
+        for k in range(n_taps):
+            xs[k] = x[span0 - k: span1 - k]
+        h_mat = np.stack([est.h_fb for est in ests], axis=0)
+        template = h_mat @ xs                            # (n_group, span)
+
+        y_blk = cleaned[np.asarray(idxs), span0:span1].reshape(
+            len(idxs), n_symbols, sps)[:, :, guard:]
+        t_blk = template.reshape(
+            len(idxs), n_symbols, sps)[:, :, guard:]
+        energy = np.maximum(np.sum(np.abs(t_blk) ** 2, axis=2), 1e-30)
+        combined = np.sum(y_blk * np.conj(t_blk), axis=2) / energy
+        outs = []
+        for j, b in enumerate(idxs):
+            floor = float(noise_floor[b])
+            if floor > 0:
+                outs.append(MrcOutput(
+                    symbols=combined[j],
+                    noise_var=floor / energy[j],
+                    template_energy=energy[j],
+                ))
+            else:
+                # Zero measured floor: the scalar path infers the noise
+                # from post-combine residuals; run it verbatim.
+                full_template = fast_convolve(
+                    x, ests[j].h_fb)[: cleaned.shape[1]]
+                outs.append(_mrc_combine(
+                    cleaned[b], full_template, data_start, sps,
+                    n_symbols, guard=guard, noise_floor=floor))
+        return outs
+
+    def _decode_group(self, mrcs: list[MrcOutput]) -> list[TagDecodeOutput]:
+        cfg = self.reader.tag_config
+        symbols = np.stack([m.symbols for m in mrcs], axis=0)
+        noise_var = np.stack([m.noise_var for m in mrcs], axis=0)
+        llrs = _psk_soft_llrs_batch(symbols, cfg.modulation, noise_var)
+        length = llrs.shape[1]
+        if cfg.code_rate == "1/2":
+            mother = llrs[:, : length - (length % 2)]
+        else:
+            n_coded = length - (length % 3)
+            n_mother = n_coded // 3 * 4
+            keep = _keep_mask(cfg.code_rate, n_mother)
+            mother = np.zeros((len(mrcs), n_mother))
+            mother[:, keep] = llrs[:, :n_coded]
+        if mother.shape[1] < 2 * CONSTRAINT:
+            return [
+                TagDecodeOutput(frame=None,
+                                decoded_bits=np.empty(0, dtype=np.uint8),
+                                llrs=llrs[j])
+                for j in range(len(mrcs))
+            ]
+        decoded = viterbi_decode_soft_batch(mother, terminated=False)
+        return [
+            TagDecodeOutput(frame=parse_frame_bits(decoded[j]),
+                            decoded_bits=decoded[j], llrs=llrs[j])
+            for j in range(len(mrcs))
+        ]
+
+
+def _select_offset(feasible: np.ndarray, metric: np.ndarray, grid0: int,
+                   search: int, step: int, n_taps: int,
+                   ) -> tuple[float, int] | None:
+    """Replay find_tag_timing's coarse/refine/walk on a metric table.
+
+    ``metric[off - grid0]`` holds the fast-path metric for candidate
+    offset ``off``; the selection logic (iteration order, strict-less
+    tie-breaks, the 1.5x boundary-walk tolerance) is copied verbatim
+    from :func:`repro.reader.sync.find_tag_timing` so both paths pick
+    the identical winning offset.
+    """
+    def mat(off: int) -> float | None:
+        i = off - grid0
+        if not feasible[i]:
+            return None
+        return float(metric[i])
+
+    best: tuple[float, int] | None = None
+    for off in range(-search, search + 1, step):
+        m = mat(off)
+        if m is None:
+            continue
+        if best is None or m < best[0]:
+            best = (m, off)
+    if best is None:
+        return None
+    coarse = best[1]
+    for off in range(coarse - step + 1, coarse + step):
+        if off == coarse:
+            continue
+        m = mat(off)
+        if m is not None and m < best[0]:
+            best = (m, off)
+    tol = 1.5 * best[0] + 1e-30
+    for off in range(best[1] + 1, best[1] + 1 + n_taps + step):
+        m = mat(off)
+        if m is None or m > tol:
+            break
+        best = (m, off)
+    return best
+
+
+def _psk_soft_llrs_batch(symbols: np.ndarray, modulation: str,
+                         noise_var: np.ndarray) -> np.ndarray:
+    """:func:`psk_soft_llrs` with a leading batch axis (same math)."""
+    const = psk_constellation(modulation)
+    nb = BITS_PER_SYMBOL[modulation]
+    nv = np.maximum(np.asarray(noise_var, dtype=np.float64), 1e-15)
+    d2 = np.abs(symbols[..., None] - const) ** 2     # (B, S, M)
+    labels = np.arange(const.size)
+    llrs = np.empty(symbols.shape + (nb,))
+    for k in range(nb):
+        bit_k = (labels >> (nb - 1 - k)) & 1
+        m0 = np.min(d2[..., bit_k == 0], axis=-1)
+        m1 = np.min(d2[..., bit_k == 1], axis=-1)
+        llrs[..., k] = (m1 - m0) / nv
+    return llrs.reshape(symbols.shape[0], -1)

@@ -40,11 +40,45 @@ from ..constants import SAMPLES_PER_US
 from ..tag.tag import PREAMBLE_CHIP_US
 from ..utils.bits import barker_like_sequence
 
-__all__ = ["PreambleSolver"]
+__all__ = ["PreambleSolver", "BatchPreambleSolver"]
 
 _RIDGE = 1e-3
 """Must match the default of :func:`ls_channel_estimate`, which the
 direct path uses -- the two paths solve the same regularised problem."""
+
+
+def _ridged_gram(p: np.ndarray, tap_shift: np.ndarray,
+                 lo: np.ndarray, hi: np.ndarray, n: int,
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-candidate Gram matrices (ridge folded in) from the lag tables.
+
+    ``p`` holds the cumulative lag-autocorrelation tables of the
+    excitation, ``lo``/``hi`` the per-candidate per-chip row bounds in
+    table coordinates.  Returns ``(g, lam2)`` with ``g`` of shape
+    ``(n_cand, t, t)``.  The excitation is shared by construction, so a
+    batch of received signals reuses one call's result for every
+    element -- the main saving of :class:`BatchPreambleSolver`.
+    """
+    t = p.shape[0]
+    n_cand = lo.shape[0]
+    idx_hi = np.clip(hi[None, :, :] - tap_shift, 0, n)       # (T, S, C)
+    idx_lo = np.clip(lo[None, :, :] - tap_shift, 0, n)
+    d_axis = np.arange(t)[:, None, None, None]
+    val = (p[d_axis, idx_hi[None, ...]]
+           - p[d_axis, idx_lo[None, ...]]).sum(axis=3)       # (D, T, S)
+    g = np.empty((n_cand, t, t), dtype=np.complex128)
+    kk, ll = np.tril_indices(t)
+    lower = val[kk - ll, kk, :]                               # (n_pairs, S)
+    g[:, kk, ll] = lower.T
+    strict = kk != ll
+    g[:, ll[strict], kk[strict]] = np.conj(lower[strict]).T
+
+    # Ridge identical to ls_channel_estimate: lam^2 is ridge times the
+    # mean column energy (the mean Gram diagonal).
+    diag = np.einsum("skk->sk", g).real
+    lam2 = _RIDGE * np.maximum(diag.mean(axis=1), 1e-300)
+    g[:, np.arange(t), np.arange(t)] += lam2[:, None]
+    return g, lam2
 
 
 class PreambleSolver:
@@ -152,23 +186,7 @@ class PreambleSolver:
         # Exact per-offset Gram matrices from the lag tables.  For
         # d = k - l >= 0: G[s, k, l] = sum_c P_d[hi - k] - P_d[lo - k].
         # One fancy-indexed gather covers every (d, k) pair at once.
-        idx_hi = np.clip(hi[None, :, :] - self._tap_shift, 0, n)  # (T,S,C)
-        idx_lo = np.clip(lo[None, :, :] - self._tap_shift, 0, n)
-        d_axis = np.arange(t)[:, None, None, None]
-        val = (self._p[d_axis, idx_hi[None, ...]]
-               - self._p[d_axis, idx_lo[None, ...]]).sum(axis=3)  # (D,T,S)
-        g = np.empty((n_cand, t, t), dtype=np.complex128)
-        kk, ll = np.tril_indices(t)
-        lower = val[kk - ll, kk, :]                    # (n_pairs, S)
-        g[:, kk, ll] = lower.T
-        strict = kk != ll
-        g[:, ll[strict], kk[strict]] = np.conj(lower[strict]).T
-
-        # Ridge identical to ls_channel_estimate: lam^2 is ridge times
-        # the mean column energy (the mean Gram diagonal).
-        diag = np.einsum("skk->sk", g).real
-        lam2 = _RIDGE * np.maximum(diag.mean(axis=1), 1e-300)
-        g[:, np.arange(t), np.arange(t)] += lam2[:, None]
+        g, lam2 = _ridged_gram(self._p, self._tap_shift, lo, hi, n)
 
         # Batched Hermitian solve; infeasible candidates get an identity
         # system so one LAPACK call serves the whole batch.
@@ -190,6 +208,137 @@ class PreambleSolver:
         with np.errstate(invalid="ignore", divide="ignore"):
             residual_power = np.where(n_rows > 0, resid / n_rows, np.nan)
         feasible = feasible & (gain > 0)
+        residual_power = np.where(feasible, residual_power, np.nan)
+        gain = np.where(feasible, gain, np.nan)
+        return feasible, residual_power, gain
+
+
+class BatchPreambleSolver:
+    """Correlation tables for one excitation against a *batch* of rx.
+
+    The fine-timing sweep of a multi-tag round decodes many exchanges
+    that share the same excitation ``x`` (the AP transmits once, every
+    responder's signal is scored against it).  Everything in the LS
+    system that depends only on ``x`` -- the lag-autocorrelation tables,
+    every candidate's Gram matrix and its LU factorisation -- is
+    computed once here and shared across the batch; only the
+    right-hand-side cross-correlation tables and the received-energy
+    cumsums are per-element.  One stacked multi-RHS solve then scores
+    every (candidate, element) pair.
+
+    Feasibility rules, ridge and residual algebra mirror
+    :class:`PreambleSolver` exactly, and the multi-RHS LAPACK solve
+    performs the same per-column triangular substitutions as the
+    one-element solve, so each element's metrics agree with its own
+    :class:`PreambleSolver` to float64 rounding.
+    """
+
+    def __init__(self, x: np.ndarray, y_batch: np.ndarray,
+                 preamble_us: float, *, n_taps: int,
+                 preamble_seed: int = 0x35,
+                 start_window: tuple[int, int] | None = None):
+        x = np.asarray(x, dtype=np.complex128)
+        y = np.asarray(y_batch, dtype=np.complex128)
+        if y.ndim != 2 or y.shape[1] != x.size:
+            raise ValueError("y_batch must be (n_batch, len(x))")
+        n = x.size
+        self.n = n
+        self.n_batch = y.shape[0]
+        self.n_taps = n_taps
+        sps_chip = int(PREAMBLE_CHIP_US * SAMPLES_PER_US)
+        n_chips = int(round(preamble_us / PREAMBLE_CHIP_US))
+        self.chips = barker_like_sequence(
+            n_chips, seed=preamble_seed).astype(np.complex128)
+        guard = n_taps
+        c = np.arange(n_chips)
+        self._base_lo = guard + sps_chip * c
+        self._base_hi = sps_chip * (c + 1)
+
+        if start_window is None:
+            start_window = (0, n)
+        self._start_lo, self._start_hi = start_window
+        i0 = max(0, self._start_lo + guard - (n_taps - 1))
+        i1 = min(n, self._start_hi + n_chips * sps_chip)
+        if i1 < i0:
+            i0 = i1
+        self._i0, self._i1 = i0, i1
+        x = x[i0:i1]
+        y = y[:, i0:i1]
+        n = i1 - i0
+
+        xc = np.conj(x)
+        prods = np.zeros((n_taps, n), dtype=np.complex128)
+        for d in range(n_taps):
+            prods[d, : n - d] = xc[: n - d] * x[d:]
+        self._p = np.zeros((n_taps, n + 1), dtype=np.complex128)
+        np.cumsum(prods, axis=1, out=self._p[:, 1:])
+        # Per-element cross-correlation tables S[k, b, i] and energy
+        # cumsums E[b, i]; the only O(batch) part of the build.
+        self._s = np.zeros((n_taps, self.n_batch, n + 1),
+                           dtype=np.complex128)
+        for k in range(n_taps):
+            self._s[k, :, k + 1:] = xc[None, : n - k] * y[:, k:]
+        np.cumsum(self._s, axis=2, out=self._s)
+        self._e = np.zeros((self.n_batch, n + 1))
+        np.cumsum(np.abs(y) ** 2, axis=1, out=self._e[:, 1:])
+        self._tap_shift = np.arange(n_taps)[:, None, None]
+
+    def evaluate(self, starts: np.ndarray) -> tuple[
+            np.ndarray, np.ndarray, np.ndarray]:
+        """Score every candidate start for every batch element.
+
+        Returns ``(feasible, residual_power, gain)`` arrays of shape
+        ``(n_batch, n_starts)``; infeasible entries hold NaN metrics.
+        """
+        starts = np.atleast_1d(np.asarray(starts, dtype=np.intp))
+        t = self.n_taps
+        i0, i1 = self._i0, self._i1
+        nb = self.n_batch
+        n_cand = starts.size
+        if starts.size and (starts.min() < self._start_lo
+                            or starts.max() > self._start_hi):
+            raise ValueError("candidate start outside the solver's "
+                             "declared start_window")
+
+        lo = np.clip(starts[:, None] + self._base_lo[None, :], i0, i1)
+        hi = np.clip(starts[:, None] + self._base_hi[None, :], i0, i1)
+        hi = np.maximum(hi, lo)
+        n_rows = (hi - lo).sum(axis=1)
+        geom_feasible = (starts >= 0) & (n_rows >= 4 * t)
+        lo = lo - i0
+        hi = hi - i0
+        n = i1 - i0
+
+        # Right-hand sides per element, accumulated chip by chip to
+        # bound the temporary at (T, nb, n_starts).
+        b = np.zeros((nb, n_cand, t), dtype=np.complex128)
+        for ci in range(self.chips.size):
+            seg = self._s[:, :, hi[:, ci]] - self._s[:, :, lo[:, ci]]
+            b += np.conj(self.chips[ci]) * seg.transpose(1, 2, 0)
+
+        g, lam2 = _ridged_gram(self._p, self._tap_shift, lo, hi, n)
+
+        g[~geom_feasible] = np.eye(t, dtype=np.complex128)
+        b_solve = np.where(geom_feasible[None, :, None], b, 0.0)
+        # One stacked solve: candidate s's LU factorisation serves all
+        # nb right-hand-side columns.
+        try:
+            h = np.linalg.solve(
+                g, b_solve.transpose(1, 2, 0)).transpose(2, 0, 1)
+        except np.linalg.LinAlgError:
+            shape = (nb, n_cand)
+            return (np.zeros(shape, dtype=bool),
+                    np.full(shape, np.nan), np.full(shape, np.nan))
+
+        gain = np.sum(np.abs(h) ** 2, axis=2)                # (nb, S)
+        ysq = (self._e[:, hi] - self._e[:, lo]).sum(axis=2)  # (nb, S)
+        resid = ysq - np.einsum("bsk,bsk->bs", np.conj(b), h).real \
+            - lam2[None, :] * gain
+        resid = np.maximum(resid, 0.0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            residual_power = np.where(n_rows[None, :] > 0,
+                                      resid / n_rows[None, :], np.nan)
+        feasible = geom_feasible[None, :] & (gain > 0)
         residual_power = np.where(feasible, residual_power, np.nan)
         gain = np.where(feasible, gain, np.nan)
         return feasible, residual_power, gain

@@ -39,6 +39,7 @@ from ..faults import (
     InterferenceBurst,
 )
 from ..link.arq import ArqConfig
+from ..link.simulator import NetworkConfig
 from ..reader.config import ReaderConfig
 from ..reader.reader import BackFiReader
 from ..tag.config import TagConfig
@@ -198,6 +199,10 @@ class ScenarioConfig:
     faults: FaultPlan | None = None
     """Deterministic fault environment; ``None`` = clean channel."""
 
+    network: NetworkConfig | None = None
+    """Multi-tag deployment for the discrete-event simulator
+    (``repro network``); ``None`` = single-tag scenario."""
+
     def __post_init__(self) -> None:
         if self.distance_m <= 0:
             raise ValueError("distance_m must be positive")
@@ -222,6 +227,8 @@ class ScenarioConfig:
             "arq": None if self.arq is None else _arq_to_dict(self.arq),
             "faults": None if self.faults is None
             else fault_plan_to_dict(self.faults),
+            "network": None if self.network is None
+            else dataclasses.asdict(self.network),
         }
         return out
 
@@ -246,6 +253,7 @@ class ScenarioConfig:
             "link": lambda d: _from_fields(LinkConfig, d, "link"),
             "arq": _arq_from_dict,
             "faults": fault_plan_from_dict,
+            "network": lambda d: _from_fields(NetworkConfig, d, "network"),
         }
         for key, build in section_builders.items():
             if key in data:
@@ -319,6 +327,8 @@ class ScenarioConfig:
                     defaults = {
                         "arq": lambda: _arq_to_dict(ArqConfig()),
                         "faults": lambda: fault_plan_to_dict(FaultPlan()),
+                        "network": lambda: dataclasses.asdict(
+                            NetworkConfig()),
                     }.get(key)
                     if defaults is None:
                         raise KeyError(

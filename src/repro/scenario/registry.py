@@ -16,12 +16,15 @@ Registered families:
   single-shot.
 * ``sensor-2m`` / ``coex-0.25m`` / ``mobility-2m`` -- the example
   deployments (sensor uplink, client-coexistence study, mobile tag).
+* ``warehouse-10k`` / ``city-block-1m`` -- multi-tag deployments for
+  the discrete-event network simulator (``repro network``).
 """
 
 from __future__ import annotations
 
 from ..faults import Blocker, FaultPlan
 from ..link.arq import ArqConfig
+from ..link.simulator import NetworkConfig
 from ..reader.config import ReaderConfig
 from ..tag.config import TagConfig
 from .config import LinkConfig, ScenarioConfig
@@ -148,6 +151,36 @@ def _register_presets() -> None:
                     "(coexistence_study example, Fig. 13 regime).",
         distance_m=0.25,
         tag=TagConfig("16psk", "2/3", 2.5e6),
+    ))
+    register_scenario(ScenarioConfig(
+        name="warehouse-10k",
+        description="Warehouse inventory deployment: 10k tags across 8 "
+                    "APs in 6 m cells, round-robin polling, 16 kbit "
+                    "backlogs (`repro network` smoke scenario).",
+        seed=61,
+        network=NetworkConfig(
+            n_tags=10_000,
+            n_aps=8,
+            scheduler="round_robin",
+            cell_radius_m=6.0,
+            min_distance_m=0.5,
+            queue_bits=16_384,
+        ),
+    ))
+    register_scenario(ScenarioConfig(
+        name="city-block-1m",
+        description="City-block sensing deployment: one million tags "
+                    "across 64 APs in 12 m cells, backlog-proportional "
+                    "polling with small per-tag queues.",
+        seed=67,
+        network=NetworkConfig(
+            n_tags=1_000_000,
+            n_aps=64,
+            scheduler="proportional",
+            cell_radius_m=12.0,
+            min_distance_m=0.5,
+            queue_bits=4096,
+        ),
     ))
     register_scenario(ScenarioConfig(
         name="mobility-2m",

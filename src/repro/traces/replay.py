@@ -26,7 +26,7 @@ from ..tag.config import TagConfig
 from ..tag.tag import BackFiTag
 from .generator import ApTrace
 
-__all__ = ["ReplayResult", "replay_trace"]
+__all__ = ["ReplayResult", "burst_payload_bits", "replay_trace"]
 
 PROTOCOL_OVERHEAD_US = 16.0 + SILENT_US
 """ID preamble + silent period: airtime a burst loses before the tag
@@ -54,9 +54,14 @@ class ReplayResult:
         return self.delivered_bits / self.trace_duration_s
 
 
-def _burst_payload_bits(burst_duration_us: float, config: TagConfig,
-                        preamble_us: float) -> int:
-    """Tag info bits that fit in one burst (mirrors the tag's capacity)."""
+def burst_payload_bits(burst_duration_us: float, config: TagConfig,
+                       preamble_us: float) -> int:
+    """Tag info bits that fit in one burst (mirrors the tag's capacity).
+
+    Shared with the discrete-event network simulator
+    (:mod:`repro.link.simulator`), which uses it as the per-poll
+    delivery capacity of each excitation burst.
+    """
     from ..link.frames import CRC_BITS, HEADER_BITS
 
     data_us = burst_duration_us - PROTOCOL_OVERHEAD_US - preamble_us
@@ -66,6 +71,10 @@ def _burst_payload_bits(burst_duration_us: float, config: TagConfig,
     coded = n_symbols * config.bits_per_symbol
     info = int(coded * config.code_rate_fraction) - 6
     return max(0, info - HEADER_BITS - CRC_BITS)
+
+
+# Backwards-compatible private alias (pre-simulator callers).
+_burst_payload_bits = burst_payload_bits
 
 
 def probe_best_config(scene: Scene, *,
@@ -126,8 +135,8 @@ def replay_trace(trace: ApTrace, scene: Scene,
     if config is None:
         config = probe_best_config(scene, rng=rng)
     usable = [b for b in trace.bursts
-              if _burst_payload_bits(b.duration_s * 1e6, config,
-                                     preamble_us) > 0]
+              if burst_payload_bits(b.duration_s * 1e6, config,
+                                    preamble_us) > 0]
     if not usable:
         return ReplayResult(
             ap_id=trace.ap_id, delivered_bits=0.0,
@@ -157,7 +166,7 @@ def replay_trace(trace: ApTrace, scene: Scene,
     p_success = successes / n_cal
 
     delivered = sum(
-        _burst_payload_bits(b.duration_s * 1e6, config, preamble_us)
+        burst_payload_bits(b.duration_s * 1e6, config, preamble_us)
         for b in usable
     ) * p_success
     return ReplayResult(

@@ -1,0 +1,146 @@
+"""Batched-vs-loop decode equivalence (the PR's tentpole contract).
+
+The batched decoder must reproduce the per-exchange pipeline exactly:
+ok flags and payload bits bit-for-bit, float diagnostics to rtol 1e-10
+(BLAS summation-order noise only).  The 100-element snapshot here is
+the same scale the ``bench_batched_decode`` benchmark times.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel import Scene
+from repro.channel.multipath import apply_channel
+from repro.channel.noise import awgn
+from repro.link import build_ap_transmission
+from repro.reader import BackFiReader, BatchedDecoder
+from repro.tag import BackFiTag, TagConfig
+from repro.wifi import random_payload
+
+RTOL = 1e-10
+
+
+def _build_batch(n_batch, cfg, *, payload_bytes=300, base_seed=1000,
+                 distance_fn=lambda b: 1.0 + 0.02 * b):
+    """One shared AP transmission, per-element channels and rx."""
+    rng = np.random.default_rng(77)
+    psdu = random_payload(payload_bytes, rng)
+    scene0 = Scene.build(tag_distance_m=1.0,
+                         rng=np.random.default_rng(0))
+    tl = build_ap_transmission(psdu, 24, include_cts=False,
+                               tx_power_mw=scene0.tx_power_mw)
+    x = tl.samples
+    rx = np.empty((n_batch, x.size), dtype=np.complex128)
+    h_envs = []
+    for b in range(n_batch):
+        srng = np.random.default_rng(base_seed + b)
+        scene = Scene.build(tag_distance_m=distance_fn(b), rng=srng)
+        tag = BackFiTag(cfg)
+        tag.queue_data(srng.integers(0, 2, size=600, dtype=np.uint8))
+        z_tag = apply_channel(scene.h_f, x)
+        plan = tag.backscatter(z_tag, wake_index=tl.wifi_start)
+        si = apply_channel(scene.h_env, x)
+        back = apply_channel(scene.h_b, z_tag * plan.reflection)
+        rx[b] = si + back + awgn(x.size, scene.noise_floor_mw, srng)
+        h_envs.append(scene.h_env)
+    return tl, rx, h_envs
+
+
+def _assert_equivalent(loop, batch):
+    assert len(loop) == len(batch)
+    for a, b in zip(loop, batch):
+        assert a.ok == b.ok
+        np.testing.assert_array_equal(a.payload_bits, b.payload_bits)
+        assert a.n_symbols == b.n_symbols
+        assert (a.failure is None) == (b.failure is None)
+        if a.failure is not None:
+            assert a.failure.kind == b.failure.kind
+        assert a.recovery_attempts == b.recovery_attempts
+        np.testing.assert_allclose(b.noise_floor_mw, a.noise_floor_mw,
+                                   rtol=RTOL)
+        np.testing.assert_allclose(b.symbol_snr_db, a.symbol_snr_db,
+                                   rtol=RTOL, equal_nan=True)
+        assert (a.sync is None) == (b.sync is None)
+        if a.sync is not None:
+            assert a.sync.preamble_start == b.sync.preamble_start
+            assert a.sync.offset_samples == b.sync.offset_samples
+            np.testing.assert_allclose(b.sync.metric, a.sync.metric,
+                                       rtol=RTOL)
+            scale = float(np.max(np.abs(a.channel.h_fb)))
+            np.testing.assert_allclose(b.channel.h_fb, a.channel.h_fb,
+                                       rtol=RTOL, atol=RTOL * scale)
+            np.testing.assert_allclose(b.channel.residual_power,
+                                       a.channel.residual_power,
+                                       rtol=RTOL)
+        if a.mrc is not None:
+            sym_scale = float(np.max(np.abs(a.mrc.symbols)))
+            np.testing.assert_allclose(b.mrc.symbols, a.mrc.symbols,
+                                       rtol=RTOL, atol=RTOL * sym_scale)
+            np.testing.assert_allclose(b.mrc.noise_var, a.mrc.noise_var,
+                                       rtol=RTOL)
+        if a.decode is not None:
+            np.testing.assert_array_equal(a.decode.decoded_bits,
+                                          b.decode.decoded_bits)
+
+
+class TestBatchedDecoder:
+    def test_100_tag_snapshot_matches_loop(self):
+        cfg = TagConfig("qpsk", "1/2", 1e6)
+        tl, rx, h_envs = _build_batch(100, cfg)
+        reader = BackFiReader(cfg)
+        loop = [
+            reader.decode(tl, rx[b], h_envs[b],
+                          rng=np.random.default_rng(5000 + b))
+            for b in range(rx.shape[0])
+        ]
+        batch = BatchedDecoder(reader).decode_batch(
+            tl, rx, h_envs,
+            rngs=[np.random.default_rng(5000 + b)
+                  for b in range(rx.shape[0])],
+        )
+        # The snapshot must actually exercise the happy path: near tags
+        # at 1-3 m decode reliably.
+        assert sum(r.ok for r in loop) >= 90
+        _assert_equivalent(loop, batch)
+
+    def test_failures_and_recovery_match_loop(self):
+        # Far tags fail CRC; a pure-noise element fails sync and walks
+        # the recovery ladder (widened search) in both paths.
+        cfg = TagConfig("qpsk", "1/2", 1e6)
+        tl, rx, h_envs = _build_batch(
+            12, cfg, distance_fn=lambda b: 4.0 + 0.5 * b)
+        nrng = np.random.default_rng(9)
+        rx[0] = (nrng.standard_normal(rx.shape[1])
+                 + 1j * nrng.standard_normal(rx.shape[1])) * 1e-9
+        reader = BackFiReader(cfg)
+        loop = [
+            reader.decode(tl, rx[b], h_envs[b],
+                          rng=np.random.default_rng(6000 + b))
+            for b in range(rx.shape[0])
+        ]
+        batch = BatchedDecoder(reader).decode_batch(
+            tl, rx, h_envs,
+            rngs=[np.random.default_rng(6000 + b)
+                  for b in range(rx.shape[0])],
+        )
+        assert any(not r.ok for r in loop)
+        _assert_equivalent(loop, batch)
+
+    def test_default_rngs_match_loop(self):
+        # rngs=None must reproduce the scalar path's seeded default.
+        cfg = TagConfig("qpsk", "1/2", 1e6)
+        tl, rx, h_envs = _build_batch(4, cfg)
+        reader = BackFiReader(cfg)
+        loop = [reader.decode(tl, rx[b], h_envs[b])
+                for b in range(rx.shape[0])]
+        batch = BatchedDecoder(reader).decode_batch(tl, rx, h_envs)
+        _assert_equivalent(loop, batch)
+
+    def test_rejects_misaligned_batch(self):
+        cfg = TagConfig("qpsk", "1/2", 1e6)
+        tl, rx, h_envs = _build_batch(2, cfg)
+        dec = BatchedDecoder(BackFiReader(cfg))
+        with pytest.raises(ValueError):
+            dec.decode_batch(tl, rx[:, :-5], h_envs)
+        with pytest.raises(ValueError):
+            dec.decode_batch(tl, rx, h_envs[:1])

@@ -1,0 +1,270 @@
+"""Discrete-event network simulator: schedulers, determinism, physics.
+
+Covers the PR's bugfix sweep (fairness divide-by-zero, NaN success
+rate, proportional lottery rng contract) and the simulator's property
+contracts: round-robin airtime within one poll of equal, max_rate
+tracking the argmax operating point, byte-identical stats at any
+worker count, and collision/capture semantics under preamble aliasing.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.link.budget import LinkBudget
+from repro.link.network import (
+    NetworkStats,
+    RegisteredTag,
+    proportional_pick,
+)
+from repro.link.simulator import (
+    NetworkConfig,
+    NetworkSimulator,
+    _rate_ladder,
+    _symbol_snr_db_vec,
+    build_population,
+    simulate_ap,
+)
+from repro.tag.config import TagConfig
+from repro.traces.generator import generate_ap_trace
+
+
+def _run(config, seed, polls, jobs=None):
+    return NetworkSimulator(config, seed=seed).run(polls, jobs=jobs)
+
+
+class TestBugfixSweep:
+    def test_fairness_index_degenerate_returns_one(self):
+        # Empty stats, and stats where nobody delivered: both used to
+        # divide by zero.
+        assert NetworkStats().fairness_index() == 1.0
+        s = NetworkStats(n_registered=4,
+                         per_tag_bits={0: 0, 1: 0, 2: 0, 3: 0})
+        assert s.fairness_index() == 1.0
+
+    def test_fairness_counts_unserved_registered_tags(self):
+        # One of two registered tags got everything: Jain = 0.5 even
+        # though the sparse dict only holds the served tag.
+        s = NetworkStats(n_registered=2, per_tag_bits={0: 100})
+        assert s.fairness_index() == pytest.approx(0.5)
+
+    def test_success_rate_nan_when_never_polled(self):
+        reg = RegisteredTag(tag_id=0, distance_m=1.0,
+                            config=TagConfig())
+        assert math.isnan(reg.success_rate)
+        reg.exchanges, reg.successes = 4, 3
+        assert reg.success_rate == pytest.approx(0.75)
+
+    def test_proportional_pick_consumes_exactly_one_draw(self):
+        # The byte-identical-at-any-jobs contract: one rng.random()
+        # per call, for weighted and all-zero weights alike.
+        for weights in ([5.0, 1.0, 3.0], [0.0, 0.0, 0.0]):
+            rng = np.random.default_rng(3)
+            ref = np.random.default_rng(3)
+            idx = proportional_pick(weights, rng)
+            ref.random()
+            assert 0 <= idx < len(weights)
+            assert rng.bit_generator.state == ref.bit_generator.state
+
+    def test_proportional_pick_zero_total_uniform_fallback(self):
+        # All-empty queues fall back to a defined uniform draw.
+        rng = np.random.default_rng(11)
+        picks = {proportional_pick([0, 0, 0, 0], rng)
+                 for _ in range(200)}
+        assert picks == {0, 1, 2, 3}
+
+    def test_proportional_pick_rejects_bad_weights(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            proportional_pick([], rng)
+        with pytest.raises(ValueError):
+            proportional_pick([1.0, -2.0], rng)
+
+
+class TestVectorisedBudget:
+    def test_matches_scalar_link_budget(self):
+        budget = LinkBudget()
+        d = np.linspace(0.5, 12.0, 30)  # spans the <=1 m Friis branch
+        for config in _rate_ladder():
+            vec = _symbol_snr_db_vec(budget, d, config)
+            ref = np.array(
+                [budget.symbol_snr_db(float(x), config) for x in d])
+            np.testing.assert_allclose(vec, ref, rtol=1e-12)
+
+
+class TestNetworkConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(n_tags=0)
+        with pytest.raises(ValueError):
+            NetworkConfig(scheduler="fifo")
+        with pytest.raises(ValueError):
+            NetworkConfig(min_distance_m=5.0, cell_radius_m=5.0)
+        with pytest.raises(ValueError):
+            NetworkConfig(id_bits=0)
+        with pytest.raises(ValueError):
+            NetworkConfig(fidelity="oracle")
+
+    def test_population_assigns_faster_configs_nearer(self):
+        cfg = NetworkConfig(n_tags=200, cell_radius_m=8.0)
+        pop = build_population(cfg, np.arange(200),
+                               np.random.default_rng(1))
+        # ladder index is "fastest first": it must be non-decreasing
+        # with distance group-wise (nearer tags never run slower than
+        # the boundary allows).
+        order = np.argsort(pop.distance_m)
+        idx = pop.config_idx[order]
+        tput = pop.throughput_bps[order]
+        assert idx[0] <= idx[-1]
+        assert tput[0] >= tput[-1]
+        # every tag got a ladder entry and a finite budget SNR
+        assert np.all((0 <= pop.config_idx)
+                      & (pop.config_idx < len(pop.ladder)))
+        assert np.all(np.isfinite(pop.budget_snr_db))
+
+
+class TestSchedulers:
+    def test_round_robin_airtime_within_one_poll(self):
+        # 10 tags, 95 polls, queues deep enough that nobody drains:
+        # cyclic polling puts every tag within one poll of 95/10.
+        cfg = NetworkConfig(n_tags=10, queue_bits=10 ** 9,
+                            scheduler="round_robin")
+        stats = _run(cfg, seed=2, polls=95)
+        counts = [stats.per_tag_polls.get(t, 0) for t in range(10)]
+        assert sum(counts) == 95
+        assert set(counts) <= {9, 10}
+
+    def test_max_rate_polls_argmax_prefix(self):
+        # max_rate must always address the backlogged tag with the
+        # highest operating-point throughput: the set of tags it ever
+        # polls is a prefix of the throughput-sorted order.
+        cfg = NetworkConfig(n_tags=30, scheduler="max_rate",
+                            cell_radius_m=8.0, queue_bits=4096)
+        stats = _run(cfg, seed=4, polls=120)
+        pop = build_population(
+            cfg, np.arange(30, dtype=np.int64),
+            np.random.default_rng(
+                np.random.SeedSequence(4).spawn(1)[0].spawn(4)[0]))
+        order = np.lexsort((np.arange(30), -pop.throughput_bps))
+        polled = set(stats.per_tag_polls)
+        k = len(polled)
+        assert polled == {int(pop.tag_ids[i]) for i in order[:k]}
+        # Fast tags hog the channel; slow tags starve.
+        assert stats.starved_tags == 30 - k
+
+    def test_proportional_serves_all_backlogged(self):
+        cfg = NetworkConfig(n_tags=8, scheduler="proportional",
+                            queue_bits=10 ** 9)
+        stats = _run(cfg, seed=6, polls=400)
+        assert set(stats.per_tag_polls) == set(range(8))
+
+
+class TestDeterminism:
+    def test_jobs_invariant_stats(self):
+        cfg = NetworkConfig(n_tags=40, n_aps=4)
+        s1 = _run(cfg, seed=7, polls=200, jobs=1)
+        s2 = _run(cfg, seed=7, polls=200, jobs=2)
+        assert s1 == s2
+
+    def test_same_seed_same_stats(self):
+        cfg = NetworkConfig(n_tags=24, n_aps=3,
+                            scheduler="proportional")
+        assert _run(cfg, seed=9, polls=90) == _run(cfg, seed=9,
+                                                   polls=90)
+
+    def test_different_seed_differs(self):
+        cfg = NetworkConfig(n_tags=24, n_aps=3)
+        assert _run(cfg, seed=9, polls=90) != _run(cfg, seed=10,
+                                                   polls=90)
+
+
+class TestCollisionsAndCapture:
+    def test_aliasing_produces_contention(self):
+        # 3-bit preambles over 64 tags: 8 tags per preamble; aliased
+        # responders must surface as collisions and/or captures.
+        cfg = NetworkConfig(n_tags=64, id_bits=3)
+        stats = _run(cfg, seed=5, polls=300)
+        assert stats.collisions + stats.captures > 0
+        # Collided polls still count their airtime and poll.
+        assert stats.polls == 300
+
+    def test_wide_preambles_are_contention_free(self):
+        cfg = NetworkConfig(n_tags=64, id_bits=16)
+        stats = _run(cfg, seed=5, polls=300)
+        assert stats.collisions == 0 and stats.captures == 0
+
+
+class TestSimulateAp:
+    def test_empty_population_and_zero_polls(self):
+        cfg = NetworkConfig(n_tags=4)
+        pop = build_population(cfg, np.empty(0, dtype=np.int64),
+                               np.random.default_rng(0))
+        trace = generate_ap_trace(0.1, rng=np.random.default_rng(0))
+        stats = simulate_ap(pop, trace, cfg, 50,
+                            np.random.default_rng(0))
+        assert stats.polls == 0 and stats.fairness_index() == 1.0
+
+        pop = build_population(cfg, np.arange(4, dtype=np.int64),
+                               np.random.default_rng(0))
+        stats = simulate_ap(pop, trace, cfg, 0,
+                            np.random.default_rng(0))
+        assert stats.polls == 0
+
+    def test_trace_recycles_until_poll_budget(self):
+        # A short trace must recycle (with advancing clock) to satisfy
+        # a poll budget larger than its burst count.
+        cfg = NetworkConfig(n_tags=6, queue_bits=10 ** 9)
+        pop = build_population(cfg, np.arange(6, dtype=np.int64),
+                               np.random.default_rng(3))
+        trace = generate_ap_trace(0.004, rng=np.random.default_rng(3))
+        n_polls = 4 * len(trace.bursts) + 1
+        stats = simulate_ap(pop, trace, cfg, n_polls,
+                            np.random.default_rng(3))
+        assert stats.polls == n_polls
+        assert stats.duration_s > trace.duration_s
+
+    def test_queues_drain_and_stop_early(self):
+        cfg = NetworkConfig(n_tags=3, queue_bits=512)
+        stats = _run(cfg, seed=8, polls=10 ** 4)
+        assert stats.total_delivered_bits == 3 * 512
+        assert stats.polls < 10 ** 4
+
+
+class TestCalibratedFidelity:
+    def test_calibrated_run_is_deterministic_and_delivers(self):
+        cfg = NetworkConfig(n_tags=10, fidelity="calibrated",
+                            calibration_tags=2, cell_radius_m=3.0)
+        s1 = _run(cfg, seed=11, polls=40)
+        s2 = _run(cfg, seed=11, polls=40)
+        assert s1 == s2
+        assert s1.total_delivered_bits > 0
+
+
+class TestPresets:
+    def test_warehouse_smoke(self):
+        from repro.scenario import get_scenario
+
+        sc = get_scenario("warehouse-10k")
+        stats = NetworkSimulator(sc.network, seed=sc.seed).run(200)
+        assert stats.polls == 200
+        assert stats.total_delivered_bits > 0
+        assert 0.0 < stats.fairness_index() <= 1.0
+
+    def test_network_section_round_trips(self):
+        from repro.scenario import ScenarioConfig, get_scenario
+
+        for name in ("warehouse-10k", "city-block-1m"):
+            sc = get_scenario(name)
+            back = ScenarioConfig.from_json(sc.to_json())
+            assert back == sc
+            assert back.network == sc.network
+
+    def test_with_overrides_populates_null_network(self):
+        from repro.scenario import ScenarioConfig
+
+        sc = ScenarioConfig().with_overrides("network.n_tags=128")
+        assert sc.network is not None and sc.network.n_tags == 128
+        with pytest.raises(ValueError):
+            ScenarioConfig.from_dict(
+                {"network": {"n_tags": 4, "bogus": 1}})
