@@ -234,6 +234,120 @@ def bench_batched_decode(repeats: int) -> dict[str, float]:
     }
 
 
+def bench_streaming_warm_session(repeats: int) -> dict[str, float]:
+    """A 4-exchange streaming session: warm decodes vs cold decodes.
+
+    The fast form carries cancellation/sync state across the session's
+    exchanges (analog board trim held, digital taps reused while they
+    pass the held-out residual gate, sync recentred on the previous
+    offset); the direct form decodes every exchange cold.  Both run
+    through :class:`repro.streaming.decoder.StreamingDecoder`, so the
+    ratio isolates the warm-start machinery.
+    """
+    from repro.streaming import CaptureSource, StreamingDecoder
+    from repro.streaming.session import exchange_rngs
+
+    n_exchanges = 4
+    src = CaptureSource("streaming-50")
+    built = src.built
+    caps = [src.next_exchange()[0] for _ in range(n_exchanges)]
+    chunk = 4096
+
+    def run_session(warm: bool):
+        decoder = StreamingDecoder(built.reader, warm_start=warm)
+        for i, cap in enumerate(caps):
+            _, rng = exchange_rngs(src.scenario.seed, i)
+            decoder.decode_chunks(
+                cap.timeline, built.scene.h_env,
+                [cap.rx[s:s + chunk]
+                 for s in range(0, cap.n_samples, chunk)],
+                pa_output=cap.x_pa, rng=rng)
+
+    prev = set_fastpath_enabled(True)
+    try:
+        fast_ms = _median_ms(lambda: run_session(True), repeats)
+        direct_ms = _median_ms(lambda: run_session(False), repeats)
+    finally:
+        set_fastpath_enabled(prev)
+    return {
+        "fast_ms": round(fast_ms, 4),
+        "direct_ms": round(direct_ms, 4),
+        "speedup": round(direct_ms / max(fast_ms, 1e-9), 3),
+    }
+
+
+def bench_streaming_mux(repeats: int) -> dict[str, float]:
+    """50 concurrent streaming sessions through the multiplexer.
+
+    The fast form pushes one exchange into each of 50 concurrently-open
+    multiplexer sessions (chunked ingest on the event loop, frame-
+    barrier decodes fanned out to the thread pool); the direct form
+    decodes the same 50 captures sequentially through the batch reader.
+    The extra ``sessions_per_sec`` key is the service-level throughput
+    number ``docs/STREAMING.md`` quotes; the perf gate tracks the
+    speedup ratio like every other kernel.
+    """
+    import asyncio
+
+    from repro.scenario import StreamingConfig
+    from repro.streaming import CaptureSource, SessionMultiplexer
+
+    n_sessions = 50
+    src = CaptureSource("streaming-50")
+    built = src.built
+    cap, _ = src.next_exchange()
+    chunk = 4096
+    chunks = [cap.rx[s:s + chunk]
+              for s in range(0, cap.n_samples, chunk)]
+
+    loop = asyncio.new_event_loop()
+    cfg = StreamingConfig(max_sessions=n_sessions, chunk_samples=chunk)
+    mux = SessionMultiplexer(cfg)
+
+    async def setup():
+        await mux.start()
+        sids = []
+        for _ in range(n_sessions):
+            session = await mux.open_session(src.scenario)
+            sids.append(session.id)
+        return sids
+
+    async def one_exchange(sid: str):
+        await mux.start_attached_exchange(
+            sid, cap.timeline, built.scene.h_env,
+            pa_output=cap.x_pa, rng=np.random.default_rng(9))
+        for c in chunks:
+            await mux.push_chunk(sid, c)
+        await mux.wait_result(sid)
+
+    async def one_round(sids):
+        await asyncio.gather(*[one_exchange(sid) for sid in sids])
+
+    repeats = min(repeats, 5)
+    prev = set_fastpath_enabled(True)
+    try:
+        sids = loop.run_until_complete(setup())
+        fast_ms = _median_ms(
+            lambda: loop.run_until_complete(one_round(sids)), repeats)
+        direct_ms = _median_ms(
+            lambda: [built.reader.decode(cap.timeline, cap.rx,
+                                         built.scene.h_env,
+                                         pa_output=cap.x_pa,
+                                         rng=np.random.default_rng(9))
+                     for _ in range(n_sessions)],
+            repeats)
+    finally:
+        loop.run_until_complete(mux.aclose())
+        loop.close()
+        set_fastpath_enabled(prev)
+    return {
+        "fast_ms": round(fast_ms, 4),
+        "direct_ms": round(direct_ms, 4),
+        "speedup": round(direct_ms / max(fast_ms, 1e-9), 3),
+        "sessions_per_sec": round(n_sessions / (fast_ms / 1e3), 1),
+    }
+
+
 KERNELS = {
     "fine_timing_search": bench_fine_timing_search,
     "digital_cancellation": bench_digital_cancellation,
@@ -242,6 +356,8 @@ KERNELS = {
     "normalized_cross_correlation": bench_normalized_cross_correlation,
     "scrambler_sequence": bench_scrambler_sequence,
     "batched_decode": bench_batched_decode,
+    "streaming_warm_session": bench_streaming_warm_session,
+    "streaming_mux": bench_streaming_mux,
 }
 
 

@@ -3,8 +3,9 @@
 
 The paper's future work (Sec. 7): "designing protocols to manage a
 network of BackFi tags connected to an AP".  The link layer already has
-the mechanism -- per-tag identification preambles -- so this example runs
-the polling scheduler over four heterogeneous tags and compares the
+the mechanism -- per-tag identification preambles -- so this example
+polls a four-tag fleet drawn from the scenario preset registry (each
+preset pins one tag's distance and operating point) and compares the
 schedulers' throughput/fairness trade-off.
 
 Usage::
@@ -21,26 +22,30 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.link import BackFiNetwork
-from repro.tag import TagConfig
+from repro import get_scenario
+from repro.link import SCHEDULERS, BackFiNetwork
 
 FLEET = [
-    # (distance m, operating point, queued bits)  -- a camera, two
-    # wearables and a far-away temperature sensor.
-    (0.5, TagConfig("16psk", "2/3", 2.5e6), 200_000),
-    (1.5, TagConfig("16psk", "1/2", 2e6), 60_000),
-    (2.5, TagConfig("qpsk", "2/3", 2e6), 60_000),
-    (5.0, TagConfig("qpsk", "1/2", 1e6), 20_000),
+    # (scenario preset, queued bits) -- a camera, a wearable, a sensor
+    # and a far-away temperature probe.  Each preset pins the tag's
+    # distance and operating point (`repro scenarios` lists them), so
+    # the fleet is heterogeneous by construction; only the workload
+    # (the queued backlog) is per-deployment.
+    ("coex-0.25m", 200_000),
+    ("paper-1m", 60_000),
+    ("sensor-2m", 60_000),
+    ("paper-5m", 20_000),
 ]
 POLLS = 16
 
 
 def main() -> None:
-    for scheduler in ("round_robin", "max_rate", "proportional"):
+    for scheduler in SCHEDULERS:
         net = BackFiNetwork(scheduler=scheduler,
                             rng=np.random.default_rng(42))
-        for distance, config, backlog in FLEET:
-            net.register_tag(distance, config, queue_bits=backlog)
+        for preset, backlog in FLEET:
+            sc = get_scenario(preset)
+            net.register_tag(sc.distance_m, sc.tag, queue_bits=backlog)
 
         stats = net.run(POLLS)
         print(f"--- scheduler: {scheduler} ---")

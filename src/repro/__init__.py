@@ -23,7 +23,11 @@ numpy/scipy:
 * :mod:`repro.telemetry` -- per-stage spans and signal probes for the
   decode pipeline (``repro trace`` renders a saved run),
 * :mod:`repro.scenario` -- declarative, serializable deployment
-  descriptions and the preset registry every entry point builds from.
+  descriptions and the preset registry every entry point builds from,
+* :mod:`repro.streaming` -- the decode pipeline as a long-running
+  service: chunked ingest, warm multi-exchange sessions, an asyncio
+  session multiplexer and the ``repro serve`` HTTP/WebSocket front-end
+  with a live telemetry feed.
 
 Quickstart::
 
@@ -51,10 +55,12 @@ from .reader import BackFiReader, ReaderConfig, ReaderResult, select_config
 from .scenario import (
     LinkConfig,
     ScenarioConfig,
+    StreamingConfig,
     get_scenario,
     list_scenarios,
     register_scenario,
 )
+from .streaming import SessionMultiplexer, StreamingDecoder, StreamingServer
 from .tag import BackFiTag, TagConfig, all_tag_configs, default_energy_model
 from .telemetry import TelemetryCollector
 from .wifi import WifiReceiver, WifiTransmitter
@@ -81,6 +87,10 @@ __all__ = [
     "TagConfig",
     "all_tag_configs",
     "default_energy_model",
+    "SessionMultiplexer",
+    "StreamingConfig",
+    "StreamingDecoder",
+    "StreamingServer",
     "TelemetryCollector",
     "WifiReceiver",
     "WifiTransmitter",

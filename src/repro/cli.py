@@ -20,6 +20,10 @@ Commands
 ``network``      discrete-event multi-tag simulation of a scenario's
                  ``network`` section (e.g. ``--scenario warehouse-10k``),
                  sharded per AP and cached like the other sweeps.
+``serve``        run the streaming decode service: chunked sample
+                 ingest over HTTP, many concurrent tag sessions, live
+                 telemetry feed (see docs/STREAMING.md; the stdlib
+                 client is ``python -m repro.streaming``).
 
 ``link``, ``sweep``, ``profile`` and ``robustness`` all accept
 ``--scenario NAME`` (start from a registered preset) and
@@ -147,6 +151,32 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes (0 = all CPUs)")
     net.add_argument("--no-cache", action="store_true",
                      help="recompute instead of reading .repro_cache/")
+
+    serve = sub.add_parser("serve",
+                           help="streaming decode service "
+                                "(HTTP/WebSocket, live telemetry feed)")
+    _add_scenario_flags(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port (default: 8735; 0 picks a free "
+                            "port and prints it)")
+    serve.add_argument("--max-sessions", type=int, default=None,
+                       help="concurrent-session admission limit "
+                            "(default: the scenario's streaming "
+                            "section)")
+    serve.add_argument("--chunk-samples", type=int, default=None,
+                       help="advertised ingest chunk size")
+    serve.add_argument("--backpressure", default=None,
+                       choices=("wait", "shed"),
+                       help="full-ring policy: block the producer, or "
+                            "refuse the chunk with 429")
+    serve.add_argument("--warm-start", action="store_true",
+                       help="default new sessions to warm decoding "
+                            "(carry cancellation/sync state across "
+                            "exchanges)")
+    serve.add_argument("--telemetry-records", type=int, default=4096,
+                       help="in-memory telemetry ring size "
+                            "(default: %(default)s)")
 
     rep = sub.add_parser("report",
                          help="write a markdown reproduction report")
@@ -453,6 +483,64 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the streaming decode service until POST /shutdown (or ^C)."""
+    import asyncio
+    from dataclasses import replace
+
+    from .scenario import StreamingConfig, get_scenario
+    from .streaming import DEFAULT_PORT, SessionMultiplexer, \
+        StreamingServer
+    from .telemetry import TelemetryCollector
+
+    scenario_name = args.scenario or "streaming-50"
+    sc = get_scenario(scenario_name)
+    if args.overrides:
+        sc = sc.with_overrides(*args.overrides)
+    cfg = sc.streaming or StreamingConfig()
+    flag_over = {
+        name: getattr(args, name)
+        for name in ("max_sessions", "chunk_samples", "backpressure")
+        if getattr(args, name) is not None
+    }
+    if args.warm_start:
+        flag_over["warm_start"] = True
+    if flag_over:
+        cfg = replace(cfg, **flag_over)
+
+    async def _serve() -> int:
+        collector = TelemetryCollector(
+            label=f"repro serve --scenario {scenario_name}",
+            max_records=args.telemetry_records)
+        server = StreamingServer(
+            SessionMultiplexer(cfg),
+            host=args.host,
+            port=DEFAULT_PORT if args.port is None else args.port,
+            default_scenario=scenario_name,
+            collector=collector,
+        )
+        await server.start()
+        print(f"streaming decode service on "
+              f"http://{server.host}:{server.port}", flush=True)
+        print(f"  default scenario : {scenario_name} "
+              f"[{sc.scenario_hash()}]", flush=True)
+        print(f"  sessions         : up to {cfg.max_sessions} "
+              f"({cfg.backpressure} backpressure, "
+              f"{cfg.chunk_samples}-sample chunks)", flush=True)
+        print("  stop with        : POST /shutdown (or ^C)", flush=True)
+        try:
+            await server.serve_until_shutdown()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            await server.aclose()
+        print(f"telemetry saved to {collector.path}", flush=True)
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     from .link import LinkBudget
     from .reader import select_config
@@ -500,6 +588,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_scenarios(args)
     if args.command == "network":
         return _cmd_network(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "experiments":
         from .experiments.run_all import main as run_all_main
 

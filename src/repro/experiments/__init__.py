@@ -24,6 +24,7 @@ EXPERIMENT_MODULES = (
     "alt_excitation",
     "mobility",
     "robustness_sweep",
+    "streaming_load",
 )
 
 __all__ = [

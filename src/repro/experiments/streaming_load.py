@@ -1,0 +1,152 @@
+"""Sustained-load sweep of the streaming decode service.
+
+Drives the :class:`~repro.streaming.mux.SessionMultiplexer` directly
+(no HTTP in the loop) at increasing concurrent-session counts and
+reports, per load level, the sessions/sec the multiplexer sustains,
+the mean frame-barrier decode latency, warm-start reuse counts, and the
+admission/backpressure counters.  This is the service-level companion
+to the per-kernel ``streaming_mux`` entry in ``BENCH_hotpaths.json``:
+the kernel benchmark tracks one ratio for the CI gate, this sweep shows
+how throughput scales with concurrency (and where admission control
+starts refusing work).
+
+Run it directly::
+
+    PYTHONPATH=src python -m repro.experiments.streaming_load
+
+or with custom load levels::
+
+    run(levels=(10, 25, 50), exchanges_per_session=3)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from ..scenario import StreamingConfig, resolve_scenario
+from .common import ExperimentTable
+
+__all__ = ["StreamingLoadPoint", "StreamingLoadResult", "run"]
+
+
+@dataclass
+class StreamingLoadPoint:
+    """One load level's measured service behaviour."""
+
+    sessions: int
+    exchanges: int
+    wall_s: float
+    decoded: int
+    failed: int
+    warm_reuses: int
+    refused: int
+    sheds: int
+    decode_seconds: float
+
+    @property
+    def sessions_per_sec(self) -> float:
+        """Completed session-exchanges per wall-clock second."""
+        return self.decoded / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def mean_decode_ms(self) -> float:
+        return 1e3 * self.decode_seconds / max(self.decoded, 1)
+
+
+@dataclass
+class StreamingLoadResult:
+    """The sweep across load levels, with its printable table."""
+
+    scenario_name: str
+    points: list[StreamingLoadPoint] = field(default_factory=list)
+    table: ExperimentTable | None = None
+
+
+async def _run_level(scenario, sessions: int, exchanges: int,
+                     warm_start: bool) -> StreamingLoadPoint:
+    from ..streaming import SessionMultiplexer
+
+    cfg = scenario.streaming or StreamingConfig()
+    cfg = StreamingConfig(
+        chunk_samples=cfg.chunk_samples,
+        ring_chunks=cfg.ring_chunks,
+        max_sessions=sessions,
+        backpressure=cfg.backpressure,
+        warm_start=warm_start,
+        decode_workers=cfg.decode_workers,
+    )
+    async with SessionMultiplexer(cfg) as mux:
+        sids = []
+        for _ in range(sessions):
+            session = await mux.open_session(scenario)
+            sids.append(session.id)
+
+        async def drive(sid: str) -> None:
+            for _ in range(exchanges):
+                opened = await mux.start_exchange(sid)
+                session = mux._entry(sid).session
+                rx = session.capture.rx
+                step = cfg.chunk_samples
+                for start in range(0, opened["n_samples"], step):
+                    await mux.push_chunk(sid, rx[start:start + step])
+                await mux.wait_result(sid)
+
+        t0 = time.perf_counter()
+        await asyncio.gather(*[drive(sid) for sid in sids])
+        wall = time.perf_counter() - t0
+
+        stats = mux.stats()
+        per = stats["per_session"].values()
+        return StreamingLoadPoint(
+            sessions=sessions,
+            exchanges=exchanges,
+            wall_s=wall,
+            decoded=sum(s["decoded"] for s in per),
+            failed=sum(s["failed"] for s in per),
+            warm_reuses=sum(s["warm_reuses"] for s in per),
+            refused=stats["refused"],
+            sheds=stats["sheds"],
+            decode_seconds=sum(s["decode_seconds"] for s in per),
+        )
+
+
+def run(scenario="streaming-50", *, levels: tuple[int, ...] = (1, 10, 50),
+        exchanges_per_session: int = 2,
+        warm_start: bool = True) -> StreamingLoadResult:
+    """Sweep concurrent-session load on the streaming multiplexer.
+
+    Each level opens that many sessions of ``scenario`` and streams
+    ``exchanges_per_session`` exchanges into every one concurrently.
+    Levels run sequentially on a fresh multiplexer so they do not
+    contend with each other.
+    """
+    sc = resolve_scenario(scenario)
+    result = StreamingLoadResult(scenario_name=sc.name or "(custom)")
+    for level in levels:
+        point = asyncio.run(
+            _run_level(sc, level, exchanges_per_session, warm_start))
+        result.points.append(point)
+
+    table = ExperimentTable(
+        title=f"streaming sustained load - {result.scenario_name} "
+              f"({exchanges_per_session} exchanges/session, "
+              f"warm {'on' if warm_start else 'off'})",
+        columns=["sessions", "decoded", "failed", "sessions/s",
+                 "mean decode ms", "warm reuses", "sheds"],
+    )
+    for p in result.points:
+        table.add_row(p.sessions, p.decoded, p.failed,
+                      f"{p.sessions_per_sec:.1f}",
+                      f"{p.mean_decode_ms:.2f}",
+                      p.warm_reuses, p.sheds)
+    table.add_note("sessions/s counts completed exchanges per wall "
+                   "second across all concurrent sessions; decode ms "
+                   "is the frame-barrier cost only (ingest excluded)")
+    result.table = table
+    return result
+
+
+if __name__ == "__main__":
+    print(run(levels=(1, 10, 50), exchanges_per_session=2).table)

@@ -19,7 +19,7 @@ from .fragmentation import (
     run_fragmented_transfer,
 )
 from .frames import TagFrame, build_frame_bits, parse_frame_bits
-from .network import BackFiNetwork, NetworkStats, RegisteredTag
+from .network import SCHEDULERS, BackFiNetwork, NetworkStats, RegisteredTag
 from .protocol import ApTimeline, build_ap_transmission
 from .session import SessionResult, run_backscatter_session, \
     run_scenario_session
@@ -57,6 +57,7 @@ __all__ = [
     "BackFiNetwork",
     "NetworkStats",
     "RegisteredTag",
+    "SCHEDULERS",
     "NetworkConfig",
     "NetworkSimulator",
     "TagPopulation",

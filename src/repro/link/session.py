@@ -38,8 +38,40 @@ from ..wifi.frames import random_payload
 from ..wifi.receiver import RxResult, WifiReceiver
 from .protocol import ApTimeline, build_ap_transmission
 
-__all__ = ["SessionResult", "run_backscatter_session",
-           "run_scenario_session"]
+__all__ = ["ExchangeCapture", "SessionResult", "run_backscatter_session",
+           "run_scenario_session", "synthesize_exchange"]
+
+
+@dataclass
+class ExchangeCapture:
+    """One synthesized exchange, before any receiver has looked at it.
+
+    Everything :func:`run_backscatter_session` produces up to (and
+    excluding) the reader's decode: the AP's transmission plan, the PA
+    output the canceller taps, and the receive waveform.  The streaming
+    service synthesizes captures with :func:`synthesize_exchange` and
+    feeds ``rx`` to the decoder in chunks; the batch session decodes it
+    in one call.  Decoding ``rx`` with the same generator state either
+    way yields byte-identical results.
+    """
+
+    timeline: ApTimeline
+    plan: BackscatterPlan
+    payload_bits: np.ndarray = field(repr=False)
+    x_pa: np.ndarray = field(repr=False)
+    """The transmitted waveform after the PA model (what the canceller
+    taps)."""
+    rx: np.ndarray = field(repr=False)
+    """The reader's receive signal (SI + backscatter + noise + faults)."""
+    z_tag: np.ndarray = field(repr=False)
+    """The excitation as seen at the tag (the client path reuses it)."""
+    reflection: np.ndarray = field(repr=False)
+    """The tag's reflection coefficient stream, after fault shaping."""
+    injected_faults: tuple[str, ...] = ()
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.rx.size)
 
 
 @dataclass
@@ -161,6 +193,93 @@ def run_backscatter_session(
         realisation; ARQ layers increment it per opportunity).
     """
     rng = rng or np.random.default_rng()
+    cap = synthesize_exchange(
+        scene, tag,
+        payload_bits=payload_bits,
+        n_payload_bits=n_payload_bits,
+        wifi_rate_mbps=wifi_rate_mbps,
+        wifi_payload_bytes=wifi_payload_bytes,
+        preamble_us=preamble_us,
+        pa=pa,
+        backscatter_evm=backscatter_evm,
+        tag_speed_m_s=tag_speed_m_s,
+        excitation=excitation,
+        addressed_tag_id=addressed_tag_id,
+        interferers=interferers,
+        use_tag_detector=use_tag_detector,
+        include_cts=include_cts,
+        faults=faults,
+        exchange_index=exchange_index,
+        rng=rng,
+    )
+    timeline = cap.timeline
+    result = reader.decode(timeline, cap.rx, scene.h_env,
+                           pa_output=cap.x_pa, rng=rng)
+
+    # --- optional client receive -------------------------------------------
+    client_rx = None
+    client_snr = float("nan")
+    if decode_client:
+        rx_client = apply_channel(scene.h_ap_client, cap.x_pa)
+        rx_client = rx_client + apply_channel(
+            scene.h_tag_client, cap.z_tag * cap.reflection
+        )
+        rx_client = rx_client + awgn(cap.n_samples, scene.noise_floor_mw,
+                                     rng)
+        # The client's oscillator is independent of the AP's (802.11
+        # allows +-20 ppm; the BackFi reader itself has no CFO because
+        # it receives with its own transmit LO).
+        if client_cfo_hz is None:
+            client_cfo_hz = float(rng.uniform(-40e3, 40e3))
+        rx_client = carrier_frequency_offset(rx_client, client_cfo_hz)
+        wifi_rx = WifiReceiver()
+        # Hand the client only the data PPDU portion.
+        client_rx = wifi_rx.receive(rx_client[timeline.wifi_start:])
+        client_snr = client_rx.snr_db
+
+    return SessionResult(
+        timeline=timeline,
+        plan=cap.plan,
+        reader=result,
+        payload_bits=cap.payload_bits,
+        client=client_rx,
+        client_snr_db=client_snr,
+        injected_faults=cap.injected_faults,
+    )
+
+
+def synthesize_exchange(
+    scene: Scene,
+    tag: BackFiTag,
+    *,
+    payload_bits: np.ndarray | None = None,
+    n_payload_bits: int = 1000,
+    wifi_rate_mbps: int = 24,
+    wifi_payload_bytes: int = 1500,
+    preamble_us: float | None = None,
+    pa: PaNonlinearity | None = PaNonlinearity(),
+    backscatter_evm: float = BACKSCATTER_EVM_RMS,
+    tag_speed_m_s: float = 0.0,
+    excitation: str = "wifi",
+    addressed_tag_id: int | None = None,
+    interferers: list[tuple[BackFiTag, Scene]] | None = None,
+    use_tag_detector: bool = False,
+    include_cts: bool = True,
+    faults: FaultPlan | None = None,
+    exchange_index: int = 0,
+    rng: np.random.Generator | None = None,
+) -> ExchangeCapture:
+    """Synthesize one exchange's waveforms without decoding anything.
+
+    This is the front half of :func:`run_backscatter_session` -- AP
+    transmission, tag reflection, channels, noise, faults -- consuming
+    the generator stream in exactly the same order, so
+    ``synthesize_exchange(...)`` + ``reader.decode(...)`` with one shared
+    ``rng`` is byte-identical to the one-call session.  The streaming
+    service uses it to stand in for an over-the-air capture that it then
+    ingests chunk by chunk.
+    """
+    rng = rng or np.random.default_rng()
     if preamble_us is None:
         preamble_us = getattr(tag, "preamble_us", TAG_PREAMBLE_US)
     fault = faults.realize(exchange_index) if faults is not None else None
@@ -260,36 +379,15 @@ def run_backscatter_session(
     y = si + backscatter + interference + noise
     if fault is not None:
         y = fault.apply_rx(y, scene.noise_floor_mw)
-    result = reader.decode(timeline, y, scene.h_env, pa_output=x_pa,
-                           rng=rng)
 
-    # --- optional client receive -------------------------------------------
-    client_rx = None
-    client_snr = float("nan")
-    if decode_client:
-        rx_client = apply_channel(scene.h_ap_client, x_pa)
-        rx_client = rx_client + apply_channel(
-            scene.h_tag_client, z_tag * reflection
-        )
-        rx_client = rx_client + awgn(x.size, scene.noise_floor_mw, rng)
-        # The client's oscillator is independent of the AP's (802.11
-        # allows +-20 ppm; the BackFi reader itself has no CFO because
-        # it receives with its own transmit LO).
-        if client_cfo_hz is None:
-            client_cfo_hz = float(rng.uniform(-40e3, 40e3))
-        rx_client = carrier_frequency_offset(rx_client, client_cfo_hz)
-        wifi_rx = WifiReceiver()
-        # Hand the client only the data PPDU portion.
-        client_rx = wifi_rx.receive(rx_client[timeline.wifi_start:])
-        client_snr = client_rx.snr_db
-
-    return SessionResult(
+    return ExchangeCapture(
         timeline=timeline,
         plan=plan,
-        reader=result,
         payload_bits=payload_bits,
-        client=client_rx,
-        client_snr_db=client_snr,
+        x_pa=x_pa,
+        rx=y,
+        z_tag=z_tag,
+        reflection=reflection,
         injected_faults=tuple(fault.injected) if fault is not None else (),
     )
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..channel.hardware import Adc
+from ..channel.noise import noise_power_mw
 from ..dsp.fastpath import fast_convolve, fastpath_enabled
 from ..dsp.measurements import residual_power_db
 from ..telemetry import get_collector
@@ -38,7 +39,9 @@ __all__ = [
     "DigitalCanceller",
     "CancellationResult",
     "SelfInterferenceCanceller",
+    "StagedCancellation",
     "DEFAULT_ANALOG_RNG_SEED",
+    "WARM_REUSE_MAX_RISE_DB",
 ]
 
 DEFAULT_ANALOG_RNG_SEED = 0xBACF1
@@ -50,6 +53,13 @@ the repo's bit-identical-at-any-jobs-count guarantee for any caller
 that forgets to thread its generator through.  Callers that care about
 the error realisation (every experiment does) should still pass ``rng``
 explicitly."""
+
+WARM_REUSE_MAX_RISE_DB = 10.0
+"""Residual-floor rise over thermal (held-out silent tail, dB) up to
+which a streaming session may reuse the previous exchange's digital
+taps instead of re-fitting.  Matches the reader's
+``RESIDUAL_FLOOR_RISE_DB`` diagnosis threshold: a reused fit that would
+trip the residual-floor classifier is refit instead."""
 
 NORMAL_EQ_MIN_ROWS = 4
 """Row count above which ``method="auto"`` prefers the normal-equation
@@ -166,15 +176,33 @@ class AnalogCanceller:
     depth_db: float = 60.0
     n_taps: int = 16
 
-    def cancel(self, x: np.ndarray, y: np.ndarray, h_env: np.ndarray,
-               rng: np.random.Generator | None = None) -> np.ndarray:
-        """Return ``y`` minus the (imperfect) reconstruction of x*h_env.
+    def reconstruction(self, x: np.ndarray, h_env: np.ndarray, n_out: int,
+                       rng: np.random.Generator | None = None) -> np.ndarray:
+        """The canceller board's reconstruction of ``x * h_env``.
+
+        Drawing the component-precision error and convolving the full
+        excitation happens here, once; subtracting it from the receive
+        signal is a separate (chunkable) step, which is what lets the
+        streaming decoder cancel sample blocks as they arrive while
+        staying bit-identical to the one-shot path.
 
         When ``rng`` is omitted the component-precision error is drawn
         from a generator seeded with :data:`DEFAULT_ANALOG_RNG_SEED`, so
         the result is deterministic either way -- an unseeded fallback
         here would break byte-identical experiment tables for any call
         site that forgets to pass its generator.
+        """
+        return fast_convolve(x, self.tuned_taps(h_env, rng=rng))[:n_out]
+
+    def tuned_taps(self, h_env: np.ndarray,
+                   rng: np.random.Generator | None = None) -> np.ndarray:
+        """The board's tuned tap vector: the true channel plus trim error.
+
+        The error models fixed component precision -- once the board is
+        tuned, its taps stay put until it is retuned.  Warm streaming
+        sessions rely on exactly that: they draw the taps once and carry
+        them across exchanges instead of re-randomising the hardware
+        every frame.
         """
         if rng is None:
             rng = np.random.default_rng(DEFAULT_ANALOG_RNG_SEED)
@@ -183,8 +211,12 @@ class AnalogCanceller:
         h_power = np.sqrt(np.sum(np.abs(h) ** 2))
         err = (rng.standard_normal(h.size) + 1j * rng.standard_normal(h.size))
         err *= err_scale * h_power / np.sqrt(2.0 * h.size)
-        h_hat = h + err
-        recon = fast_convolve(x, h_hat)[: np.asarray(y).size]
+        return h + err
+
+    def cancel(self, x: np.ndarray, y: np.ndarray, h_env: np.ndarray,
+               rng: np.random.Generator | None = None) -> np.ndarray:
+        """Return ``y`` minus the (imperfect) reconstruction of x*h_env."""
+        recon = self.reconstruction(x, h_env, np.asarray(y).size, rng=rng)
         return np.asarray(y) - recon
 
 
@@ -224,6 +256,13 @@ class CancellationResult:
     digital_residual_db: float = float("nan")
     total_depth_db: float = float("nan")
     adc_saturated: bool = False
+    digital_taps: np.ndarray | None = field(default=None, repr=False)
+    """The digital-stage FIR estimate this pass used (``None`` when the
+    digital stage is disabled).  Streaming sessions carry it forward as
+    the next exchange's warm-start candidate."""
+    refit: bool = True
+    """Whether the digital taps were fit on this capture (``False`` when
+    a warm-started pass reused the previous exchange's taps)."""
 
 
 class SelfInterferenceCanceller:
@@ -283,22 +322,114 @@ class SelfInterferenceCanceller:
                 silent_rows: np.ndarray, sp,
                 rng: np.random.Generator | None = None
                 ) -> CancellationResult:
-        x = np.asarray(x, dtype=np.complex128)
         y = np.asarray(y, dtype=np.complex128)
+        staged = self.begin(x, h_env, y.size, rng=rng)
+        after_analog = staged.analog(y)
+        return staged.finish(y, after_analog, silent_rows, sp)
+
+    def begin(self, x: np.ndarray, h_env: np.ndarray, n_out: int,
+              rng: np.random.Generator | None = None,
+              analog_taps: np.ndarray | None = None
+              ) -> "StagedCancellation":
+        """Start a cancellation pass whose receive signal arrives later.
+
+        Draws the analog canceller's component-precision error and
+        precomputes the full-length reconstruction *now* (the reader
+        knows what it transmitted before anything is received), so the
+        returned :class:`StagedCancellation` can subtract the analog
+        stage from receive-sample chunks as they arrive.  The rng draw
+        happens at the same stream position as in :meth:`cancel`, which
+        keeps a chunked pass bit-identical to a one-shot pass.
+
+        ``analog_taps`` skips the draw and reuses an already-tuned board
+        state (a warm session carrying hardware trim across exchanges);
+        ``rng`` is then left untouched, so warm passes trade byte-
+        identity with the batch path for the persistence a real board
+        has.
+        """
+        x = np.asarray(x, dtype=np.complex128)
+        recon = None
+        h_hat = None
+        if self.analog_enabled:
+            h_hat = np.asarray(analog_taps, dtype=np.complex128) \
+                if analog_taps is not None \
+                else self.analog.tuned_taps(h_env, rng=rng)
+            recon = fast_convolve(x, h_hat)[:n_out]
+        return StagedCancellation(chain=self, x=x, recon=recon,
+                                  n_out=n_out, analog_taps=h_hat)
+
+
+class _SilentSpan:
+    """Probe sink used when a staged finish runs without a live span."""
+
+    __slots__ = ()
+
+    def probe(self, name, value):
+        pass
+
+
+_SILENT_SP = _SilentSpan()
+
+
+class StagedCancellation:
+    """A cancellation pass split at the analog/digital boundary.
+
+    The analog stage is a per-sample subtraction against a reconstruction
+    that is already fully known at :meth:`SelfInterferenceCanceller.begin`
+    time, so it streams; everything after it (AGC, ADC, the silent-period
+    LS fit) needs global statistics of the capture and runs once at the
+    frame barrier in :meth:`finish`.  Both the batch canceller and the
+    streaming decoder run through this class, so there is exactly one
+    implementation of the chain.
+    """
+
+    def __init__(self, *, chain: SelfInterferenceCanceller, x: np.ndarray,
+                 recon: np.ndarray | None, n_out: int,
+                 analog_taps: np.ndarray | None = None):
+        self.chain = chain
+        self.x = x
+        self.recon = recon
+        self.n_out = int(n_out)
+        self.analog_taps = analog_taps
+        """The analog board state this pass subtracts with (``None`` when
+        the analog stage is disabled).  Warm sessions carry it forward."""
+
+    def analog(self, y_chunk: np.ndarray, start: int = 0) -> np.ndarray:
+        """Analog-cancel one receive chunk beginning at sample ``start``."""
+        y_chunk = np.asarray(y_chunk, dtype=np.complex128)
+        if self.recon is None:
+            return y_chunk.copy()
+        return y_chunk - self.recon[start:start + y_chunk.size]
+
+    def finish(self, y: np.ndarray, after_analog: np.ndarray,
+               silent_rows: np.ndarray, sp=None, *,
+               warm_taps: np.ndarray | None = None) -> CancellationResult:
+        """Run the frame-barrier stages on the assembled capture.
+
+        ``y`` is the raw receive signal (for depth metrics only) and
+        ``after_analog`` the concatenation of :meth:`analog` outputs.
+        ``warm_taps`` offers a previous exchange's digital FIR estimate:
+        it is reused -- skipping the LS fit -- if the held-out silent
+        residual it leaves stays within :data:`WARM_REUSE_MAX_RISE_DB`
+        of thermal, else the pass falls back to a fresh fit.
+        """
+        if sp is None:
+            sp = _SILENT_SP
+        chain = self.chain
+        x = self.x
+        y = np.asarray(y, dtype=np.complex128)
+        after_analog = np.asarray(after_analog, dtype=np.complex128)
         silent_rows = np.asarray(silent_rows, dtype=np.intp)
 
-        if self.analog_enabled:
-            after_analog = self.analog.cancel(x, y, h_env, rng=rng)
-        else:
-            after_analog = y.copy()
         # Depth metrics are evaluated on the silent period only: elsewhere
         # the surviving backscatter signal would mask the true SI residue.
         analog_db = residual_power_db(y[silent_rows],
                                       after_analog[silent_rows])
 
         # AGC + ADC: the converter is scaled to whatever survives analog
-        # cancellation.
-        adc = self.adc.for_signal(after_analog)
+        # cancellation.  The AGC statistic is global (RMS over the whole
+        # capture), which is why this stage sits behind the frame barrier.
+        adc = chain.adc.for_signal(after_analog)
         quantized = adc.quantize(after_analog)
         saturated = bool(
             np.max(np.abs(after_analog.real)) > adc.full_scale
@@ -311,8 +442,23 @@ class SelfInterferenceCanceller:
         split = (3 * silent_rows.size) // 4
         train_rows = silent_rows[:split]
         eval_rows = silent_rows[split:]
-        if self.digital_enabled:
-            cleaned, _ = self.digital.cancel(x, quantized, train_rows)
+        taps: np.ndarray | None = None
+        refit = True
+        if chain.digital_enabled:
+            cleaned = None
+            if warm_taps is not None:
+                reused = quantized - fast_convolve(x, warm_taps)[
+                    :quantized.size]
+                residual_mw = float(
+                    np.mean(np.abs(reused[eval_rows]) ** 2))
+                thermal = noise_power_mw()
+                rise_db = 10.0 * np.log10(
+                    max(residual_mw, 1e-30) / max(thermal, 1e-30))
+                if rise_db <= WARM_REUSE_MAX_RISE_DB:
+                    cleaned, taps, refit = reused, warm_taps, False
+            if cleaned is None:
+                cleaned, taps = chain.digital.cancel(
+                    x, quantized, train_rows)
         else:
             cleaned = quantized
         digital_db = residual_power_db(quantized[eval_rows],
@@ -328,10 +474,14 @@ class SelfInterferenceCanceller:
         sp.probe("residual_si_dbm",
                  10.0 * np.log10(max(residual_mw, 1e-30)))
         sp.probe("adc_saturated", saturated)
+        if warm_taps is not None:
+            sp.probe("digital_refit", refit)
         return CancellationResult(
             cleaned=cleaned,
             analog_residual_db=analog_db,
             digital_residual_db=digital_db,
             total_depth_db=total_db,
             adc_saturated=saturated,
+            digital_taps=taps,
+            refit=refit,
         )

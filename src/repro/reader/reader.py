@@ -158,30 +158,39 @@ class BackFiReader:
                                                 pa_output=pa_output,
                                                 rng=rng)
             if tm.enabled:
-                from .rate_adapt import required_snr_db
-
-                sp.probe("ok", result.ok)
-                sp.probe("n_symbols", result.n_symbols)
-                sp.probe("symbol_snr_db", result.symbol_snr_db)
-                sp.probe("required_snr_db",
-                         required_snr_db(self.tag_config))
-                nf = result.noise_floor_mw
-                sp.probe("noise_floor_dbm",
-                         10.0 * np.log10(max(nf, 1e-30))
-                         if np.isfinite(nf) else float("nan"))
-                if result.failure:
-                    sp.probe("failure", str(result.failure))
-                    sp.probe("failure_kind", result.failure.kind.value)
-                if result.recovery_attempts:
-                    sp.probe("recovery_attempts",
-                             "; ".join(result.recovery_attempts))
-                    sp.probe("recovered", result.recovered)
+                self.probe_decode_result(sp, result)
             return result
+
+    def probe_decode_result(self, sp, result: "ReaderResult") -> None:
+        """Attach the standard ``reader.decode`` probes to ``sp``.
+
+        Shared by :meth:`decode` and the streaming decoder so both entry
+        points emit the same telemetry surface for one decoded frame.
+        """
+        from .rate_adapt import required_snr_db
+
+        sp.probe("ok", result.ok)
+        sp.probe("n_symbols", result.n_symbols)
+        sp.probe("symbol_snr_db", result.symbol_snr_db)
+        sp.probe("required_snr_db",
+                 required_snr_db(self.tag_config))
+        nf = result.noise_floor_mw
+        sp.probe("noise_floor_dbm",
+                 10.0 * np.log10(max(nf, 1e-30))
+                 if np.isfinite(nf) else float("nan"))
+        if result.failure:
+            sp.probe("failure", str(result.failure))
+            sp.probe("failure_kind", result.failure.kind.value)
+        if result.recovery_attempts:
+            sp.probe("recovery_attempts",
+                     "; ".join(result.recovery_attempts))
+            sp.probe("recovered", result.recovered)
 
     def _decode_with_recovery(self, timeline: ApTimeline, rx: np.ndarray,
                               h_env: np.ndarray, *,
                               pa_output: np.ndarray | None = None,
-                              rng: np.random.Generator | None = None
+                              rng: np.random.Generator | None = None,
+                              first: ReaderResult | None = None
                               ) -> ReaderResult:
         """First pass, then escalate once per recoverable failure kind.
 
@@ -191,14 +200,19 @@ class BackFiReader:
         compose (a widened window persists into a deeper-canceller
         retry) and each action runs at most once, so the decode cost is
         bounded at three passes.
+
+        ``first`` supplies a precomputed first-pass result (the streaming
+        decoder's chunk-assembled pass); the escalation ladder on top of
+        it is identical either way.
         """
         search_us = self.sync_search_us
         canceller = self.canceller
         attempts: list[str] = []
         tried: set[FailureKind] = set()
-        result = self._decode(timeline, rx, h_env, pa_output=pa_output,
-                              rng=rng, search_us=search_us,
-                              canceller=canceller)
+        result = first if first is not None else \
+            self._decode(timeline, rx, h_env, pa_output=pa_output,
+                         rng=rng, search_us=search_us,
+                         canceller=canceller)
         while (self.recovery and not result.ok
                and result.failure is not None
                and result.failure.recoverable
@@ -231,8 +245,18 @@ class BackFiReader:
                 pa_output: np.ndarray | None = None,
                 rng: np.random.Generator | None = None,
                 search_us: float | None = None,
-                canceller: SelfInterferenceCanceller | None = None
+                canceller: SelfInterferenceCanceller | None = None,
+                canc: CancellationResult | None = None,
+                sync_center: int | None = None
                 ) -> ReaderResult:
+        """One pipeline pass.
+
+        ``canc`` injects a precomputed cancellation result (the streaming
+        decoder assembles one from chunks); ``sync_center`` recenters the
+        timing search away from the protocol's nominal preamble start (a
+        warm-started session searches around the previous exchange's
+        offset).  Both default to the batch behaviour.
+        """
         if search_us is None:
             search_us = self.sync_search_us
         if canceller is None:
@@ -245,7 +269,8 @@ class BackFiReader:
 
         # 1. self-interference cancellation
         silent = self.silent_rows(timeline)
-        canc = canceller.cancel(x, rx, h_env, silent, rng=rng)
+        if canc is None:
+            canc = canceller.cancel(x, rx, h_env, silent, rng=rng)
         cleaned = canc.cleaned
         # Estimate the effective noise floor on the part of the silent
         # period the digital canceller did not train on (last quarter).
@@ -255,7 +280,9 @@ class BackFiReader:
         # 2. timing + channel estimation
         try:
             sync = find_tag_timing(
-                x, cleaned, timeline.nominal_preamble_start,
+                x, cleaned,
+                timeline.nominal_preamble_start if sync_center is None
+                else sync_center,
                 timeline.preamble_us,
                 search_us=search_us,
                 n_taps=self.n_channel_taps,

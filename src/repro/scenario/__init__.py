@@ -15,6 +15,7 @@ from .config import (
     BuiltScenario,
     LinkConfig,
     ScenarioConfig,
+    StreamingConfig,
     fault_plan_from_dict,
     fault_plan_to_dict,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "BuiltScenario",
     "LinkConfig",
     "ScenarioConfig",
+    "StreamingConfig",
     "arq_disabled_config",
     "fault_plan_from_dict",
     "fault_plan_to_dict",

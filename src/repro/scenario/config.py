@@ -53,6 +53,7 @@ __all__ = [
     "BuiltScenario",
     "LinkConfig",
     "ScenarioConfig",
+    "StreamingConfig",
     "fault_plan_from_dict",
     "fault_plan_to_dict",
 ]
@@ -167,6 +168,53 @@ class LinkConfig:
 
 
 @dataclass(frozen=True)
+class StreamingConfig:
+    """Streaming-service knobs of a scenario (``repro serve``).
+
+    Controls how the decode service ingests this scenario's sessions:
+    chunking, per-session ring depth, the multiplexer's session ceiling,
+    and what happens when a producer outruns the decoder.  See
+    ``docs/STREAMING.md``.
+    """
+
+    chunk_samples: int = 4096
+    """Samples per ingest chunk the service advertises to producers."""
+
+    ring_chunks: int = 64
+    """Per-session bounded ring capacity, in chunks."""
+
+    max_sessions: int = 64
+    """Concurrent-session ceiling; opening one more is refused
+    (overload shedding, HTTP 503)."""
+
+    backpressure: str = "wait"
+    """``"wait"`` blocks a producer whose session ring is full;
+    ``"shed"`` drops the chunk and reports it (HTTP 429)."""
+
+    warm_start: bool = False
+    """Carry digital-canceller taps and the sync offset across a
+    session's exchanges instead of re-fitting per capture."""
+
+    decode_workers: int | None = None
+    """Decode thread-pool size; ``None`` sizes it to the host."""
+
+    def __post_init__(self) -> None:
+        if self.chunk_samples <= 0:
+            raise ValueError("chunk_samples must be positive")
+        if self.ring_chunks <= 0:
+            raise ValueError("ring_chunks must be positive")
+        if self.max_sessions <= 0:
+            raise ValueError("max_sessions must be positive")
+        if self.backpressure not in ("wait", "shed"):
+            raise ValueError(
+                f"unknown backpressure policy {self.backpressure!r}: "
+                "expected wait or shed"
+            )
+        if self.decode_workers is not None and self.decode_workers <= 0:
+            raise ValueError("decode_workers must be positive or None")
+
+
+@dataclass(frozen=True)
 class ScenarioConfig:
     """One fully-specified BackFi operating point, as data."""
 
@@ -203,6 +251,10 @@ class ScenarioConfig:
     """Multi-tag deployment for the discrete-event simulator
     (``repro network``); ``None`` = single-tag scenario."""
 
+    streaming: StreamingConfig | None = None
+    """Streaming-service knobs for ``repro serve``; ``None`` = serve
+    with the service defaults."""
+
     def __post_init__(self) -> None:
         if self.distance_m <= 0:
             raise ValueError("distance_m must be positive")
@@ -229,6 +281,8 @@ class ScenarioConfig:
             else fault_plan_to_dict(self.faults),
             "network": None if self.network is None
             else dataclasses.asdict(self.network),
+            "streaming": None if self.streaming is None
+            else dataclasses.asdict(self.streaming),
         }
         return out
 
@@ -254,6 +308,8 @@ class ScenarioConfig:
             "arq": _arq_from_dict,
             "faults": fault_plan_from_dict,
             "network": lambda d: _from_fields(NetworkConfig, d, "network"),
+            "streaming": lambda d: _from_fields(
+                StreamingConfig, d, "streaming"),
         }
         for key, build in section_builders.items():
             if key in data:
@@ -329,6 +385,8 @@ class ScenarioConfig:
                         "faults": lambda: fault_plan_to_dict(FaultPlan()),
                         "network": lambda: dataclasses.asdict(
                             NetworkConfig()),
+                        "streaming": lambda: dataclasses.asdict(
+                            StreamingConfig()),
                     }.get(key)
                     if defaults is None:
                         raise KeyError(

@@ -18,6 +18,9 @@ Registered families:
   deployments (sensor uplink, client-coexistence study, mobile tag).
 * ``warehouse-10k`` / ``city-block-1m`` -- multi-tag deployments for
   the discrete-event network simulator (``repro network``).
+* ``streaming-50`` -- the streaming decode service's default operating
+  point: 50 concurrent warm sessions of short exchanges
+  (``repro serve``, the sessions/sec benchmark).
 """
 
 from __future__ import annotations
@@ -27,7 +30,7 @@ from ..link.arq import ArqConfig
 from ..link.simulator import NetworkConfig
 from ..reader.config import ReaderConfig
 from ..tag.config import TagConfig
-from .config import LinkConfig, ScenarioConfig
+from .config import LinkConfig, ScenarioConfig, StreamingConfig
 
 __all__ = [
     "get_scenario",
@@ -180,6 +183,21 @@ def _register_presets() -> None:
             cell_radius_m=12.0,
             min_distance_m=0.5,
             queue_bits=4096,
+        ),
+    ))
+    register_scenario(ScenarioConfig(
+        name="streaming-50",
+        description="Streaming decode service at 50 concurrent warm "
+                    "sessions: short exchanges (300-byte excitation, "
+                    "200-bit payloads) sized for sessions/sec "
+                    "benchmarking (`repro serve` default).",
+        seed=71,
+        link=LinkConfig(wifi_payload_bytes=300, n_payload_bits=200),
+        streaming=StreamingConfig(
+            max_sessions=50,
+            chunk_samples=4096,
+            ring_chunks=32,
+            warm_start=True,
         ),
     ))
     register_scenario(ScenarioConfig(

@@ -1,0 +1,56 @@
+"""Streaming decode-as-a-service: chunked ingest, warm sessions, HTTP.
+
+The batch pipeline (``repro.reader``) decodes one complete capture per
+call.  This package turns it into a long-running service:
+
+* :class:`~repro.streaming.decoder.StreamingDecoder` -- chunked,
+  stateful decoding of one tag session; cold decodes are byte-identical
+  to ``reader.decode``, warm ones carry cancellation/sync state across
+  exchanges.
+* :class:`~repro.streaming.ring.ChunkRing` -- the bounded ingest buffer
+  in front of each session.
+* :class:`~repro.streaming.mux.SessionMultiplexer` -- many concurrent
+  sessions on one asyncio loop with explicit admission control and
+  per-chunk backpressure (``wait``/``shed``).
+* :class:`~repro.streaming.server.StreamingServer` -- the HTTP/WebSocket
+  front-end behind ``repro serve``, with a live telemetry push feed.
+* :class:`~repro.streaming.client.ServiceClient` -- the stdlib reference
+  client (``python -m repro.streaming``), including ``--verify``
+  byte-for-byte checking against the local batch decoder.
+
+Configuration lives in the scenario layer
+(:class:`repro.scenario.StreamingConfig`; preset ``streaming-50``).
+``docs/STREAMING.md`` walks the whole thing end to end.
+"""
+
+from .client import ServiceClient, run_session
+from .decoder import DEFAULT_WARM_SYNC_SEARCH_US, StreamProgress, \
+    StreamingDecoder, WarmState
+from .mux import ChunkShed, MuxError, Overloaded, SessionMultiplexer, \
+    UnknownSession
+from .ring import ChunkRing
+from .server import DEFAULT_PORT, StreamingServer, result_summary
+from .session import CaptureSource, SessionStats, StreamSession, \
+    exchange_rngs
+
+__all__ = [
+    "CaptureSource",
+    "ChunkRing",
+    "ChunkShed",
+    "DEFAULT_PORT",
+    "DEFAULT_WARM_SYNC_SEARCH_US",
+    "MuxError",
+    "Overloaded",
+    "ServiceClient",
+    "SessionMultiplexer",
+    "SessionStats",
+    "StreamProgress",
+    "StreamSession",
+    "StreamingDecoder",
+    "StreamingServer",
+    "UnknownSession",
+    "WarmState",
+    "exchange_rngs",
+    "result_summary",
+    "run_session",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.streaming`` runs the reference streaming client."""
+
+import sys
+
+from .client import main
+
+sys.exit(main())

@@ -1,0 +1,209 @@
+"""A stdlib reference client for the streaming decode service.
+
+Drives ``repro serve`` over plain :mod:`http.client`: opens a session,
+announces exchanges, pushes the capture chunk-by-chunk as raw
+little-endian ``complex128`` bytes, and collects the decode result the
+final chunk's response carries.
+
+Because exchange synthesis is a pure function of ``(scenario, exchange
+index)`` (see :func:`repro.streaming.session.exchange_rngs`), the client
+reconstructs the exact capture the server expects from nothing but the
+scenario name -- there is no sample download step.  ``--verify`` goes
+one further: it also decodes each capture locally through the batch
+``reader.decode`` path and asserts the service's streamed result matches
+**byte-for-byte** (packed payload bytes, SHA-256, and every summary
+field).  The CI streaming-smoke job runs exactly this::
+
+    python -m repro.streaming --port 8735 \
+        --scenario streaming-50 --exchanges 3 --verify --shutdown
+
+Exit status 0 means every exchange verified; any mismatch or transport
+error exits non-zero with a diagnostic on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+from typing import Any
+
+import numpy as np
+
+from .server import DEFAULT_PORT, result_summary
+from .session import CaptureSource
+
+__all__ = ["ServiceClient", "main", "run_session"]
+
+
+class ServiceClient:
+    """Minimal JSON-over-HTTP client for one service connection."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 timeout: float = 120.0):
+        self.conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def request(self, method: str, path: str,
+                body: "bytes | dict[str, Any] | None" = None
+                ) -> dict[str, Any]:
+        headers = {}
+        if isinstance(body, dict):
+            body = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        elif body is not None:
+            headers["Content-Type"] = "application/octet-stream"
+        self.conn.request(method, path, body=body, headers=headers)
+        resp = self.conn.getresponse()
+        payload = json.loads(resp.read().decode() or "{}")
+        if resp.status >= 400:
+            raise RuntimeError(
+                f"{method} {path} -> {resp.status}: "
+                f"{payload.get('error', payload)}")
+        return payload
+
+    # -- service verbs -----------------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        return self.request("GET", "/stats")
+
+    def open_session(self, scenario: str, *,
+                     warm_start: bool | None = None) -> dict[str, Any]:
+        spec: dict[str, Any] = {"scenario": scenario}
+        if warm_start is not None:
+            spec["warm_start"] = warm_start
+        return self.request("POST", "/sessions", spec)
+
+    def start_exchange(self, session_id: str) -> dict[str, Any]:
+        return self.request("POST", f"/sessions/{session_id}/exchanges")
+
+    def push_chunk(self, session_id: str,
+                   chunk: np.ndarray) -> dict[str, Any]:
+        body = np.ascontiguousarray(chunk, dtype=np.complex128).tobytes()
+        return self.request("POST", f"/sessions/{session_id}/chunks", body)
+
+    def close_session(self, session_id: str) -> dict[str, Any]:
+        return self.request("DELETE", f"/sessions/{session_id}")
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.request("POST", "/shutdown")
+
+
+def _stream_exchange(client: ServiceClient, session_id: str,
+                     rx: np.ndarray, chunk_samples: int) -> dict[str, Any]:
+    """Push one capture in order; returns the final (decoded) response."""
+    for start in range(0, rx.size, chunk_samples):
+        ack = client.push_chunk(session_id, rx[start:start + chunk_samples])
+    if ack.get("state") != "decoded":
+        raise RuntimeError(f"capture exhausted but not decoded: {ack}")
+    return ack
+
+
+def run_session(client: ServiceClient, *, scenario: str = "streaming-50",
+                exchanges: int = 1, chunk_samples: int | None = None,
+                verify: bool = False, warm_start: bool | None = None,
+                out=sys.stdout) -> int:
+    """Open one session, stream ``exchanges`` captures, optionally verify.
+
+    Returns the number of mismatched exchanges (0 = success).  With
+    ``verify`` the session is forced cold (``warm_start=False``) because
+    byte-identity with the batch path is only claimed for cold decodes.
+    """
+    if verify:
+        warm_start = False
+    opened = client.open_session(scenario, warm_start=warm_start)
+    sid = opened["session"]
+    chunk_samples = chunk_samples or int(opened["chunk_samples"])
+    # Our own synthesis lockstep with the server's (determinism contract).
+    source = CaptureSource(scenario)
+    mismatches = 0
+    try:
+        for i in range(exchanges):
+            announced = client.start_exchange(sid)
+            cap, decode_rng = source.next_exchange()
+            if announced["n_samples"] != cap.n_samples:
+                raise RuntimeError(
+                    f"exchange {i}: server announced "
+                    f"{announced['n_samples']} samples, local synthesis "
+                    f"produced {cap.n_samples}")
+            final = _stream_exchange(client, sid, cap.rx, chunk_samples)
+            remote = final["result"]
+            line = {"exchange": i, "ok": remote["ok"],
+                    "payload_sha256": remote["payload_sha256"]}
+            if verify:
+                local_result = source.built.reader.decode(
+                    cap.timeline, cap.rx, source.built.scene.h_env,
+                    pa_output=cap.x_pa, rng=decode_rng)
+                local = result_summary(local_result)
+                diffs = {k: (local[k], remote.get(k))
+                         for k in local if remote.get(k) != local[k]}
+                line["verified"] = not diffs
+                if diffs:
+                    mismatches += 1
+                    print(f"exchange {i}: MISMATCH {diffs}",
+                          file=sys.stderr)
+            print(json.dumps(line), file=out)
+    finally:
+        closed = client.close_session(sid)
+        print(json.dumps({"closed": closed}), file=out)
+    return mismatches
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.streaming",
+        description="Stream scenario captures to a running `repro serve` "
+                    "and (optionally) verify results against the local "
+                    "batch decoder byte-for-byte.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument("--scenario", default="streaming-50",
+                        help="registered scenario preset (default: "
+                             "%(default)s)")
+    parser.add_argument("--exchanges", type=int, default=1,
+                        help="exchanges to stream (default: %(default)s)")
+    parser.add_argument("--chunk-samples", type=int, default=None,
+                        help="samples per pushed chunk (default: the "
+                             "service's configured chunk size)")
+    parser.add_argument("--warm-start", action="store_true",
+                        help="ask for a warm session (ignored with "
+                             "--verify, which requires cold decodes)")
+    parser.add_argument("--verify", action="store_true",
+                        help="decode locally via the batch path and "
+                             "require byte-for-byte agreement")
+    parser.add_argument("--shutdown", action="store_true",
+                        help="POST /shutdown after the session closes "
+                             "(CI smoke teardown)")
+    args = parser.parse_args(argv)
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        mismatches = run_session(
+            client,
+            scenario=args.scenario,
+            exchanges=args.exchanges,
+            chunk_samples=args.chunk_samples,
+            verify=args.verify,
+            warm_start=args.warm_start or None,
+        )
+        if args.shutdown:
+            client.shutdown()
+    except (OSError, RuntimeError) as exc:
+        print(f"streaming client failed: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+    if mismatches:
+        print(f"{mismatches} exchange(s) mismatched", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

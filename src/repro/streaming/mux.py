@@ -1,0 +1,324 @@
+"""The asyncio session multiplexer: many tag sessions, one process.
+
+One :class:`SessionMultiplexer` owns every live
+:class:`~repro.streaming.session.StreamSession`.  Per session it runs a
+bounded :class:`~repro.streaming.ring.ChunkRing`, a consumer task that
+drains the ring into the session's decoder (chunk ingest is cheap and
+stays on the event loop), and -- at each frame barrier -- a decode
+dispatched to a shared thread pool so sessions decode concurrently.
+
+Overload semantics are explicit, in two tiers:
+
+* **Session admission**: opening a session beyond ``max_sessions``
+  raises :class:`Overloaded` (the HTTP layer maps it to 503).  Load is
+  shed at the boundary instead of degrading every admitted session.
+* **Chunk backpressure**: a producer outrunning its session's decoder
+  fills the ring.  Policy ``"wait"`` suspends the producer coroutine
+  until the consumer catches up (lossless, latency absorbed by the
+  producer); ``"shed"`` refuses the chunk with :class:`ChunkShed`
+  (HTTP 429) and counts it, letting the producer drop-and-resync --
+  the right call for live capture where stale samples are worthless.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+import numpy as np
+
+from ..link.protocol import ApTimeline
+from ..reader.reader import ReaderResult
+from ..scenario import ScenarioConfig, StreamingConfig
+from .ring import ChunkRing
+from .session import StreamSession
+
+__all__ = ["ChunkShed", "MuxError", "Overloaded", "SessionMultiplexer",
+           "UnknownSession"]
+
+
+class MuxError(RuntimeError):
+    """Base class for multiplexer refusals."""
+
+
+class Overloaded(MuxError):
+    """Session admission refused: the multiplexer is at capacity."""
+
+
+class ChunkShed(MuxError):
+    """Chunk refused: the session's ring is full under policy 'shed'."""
+
+
+class UnknownSession(MuxError):
+    """No such session id (never opened, or already closed)."""
+
+
+class _Entry:
+    """One session's multiplexer-side state."""
+
+    __slots__ = ("session", "ring", "cond", "task", "future",
+                 "remaining", "closing")
+
+    def __init__(self, session: StreamSession, ring_chunks: int):
+        self.session = session
+        self.ring = ChunkRing(ring_chunks)
+        self.cond: asyncio.Condition = asyncio.Condition()
+        self.task: asyncio.Task | None = None
+        self.future: asyncio.Future | None = None
+        self.remaining = 0          # samples still to be submitted
+        self.closing = False
+
+
+class SessionMultiplexer:
+    """Serves many concurrent streaming decode sessions.
+
+    Use as an async context manager, or call :meth:`start` /
+    :meth:`aclose` explicitly.  All public methods are coroutines and
+    must run on the loop that started the multiplexer.
+    """
+
+    def __init__(self, config: StreamingConfig | None = None):
+        self.config = config or StreamingConfig()
+        self._sessions: dict[str, _Entry] = {}
+        self._pool: ThreadPoolExecutor | None = None
+        self._ids = itertools.count(1)
+        self.opened = 0
+        self.refused = 0
+        self.decoded = 0
+        self.sheds = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> "SessionMultiplexer":
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.config.decode_workers,
+                thread_name_prefix="repro-decode")
+        return self
+
+    async def aclose(self) -> None:
+        for sid in list(self._sessions):
+            try:
+                await self.close_session(sid)
+            except UnknownSession:
+                pass
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    async def __aenter__(self) -> "SessionMultiplexer":
+        return await self.start()
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.aclose()
+
+    # -- session admission -------------------------------------------------
+
+    async def open_session(self, scenario: "str | ScenarioConfig" = "paper-1m",
+                           *, session_id: str | None = None,
+                           warm_start: bool | None = None) -> StreamSession:
+        """Admit one session, or raise :class:`Overloaded` at capacity."""
+        if self._pool is None:
+            await self.start()
+        if len(self._sessions) >= self.config.max_sessions:
+            self.refused += 1
+            raise Overloaded(
+                f"at capacity: {len(self._sessions)}/"
+                f"{self.config.max_sessions} sessions"
+            )
+        if session_id is None:
+            session_id = f"s{next(self._ids)}"
+        if session_id in self._sessions:
+            raise MuxError(f"session {session_id!r} already open")
+        if warm_start is None:
+            warm_start = self.config.warm_start
+        loop = asyncio.get_running_loop()
+        # Scenario build + first synthesis are heavy; keep the loop live.
+        session = await loop.run_in_executor(
+            self._pool,
+            lambda: StreamSession(session_id, scenario,
+                                  warm_start=warm_start))
+        entry = _Entry(session, self.config.ring_chunks)
+        entry.task = asyncio.create_task(self._consume(entry),
+                                         name=f"repro-mux-{session_id}")
+        self._sessions[session_id] = entry
+        self.opened += 1
+        return session
+
+    async def close_session(self, session_id: str) -> dict[str, Any]:
+        """Tear one session down; returns its final stats dict."""
+        entry = self._entry(session_id)
+        del self._sessions[session_id]
+        async with entry.cond:
+            entry.closing = True
+            entry.cond.notify_all()
+        if entry.task is not None:
+            await entry.task
+        if entry.future is not None and not entry.future.done():
+            entry.future.set_exception(
+                MuxError(f"session {session_id!r} closed mid-exchange"))
+            # The exception is surfaced to wait_result callers; nobody
+            # awaiting is also fine.
+            entry.future.exception()
+        if entry.session.decoder.in_exchange:
+            entry.session.decoder.abort_exchange()
+        return entry.session.as_dict()
+
+    def _entry(self, session_id: str) -> _Entry:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise UnknownSession(f"unknown session {session_id!r}") from None
+
+    # -- exchanges ---------------------------------------------------------
+
+    async def start_exchange(self, session_id: str) -> dict[str, Any]:
+        """Open the next scenario-synthesized exchange on a session."""
+        entry = self._entry(session_id)
+        self._check_exchange_idle(entry)
+        loop = asyncio.get_running_loop()
+        n = await loop.run_in_executor(
+            self._pool, entry.session.start_scenario_exchange)
+        entry.future = loop.create_future()
+        entry.remaining = n
+        return {
+            "session": session_id,
+            "exchange": entry.session.exchange_index - 1,
+            "n_samples": n,
+            "chunk_samples": self.config.chunk_samples,
+        }
+
+    async def start_attached_exchange(
+            self, session_id: str, timeline: ApTimeline,
+            h_env: np.ndarray, *, pa_output: np.ndarray | None = None,
+            rng: np.random.Generator | None = None) -> dict[str, Any]:
+        """Open an exchange whose capture the caller synthesized."""
+        entry = self._entry(session_id)
+        self._check_exchange_idle(entry)
+        n = entry.session.attach_exchange(
+            timeline, h_env, pa_output=pa_output, rng=rng)
+        entry.future = asyncio.get_running_loop().create_future()
+        entry.remaining = n
+        return {
+            "session": session_id,
+            "exchange": entry.session.decoder.exchanges_begun - 1,
+            "n_samples": n,
+            "chunk_samples": self.config.chunk_samples,
+        }
+
+    @staticmethod
+    def _check_exchange_idle(entry: _Entry) -> None:
+        if entry.future is not None and not entry.future.done():
+            raise MuxError(
+                f"session {entry.session.id!r} still has an exchange "
+                "in flight")
+
+    async def push_chunk(self, session_id: str,
+                         chunk: np.ndarray) -> dict[str, Any]:
+        """Submit one chunk; applies the configured backpressure policy.
+
+        Returns ingest accounting; the decode result is delivered via
+        :meth:`wait_result` once the capture completes.
+        """
+        entry = self._entry(session_id)
+        if entry.future is None or entry.future.done():
+            raise MuxError(
+                f"session {session_id!r} has no exchange open")
+        chunk = np.asarray(chunk, dtype=np.complex128).ravel()
+        if chunk.size > entry.remaining:
+            raise MuxError(
+                f"chunk overruns the exchange: {chunk.size} > "
+                f"{entry.remaining} samples left")
+        async with entry.cond:
+            if self.config.backpressure == "wait":
+                while entry.ring.full and not entry.closing:
+                    await entry.cond.wait()
+            elif entry.ring.full:
+                entry.ring.dropped += 1
+                entry.session.stats.sheds += 1
+                self.sheds += 1
+                raise ChunkShed(
+                    f"session {session_id!r} ring full "
+                    f"({entry.ring.capacity} chunks)")
+            if entry.closing:
+                raise MuxError(f"session {session_id!r} is closing")
+            entry.ring.push(chunk)
+            entry.remaining -= chunk.size
+            entry.cond.notify_all()
+        return {
+            "session": session_id,
+            "queued_chunks": len(entry.ring),
+            "remaining_samples": entry.remaining,
+            "submitted": entry.remaining == 0,
+        }
+
+    async def wait_result(self, session_id: str) -> ReaderResult:
+        """Await the in-flight exchange's decode result."""
+        entry = self._entry(session_id)
+        if entry.future is None:
+            raise MuxError(f"session {session_id!r} has no exchange open")
+        return await asyncio.shield(entry.future)
+
+    # -- the per-session consumer ------------------------------------------
+
+    async def _consume(self, entry: _Entry) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            async with entry.cond:
+                while not len(entry.ring) and not entry.closing:
+                    await entry.cond.wait()
+                if entry.closing and not len(entry.ring):
+                    return
+                chunk = entry.ring.pop()
+                entry.cond.notify_all()   # wake a waiting producer
+            session = entry.session
+            try:
+                session.decoder.push(chunk)
+                session.stats.chunks += 1
+                session.stats.samples += int(chunk.size)
+                if session.decoder.complete:
+                    t0 = time.perf_counter()
+                    result = await loop.run_in_executor(
+                        self._pool, session.decoder.finish)
+                    session.stats.note_result(
+                        result, time.perf_counter() - t0)
+                    self.decoded += 1
+                    if entry.future is not None \
+                            and not entry.future.done():
+                        entry.future.set_result(result)
+            except Exception as exc:
+                if session.decoder.in_exchange:
+                    session.decoder.abort_exchange()
+                if entry.future is not None and not entry.future.done():
+                    entry.future.set_exception(exc)
+                    entry.future.exception()
+                async with entry.cond:
+                    entry.ring.clear()
+                    entry.cond.notify_all()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def n_sessions(self) -> int:
+        return len(self._sessions)
+
+    def stats(self) -> dict[str, Any]:
+        """The service-level stats surface (``GET /stats``)."""
+        return {
+            "sessions": len(self._sessions),
+            "max_sessions": self.config.max_sessions,
+            "backpressure": self.config.backpressure,
+            "ring_chunks": self.config.ring_chunks,
+            "chunk_samples": self.config.chunk_samples,
+            "opened": self.opened,
+            "refused": self.refused,
+            "decoded": self.decoded,
+            "sheds": self.sheds,
+            "per_session": {
+                sid: entry.session.as_dict()
+                for sid, entry in sorted(self._sessions.items())
+            },
+        }

@@ -1,0 +1,72 @@
+"""Bounded chunk ring: the ingest buffer between producer and decoder.
+
+One :class:`ChunkRing` sits in front of each streaming session.  The
+producer (an HTTP handler, a replayed capture, a test) pushes sample
+chunks; the session's consumer pops them in order and feeds the
+:class:`~repro.streaming.decoder.StreamingDecoder`.  The ring is a plain
+data structure -- capacity accounting, watermarks, drop counting -- with
+no waiting built in: the multiplexer decides what a full ring means
+(block the producer, or shed the chunk) and owns the async coordination.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["ChunkRing"]
+
+
+class ChunkRing:
+    """A bounded FIFO of complex-sample chunks with overflow accounting."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1 chunk")
+        self.capacity = int(capacity)
+        self.dropped = 0
+        """Chunks refused by :meth:`push` since construction."""
+        self.high_watermark = 0
+        """Deepest the ring has ever been, in chunks."""
+        self._chunks: deque[np.ndarray] = deque()
+        self._samples = 0
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def full(self) -> bool:
+        return len(self._chunks) >= self.capacity
+
+    @property
+    def samples_queued(self) -> int:
+        """Samples currently buffered across all queued chunks."""
+        return self._samples
+
+    def push(self, chunk: np.ndarray) -> bool:
+        """Append one chunk; ``False`` (and count a drop) when full."""
+        if self.full:
+            self.dropped += 1
+            return False
+        chunk = np.asarray(chunk, dtype=np.complex128)
+        self._chunks.append(chunk)
+        self._samples += chunk.size
+        if len(self._chunks) > self.high_watermark:
+            self.high_watermark = len(self._chunks)
+        return True
+
+    def pop(self) -> np.ndarray | None:
+        """Remove and return the oldest chunk, or ``None`` when empty."""
+        if not self._chunks:
+            return None
+        chunk = self._chunks.popleft()
+        self._samples -= chunk.size
+        return chunk
+
+    def clear(self) -> int:
+        """Discard everything buffered; returns how many chunks went."""
+        n = len(self._chunks)
+        self._chunks.clear()
+        self._samples = 0
+        return n

@@ -1,0 +1,447 @@
+"""The streaming decode service's HTTP/WebSocket front-end.
+
+A deliberately small, dependency-free asyncio server (the container
+ships no web framework) exposing the
+:class:`~repro.streaming.mux.SessionMultiplexer` over HTTP/1.1 plus a
+minimal RFC 6455 WebSocket endpoint for the live telemetry push feed.
+Endpoints (see ``docs/STREAMING.md`` for the worked example):
+
+========  =========================  =========================================
+method    path                       purpose
+========  =========================  =========================================
+GET       ``/``                      service banner + endpoint list
+GET       ``/healthz``               liveness: ``{"ok": true, "sessions": N}``
+GET       ``/stats``                 multiplexer + per-session stats
+GET       ``/scenarios``             registered scenario presets
+POST      ``/sessions``              open a session (JSON body)
+POST      ``/sessions/{id}/exchanges``  announce the next exchange
+POST      ``/sessions/{id}/chunks``  push one sample chunk (octet-stream)
+DELETE    ``/sessions/{id}``         close a session, returning final stats
+GET       ``/telemetry/feed``        live telemetry records as NDJSON
+GET       ``/telemetry/ws``          the same feed over WebSocket
+POST      ``/shutdown``              drain and stop (CI smoke uses this)
+========  =========================  =========================================
+
+Sample wire format: little-endian ``complex128`` (interleaved float64
+I/Q pairs), i.e. exactly ``ndarray.tobytes()`` of a capture slice.
+
+Error mapping: 503 when session admission is refused
+(:class:`~repro.streaming.mux.Overloaded`), 429 when a chunk is shed
+under backpressure policy ``shed``, 404 for unknown sessions, 409 for
+protocol misuse (chunk without an exchange, overrun), 400 for malformed
+requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+from ..reader.reader import ReaderResult
+from ..scenario import get_scenario, list_scenarios, resolve_scenario
+from ..telemetry import TelemetryCollector, set_collector
+from .mux import ChunkShed, MuxError, Overloaded, SessionMultiplexer, \
+    UnknownSession
+
+__all__ = ["DEFAULT_PORT", "StreamingServer", "result_summary"]
+
+DEFAULT_PORT = 8735
+"""Default TCP port of ``repro serve``."""
+
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+_MAX_BODY = 64 << 20
+_REASONS = {200: "OK", 201: "Created", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            409: "Conflict", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable"}
+
+
+def _json_safe(value: float) -> float | None:
+    return None if not np.isfinite(value) else float(value)
+
+
+def result_summary(result: ReaderResult,
+                   exchange: int | None = None) -> dict[str, Any]:
+    """One decode result as wire-safe JSON.
+
+    ``payload_hex``/``payload_sha256`` carry the decoded payload bits
+    packed MSB-first (``np.packbits``), which is what the CI smoke job
+    compares byte-for-byte against a local batch decode.
+    """
+    packed = np.packbits(result.payload_bits).tobytes() \
+        if result.payload_bits.size else b""
+    out: dict[str, Any] = {
+        "ok": bool(result.ok),
+        "n_symbols": int(result.n_symbols),
+        "symbol_snr_db": _json_safe(result.symbol_snr_db),
+        "payload_bits": int(result.payload_bits.size),
+        "payload_hex": packed.hex(),
+        "payload_sha256": hashlib.sha256(packed).hexdigest(),
+        "failure": str(result.failure) if result.failure else None,
+        "failure_kind": result.failure.kind.value
+        if result.failure else None,
+        "recovered": bool(result.recovered),
+        "recovery_attempts": list(result.recovery_attempts),
+    }
+    if exchange is not None:
+        out["exchange"] = int(exchange)
+    return out
+
+
+class StreamingServer:
+    """Serves one :class:`SessionMultiplexer` over HTTP/WebSocket."""
+
+    def __init__(self, mux: SessionMultiplexer | None = None, *,
+                 host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 default_scenario: str = "streaming-50",
+                 collector: TelemetryCollector | None = None):
+        self.mux = mux or SessionMultiplexer()
+        self.host = host
+        self.port = port
+        self.default_scenario = default_scenario
+        self.collector = collector
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown = asyncio.Event()
+        self._subscribers: set[asyncio.Queue] = set()
+        self._feed_dropped = 0
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._restore_collector: Any = None
+        self._sink = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> "StreamingServer":
+        self._loop = asyncio.get_running_loop()
+        await self.mux.start()
+        if self.collector is not None:
+            self._restore_collector = set_collector(self.collector)
+            self._sink = self.collector.add_sink(self._sink_record)
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until ``POST /shutdown`` (or :meth:`aclose`)."""
+        await self._shutdown.wait()
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for q in list(self._subscribers):
+            q.put_nowait(None)
+        for w in list(self._writers):
+            w.close()
+        await self.mux.aclose()
+        if self.collector is not None:
+            if self._sink is not None:
+                self.collector.remove_sink(self._sink)
+                self._sink = None
+            set_collector(self._restore_collector)
+            self._restore_collector = None
+            self.collector.save()
+
+    # -- telemetry fan-out -------------------------------------------------
+
+    def _sink_record(self, record: dict) -> None:
+        # Runs on whatever thread completed the span; hop to the loop.
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(self._broadcast, record)
+
+    def _broadcast(self, record: dict) -> None:
+        for q in self._subscribers:
+            try:
+                q.put_nowait(record)
+            except asyncio.QueueFull:
+                self._feed_dropped += 1
+
+    def _subscribe(self) -> asyncio.Queue:
+        q: asyncio.Queue = asyncio.Queue(maxsize=1024)
+        self._subscribers.add(q)
+        return q
+
+    def _unsubscribe(self, q: asyncio.Queue) -> None:
+        self._subscribers.discard(q)
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self._writers.add(writer)
+        try:
+            while not self._shutdown.is_set():
+                req = await self._read_request(reader)
+                if req is None:
+                    break
+                method, path, headers, body = req
+                if path == "/telemetry/ws" and \
+                        "websocket" in headers.get("upgrade", "").lower():
+                    await self._serve_ws(reader, writer, headers)
+                    break
+                if method == "GET" and path == "/telemetry/feed":
+                    await self._serve_feed(writer)
+                    break
+                try:
+                    status, payload = await self._route(method, path, body)
+                except Overloaded as exc:
+                    status, payload = 503, {"error": str(exc)}
+                except ChunkShed as exc:
+                    status, payload = 429, {"error": str(exc)}
+                except UnknownSession as exc:
+                    status, payload = 404, {"error": str(exc)}
+                except MuxError as exc:
+                    status, payload = 409, {"error": str(exc)}
+                except (KeyError, ValueError) as exc:
+                    status, payload = 400, {"error": str(exc)}
+                except Exception as exc:   # never kill the connection loop
+                    status, payload = 500, {"error": repr(exc)}
+                self._respond(writer, status, payload)
+                await writer.drain()
+                if method == "POST" and path == "/shutdown":
+                    self._shutdown.set()
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader):
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            h = await reader.readline()
+            if h in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = h.decode("latin-1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        n = int(headers.get("content-length", 0) or 0)
+        if n > _MAX_BODY:
+            raise ConnectionError("request body too large")
+        body = await reader.readexactly(n) if n else b""
+        return method, path, headers, body
+
+    @staticmethod
+    def _respond(writer: asyncio.StreamWriter, status: int,
+                 payload: dict[str, Any]) -> None:
+        body = json.dumps(payload, allow_nan=False).encode()
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: keep-alive\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+
+    # -- routing -----------------------------------------------------------
+
+    async def _route(self, method: str, path: str,
+                     body: bytes) -> tuple[int, dict[str, Any]]:
+        if method == "GET" and path == "/":
+            return 200, {
+                "service": "repro streaming decode service",
+                "scenario_default": self.default_scenario,
+                "endpoints": [
+                    "GET /healthz", "GET /stats", "GET /scenarios",
+                    "POST /sessions", "POST /sessions/{id}/exchanges",
+                    "POST /sessions/{id}/chunks", "DELETE /sessions/{id}",
+                    "GET /telemetry/feed", "GET /telemetry/ws",
+                    "POST /shutdown",
+                ],
+            }
+        if method == "GET" and path == "/healthz":
+            return 200, {"ok": True, "sessions": self.mux.n_sessions}
+        if method == "GET" and path == "/stats":
+            stats = self.mux.stats()
+            stats["feed_subscribers"] = len(self._subscribers)
+            stats["feed_dropped"] = self._feed_dropped
+            if self.collector is not None:
+                stats["telemetry_run_id"] = self.collector.run_id
+            return 200, stats
+        if method == "GET" and path == "/scenarios":
+            return 200, {
+                name: get_scenario(name).description
+                for name in list_scenarios()
+            }
+        if method == "POST" and path == "/sessions":
+            return await self._open_session(body)
+        if method == "POST" and path == "/shutdown":
+            return 200, {"ok": True, "shutting_down": True}
+        if path.startswith("/sessions/"):
+            return await self._session_route(method, path, body)
+        return 404, {"error": f"no route {method} {path}"}
+
+    async def _open_session(self, body: bytes) -> tuple[int, dict]:
+        spec = json.loads(body.decode() or "{}")
+        scenario = resolve_scenario(
+            spec.get("scenario") or self.default_scenario)
+        overrides = spec.get("overrides") or []
+        if overrides:
+            scenario = scenario.with_overrides(*overrides)
+        session = await self.mux.open_session(
+            scenario,
+            session_id=spec.get("session_id"),
+            warm_start=spec.get("warm_start"))
+        return 201, {
+            "session": session.id,
+            "scenario": scenario.name or "<ad-hoc>",
+            "scenario_hash": scenario.scenario_hash(),
+            "warm_start": session.decoder.warm_start,
+            "chunk_samples": self.mux.config.chunk_samples,
+        }
+
+    async def _session_route(self, method: str, path: str,
+                             body: bytes) -> tuple[int, dict]:
+        parts = path.strip("/").split("/")
+        sid = parts[1] if len(parts) > 1 else ""
+        tail = parts[2] if len(parts) > 2 else ""
+        if method == "DELETE" and not tail:
+            return 200, await self.mux.close_session(sid)
+        if method == "POST" and tail == "exchanges":
+            return 200, await self.mux.start_exchange(sid)
+        if method == "POST" and tail == "chunks":
+            if len(body) % 16:
+                return 400, {"error": "chunk body must be whole "
+                                      "complex128 samples (16 bytes each)"}
+            chunk = np.frombuffer(body, dtype=np.complex128)
+            ack = await self.mux.push_chunk(sid, chunk)
+            if ack["submitted"]:
+                result = await self.mux.wait_result(sid)
+                entry_session = self.mux._entry(sid).session
+                return 200, {
+                    "state": "decoded",
+                    **ack,
+                    "result": result_summary(
+                        result,
+                        entry_session.decoder.exchanges_begun - 1),
+                }
+            return 200, {"state": "queued", **ack}
+        return 405, {"error": f"no route {method} {path}"}
+
+    # -- NDJSON feed -------------------------------------------------------
+
+    async def _serve_feed(self, writer: asyncio.StreamWriter) -> None:
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        q = self._subscribe()
+        try:
+            while True:
+                record = await q.get()
+                if record is None:
+                    break
+                writer.write(json.dumps(record, sort_keys=True).encode()
+                             + b"\n")
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._unsubscribe(q)
+
+    # -- WebSocket ---------------------------------------------------------
+
+    async def _serve_ws(self, reader: asyncio.StreamReader,
+                        writer: asyncio.StreamWriter,
+                        headers: dict[str, str]) -> None:
+        key = headers.get("sec-websocket-key", "")
+        accept = base64.b64encode(
+            hashlib.sha1((key + _WS_GUID).encode()).digest()).decode()
+        writer.write(
+            ("HTTP/1.1 101 Switching Protocols\r\n"
+             "Upgrade: websocket\r\n"
+             "Connection: Upgrade\r\n"
+             f"Sec-WebSocket-Accept: {accept}\r\n\r\n").encode("latin-1"))
+        await writer.drain()
+        q = self._subscribe()
+        pump = asyncio.ensure_future(self._ws_pump(writer, q))
+        try:
+            while True:
+                frame = await self._ws_read_frame(reader)
+                if frame is None:
+                    break
+                opcode, payload = frame
+                if opcode == 0x8:           # close
+                    self._ws_send(writer, 0x8, payload)
+                    await writer.drain()
+                    break
+                if opcode == 0x9:           # ping -> pong
+                    self._ws_send(writer, 0xA, payload)
+                    await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            pump.cancel()
+            try:
+                await pump
+            except (asyncio.CancelledError, ConnectionError):
+                pass
+            self._unsubscribe(q)
+
+    async def _ws_pump(self, writer: asyncio.StreamWriter,
+                       q: asyncio.Queue) -> None:
+        while True:
+            record = await q.get()
+            if record is None:
+                return
+            self._ws_send(
+                writer, 0x1,
+                json.dumps(record, sort_keys=True).encode())
+            await writer.drain()
+
+    @staticmethod
+    def _ws_send(writer: asyncio.StreamWriter, opcode: int,
+                 payload: bytes) -> None:
+        head = bytearray([0x80 | opcode])
+        n = len(payload)
+        if n < 126:
+            head.append(n)
+        elif n <= 0xFFFF:
+            head.append(126)
+            head += n.to_bytes(2, "big")
+        else:
+            head.append(127)
+            head += n.to_bytes(8, "big")
+        writer.write(bytes(head) + payload)
+
+    @staticmethod
+    async def _ws_read_frame(reader: asyncio.StreamReader):
+        try:
+            b0b1 = await reader.readexactly(2)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+        opcode = b0b1[0] & 0x0F
+        masked = bool(b0b1[1] & 0x80)
+        n = b0b1[1] & 0x7F
+        if n == 126:
+            n = int.from_bytes(await reader.readexactly(2), "big")
+        elif n == 127:
+            n = int.from_bytes(await reader.readexactly(8), "big")
+        if n > _MAX_BODY:
+            return None
+        mask = await reader.readexactly(4) if masked else b""
+        payload = await reader.readexactly(n) if n else b""
+        if masked and payload:
+            payload = bytes(
+                b ^ mask[i % 4] for i, b in enumerate(payload))
+        return opcode, payload

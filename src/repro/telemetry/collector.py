@@ -21,10 +21,11 @@ from __future__ import annotations
 import json
 import math
 import os
+import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 __all__ = [
     "RECORD_VERSION",
@@ -125,7 +126,7 @@ class Span:
         c = self._collector
         if c._stack and c._stack[-1] is self:
             c._stack.pop()
-        c._records.append({
+        c._append({
             "v": RECORD_VERSION,
             "kind": "span",
             "seq": self.seq,
@@ -177,6 +178,13 @@ class NullCollector:
     def set_scenario(self, scenario: Any) -> None:
         """No-op scenario stamp."""
 
+    def add_sink(self, sink: Callable[[dict], None]) -> Callable[[dict], None]:
+        """No-op sink registration (nothing will ever be emitted)."""
+        return sink
+
+    def remove_sink(self, sink: Callable[[dict], None]) -> None:
+        """No-op sink removal."""
+
 
 class TelemetryCollector:
     """Buffers spans/counters for one run and writes them as JSONL.
@@ -192,6 +200,12 @@ class TelemetryCollector:
         ``$REPRO_TELEMETRY_DIR`` or ``<cache dir>/telemetry/``.
     label:
         Free-form description stored in the meta record.
+    max_records:
+        Keep only the most recent N span records in memory (the
+        long-running streaming service would otherwise grow without
+        bound).  ``None`` (the default) keeps everything.  Dropped spans
+        are counted in :attr:`dropped_records`; sinks still see every
+        record as it completes.
 
     Use directly, or as a context manager that installs itself as the
     current collector and saves on exit::
@@ -199,41 +213,105 @@ class TelemetryCollector:
         with TelemetryCollector(run_id="link-1m") as tm:
             reader.decode(...)
         print(tm.path)        # .repro_cache/telemetry/link-1m.jsonl
+
+    The collector is thread-compatible: record/counter appends and seq
+    allocation are lock-protected, and the open-span stack is
+    thread-local, so parentage stays correct when decodes run on worker
+    threads (the streaming multiplexer's executor).  Registered *sinks*
+    (:meth:`add_sink`) receive each completed span record as a dict --
+    the live push feed of the streaming API; a raising sink is dropped
+    rather than allowed to break the pipeline.
     """
 
     enabled = True
 
     def __init__(self, run_id: str | None = None, *,
                  directory: str | os.PathLike | None = None,
-                 label: str = ""):
+                 label: str = "",
+                 max_records: int | None = None):
         if run_id is None:
             run_id = time.strftime("%Y%m%d-%H%M%S") + f"-{os.getpid()}"
         self.run_id = str(run_id)
         self.directory = Path(directory) if directory is not None \
             else default_telemetry_dir()
         self.label = label
+        self.max_records = max_records
         self.created_unix = time.time()
         self.scenario: dict[str, Any] | None = None
         self.scenario_hash: str | None = None
         self.path: Path | None = None
+        self.dropped_records = 0
         self._records: list[dict[str, Any]] = []
         self._counters: dict[str, int] = {}
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._sinks: list[Callable[[dict], None]] = []
         self._seq = 0
         self._epoch = time.perf_counter()
         self._restore: Any = None
+
+    @property
+    def _stack(self) -> list[Span]:
+        """The calling thread's open-span stack."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- recording ---------------------------------------------------------
 
     def span(self, name: str) -> Span:
         """Open a new span; nest by entering it as a context manager."""
-        self._seq += 1
-        parent = self._stack[-1].seq if self._stack else None
-        return Span(self, name, self._seq, parent)
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+        stack = self._stack
+        parent = stack[-1].seq if stack else None
+        return Span(self, name, seq, parent)
 
     def count(self, name: str, n: int = 1) -> None:
         """Bump a run-wide counter."""
-        self._counters[name] = self._counters.get(name, 0) + n
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def _append(self, record: dict[str, Any]) -> None:
+        """Store one completed record and fan it out to the sinks."""
+        with self._lock:
+            self._records.append(record)
+            if self.max_records is not None \
+                    and len(self._records) > self.max_records:
+                drop = len(self._records) - self.max_records
+                del self._records[:drop]
+                self.dropped_records += drop
+            sinks = tuple(self._sinks)
+        for sink in sinks:
+            try:
+                sink(record)
+            except Exception:
+                self.remove_sink(sink)
+
+    # -- push sinks --------------------------------------------------------
+
+    def add_sink(self, sink: Callable[[dict], None]) -> Callable[[dict], None]:
+        """Register a callable to receive each completed span record.
+
+        Returns ``sink`` (handy for later :meth:`remove_sink`).  Sinks
+        run on whatever thread completes the span, so they must be cheap
+        and thread-safe -- the streaming server's sinks just enqueue onto
+        an asyncio loop via ``call_soon_threadsafe``.
+        """
+        with self._lock:
+            if sink not in self._sinks:
+                self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: Callable[[dict], None]) -> None:
+        """Unregister a sink added with :meth:`add_sink` (idempotent)."""
+        with self._lock:
+            try:
+                self._sinks.remove(sink)
+            except ValueError:
+                pass
 
     def probe(self, name: str, value: Any) -> None:
         """Attach a probe to the innermost open span (or drop it)."""
@@ -260,12 +338,14 @@ class TelemetryCollector:
     @property
     def spans(self) -> list[dict[str, Any]]:
         """Completed span records, in completion order."""
-        return [r for r in self._records if r["kind"] == "span"]
+        with self._lock:
+            return [r for r in self._records if r["kind"] == "span"]
 
     @property
     def counters(self) -> dict[str, int]:
         """Current counter values."""
-        return dict(self._counters)
+        with self._lock:
+            return dict(self._counters)
 
     # -- output ------------------------------------------------------------
 
@@ -281,11 +361,16 @@ class TelemetryCollector:
         if self.scenario is not None:
             meta["scenario_hash"] = self.scenario_hash
             meta["scenario"] = self.scenario
+        with self._lock:
+            records = list(self._records)
+            counter_items = sorted(self._counters.items())
+            if self.dropped_records:
+                meta["dropped_records"] = self.dropped_records
         counters = [
             {"v": RECORD_VERSION, "kind": "counter", "name": k, "value": n}
-            for k, n in sorted(self._counters.items())
+            for k, n in counter_items
         ]
-        return [meta, *self._records, *counters]
+        return [meta, *records, *counters]
 
     def save(self, path: str | os.PathLike | None = None) -> Path:
         """Write the run as JSONL and return the file path."""

@@ -30,30 +30,32 @@ from repro.scenario import (
 )
 from repro.tag import BackFiTag, TagConfig
 
-# Re-pinned when the schema gained the (null-defaulting) network
-# section in PR 6 -- every canonical dict, and so every hash, shifted.
+# Re-pinned whenever the schema gains a (null-defaulting) section --
+# network in PR 6, streaming in PR 7 -- every canonical dict, and so
+# every hash, shifts.
 GOLDEN_HASHES = {
-    "city-block-1m": "f69d697bd28338d8",
-    "coex-0.25m": "76f1be2a8e0ff5af",
-    "fig8-0.5m": "8ddeb8d7663c3efb",
-    "fig8-1m": "d2c9990ad80ab6d7",
-    "fig8-2m": "5af7ace6b65c4b55",
-    "fig8-3m": "18aca6cf8f5194b1",
-    "fig8-5m": "e1a77cc7c51abe1c",
-    "fig8-7m": "762b3545fe5f115f",
-    "mobility-2m": "7bc58f4dd800e517",
-    "paper-1m": "b36a7ef9de1c5384",
-    "paper-5m": "5d453effef2efa46",
-    "robust-p0-arq": "e12717191c750c6b",
-    "robust-p0-noarq": "b5c22d5f847a6995",
-    "robust-p0.3-arq": "3d19d15d7bb6c67f",
-    "robust-p0.3-noarq": "391260a2259c8666",
-    "robust-p0.6-arq": "694080f92915d726",
-    "robust-p0.6-noarq": "82e4b2af9913e389",
-    "robust-p0.9-arq": "acf60f2e7f7cf7d7",
-    "robust-p0.9-noarq": "56a03ceceba59887",
-    "sensor-2m": "ce7c3c948ffc6376",
-    "warehouse-10k": "690985055ecedc1b",
+    "city-block-1m": "ccb2f6cf4b11883e",
+    "coex-0.25m": "294bf267103b0eaa",
+    "fig8-0.5m": "4d1bc092dff7c64a",
+    "fig8-1m": "4c7e78644b3bd1b2",
+    "fig8-2m": "db5c00a550e743b7",
+    "fig8-3m": "df9259c02a9df59b",
+    "fig8-5m": "4a01cc4a0a979a02",
+    "fig8-7m": "2fba17e1b4e3f4c0",
+    "mobility-2m": "66aed3d35ab8d7e1",
+    "paper-1m": "535ec8852f0abfb1",
+    "paper-5m": "f520dd5d593aab1c",
+    "robust-p0-arq": "880398793d787ff5",
+    "robust-p0-noarq": "a4f858f242b2a631",
+    "robust-p0.3-arq": "3a7b6c73ee381cc9",
+    "robust-p0.3-noarq": "332d053f38c7924a",
+    "robust-p0.6-arq": "3bfd0fceada15e41",
+    "robust-p0.6-noarq": "ca067536a6924859",
+    "robust-p0.9-arq": "46ee9b225ffa71b4",
+    "robust-p0.9-noarq": "1f3c70066ea00d29",
+    "sensor-2m": "5392934a4a3f3504",
+    "streaming-50": "3135b22d6d0bc7cb",
+    "warehouse-10k": "2ceded37e87c03ea",
 }
 
 

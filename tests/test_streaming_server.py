@@ -1,0 +1,259 @@
+"""The HTTP/WebSocket service surface and the telemetry JSONL schema."""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import http.client
+import io
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.scenario import StreamingConfig
+from repro.streaming import (
+    ServiceClient,
+    SessionMultiplexer,
+    StreamingServer,
+    run_session,
+)
+from repro.telemetry import TelemetryCollector
+
+SCENARIO = "streaming-50"
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+
+class _Service:
+    """One in-process streaming server on a private event-loop thread."""
+
+    def __init__(self, collector: TelemetryCollector | None = None,
+                 **config):
+        config.setdefault("chunk_samples", 4096)
+        config.setdefault("ring_chunks", 32)
+        config.setdefault("max_sessions", 8)
+        self.server = StreamingServer(
+            SessionMultiplexer(StreamingConfig(**config)),
+            port=0, default_scenario=SCENARIO, collector=collector)
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.server.start())
+        self._ready.set()
+        self.loop.run_forever()
+
+    def __enter__(self) -> "_Service":
+        self.thread.start()
+        assert self._ready.wait(30), "server never came up"
+        return self
+
+    def __exit__(self, *exc) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.server.aclose(), self.loop).result(30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(30)
+        self.loop.close()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+
+def _raw(port: int, method: str, path: str, body: bytes | None = None,
+         headers: dict | None = None) -> tuple[int, dict]:
+    """One request with the raw status code (ServiceClient raises >=400)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request(method, path, body=body, headers=headers or {})
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read().decode() or "{}")
+    finally:
+        conn.close()
+
+
+def _json(port: int, method: str, path: str, payload: dict):
+    return _raw(port, method, path, json.dumps(payload).encode(),
+                {"Content-Type": "application/json"})
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    collector = TelemetryCollector(
+        run_id="stream-test",
+        directory=tmp_path_factory.mktemp("telemetry"))
+    with _Service(collector=collector) as svc:
+        yield svc
+
+
+@pytest.fixture
+def client(service):
+    c = ServiceClient(port=service.port)
+    yield c
+    c.close()
+
+
+class TestHttpSurface:
+    def test_banner_health_and_scenarios(self, client):
+        banner = client.request("GET", "/")
+        assert "POST /sessions" in banner["endpoints"]
+        assert banner["scenario_default"] == SCENARIO
+        assert client.healthz()["ok"] is True
+        assert SCENARIO in client.request("GET", "/scenarios")
+
+    def test_streamed_decode_verifies_against_batch(self, client):
+        out = io.StringIO()
+        mismatches = run_session(client, scenario=SCENARIO, exchanges=2,
+                                 verify=True, out=out)
+        assert mismatches == 0
+        lines = [json.loads(line) for line in
+                 out.getvalue().splitlines()]
+        assert [ln["verified"] for ln in lines if "verified" in ln] \
+            == [True, True]
+        assert lines[-1]["closed"]["decoded"] == 2
+
+    def test_session_stats_surface(self, client, service):
+        opened = client.open_session(SCENARIO)
+        stats = client.stats()
+        assert opened["session"] in stats["per_session"]
+        assert stats["max_sessions"] == 8
+        assert "feed_subscribers" in stats
+        assert stats["telemetry_run_id"] == "stream-test"
+        closed = client.close_session(opened["session"])
+        assert closed["scenario"] == SCENARIO
+        assert opened["session"] not in client.stats()["per_session"]
+
+    def test_error_mapping(self, client, service):
+        port = service.port
+        assert _raw(port, "GET", "/nope")[0] == 404
+        assert _raw(port, "POST", "/sessions/ghost/chunks", b"")[0] == 404
+        assert _json(port, "POST", "/sessions",
+                     {"scenario": "no-such-preset"})[0] == 400
+        opened = client.open_session(SCENARIO)
+        sid = opened["session"]
+        # 15 bytes is not a whole complex128 sample.
+        assert _raw(port, "POST", f"/sessions/{sid}/chunks",
+                    b"\x00" * 15)[0] == 400
+        # A whole sample, but no exchange armed: protocol misuse.
+        assert _raw(port, "POST", f"/sessions/{sid}/chunks",
+                    b"\x00" * 16)[0] == 409
+        assert _raw(port, "PUT", f"/sessions/{sid}/chunks")[0] == 405
+        client.close_session(sid)
+
+    def test_admission_maps_to_503(self):
+        with _Service(max_sessions=1) as svc:
+            c = ServiceClient(port=svc.port)
+            try:
+                first = c.open_session(SCENARIO)
+                status, payload = _json(svc.port, "POST", "/sessions",
+                                        {"scenario": SCENARIO})
+                assert status == 503
+                assert "capacity" in payload["error"]
+                c.close_session(first["session"])
+            finally:
+                c.close()
+
+
+def _await_subscriber(client: ServiceClient, baseline: int) -> None:
+    deadline = time.monotonic() + 30
+    while client.stats()["feed_subscribers"] <= baseline:
+        assert time.monotonic() < deadline, "feed never subscribed"
+        time.sleep(0.02)
+
+
+class TestTelemetryFeed:
+    def test_ndjson_feed_pushes_live_records(self, service, client):
+        baseline = client.stats()["feed_subscribers"]
+        sock = socket.create_connection(("127.0.0.1", service.port),
+                                        timeout=30)
+        try:
+            sock.sendall(b"GET /telemetry/feed HTTP/1.1\r\n"
+                         b"Host: test\r\n\r\n")
+            f = sock.makefile("rb")
+            assert b"200" in f.readline()
+            while f.readline() not in (b"\r\n", b"\n", b""):
+                pass
+            _await_subscriber(client, baseline)
+            run_session(client, scenario=SCENARIO, exchanges=1,
+                        out=io.StringIO())
+            record = json.loads(f.readline())
+            assert record["kind"] == "span"
+            assert record["name"]
+            f.close()
+        finally:
+            sock.close()
+
+    def test_websocket_feed(self, service, client):
+        baseline = client.stats()["feed_subscribers"]
+        key = base64.b64encode(b"0123456789abcdef").decode()
+        expect = base64.b64encode(
+            hashlib.sha1((key + _WS_GUID).encode()).digest()).decode()
+        sock = socket.create_connection(("127.0.0.1", service.port),
+                                        timeout=30)
+        try:
+            sock.sendall(
+                (f"GET /telemetry/ws HTTP/1.1\r\nHost: test\r\n"
+                 f"Upgrade: websocket\r\nConnection: Upgrade\r\n"
+                 f"Sec-WebSocket-Key: {key}\r\n\r\n").encode())
+            f = sock.makefile("rb")
+            assert b"101" in f.readline()
+            headers = {}
+            while (line := f.readline()) not in (b"\r\n", b"\n", b""):
+                k, _, v = line.decode("latin-1").partition(":")
+                headers[k.strip().lower()] = v.strip()
+            assert headers["sec-websocket-accept"] == expect
+            _await_subscriber(client, baseline)
+            run_session(client, scenario=SCENARIO, exchanges=1,
+                        out=io.StringIO())
+            b0, b1 = f.read(2)
+            assert b0 == 0x81          # FIN + text frame
+            n = b1 & 0x7F
+            if n == 126:
+                n = int.from_bytes(f.read(2), "big")
+            record = json.loads(f.read(n))
+            assert record["kind"] == "span"
+            f.close()
+        finally:
+            sock.close()
+
+
+SPAN_KEYS = {"v", "kind", "seq", "name", "parent_seq", "start_s",
+             "wall_s", "probes"}
+STAGE_SPANS = {"cancellation", "sync", "channel_est", "mrc"}
+DECODE_PROBES = {"ok", "n_symbols", "symbol_snr_db", "required_snr_db",
+                 "noise_floor_dbm"}
+
+
+class TestTelemetryGoldenSchema:
+    def test_saved_jsonl_matches_schema(self, service, client):
+        """Every saved record carries the pinned span/probe fields."""
+        run_session(client, scenario=SCENARIO, exchanges=1,
+                    out=io.StringIO())
+        path = service.server.collector.save()
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert records, "telemetry run is empty"
+
+        meta = records[0]
+        assert meta["kind"] == "meta"
+        assert meta["run_id"] == "stream-test"
+        assert {"v", "label", "created_unix"} <= meta.keys()
+
+        spans = [r for r in records if r["kind"] == "span"]
+        assert spans, "no spans recorded"
+        for span in spans:
+            assert SPAN_KEYS <= span.keys(), span
+            assert span["wall_s"] >= 0.0
+
+        decodes = [s for s in spans if s["name"] == "reader.decode"]
+        assert decodes, "no reader.decode span recorded"
+        top = decodes[-1]
+        assert DECODE_PROBES <= top["probes"].keys()
+        nested = {s["name"] for s in spans
+                  if s["parent_seq"] == top["seq"]}
+        assert STAGE_SPANS <= nested

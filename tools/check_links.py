@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Check relative markdown links and heading anchors, stdlib only.
+"""Check markdown links, anchors, and API doc coverage -- stdlib only.
 
 Walks every ``*.md`` file in the repo (skipping caches/venvs), extracts
 inline links and bare reference definitions, and verifies that:
@@ -9,6 +9,16 @@ inline links and bare reference definitions, and verifies that:
   (GitHub-style slugs),
 * intra-file anchors (``[x](#section)``) resolve.
 
+It then checks the docs keep pace with the public surface (no running
+the package -- both sources are parsed with :mod:`ast`, so the check
+works in the dependency-free CI docs job):
+
+* every ``repro`` CLI subcommand registered in ``src/repro/cli.py``
+  (``sub.add_parser("name", ...)``) is mentioned as ``repro <name>``
+  in at least one of README.md / docs/*.md,
+* every public export in ``src/repro/__init__.py``'s ``__all__`` is
+  mentioned by name in at least one of those files.
+
 External links (``http(s)://``, ``mailto:``) are *not* fetched -- CI
 must pass offline -- but their URLs are syntax-checked for whitespace.
 
@@ -16,12 +26,14 @@ Usage::
 
     python tools/check_links.py [root]
 
-Exits non-zero listing every broken link, so it slots straight into the
-CI docs job next to ``python -m compileall examples/``.
+Exits non-zero listing every broken link or undocumented surface, so it
+slots straight into the CI docs job next to
+``python -m compileall examples/``.
 """
 
 from __future__ import annotations
 
+import ast
 import re
 import sys
 import unicodedata
@@ -113,6 +125,76 @@ def check_file(md: Path, root: Path) -> list[str]:
     return problems
 
 
+def cli_subcommands(root: Path) -> list[str]:
+    """CLI subcommand names, parsed (not imported) from cli.py.
+
+    Matches every ``<x>.add_parser("name", ...)`` call with a literal
+    first argument -- exactly how ``build_parser`` registers commands.
+    """
+    source = (root / "src" / "repro" / "cli.py").read_text(
+        encoding="utf-8")
+    names = []
+    for node in ast.walk(ast.parse(source)):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_parser"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)):
+            names.append(node.args[0].value)
+    return names
+
+
+def public_exports(root: Path) -> list[str]:
+    """The package's ``__all__``, parsed from ``repro/__init__.py``."""
+    source = (root / "src" / "repro" / "__init__.py").read_text(
+        encoding="utf-8")
+    for node in ast.walk(ast.parse(source)):
+        if (isinstance(node, ast.Assign)
+                and any(isinstance(t, ast.Name) and t.id == "__all__"
+                        for t in node.targets)
+                and isinstance(node.value, (ast.List, ast.Tuple))):
+            return [elt.value for elt in node.value.elts
+                    if isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)
+                    and not elt.value.startswith("__")]
+    return []
+
+
+def doc_corpus(root: Path) -> str:
+    """README.md plus every docs/*.md, concatenated."""
+    paths = [root / "README.md"]
+    docs = root / "docs"
+    if docs.is_dir():
+        paths.extend(sorted(docs.glob("*.md")))
+    return "\n".join(p.read_text(encoding="utf-8")
+                     for p in paths if p.exists())
+
+
+def check_doc_coverage(root: Path) -> list[str]:
+    """Complaints for any public surface the docs never mention."""
+    problems: list[str] = []
+    try:
+        commands = cli_subcommands(root)
+        exports = public_exports(root)
+    except (OSError, SyntaxError) as exc:
+        return [f"doc-coverage: cannot parse the public surface: {exc}"]
+    corpus = doc_corpus(root)
+    for name in commands:
+        # Accept "repro <cmd>" or "repro.cli <cmd>" (prose or code).
+        if not re.search(rf"repro(?:\.cli)?\s+{re.escape(name)}\b",
+                         corpus):
+            problems.append(
+                f"doc-coverage: CLI subcommand `repro {name}` is not "
+                "mentioned in README.md or docs/")
+    for name in exports:
+        if not re.search(rf"\b{re.escape(name)}\b", corpus):
+            problems.append(
+                f"doc-coverage: public export `repro.{name}` is not "
+                "mentioned in README.md or docs/")
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     args = argv if argv is not None else sys.argv[1:]
     root = Path(args[0]).resolve() if args else Path.cwd()
@@ -123,12 +205,18 @@ def main(argv: list[str] | None = None) -> int:
     problems: list[str] = []
     for md in files:
         problems.extend(check_file(md, root))
+    coverage = check_doc_coverage(root)
+    n_cmds = len(cli_subcommands(root))
+    n_exports = len(public_exports(root))
+    problems.extend(coverage)
     if problems:
-        print(f"{len(problems)} broken link(s) in {len(files)} files:")
+        print(f"{len(problems)} problem(s) in {len(files)} files:")
         for p in problems:
             print(f"  {p}")
         return 1
-    print(f"checked {len(files)} markdown files: all links ok")
+    print(f"checked {len(files)} markdown files: all links ok; "
+          f"{n_cmds} CLI subcommands and {n_exports} public exports "
+          "all documented")
     return 0
 
 
