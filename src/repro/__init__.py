@@ -27,7 +27,10 @@ numpy/scipy:
 * :mod:`repro.streaming` -- the decode pipeline as a long-running
   service: chunked ingest, warm multi-exchange sessions, an asyncio
   session multiplexer and the ``repro serve`` HTTP/WebSocket front-end
-  with a live telemetry feed.
+  with a live telemetry feed; hardened with health/readiness
+  endpoints, a session watchdog, graceful drain, checkpoint/resume,
+  and a retrying client -- provable under the seedable chaos harness
+  in :mod:`repro.faults.chaos`.
 
 Quickstart::
 
@@ -53,6 +56,7 @@ from .link import (
 )
 from .reader import BackFiReader, ReaderConfig, ReaderResult, select_config
 from .scenario import (
+    ChaosConfig,
     LinkConfig,
     ScenarioConfig,
     StreamingConfig,
@@ -60,7 +64,14 @@ from .scenario import (
     list_scenarios,
     register_scenario,
 )
-from .streaming import SessionMultiplexer, StreamingDecoder, StreamingServer
+from .streaming import (
+    RetryPolicy,
+    ServerThread,
+    ServiceClient,
+    SessionMultiplexer,
+    StreamingDecoder,
+    StreamingServer,
+)
 from .tag import BackFiTag, TagConfig, all_tag_configs, default_energy_model
 from .telemetry import TelemetryCollector
 from .wifi import WifiReceiver, WifiTransmitter
@@ -87,6 +98,10 @@ __all__ = [
     "TagConfig",
     "all_tag_configs",
     "default_energy_model",
+    "ChaosConfig",
+    "RetryPolicy",
+    "ServerThread",
+    "ServiceClient",
     "SessionMultiplexer",
     "StreamingConfig",
     "StreamingDecoder",

@@ -177,6 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--telemetry-records", type=int, default=4096,
                        help="in-memory telemetry ring size "
                             "(default: %(default)s)")
+    serve.add_argument("--chaos-intensity", type=float, default=None,
+                       help="scale the scenario's chaos plan (0 "
+                            "disables; >0 arms the default event set "
+                            "even without a scenario chaos section)")
+    serve.add_argument("--chaos-seed", type=int, default=None,
+                       help="override the chaos plan's seed")
 
     rep = sub.add_parser("report",
                          help="write a markdown reproduction report")
@@ -486,8 +492,11 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the streaming decode service until POST /shutdown (or ^C)."""
     import asyncio
+    import contextlib
+    import signal
     from dataclasses import replace
 
+    from .faults import ChaosConfig
     from .scenario import StreamingConfig, get_scenario
     from .streaming import DEFAULT_PORT, SessionMultiplexer, \
         StreamingServer
@@ -508,18 +517,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if flag_over:
         cfg = replace(cfg, **flag_over)
 
+    # Chaos: the scenario's section, optionally rescaled/reseeded (or
+    # created) by the flags.  --chaos-intensity 0 always disables.
+    chaos_cfg = sc.chaos
+    if args.chaos_intensity is not None or args.chaos_seed is not None:
+        base = chaos_cfg or ChaosConfig(intensity=0.0)
+        chaos_cfg = replace(
+            base,
+            intensity=base.intensity if args.chaos_intensity is None
+            else args.chaos_intensity,
+            seed=base.seed if args.chaos_seed is None
+            else args.chaos_seed,
+        )
+    chaos_plan = chaos_cfg.plan() if chaos_cfg is not None else None
+
     async def _serve() -> int:
         collector = TelemetryCollector(
             label=f"repro serve --scenario {scenario_name}",
             max_records=args.telemetry_records)
         server = StreamingServer(
-            SessionMultiplexer(cfg),
+            SessionMultiplexer(cfg, chaos=chaos_plan),
             host=args.host,
             port=DEFAULT_PORT if args.port is None else args.port,
             default_scenario=scenario_name,
             collector=collector,
         )
         await server.start()
+        # SIGTERM/SIGINT begin a graceful drain (stop admissions, let
+        # in-flight exchanges finish); a second signal stops at once.
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(sig, server.request_drain)
         print(f"streaming decode service on "
               f"http://{server.host}:{server.port}", flush=True)
         print(f"  default scenario : {scenario_name} "
@@ -527,11 +556,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"  sessions         : up to {cfg.max_sessions} "
               f"({cfg.backpressure} backpressure, "
               f"{cfg.chunk_samples}-sample chunks)", flush=True)
-        print("  stop with        : POST /shutdown (or ^C)", flush=True)
+        if cfg.watchdog_deadline_s is not None:
+            print(f"  watchdog         : reap stalled sessions after "
+                  f"{cfg.watchdog_deadline_s:g}s", flush=True)
+        if chaos_plan is not None:
+            print(f"  chaos            : ARMED "
+                  f"({len(chaos_plan.events)} event types, seed "
+                  f"{chaos_plan.seed}) -- injecting transport faults",
+                  flush=True)
+        print("  stop with        : POST /shutdown, SIGTERM drain, "
+              "or ^C", flush=True)
         try:
             await server.serve_until_shutdown()
         except (KeyboardInterrupt, asyncio.CancelledError):
             await server.aclose()
+        finally:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                with contextlib.suppress(NotImplementedError,
+                                         ValueError):
+                    loop.remove_signal_handler(sig)
         print(f"telemetry saved to {collector.path}", flush=True)
         return 0
 

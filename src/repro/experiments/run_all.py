@@ -82,6 +82,7 @@ def experiment_specs(fast: bool) -> list[tuple]:
         fig10_repb_vs_range,
         fig11_microbench,
         fig12_network,
+        chaos_sweep,
         fig13_client_impact,
         robustness_sweep,
     )
@@ -120,6 +121,9 @@ def experiment_specs(fast: bool) -> list[tuple]:
         ("Robustness", "robustness_sweep", robustness_sweep.run,
          {"intensities": (0.0, 0.6) if fast else (0.0, 0.3, 0.6, 0.9),
           "trials": 1 if fast else 3}, None),
+        ("Service chaos", "chaos_sweep", chaos_sweep.run,
+         {"intensities": (0.0, 0.8) if fast else (0.0, 0.4, 0.8, 1.2),
+          "exchanges": 4 if fast else 6}, None),
     ]
 
 

@@ -11,10 +11,31 @@ faults at any ``--jobs N``::
     out = run_backscatter_session(scene, tag, reader,
                                   faults=plan, exchange_index=0, rng=rng)
 
+The transport-level sibling lives in :mod:`repro.faults.chaos`: a
+:class:`ChaosPlan` of typed service faults (dropped/duplicated/
+reordered/corrupted chunks, connection resets, latency spikes, stalled
+clients, worker crashes) that the streaming service injects under the
+same ``(seed, exchange_index)`` determinism contract.
+
 See ``docs/ROBUSTNESS.md`` for the fault taxonomy and the determinism
 contract.
 """
 
+from .chaos import (
+    DEFAULT_CHAOS_EVENTS,
+    ChaosConfig,
+    ChaosEvent,
+    ChaosPlan,
+    ChaosRealization,
+    ChunkCorrupt,
+    ChunkDrop,
+    ChunkDuplicate,
+    ChunkReorder,
+    ClientStall,
+    ConnectionReset,
+    LatencySpike,
+    WorkerFault,
+)
 from .plan import (
     AdcSaturation,
     Blocker,
@@ -31,10 +52,23 @@ __all__ = [
     "AdcSaturation",
     "Blocker",
     "Brownout",
+    "ChaosConfig",
+    "ChaosEvent",
+    "ChaosPlan",
+    "ChaosRealization",
+    "ChunkCorrupt",
+    "ChunkDrop",
+    "ChunkDuplicate",
+    "ChunkReorder",
+    "ClientStall",
     "ClockDrift",
+    "ConnectionReset",
+    "DEFAULT_CHAOS_EVENTS",
     "DetectorMiss",
     "FaultEvent",
     "FaultPlan",
     "FaultRealization",
     "InterferenceBurst",
+    "LatencySpike",
+    "WorkerFault",
 ]

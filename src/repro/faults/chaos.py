@@ -1,0 +1,416 @@
+"""Deterministic transport-level chaos for the streaming service.
+
+:class:`~repro.faults.plan.FaultPlan` injects *physics* faults (blockers,
+brownouts, saturation) into the waveform.  A :class:`ChaosPlan` is its
+transport sibling: a seedable, typed schedule of the failure modes a
+long-running decode service meets on the wire and in the worker pool --
+dropped, duplicated, reordered and corrupted chunks, connection resets
+mid-exchange, latency spikes, stalled (slow-loris) clients, and decode
+workers that die at the frame barrier.
+
+Determinism contract
+--------------------
+``plan.realize(exchange_index)`` is a pure function of
+``(plan.seed, exchange_index)``, exactly mirroring ``FaultPlan``:
+which events trigger and where their anchors land never depend on
+scheduling, wall-clock, or the session's own RNG stream.  Anchors are
+drawn as *fractions of the exchange's capture* and resolved to sample
+offsets, so the injected-fault log is identical at any chunk size: the
+same event fires on whichever chunk covers its anchor sample.
+
+Each injected event appends a description to the realization's
+``injected`` log and emits a ``chaos.<kind>`` telemetry span, so a
+chaos run's fault schedule shows up next to the decode-stage spans in
+``repro trace`` and the live ``/telemetry/feed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Callable, ClassVar, Sequence
+
+import numpy as np
+
+from ..telemetry import get_collector
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosEvent",
+    "ChaosPlan",
+    "ChaosRealization",
+    "ChunkCorrupt",
+    "ChunkDrop",
+    "ChunkDuplicate",
+    "ChunkReorder",
+    "ClientStall",
+    "ConnectionReset",
+    "DEFAULT_CHAOS_EVENTS",
+    "LatencySpike",
+    "WorkerFault",
+]
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """Base class: one typed transport failure with a trigger chance."""
+
+    probability: float = 1.0
+    """Chance this event fires on any given exchange (i.i.d. across
+    exchange indices, from the plan's seed)."""
+
+    kind: ClassVar[str] = "event"
+
+    def describe(self, **resolved) -> str:
+        """Short label recording what actually happened, e.g.
+        ``chunk-drop(at_frac=0.31)`` -- ``resolved`` overrides fields
+        whose value was drawn per exchange (the ``-1`` sentinel)."""
+        parts = []
+        for f in fields(self):
+            if f.name == "probability":
+                continue
+            value = resolved.get(f.name, getattr(self, f.name))
+            parts.append(f"{f.name}={value:g}")
+        return f"{self.kind}({', '.join(parts)})"
+
+
+@dataclass(frozen=True)
+class _AnchoredEvent(ChaosEvent):
+    """A transport event anchored to one point of the capture."""
+
+    at_frac: float = -1.0
+    """Anchor as a fraction of the exchange's capture; negative =
+    draw uniformly per exchange (range depends on the event)."""
+
+    #: Anchor draw range used when ``at_frac`` is negative.
+    draw_range: ClassVar[tuple[float, float]] = (0.05, 0.95)
+
+
+@dataclass(frozen=True)
+class ChunkDrop(_AnchoredEvent):
+    """The chunk covering the anchor vanishes on the wire.
+
+    The server swallows the request without responding, so the client
+    sees a read deadline expire -- the recovery path is a timed-out
+    retry of the same idempotent chunk.
+    """
+
+    kind: ClassVar[str] = "chunk-drop"
+
+
+@dataclass(frozen=True)
+class ChunkDuplicate(_AnchoredEvent):
+    """The chunk covering the anchor arrives twice.
+
+    A client (or middlebox) retransmit the server must deduplicate:
+    with chunk indexing the replay is detected and acked idempotently;
+    a legacy sequential producer would corrupt the assembly instead.
+    """
+
+    kind: ClassVar[str] = "chunk-duplicate"
+
+
+@dataclass(frozen=True)
+class ChunkReorder(_AnchoredEvent):
+    """The chunk covering the anchor is delivered late, out of order.
+
+    The server holds it and releases it only after the *next* chunk
+    arrives, exercising the out-of-order stash.  Never anchored on the
+    final chunk (there is no later arrival to trigger the release).
+    """
+
+    kind: ClassVar[str] = "chunk-reorder"
+    draw_range: ClassVar[tuple[float, float]] = (0.05, 0.8)
+
+
+@dataclass(frozen=True)
+class ChunkCorrupt(_AnchoredEvent):
+    """The chunk covering the anchor is bit-flipped in transit.
+
+    A checksummed client gets the corruption detected server-side and
+    replays the chunk; an unchecksummed one silently assembles a
+    poisoned capture.
+    """
+
+    flip_bytes: int = 64
+    """How many bytes are XOR-flipped at the anchor."""
+
+    kind: ClassVar[str] = "chunk-corrupt"
+
+
+@dataclass(frozen=True)
+class ConnectionReset(_AnchoredEvent):
+    """The TCP connection is torn down when the anchor chunk arrives.
+
+    Recovery is a reconnect plus idempotent replay from the session's
+    checkpoint (the submitted-samples high-water mark).
+    """
+
+    kind: ClassVar[str] = "connection-reset"
+
+
+@dataclass(frozen=True)
+class LatencySpike(_AnchoredEvent):
+    """The anchor chunk's response stalls for ``delay_s`` seconds.
+
+    Exercises the client's per-request deadline headroom; a deadline
+    shorter than the spike turns this into a (safe, idempotent) retry.
+    """
+
+    delay_s: float = 0.4
+
+    kind: ClassVar[str] = "latency-spike"
+
+
+@dataclass(frozen=True)
+class ClientStall(_AnchoredEvent):
+    """A slow-loris client: ingest pauses ``stall_s`` at the anchor.
+
+    Honored by the chaos *driver* (the client side of a harness run);
+    the server-side watchdog is what recovers the stuck session.
+    """
+
+    stall_s: float = 1.0
+
+    kind: ClassVar[str] = "client-stall"
+
+
+@dataclass(frozen=True)
+class WorkerFault(ChaosEvent):
+    """The decode worker dies at the frame barrier (once per exchange).
+
+    The multiplexer reports a retryable failure while keeping the
+    fully-assembled capture, so an idempotent replay of the final chunk
+    re-dispatches the decode.
+    """
+
+    kind: ClassVar[str] = "worker-fault"
+
+
+_EVENT_TYPES: dict[str, type[ChaosEvent]] = {
+    cls.kind: cls
+    for cls in (ChunkDrop, ChunkDuplicate, ChunkReorder, ChunkCorrupt,
+                ConnectionReset, LatencySpike, ClientStall, WorkerFault)
+}
+
+DEFAULT_CHAOS_EVENTS: tuple[ChaosEvent, ...] = (
+    ChunkDrop(probability=0.5),
+    ChunkDuplicate(probability=0.4),
+    ChunkReorder(probability=0.3),
+    ChunkCorrupt(probability=0.4),
+    ConnectionReset(probability=0.5),
+    LatencySpike(probability=0.3),
+    WorkerFault(probability=0.25),
+)
+"""The standard chaos mix: every transport failure mode plus worker
+faults, at base probabilities an ``intensity`` dial scales down."""
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seedable, typed schedule of transport faults.
+
+    Mirrors the :class:`~repro.faults.plan.FaultPlan` contract: all
+    realisations are pure functions of ``(seed, exchange_index)``.
+    """
+
+    events: tuple[ChaosEvent, ...] = ()
+    seed: int = 0
+
+    def __init__(self, events: Sequence[ChaosEvent] = (), seed: int = 0):
+        object.__setattr__(self, "events", tuple(events))
+        object.__setattr__(self, "seed", int(seed))
+
+    def scaled(self, intensity: float) -> "ChaosPlan":
+        """The same plan with every trigger probability scaled."""
+        k = float(intensity)
+        if k < 0:
+            raise ValueError("intensity must be >= 0")
+        import dataclasses
+
+        return ChaosPlan(
+            tuple(dataclasses.replace(
+                ev, probability=min(1.0, ev.probability * k))
+                for ev in self.events),
+            seed=self.seed,
+        )
+
+    def realize(self, exchange_index: int = 0) -> "ChaosRealization":
+        """Draw which events fire on one exchange, and where.
+
+        Anchors for triggered events are drawn here (not lazily), so a
+        realization is immutable data plus firing bookkeeping.
+        """
+        rng = np.random.default_rng(np.random.SeedSequence(
+            self.seed, spawn_key=(int(exchange_index),)))
+        armed: list[tuple[ChaosEvent, float]] = []
+        worker_faults = 0
+        for ev in self.events:
+            u = float(rng.random())  # always drawn: stream stays aligned
+            if u >= ev.probability:
+                continue
+            if isinstance(ev, WorkerFault):
+                worker_faults += 1
+                continue
+            if isinstance(ev, _AnchoredEvent):
+                frac = ev.at_frac
+                if frac < 0.0:
+                    lo, hi = type(ev).draw_range
+                    frac = float(rng.uniform(lo, hi))
+                armed.append((ev, frac))
+        armed.sort(key=lambda pair: pair[1])
+        return ChaosRealization(
+            armed=tuple(armed),
+            worker_faults=worker_faults,
+            exchange_index=int(exchange_index),
+        )
+
+
+@dataclass
+class ChaosRealization:
+    """The transport faults of one exchange, resolved to anchors.
+
+    The serving layer calls :meth:`transport_actions` per arriving
+    chunk and :meth:`take_worker_fault` at the frame barrier; each
+    fired event is appended to :attr:`injected` (and forwarded to
+    :attr:`sink`, which the multiplexer points at its service-level
+    chaos log) and emitted as a ``chaos.<kind>`` telemetry span.
+    """
+
+    armed: tuple[tuple[ChaosEvent, float], ...] = ()
+    worker_faults: int = 0
+    exchange_index: int = 0
+    injected: list[str] = field(default_factory=list)
+    sink: "Callable[[str, str], None] | None" = field(
+        default=None, repr=False)
+    _fired: set[int] = field(default_factory=set, repr=False)
+
+    def _record(self, ev: ChaosEvent, **resolved) -> None:
+        names = {f.name for f in fields(ev)}
+        desc = ev.describe(
+            **{k: v for k, v in resolved.items() if k in names})
+        self.injected.append(desc)
+        if self.sink is not None:
+            self.sink(ev.kind, desc)
+        tm = get_collector()
+        if tm.enabled:
+            with tm.span(f"chaos.{ev.kind}") as sp:
+                sp.probe("exchange", self.exchange_index)
+                sp.probe("event", desc)
+            tm.count("chaos.injected")
+
+    @staticmethod
+    def _anchor_sample(frac: float, total: int) -> int:
+        return min(max(int(frac * total), 0), max(total - 1, 0))
+
+    def transport_actions(self, start: int, size: int,
+                          total: int) -> list[ChaosEvent]:
+        """Events firing on the chunk covering ``[start, start+size)``.
+
+        Each armed event fires exactly once, on the first chunk whose
+        span covers its anchor sample; events within one chunk keep
+        their anchor order.  :class:`ClientStall` is driver-side and
+        never returned here (see :meth:`client_stalls`).
+        """
+        out: list[ChaosEvent] = []
+        end = start + size
+        for i, (ev, frac) in enumerate(self.armed):
+            if i in self._fired or isinstance(ev, ClientStall):
+                continue
+            anchor = self._anchor_sample(frac, total)
+            if start <= anchor < end:
+                self._fired.add(i)
+                self._record(ev, at_frac=frac)
+                out.append(ev)
+        return out
+
+    def client_stalls(self, start: int, size: int,
+                      total: int) -> list[ClientStall]:
+        """Driver-side stalls anchored inside this chunk's span."""
+        out: list[ClientStall] = []
+        end = start + size
+        for i, (ev, frac) in enumerate(self.armed):
+            if i in self._fired or not isinstance(ev, ClientStall):
+                continue
+            if start <= self._anchor_sample(frac, total) < end:
+                self._fired.add(i)
+                self._record(ev, at_frac=frac)
+                out.append(ev)
+        return out
+
+    def take_worker_fault(self) -> bool:
+        """Consume one armed worker fault (``True`` at most
+        ``worker_faults`` times per exchange)."""
+        if self.worker_faults <= 0:
+            return False
+        self.worker_faults -= 1
+        self._record(WorkerFault())
+        return True
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """The serializable chaos section of a scenario.
+
+    ``intensity`` scales every event's trigger probability (0 = chaos
+    off, 1 = the events' configured probabilities); ``events`` defaults
+    to the standard mix.  :meth:`plan` realises the section into the
+    :class:`ChaosPlan` the serving layer consumes.
+    """
+
+    intensity: float = 1.0
+    seed: int = 0
+    events: tuple[ChaosEvent, ...] = DEFAULT_CHAOS_EVENTS
+
+    def __post_init__(self) -> None:
+        if self.intensity < 0:
+            raise ValueError("intensity must be >= 0")
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def plan(self) -> ChaosPlan | None:
+        """The realized plan, or ``None`` when intensity is zero."""
+        if self.intensity <= 0:
+            return None
+        return ChaosPlan(self.events, seed=self.seed).scaled(
+            self.intensity)
+
+    # -- serialization (kind-keyed, like fault plans) --------------------
+
+    def to_dict(self) -> dict:
+        """Plain data, each event tagged with its ``kind``."""
+        import dataclasses
+
+        events = []
+        for ev in self.events:
+            d = {"kind": ev.kind}
+            d.update(dataclasses.asdict(ev))
+            events.append(d)
+        return {"intensity": self.intensity, "seed": self.seed,
+                "events": events}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosConfig":
+        """Inverse of :meth:`to_dict` (unknown kinds/fields raise)."""
+        events = []
+        for spec in data.get("events", ()):
+            spec = dict(spec)
+            kind = spec.pop("kind", None)
+            ev_cls = _EVENT_TYPES.get(kind)
+            if ev_cls is None:
+                raise ValueError(
+                    f"unknown chaos event kind {kind!r}; "
+                    f"known: {sorted(_EVENT_TYPES)}"
+                )
+            known = {f.name for f in fields(ev_cls)}
+            unknown = sorted(set(spec) - known)
+            if unknown:
+                raise ValueError(
+                    f"unknown chaos event {kind!r} field(s) {unknown}; "
+                    f"known: {sorted(known)}"
+                )
+            events.append(ev_cls(**spec))
+        return cls(
+            intensity=float(data.get("intensity", 1.0)),
+            seed=int(data.get("seed", 0)),
+            events=tuple(events) if "events" in data
+            else DEFAULT_CHAOS_EVENTS,
+        )

@@ -13,6 +13,7 @@ paper's named operating points (``paper-1m``, ``fig8-2m``,
 
 from .config import (
     BuiltScenario,
+    ChaosConfig,
     LinkConfig,
     ScenarioConfig,
     StreamingConfig,
@@ -29,6 +30,7 @@ from .registry import (
 
 __all__ = [
     "BuiltScenario",
+    "ChaosConfig",
     "LinkConfig",
     "ScenarioConfig",
     "StreamingConfig",

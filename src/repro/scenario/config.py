@@ -32,6 +32,7 @@ from ..faults import (
     AdcSaturation,
     Blocker,
     Brownout,
+    ChaosConfig,
     ClockDrift,
     DetectorMiss,
     FaultEvent,
@@ -51,6 +52,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
 
 __all__ = [
     "BuiltScenario",
+    "ChaosConfig",
     "LinkConfig",
     "ScenarioConfig",
     "StreamingConfig",
@@ -198,6 +200,28 @@ class StreamingConfig:
     decode_workers: int | None = None
     """Decode thread-pool size; ``None`` sizes it to the host."""
 
+    watchdog_deadline_s: float | None = None
+    """Reap a session whose in-flight exchange makes no ingest progress
+    for this long (slow-loris protection); ``None`` disables the
+    watchdog."""
+
+    watchdog_interval_s: float = 0.5
+    """How often the watchdog sweeps the session table."""
+
+    degrade_warm_frac: float = 0.9
+    """Past this fraction of ``max_sessions``, new sessions requesting
+    warm start are admitted *cold* instead of refused (degradation
+    ladder step 2); ``1.0`` disables the downgrade."""
+
+    feed_shed_after_drops: int = 256
+    """Disconnect a telemetry feed subscriber after this many dropped
+    records (degradation ladder step 1: shed observers before decode
+    capacity)."""
+
+    drain_timeout_s: float = 30.0
+    """How long a graceful shutdown waits for in-flight exchanges
+    before force-closing."""
+
     def __post_init__(self) -> None:
         if self.chunk_samples <= 0:
             raise ValueError("chunk_samples must be positive")
@@ -212,6 +236,17 @@ class StreamingConfig:
             )
         if self.decode_workers is not None and self.decode_workers <= 0:
             raise ValueError("decode_workers must be positive or None")
+        if self.watchdog_deadline_s is not None \
+                and self.watchdog_deadline_s <= 0:
+            raise ValueError("watchdog_deadline_s must be positive or None")
+        if self.watchdog_interval_s <= 0:
+            raise ValueError("watchdog_interval_s must be positive")
+        if not 0.0 <= self.degrade_warm_frac <= 1.0:
+            raise ValueError("degrade_warm_frac must be in [0, 1]")
+        if self.feed_shed_after_drops < 1:
+            raise ValueError("feed_shed_after_drops must be >= 1")
+        if self.drain_timeout_s <= 0:
+            raise ValueError("drain_timeout_s must be positive")
 
 
 @dataclass(frozen=True)
@@ -255,6 +290,11 @@ class ScenarioConfig:
     """Streaming-service knobs for ``repro serve``; ``None`` = serve
     with the service defaults."""
 
+    chaos: ChaosConfig | None = None
+    """Deterministic transport-fault injection for the streaming
+    service (the wire-level sibling of ``faults``); ``None`` = perfect
+    transport."""
+
     def __post_init__(self) -> None:
         if self.distance_m <= 0:
             raise ValueError("distance_m must be positive")
@@ -283,6 +323,8 @@ class ScenarioConfig:
             else dataclasses.asdict(self.network),
             "streaming": None if self.streaming is None
             else dataclasses.asdict(self.streaming),
+            "chaos": None if self.chaos is None
+            else self.chaos.to_dict(),
         }
         return out
 
@@ -310,6 +352,7 @@ class ScenarioConfig:
             "network": lambda d: _from_fields(NetworkConfig, d, "network"),
             "streaming": lambda d: _from_fields(
                 StreamingConfig, d, "streaming"),
+            "chaos": ChaosConfig.from_dict,
         }
         for key, build in section_builders.items():
             if key in data:
@@ -387,6 +430,7 @@ class ScenarioConfig:
                             NetworkConfig()),
                         "streaming": lambda: dataclasses.asdict(
                             StreamingConfig()),
+                        "chaos": lambda: ChaosConfig().to_dict(),
                     }.get(key)
                     if defaults is None:
                         raise KeyError(

@@ -21,11 +21,14 @@ Registered families:
 * ``streaming-50`` -- the streaming decode service's default operating
   point: 50 concurrent warm sessions of short exchanges
   (``repro serve``, the sessions/sec benchmark).
+* ``chaos-lab`` -- the streaming-50 service under a deterministic
+  transport-chaos plan (the resilience harness's fixed operating
+  point; ``repro serve --scenario chaos-lab``).
 """
 
 from __future__ import annotations
 
-from ..faults import Blocker, FaultPlan
+from ..faults import Blocker, ChaosConfig, FaultPlan
 from ..link.arq import ArqConfig
 from ..link.simulator import NetworkConfig
 from ..reader.config import ReaderConfig
@@ -199,6 +202,27 @@ def _register_presets() -> None:
             ring_chunks=32,
             warm_start=True,
         ),
+    ))
+    register_scenario(ScenarioConfig(
+        name="chaos-lab",
+        description="Service-resilience harness: the streaming-50 "
+                    "operating point under a deterministic transport "
+                    "chaos plan (drops, dups, reorders, corruption, "
+                    "resets, latency spikes, worker faults) with the "
+                    "session watchdog armed.",
+        seed=71,
+        link=LinkConfig(wifi_payload_bytes=300, n_payload_bits=200),
+        streaming=StreamingConfig(
+            max_sessions=50,
+            # Small chunks so every exchange spans many chunks: the
+            # chaos anchors then land on distinct chunks and
+            # drop/reorder/resume actually get exercised.
+            chunk_samples=512,
+            ring_chunks=32,
+            warm_start=False,
+            watchdog_deadline_s=30.0,
+        ),
+        chaos=ChaosConfig(intensity=0.8, seed=23),
     ))
     register_scenario(ScenarioConfig(
         name="mobility-2m",

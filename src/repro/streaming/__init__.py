@@ -10,26 +10,37 @@ call.  This package turns it into a long-running service:
 * :class:`~repro.streaming.ring.ChunkRing` -- the bounded ingest buffer
   in front of each session.
 * :class:`~repro.streaming.mux.SessionMultiplexer` -- many concurrent
-  sessions on one asyncio loop with explicit admission control and
-  per-chunk backpressure (``wait``/``shed``).
+  sessions on one asyncio loop with explicit admission control,
+  per-chunk backpressure (``wait``/``shed``), idempotent indexed ingest
+  with checkpoint/resume, a stall watchdog, and graceful drain.
 * :class:`~repro.streaming.server.StreamingServer` -- the HTTP/WebSocket
-  front-end behind ``repro serve``, with a live telemetry push feed.
+  front-end behind ``repro serve``, with a live telemetry push feed,
+  ``/healthz`` + ``/readyz`` probes, and optional deterministic fault
+  injection (:class:`repro.faults.ChaosPlan`).
+  :class:`~repro.streaming.server.ServerThread` runs one on a private
+  loop thread for tests and in-process experiments.
 * :class:`~repro.streaming.client.ServiceClient` -- the stdlib reference
   client (``python -m repro.streaming``), including ``--verify``
-  byte-for-byte checking against the local batch decoder.
+  byte-for-byte checking against the local batch decoder and a hardened
+  transport (deadline + :class:`~repro.streaming.client.RetryPolicy`
+  backoff + idempotent chunk replay + checkpoint resume).
 
 Configuration lives in the scenario layer
-(:class:`repro.scenario.StreamingConfig`; preset ``streaming-50``).
-``docs/STREAMING.md`` walks the whole thing end to end.
+(:class:`repro.scenario.StreamingConfig`; presets ``streaming-50`` and
+``chaos-lab``).  ``docs/STREAMING.md`` walks the service end to end;
+``docs/ROBUSTNESS.md`` covers the resilience harness.
 """
 
-from .client import ServiceClient, run_session
+from .client import RetryBudget, RetryPolicy, ServiceClient, \
+    ServiceDisconnect, ServiceError, ServiceHttpError, ServiceTimeout, \
+    run_session
 from .decoder import DEFAULT_WARM_SYNC_SEARCH_US, StreamProgress, \
     StreamingDecoder, WarmState
-from .mux import ChunkShed, MuxError, Overloaded, SessionMultiplexer, \
-    UnknownSession
+from .mux import ChunkShed, InjectedWorkerFault, MuxError, Overloaded, \
+    SessionMultiplexer, UnknownSession
 from .ring import ChunkRing
-from .server import DEFAULT_PORT, StreamingServer, result_summary
+from .server import DEFAULT_PORT, ServerThread, StreamingServer, \
+    result_summary
 from .session import CaptureSource, SessionStats, StreamSession, \
     exchange_rngs
 
@@ -39,9 +50,17 @@ __all__ = [
     "ChunkShed",
     "DEFAULT_PORT",
     "DEFAULT_WARM_SYNC_SEARCH_US",
+    "InjectedWorkerFault",
     "MuxError",
     "Overloaded",
+    "RetryBudget",
+    "RetryPolicy",
+    "ServerThread",
     "ServiceClient",
+    "ServiceDisconnect",
+    "ServiceError",
+    "ServiceHttpError",
+    "ServiceTimeout",
     "SessionMultiplexer",
     "SessionStats",
     "StreamProgress",

@@ -139,6 +139,39 @@ class StreamingDecoder:
         """Whether the current exchange's capture is fully ingested."""
         return self.in_exchange and self._received >= self._total
 
+    @property
+    def received_samples(self) -> int:
+        """The in-order ingest high-water mark of the open exchange."""
+        return self._received
+
+    @property
+    def total_samples(self) -> int:
+        """Announced capture length of the open exchange (0 if none)."""
+        return self._total
+
+    def checkpoint(self) -> dict:
+        """The resumable-progress snapshot of this decoder.
+
+        Everything a reconnecting client needs to continue an
+        interrupted exchange: the received high-water mark (replay
+        starts at the next chunk boundary past it) plus which warm
+        state the session is carrying.  The assembly buffers themselves
+        stay server-side -- resume is a *protocol* property, not a
+        state download.
+        """
+        return {
+            "in_exchange": self.in_exchange,
+            "received_samples": int(self._received),
+            "total_samples": int(self._total),
+            "exchanges_begun": self.exchanges_begun,
+            "exchanges_decoded": self.exchanges_decoded,
+            "warm": {
+                "analog_taps": self.warm.analog_taps is not None,
+                "digital_taps": self.warm.digital_taps is not None,
+                "sync_offset": self.warm.sync_offset,
+            },
+        }
+
     def begin_exchange(self, timeline: ApTimeline, h_env: np.ndarray, *,
                        pa_output: np.ndarray | None = None,
                        rng: np.random.Generator | None = None) -> int:

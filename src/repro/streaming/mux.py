@@ -7,17 +7,40 @@ drains the ring into the session's decoder (chunk ingest is cheap and
 stays on the event loop), and -- at each frame barrier -- a decode
 dispatched to a shared thread pool so sessions decode concurrently.
 
-Overload semantics are explicit, in two tiers:
+Overload semantics are explicit, as a *degradation ladder* (cheapest
+capability shed first):
 
-* **Session admission**: opening a session beyond ``max_sessions``
-  raises :class:`Overloaded` (the HTTP layer maps it to 503).  Load is
-  shed at the boundary instead of degrading every admitted session.
-* **Chunk backpressure**: a producer outrunning its session's decoder
-  fills the ring.  Policy ``"wait"`` suspends the producer coroutine
-  until the consumer catches up (lossless, latency absorbed by the
-  producer); ``"shed"`` refuses the chunk with :class:`ChunkShed`
-  (HTTP 429) and counts it, letting the producer drop-and-resync --
-  the right call for live capture where stale samples are worthless.
+1. **Telemetry feed**: the serving layer sheds slow feed subscribers
+   before anything decode-related degrades.
+2. **Warm admission**: past ``degrade_warm_frac`` of capacity, new
+   sessions are admitted *cold* (no warm-state carry) -- decode keeps
+   flowing, each exchange just pays the full re-fit.
+3. **Chunk backpressure**: a producer outrunning its session's decoder
+   fills the ring.  Policy ``"wait"`` suspends the producer coroutine
+   until the consumer catches up (lossless, latency absorbed by the
+   producer); ``"shed"`` refuses the chunk with :class:`ChunkShed`
+   (HTTP 429) and counts it, letting the producer drop-and-resync.
+4. **Session admission**: opening a session beyond ``max_sessions``
+   raises :class:`Overloaded` (HTTP 503).  Load is shed at the boundary
+   instead of degrading every admitted session.
+
+Resilience surfaces (all free on the happy path):
+
+* **Idempotent indexed ingest** -- a chunk tagged with its index maps
+  to a fixed sample offset; replays of already-accepted spans are acked
+  as duplicates, out-of-order arrivals wait in a bounded stash until
+  the gap fills.  This is what makes client retry loops safe.
+* **Checkpoint/resume** -- :meth:`SessionMultiplexer.session_state`
+  reports the submitted-samples high-water mark and next expected chunk
+  index, so a reconnecting client resumes an interrupted exchange
+  byte-identically instead of restarting it.
+* **Injected worker faults** (:class:`InjectedWorkerFault`, from a
+  :class:`~repro.faults.chaos.ChaosPlan`) keep the assembled capture;
+  an idempotent replay of the final chunk re-dispatches the decode.
+* **Watchdog** -- sessions whose exchange stalls past
+  ``watchdog_deadline_s`` without ingest progress are reaped.
+* **Drain** -- :meth:`SessionMultiplexer.drain` stops admissions and
+  waits for in-flight exchanges (graceful SIGTERM).
 """
 
 from __future__ import annotations
@@ -30,14 +53,21 @@ from typing import Any
 
 import numpy as np
 
+from ..faults.chaos import ChaosPlan, ChaosRealization
 from ..link.protocol import ApTimeline
 from ..reader.reader import ReaderResult
 from ..scenario import ScenarioConfig, StreamingConfig
+from ..telemetry import get_collector
 from .ring import ChunkRing
 from .session import StreamSession
 
-__all__ = ["ChunkShed", "MuxError", "Overloaded", "SessionMultiplexer",
-           "UnknownSession"]
+__all__ = ["ChunkShed", "InjectedWorkerFault", "MuxError", "Overloaded",
+           "SessionMultiplexer", "UnknownSession"]
+
+CLOSE_TIMEOUT_S = 30.0
+"""How long session teardown waits for the consumer task before
+cancelling it (a consumer wedged in a hung decode must not wedge
+shutdown too)."""
 
 
 class MuxError(RuntimeError):
@@ -56,11 +86,20 @@ class UnknownSession(MuxError):
     """No such session id (never opened, or already closed)."""
 
 
+class InjectedWorkerFault(MuxError):
+    """A chaos-injected decode-worker death at the frame barrier.
+
+    Retryable: the assembled capture survives, so an idempotent replay
+    of the exchange's final chunk re-dispatches the decode.
+    """
+
+
 class _Entry:
     """One session's multiplexer-side state."""
 
-    __slots__ = ("session", "ring", "cond", "task", "future",
-                 "remaining", "closing")
+    __slots__ = ("session", "ring", "cond", "task", "future", "total",
+                 "submitted", "stash", "announce", "exchange_index",
+                 "chaos", "refinish", "dupes", "last_activity", "closing")
 
     def __init__(self, session: StreamSession, ring_chunks: int):
         self.session = session
@@ -68,7 +107,15 @@ class _Entry:
         self.cond: asyncio.Condition = asyncio.Condition()
         self.task: asyncio.Task | None = None
         self.future: asyncio.Future | None = None
-        self.remaining = 0          # samples still to be submitted
+        self.total: int | None = None     # announced capture length
+        self.submitted = 0                # in-order accepted high-water
+        self.stash: dict[int, np.ndarray] = {}   # offset -> early chunk
+        self.announce: dict[str, Any] | None = None
+        self.exchange_index: int | None = None
+        self.chaos: ChaosRealization | None = None
+        self.refinish = False             # re-run the frame barrier
+        self.dupes = 0
+        self.last_activity = time.monotonic()
         self.closing = False
 
 
@@ -77,18 +124,32 @@ class SessionMultiplexer:
 
     Use as an async context manager, or call :meth:`start` /
     :meth:`aclose` explicitly.  All public methods are coroutines and
-    must run on the loop that started the multiplexer.
+    must run on the loop that started the multiplexer.  Passing a
+    ``chaos`` plan arms deterministic transport-fault injection: each
+    exchange realizes the plan at its own index, so the injected-fault
+    log is a pure function of ``(plan seed, exchange index)``.
     """
 
-    def __init__(self, config: StreamingConfig | None = None):
+    def __init__(self, config: StreamingConfig | None = None, *,
+                 chaos: ChaosPlan | None = None):
         self.config = config or StreamingConfig()
+        self.chaos = chaos
         self._sessions: dict[str, _Entry] = {}
         self._pool: ThreadPoolExecutor | None = None
+        self._watchdog_task: asyncio.Task | None = None
         self._ids = itertools.count(1)
         self.opened = 0
         self.refused = 0
         self.decoded = 0
         self.sheds = 0
+        self.dupes = 0
+        self.worker_faults = 0
+        self.watchdog_reaps = 0
+        self.warm_downgrades = 0
+        self.draining = False
+        self.chaos_log: list[dict[str, Any]] = []
+        """Every injected chaos event, in firing order:
+        ``{"session", "exchange", "event"}`` dicts."""
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -97,16 +158,27 @@ class SessionMultiplexer:
             self._pool = ThreadPoolExecutor(
                 max_workers=self.config.decode_workers,
                 thread_name_prefix="repro-decode")
+        if self._watchdog_task is None \
+                and self.config.watchdog_deadline_s is not None:
+            self._watchdog_task = asyncio.create_task(
+                self._watchdog(), name="repro-mux-watchdog")
         return self
 
     async def aclose(self) -> None:
+        if self._watchdog_task is not None:
+            self._watchdog_task.cancel()
+            try:
+                await self._watchdog_task
+            except asyncio.CancelledError:
+                pass
+            self._watchdog_task = None
         for sid in list(self._sessions):
             try:
                 await self.close_session(sid)
             except UnknownSession:
                 pass
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 
     async def __aenter__(self) -> "SessionMultiplexer":
@@ -114,6 +186,35 @@ class SessionMultiplexer:
 
     async def __aexit__(self, *exc: Any) -> None:
         await self.aclose()
+
+    # -- graceful drain ----------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Stop admitting sessions; in-flight exchanges keep running."""
+        if self.draining:
+            return
+        self.draining = True
+        tm = get_collector()
+        if tm.enabled:
+            with tm.span("mux.drain") as sp:
+                sp.probe("sessions", len(self._sessions))
+
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Stop admissions and wait for in-flight exchanges to finish.
+
+        Returns ``True`` once no exchange is pending, ``False`` on
+        timeout (callers then force-close).
+        """
+        self.begin_drain()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            busy = [sid for sid, e in self._sessions.items()
+                    if e.future is not None and not e.future.done()]
+            if not busy:
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            await asyncio.sleep(0.05)
 
     # -- session admission -------------------------------------------------
 
@@ -123,6 +224,9 @@ class SessionMultiplexer:
         """Admit one session, or raise :class:`Overloaded` at capacity."""
         if self._pool is None:
             await self.start()
+        if self.draining:
+            self.refused += 1
+            raise Overloaded("draining: not admitting new sessions")
         if len(self._sessions) >= self.config.max_sessions:
             self.refused += 1
             raise Overloaded(
@@ -135,12 +239,28 @@ class SessionMultiplexer:
             raise MuxError(f"session {session_id!r} already open")
         if warm_start is None:
             warm_start = self.config.warm_start
+        degraded = False
+        if warm_start and self.config.degrade_warm_frac < 1.0:
+            threshold = self.config.max_sessions * \
+                self.config.degrade_warm_frac
+            if len(self._sessions) >= threshold:
+                # Degradation ladder step 2: admit cold rather than
+                # refuse -- warm carry is a luxury under pressure.
+                warm_start = False
+                degraded = True
+                self.warm_downgrades += 1
+                tm = get_collector()
+                if tm.enabled:
+                    with tm.span("mux.warm_downgrade") as sp:
+                        sp.probe("session", session_id)
+                        sp.probe("sessions", len(self._sessions))
         loop = asyncio.get_running_loop()
         # Scenario build + first synthesis are heavy; keep the loop live.
         session = await loop.run_in_executor(
             self._pool,
             lambda: StreamSession(session_id, scenario,
                                   warm_start=warm_start))
+        session.admission_degraded = degraded
         entry = _Entry(session, self.config.ring_chunks)
         entry.task = asyncio.create_task(self._consume(entry),
                                          name=f"repro-mux-{session_id}")
@@ -156,7 +276,11 @@ class SessionMultiplexer:
             entry.closing = True
             entry.cond.notify_all()
         if entry.task is not None:
-            await entry.task
+            try:
+                await asyncio.wait_for(entry.task,
+                                       timeout=CLOSE_TIMEOUT_S)
+            except asyncio.TimeoutError:
+                pass    # wait_for cancelled the wedged consumer
         if entry.future is not None and not entry.future.done():
             entry.future.set_exception(
                 MuxError(f"session {session_id!r} closed mid-exchange"))
@@ -175,21 +299,58 @@ class SessionMultiplexer:
 
     # -- exchanges ---------------------------------------------------------
 
-    async def start_exchange(self, session_id: str) -> dict[str, Any]:
-        """Open the next scenario-synthesized exchange on a session."""
-        entry = self._entry(session_id)
-        self._check_exchange_idle(entry)
+    def _arm(self, entry: _Entry, n: int, index: int) -> None:
         loop = asyncio.get_running_loop()
-        n = await loop.run_in_executor(
-            self._pool, entry.session.start_scenario_exchange)
         entry.future = loop.create_future()
-        entry.remaining = n
-        return {
-            "session": session_id,
-            "exchange": entry.session.exchange_index - 1,
+        entry.total = n
+        entry.submitted = 0
+        entry.stash.clear()
+        entry.refinish = False
+        entry.exchange_index = index
+        entry.chaos = None
+        if self.chaos is not None:
+            entry.chaos = self.chaos.realize(index)
+            sid = entry.session.id
+            entry.chaos.sink = lambda kind, desc: self.chaos_log.append(
+                {"session": sid, "exchange": index, "event": desc})
+        entry.announce = {
+            "session": entry.session.id,
+            "exchange": index,
             "n_samples": n,
             "chunk_samples": self.config.chunk_samples,
         }
+        entry.last_activity = time.monotonic()
+
+    async def start_exchange(self, session_id: str, *,
+                             expected_index: int | None = None
+                             ) -> dict[str, Any]:
+        """Open the next scenario-synthesized exchange on a session.
+
+        With ``expected_index`` the call is idempotent: re-announcing
+        the exchange that is already armed (a reconnecting client)
+        replays the original announce instead of erroring, and
+        announcing anything but the next index is refused -- so a
+        retried announce can never silently skip an exchange.
+        """
+        entry = self._entry(session_id)
+        entry.last_activity = time.monotonic()
+        if expected_index is not None and entry.announce is not None \
+                and expected_index == entry.announce["exchange"]:
+            return dict(entry.announce)
+        if entry.future is not None and not entry.future.done():
+            raise MuxError(
+                f"session {session_id!r} still has an exchange "
+                "in flight")
+        next_index = entry.session.exchange_index
+        if expected_index is not None and expected_index != next_index:
+            raise MuxError(
+                f"session {session_id!r} next exchange is "
+                f"{next_index}, not {expected_index}")
+        loop = asyncio.get_running_loop()
+        n = await loop.run_in_executor(
+            self._pool, entry.session.start_scenario_exchange)
+        self._arm(entry, n, entry.session.exchange_index - 1)
+        return dict(entry.announce)
 
     async def start_attached_exchange(
             self, session_id: str, timeline: ApTimeline,
@@ -197,63 +358,155 @@ class SessionMultiplexer:
             rng: np.random.Generator | None = None) -> dict[str, Any]:
         """Open an exchange whose capture the caller synthesized."""
         entry = self._entry(session_id)
-        self._check_exchange_idle(entry)
-        n = entry.session.attach_exchange(
-            timeline, h_env, pa_output=pa_output, rng=rng)
-        entry.future = asyncio.get_running_loop().create_future()
-        entry.remaining = n
-        return {
-            "session": session_id,
-            "exchange": entry.session.decoder.exchanges_begun - 1,
-            "n_samples": n,
-            "chunk_samples": self.config.chunk_samples,
-        }
-
-    @staticmethod
-    def _check_exchange_idle(entry: _Entry) -> None:
         if entry.future is not None and not entry.future.done():
             raise MuxError(
-                f"session {entry.session.id!r} still has an exchange "
+                f"session {session_id!r} still has an exchange "
                 "in flight")
+        n = entry.session.attach_exchange(
+            timeline, h_env, pa_output=pa_output, rng=rng)
+        self._arm(entry, n, entry.session.decoder.exchanges_begun - 1)
+        return dict(entry.announce)
 
-    async def push_chunk(self, session_id: str,
-                         chunk: np.ndarray) -> dict[str, Any]:
+    async def abort_exchange(self, session_id: str) -> dict[str, Any]:
+        """Drop the in-flight exchange, keeping the session open."""
+        entry = self._entry(session_id)
+        async with entry.cond:
+            entry.ring.clear()
+            entry.stash.clear()
+            entry.cond.notify_all()
+        if entry.future is not None and not entry.future.done():
+            entry.future.set_exception(
+                MuxError(f"session {session_id!r} exchange aborted"))
+            entry.future.exception()
+        aborted = entry.total is not None
+        if entry.session.decoder.in_exchange:
+            entry.session.decoder.abort_exchange()
+        index = entry.exchange_index
+        entry.total = None
+        entry.announce = None
+        entry.refinish = False
+        entry.last_activity = time.monotonic()
+        return {"session": session_id, "aborted": aborted,
+                "exchange": index}
+
+    def _ack(self, entry: _Entry, state: str) -> dict[str, Any]:
+        return {
+            "session": entry.session.id,
+            "queued_chunks": len(entry.ring),
+            "remaining_samples": max(entry.total - entry.submitted, 0),
+            "submitted": entry.submitted >= entry.total,
+            "state": state,
+            "stashed_chunks": len(entry.stash),
+        }
+
+    async def push_chunk(self, session_id: str, chunk: np.ndarray, *,
+                         chunk_index: int | None = None) -> dict[str, Any]:
         """Submit one chunk; applies the configured backpressure policy.
+
+        Without ``chunk_index`` (the legacy path) chunks of any size
+        are appended strictly in order.  With it, the chunk maps to the
+        fixed offset ``chunk_index * chunk_samples`` and ingest becomes
+        idempotent: full replays of accepted spans ack as
+        ``"duplicate"`` (replaying the final chunk after an injected
+        worker fault re-arms the decode -- ``"refinish"``), and early
+        arrivals wait in a bounded stash (``"stashed"``) until the gap
+        fills.  Indexed chunks must be canonically sized so offsets are
+        well-defined at any retry interleaving.
 
         Returns ingest accounting; the decode result is delivered via
         :meth:`wait_result` once the capture completes.
         """
         entry = self._entry(session_id)
-        if entry.future is None or entry.future.done():
+        entry.last_activity = time.monotonic()
+        chunk = np.asarray(chunk, dtype=np.complex128).ravel()
+        if entry.total is None or entry.future is None:
             raise MuxError(
                 f"session {session_id!r} has no exchange open")
-        chunk = np.asarray(chunk, dtype=np.complex128).ravel()
-        if chunk.size > entry.remaining:
+        cs = self.config.chunk_samples
+        if chunk_index is not None:
+            if chunk_index < 0:
+                raise MuxError(f"negative chunk index {chunk_index}")
+            offset = chunk_index * cs
+            if offset >= entry.total:
+                raise MuxError(
+                    f"chunk index {chunk_index} beyond the capture "
+                    f"({entry.total} samples)")
+            expected = min(cs, entry.total - offset)
+            if chunk.size != expected:
+                raise MuxError(
+                    f"indexed chunks must be canonically sized: chunk "
+                    f"{chunk_index} got {chunk.size}, expected {expected}")
+        else:
+            offset = entry.submitted
+        if offset + chunk.size <= entry.submitted:
+            # Full replay of an accepted span: ack idempotently.
+            entry.dupes += 1
+            self.dupes += 1
+            state = "duplicate"
+            if entry.submitted >= entry.total and entry.future.done() \
+                    and not entry.future.cancelled() \
+                    and isinstance(entry.future.exception(),
+                                   InjectedWorkerFault) \
+                    and entry.session.decoder.complete:
+                # The capture survived the worker death; re-arm the
+                # frame barrier for the consumer.
+                entry.future = asyncio.get_running_loop().create_future()
+                async with entry.cond:
+                    entry.refinish = True
+                    entry.cond.notify_all()
+                state = "refinish"
+            return self._ack(entry, state)
+        if entry.future.done():
+            raise MuxError(
+                f"session {session_id!r} has no exchange open")
+        if offset > entry.submitted:
+            # Early (out-of-order) arrival: hold it until the gap fills.
+            if len(entry.stash) >= self.config.ring_chunks:
+                entry.ring.note_policy_shed()
+                entry.session.stats.sheds += 1
+                self.sheds += 1
+                raise ChunkShed(
+                    f"session {session_id!r} stash full "
+                    f"({self.config.ring_chunks} chunks)")
+            entry.stash[offset] = chunk
+            return self._ack(entry, "stashed")
+        if offset + chunk.size > entry.total:
             raise MuxError(
                 f"chunk overruns the exchange: {chunk.size} > "
-                f"{entry.remaining} samples left")
+                f"{entry.total - entry.submitted} samples left")
+        await self._ingest(entry, chunk)
+        entry.submitted += chunk.size
+        # Drain any stashed chunks the new high-water makes contiguous.
+        while entry.stash:
+            nxt = entry.stash.pop(entry.submitted, None)
+            if nxt is None:
+                break
+            try:
+                await self._ingest(entry, nxt)
+            except ChunkShed:
+                entry.stash[entry.submitted] = nxt
+                break
+            entry.submitted += nxt.size
+        return self._ack(entry, "queued")
+
+    async def _ingest(self, entry: _Entry, chunk: np.ndarray) -> None:
+        """Push one in-order chunk into the ring under backpressure."""
         async with entry.cond:
             if self.config.backpressure == "wait":
                 while entry.ring.full and not entry.closing:
                     await entry.cond.wait()
             elif entry.ring.full:
-                entry.ring.dropped += 1
+                entry.ring.note_policy_shed()
                 entry.session.stats.sheds += 1
                 self.sheds += 1
                 raise ChunkShed(
-                    f"session {session_id!r} ring full "
+                    f"session {entry.session.id!r} ring full "
                     f"({entry.ring.capacity} chunks)")
             if entry.closing:
-                raise MuxError(f"session {session_id!r} is closing")
+                raise MuxError(
+                    f"session {entry.session.id!r} is closing")
             entry.ring.push(chunk)
-            entry.remaining -= chunk.size
             entry.cond.notify_all()
-        return {
-            "session": session_id,
-            "queued_chunks": len(entry.ring),
-            "remaining_samples": entry.remaining,
-            "submitted": entry.remaining == 0,
-        }
 
     async def wait_result(self, session_id: str) -> ReaderResult:
         """Await the in-flight exchange's decode result."""
@@ -262,33 +515,57 @@ class SessionMultiplexer:
             raise MuxError(f"session {session_id!r} has no exchange open")
         return await asyncio.shield(entry.future)
 
+    def session_state(self, session_id: str) -> dict[str, Any]:
+        """The checkpoint a reconnecting client resumes from.
+
+        ``next_chunk_index`` is where idempotent replay should continue;
+        anything before it is already accepted (replaying it anyway is
+        acked as a duplicate, never double-ingested).
+        """
+        entry = self._entry(session_id)
+        cs = self.config.chunk_samples
+        fut = entry.future
+        result_ready = bool(
+            fut is not None and fut.done() and not fut.cancelled()
+            and fut.exception() is None)
+        return {
+            "session": entry.session.id,
+            "exchange": entry.exchange_index,
+            "in_exchange": entry.session.decoder.in_exchange,
+            "total_samples": int(entry.total or 0),
+            "submitted_samples": int(entry.submitted),
+            "chunk_samples": cs,
+            "next_chunk_index": int(entry.submitted // cs),
+            "stashed_chunks": sorted(o // cs for o in entry.stash),
+            "result_ready": result_ready,
+            "duplicates": entry.dupes,
+            "checkpoint": entry.session.decoder.checkpoint(),
+        }
+
     # -- the per-session consumer ------------------------------------------
 
     async def _consume(self, entry: _Entry) -> None:
-        loop = asyncio.get_running_loop()
         while True:
             async with entry.cond:
-                while not len(entry.ring) and not entry.closing:
+                while not len(entry.ring) and not entry.closing \
+                        and not entry.refinish:
                     await entry.cond.wait()
                 if entry.closing and not len(entry.ring):
                     return
-                chunk = entry.ring.pop()
+                refinish = entry.refinish
+                entry.refinish = False
+                chunk = entry.ring.pop() if len(entry.ring) else None
                 entry.cond.notify_all()   # wake a waiting producer
             session = entry.session
             try:
-                session.decoder.push(chunk)
-                session.stats.chunks += 1
-                session.stats.samples += int(chunk.size)
-                if session.decoder.complete:
-                    t0 = time.perf_counter()
-                    result = await loop.run_in_executor(
-                        self._pool, session.decoder.finish)
-                    session.stats.note_result(
-                        result, time.perf_counter() - t0)
-                    self.decoded += 1
-                    if entry.future is not None \
-                            and not entry.future.done():
-                        entry.future.set_result(result)
+                if chunk is not None:
+                    session.decoder.push(chunk)
+                    session.stats.chunks += 1
+                    session.stats.samples += int(chunk.size)
+                    entry.last_activity = time.monotonic()
+                if session.decoder.complete and entry.future is not None \
+                        and not entry.future.done():
+                    await self._finish_exchange(entry)
             except Exception as exc:
                 if session.decoder.in_exchange:
                     session.decoder.abort_exchange()
@@ -298,6 +575,58 @@ class SessionMultiplexer:
                 async with entry.cond:
                     entry.ring.clear()
                     entry.cond.notify_all()
+
+    async def _finish_exchange(self, entry: _Entry) -> None:
+        """Run the frame barrier (or inject a worker death there)."""
+        session = entry.session
+        if entry.chaos is not None and entry.chaos.take_worker_fault():
+            # The capture stays assembled in the decoder: an idempotent
+            # replay of the final chunk re-arms the decode (refinish).
+            self.worker_faults += 1
+            if entry.future is not None and not entry.future.done():
+                entry.future.set_exception(InjectedWorkerFault(
+                    f"session {session.id!r} decode worker died at "
+                    "the frame barrier (injected)"))
+                entry.future.exception()
+            return
+        t0 = time.perf_counter()
+        result = await asyncio.get_running_loop().run_in_executor(
+            self._pool, session.decoder.finish)
+        session.stats.note_result(result, time.perf_counter() - t0)
+        self.decoded += 1
+        entry.last_activity = time.monotonic()
+        if entry.future is not None and not entry.future.done():
+            entry.future.set_result(result)
+
+    # -- the watchdog ------------------------------------------------------
+
+    async def _watchdog(self) -> None:
+        """Reap sessions whose in-flight exchange stalls past deadline.
+
+        Activity is any ingest progress or a frame-barrier completion;
+        a slow-loris client (or a wedged consumer) stops updating it
+        and gets its session closed, freeing the slot.
+        """
+        deadline = self.config.watchdog_deadline_s
+        while True:
+            await asyncio.sleep(self.config.watchdog_interval_s)
+            now = time.monotonic()
+            for sid, entry in list(self._sessions.items()):
+                if entry.future is None or entry.future.done():
+                    continue
+                stalled = now - entry.last_activity
+                if stalled <= deadline:
+                    continue
+                self.watchdog_reaps += 1
+                tm = get_collector()
+                if tm.enabled:
+                    with tm.span("mux.watchdog_reap") as sp:
+                        sp.probe("session", sid)
+                        sp.probe("stalled_s", round(stalled, 3))
+                try:
+                    await self.close_session(sid)
+                except UnknownSession:
+                    pass
 
     # -- introspection -----------------------------------------------------
 
@@ -317,8 +646,21 @@ class SessionMultiplexer:
             "refused": self.refused,
             "decoded": self.decoded,
             "sheds": self.sheds,
+            "duplicates": self.dupes,
+            "worker_faults": self.worker_faults,
+            "watchdog_reaps": self.watchdog_reaps,
+            "warm_downgrades": self.warm_downgrades,
+            "draining": self.draining,
+            "chaos": {
+                "enabled": self.chaos is not None,
+                "injected": len(self.chaos_log),
+            },
             "per_session": {
-                sid: entry.session.as_dict()
+                sid: {
+                    **entry.session.as_dict(),
+                    "ring_dropped_overflow": entry.ring.dropped_overflow,
+                    "ring_dropped_policy": entry.ring.dropped_policy,
+                }
                 for sid, entry in sorted(self._sessions.items())
             },
         }

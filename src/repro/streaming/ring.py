@@ -25,8 +25,12 @@ class ChunkRing:
         if capacity < 1:
             raise ValueError("capacity must be at least 1 chunk")
         self.capacity = int(capacity)
-        self.dropped = 0
-        """Chunks refused by :meth:`push` since construction."""
+        self.dropped_overflow = 0
+        """Chunks refused by :meth:`push` because the ring was full."""
+        self.dropped_policy = 0
+        """Chunks the multiplexer shed *by policy* before pushing (the
+        ``backpressure="shed"`` path) -- kept separate from overflow so
+        chaos-sweep delivery ratios are attributable."""
         self.high_watermark = 0
         """Deepest the ring has ever been, in chunks."""
         self._chunks: deque[np.ndarray] = deque()
@@ -44,10 +48,19 @@ class ChunkRing:
         """Samples currently buffered across all queued chunks."""
         return self._samples
 
+    @property
+    def dropped(self) -> int:
+        """Total chunks refused, overflow plus policy sheds."""
+        return self.dropped_overflow + self.dropped_policy
+
+    def note_policy_shed(self) -> None:
+        """Record a chunk the owner shed by policy (never pushed)."""
+        self.dropped_policy += 1
+
     def push(self, chunk: np.ndarray) -> bool:
         """Append one chunk; ``False`` (and count a drop) when full."""
         if self.full:
-            self.dropped += 1
+            self.dropped_overflow += 1
             return False
         chunk = np.asarray(chunk, dtype=np.complex128)
         self._chunks.append(chunk)

@@ -11,11 +11,14 @@ method    path                       purpose
 ========  =========================  =========================================
 GET       ``/``                      service banner + endpoint list
 GET       ``/healthz``               liveness: ``{"ok": true, "sessions": N}``
+GET       ``/readyz``                readiness: 200 admitting / 503 not
 GET       ``/stats``                 multiplexer + per-session stats
 GET       ``/scenarios``             registered scenario presets
 POST      ``/sessions``              open a session (JSON body)
+GET       ``/sessions/{id}``         resume checkpoint (ingest high-water)
 POST      ``/sessions/{id}/exchanges``  announce the next exchange
 POST      ``/sessions/{id}/chunks``  push one sample chunk (octet-stream)
+DELETE    ``/sessions/{id}/exchanges``  abort the in-flight exchange
 DELETE    ``/sessions/{id}``         close a session, returning final stats
 GET       ``/telemetry/feed``        live telemetry records as NDJSON
 GET       ``/telemetry/ws``          the same feed over WebSocket
@@ -24,12 +27,24 @@ POST      ``/shutdown``              drain and stop (CI smoke uses this)
 
 Sample wire format: little-endian ``complex128`` (interleaved float64
 I/Q pairs), i.e. exactly ``ndarray.tobytes()`` of a capture slice.
+Chunk POSTs may carry ``X-Chunk-Index`` (the chunk's canonical index,
+enabling idempotent replay and resume) and ``X-Chunk-CRC32`` (zlib
+CRC32 of the body; a mismatch is refused 400 ``corrupt-chunk`` so the
+client replays instead of poisoning the capture).
 
 Error mapping: 503 when session admission is refused
-(:class:`~repro.streaming.mux.Overloaded`), 429 when a chunk is shed
-under backpressure policy ``shed``, 404 for unknown sessions, 409 for
-protocol misuse (chunk without an exchange, overrun), 400 for malformed
-requests.
+(:class:`~repro.streaming.mux.Overloaded`) or a chaos-injected worker
+fault wants a retry, 429 when a chunk is shed under backpressure policy
+``shed``, 404 for unknown sessions, 409 for protocol misuse (chunk
+without an exchange, overrun), 400 for malformed requests.  Retryable
+refusals carry ``"retryable": true`` in the JSON error payload.
+
+When the multiplexer carries a :class:`~repro.faults.chaos.ChaosPlan`,
+this layer realises its transport events on arriving chunks: drops
+(request swallowed), connection resets, latency spikes, corruption
+(bytes flipped before the CRC check), duplicates (the chunk is
+re-ingested after acking) and reorders (the chunk is held and released
+only after its successor arrives).
 """
 
 from __future__ import annotations
@@ -38,17 +53,34 @@ import asyncio
 import base64
 import hashlib
 import json
+import threading
+import zlib
 from typing import Any
 
 import numpy as np
 
+from ..faults.chaos import (
+    ChaosPlan,
+    ChunkCorrupt,
+    ChunkDrop,
+    ChunkDuplicate,
+    ChunkReorder,
+    ConnectionReset,
+    LatencySpike,
+)
 from ..reader.reader import ReaderResult
-from ..scenario import get_scenario, list_scenarios, resolve_scenario
-from ..telemetry import TelemetryCollector, set_collector
-from .mux import ChunkShed, MuxError, Overloaded, SessionMultiplexer, \
-    UnknownSession
+from ..scenario import (
+    StreamingConfig,
+    get_scenario,
+    list_scenarios,
+    resolve_scenario,
+)
+from ..telemetry import TelemetryCollector, get_collector, set_collector
+from .mux import ChunkShed, InjectedWorkerFault, MuxError, Overloaded, \
+    SessionMultiplexer, UnknownSession
 
-__all__ = ["DEFAULT_PORT", "StreamingServer", "result_summary"]
+__all__ = ["DEFAULT_PORT", "ServerThread", "StreamingServer",
+           "result_summary"]
 
 DEFAULT_PORT = 8735
 """Default TCP port of ``repro serve``."""
@@ -59,6 +91,15 @@ _REASONS = {200: "OK", 201: "Created", 400: "Bad Request",
             404: "Not Found", 405: "Method Not Allowed",
             409: "Conflict", 429: "Too Many Requests",
             500: "Internal Server Error", 503: "Service Unavailable"}
+
+
+class _ChaosDrop(Exception):
+    """Control flow: swallow the request without responding (the client
+    sees its read deadline expire, as with a real in-flight loss)."""
+
+
+class _ChaosReset(Exception):
+    """Control flow: tear the TCP connection down mid-exchange."""
 
 
 def _json_safe(value: float) -> float | None:
@@ -109,8 +150,16 @@ class StreamingServer:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._shutdown = asyncio.Event()
         self._subscribers: set[asyncio.Queue] = set()
+        self._sub_drops: dict[asyncio.Queue, int] = {}
         self._feed_dropped = 0
+        self.feed_shed = 0
+        """Slow telemetry subscribers disconnected under pressure
+        (degradation ladder step 1)."""
         self._writers: set[asyncio.StreamWriter] = set()
+        self._held: dict[str, tuple[int | None, np.ndarray]] = {}
+        """Per-session chunk held back by an injected reorder, released
+        when the next chunk arrives."""
+        self._drain_task: asyncio.Task | None = None
         self._restore_collector: Any = None
         self._sink = None
 
@@ -128,12 +177,47 @@ class StreamingServer:
         return self
 
     async def serve_until_shutdown(self) -> None:
-        """Block until ``POST /shutdown`` (or :meth:`aclose`)."""
+        """Block until ``POST /shutdown``, a drain completing, or
+        :meth:`aclose`."""
         await self._shutdown.wait()
         await self.aclose()
 
+    def request_drain(self) -> None:
+        """Begin a graceful shutdown (the SIGTERM path).
+
+        First call: stop admitting sessions, let in-flight exchanges
+        finish (bounded by ``drain_timeout_s``), then stop -- telemetry
+        is flushed by the normal close path.  A second call (second
+        signal) skips the wait and stops immediately.
+        """
+        if self.mux.draining:
+            self._shutdown.set()
+            return
+        tm = get_collector()
+        if tm.enabled:
+            with tm.span("server.drain") as sp:
+                sp.probe("sessions", self.mux.n_sessions)
+        self.mux.begin_drain()
+        self._drain_task = asyncio.ensure_future(self._drain_and_stop())
+
+    async def _drain_and_stop(self) -> None:
+        timeout = self.mux.config.drain_timeout_s
+        finished = await self.mux.drain(timeout)
+        tm = get_collector()
+        if tm.enabled:
+            with tm.span("server.drained") as sp:
+                sp.probe("clean", finished)
+        self._shutdown.set()
+
     async def aclose(self) -> None:
         self._shutdown.set()
+        if self._drain_task is not None and not self._drain_task.done():
+            self._drain_task.cancel()
+            try:
+                await self._drain_task
+            except asyncio.CancelledError:
+                pass
+        self._drain_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -160,11 +244,30 @@ class StreamingServer:
             loop.call_soon_threadsafe(self._broadcast, record)
 
     def _broadcast(self, record: dict) -> None:
-        for q in self._subscribers:
+        shed_after = self.mux.config.feed_shed_after_drops
+        for q in list(self._subscribers):
             try:
                 q.put_nowait(record)
             except asyncio.QueueFull:
                 self._feed_dropped += 1
+                drops = self._sub_drops.get(q, 0) + 1
+                self._sub_drops[q] = drops
+                if drops >= shed_after:
+                    # Degradation ladder step 1: a subscriber that can't
+                    # keep up is disconnected before decode capacity
+                    # degrades.  Swap one stale record for the
+                    # end-of-feed sentinel so its pump terminates.
+                    self._unsubscribe(q)
+                    self.feed_shed += 1
+                    tm = get_collector()
+                    if tm.enabled:
+                        with tm.span("server.feed_shed") as sp:
+                            sp.probe("dropped_records", drops)
+                    try:
+                        q.get_nowait()
+                        q.put_nowait(None)
+                    except (asyncio.QueueEmpty, asyncio.QueueFull):
+                        pass
 
     def _subscribe(self) -> asyncio.Queue:
         q: asyncio.Queue = asyncio.Queue(maxsize=1024)
@@ -173,6 +276,7 @@ class StreamingServer:
 
     def _unsubscribe(self, q: asyncio.Queue) -> None:
         self._subscribers.discard(q)
+        self._sub_drops.pop(q, None)
 
     # -- connection handling -----------------------------------------------
 
@@ -193,11 +297,21 @@ class StreamingServer:
                     await self._serve_feed(writer)
                     break
                 try:
-                    status, payload = await self._route(method, path, body)
+                    status, payload = await self._route(
+                        method, path, headers, body)
+                except _ChaosDrop:
+                    continue        # swallowed: the client times out
+                except _ChaosReset:
+                    break           # connection torn down mid-exchange
+                except InjectedWorkerFault as exc:
+                    status, payload = 503, {"error": str(exc),
+                                            "retryable": True}
                 except Overloaded as exc:
-                    status, payload = 503, {"error": str(exc)}
+                    status, payload = 503, {"error": str(exc),
+                                            "retryable": True}
                 except ChunkShed as exc:
-                    status, payload = 429, {"error": str(exc)}
+                    status, payload = 429, {"error": str(exc),
+                                            "retryable": True}
                 except UnknownSession as exc:
                     status, payload = 404, {"error": str(exc)}
                 except MuxError as exc:
@@ -254,25 +368,43 @@ class StreamingServer:
     # -- routing -----------------------------------------------------------
 
     async def _route(self, method: str, path: str,
+                     headers: dict[str, str],
                      body: bytes) -> tuple[int, dict[str, Any]]:
         if method == "GET" and path == "/":
             return 200, {
                 "service": "repro streaming decode service",
                 "scenario_default": self.default_scenario,
                 "endpoints": [
-                    "GET /healthz", "GET /stats", "GET /scenarios",
-                    "POST /sessions", "POST /sessions/{id}/exchanges",
-                    "POST /sessions/{id}/chunks", "DELETE /sessions/{id}",
+                    "GET /healthz", "GET /readyz", "GET /stats",
+                    "GET /scenarios",
+                    "POST /sessions", "GET /sessions/{id}",
+                    "POST /sessions/{id}/exchanges",
+                    "POST /sessions/{id}/chunks",
+                    "DELETE /sessions/{id}/exchanges",
+                    "DELETE /sessions/{id}",
                     "GET /telemetry/feed", "GET /telemetry/ws",
                     "POST /shutdown",
                 ],
             }
         if method == "GET" and path == "/healthz":
             return 200, {"ok": True, "sessions": self.mux.n_sessions}
+        if method == "GET" and path == "/readyz":
+            # Liveness vs readiness: /healthz answers "is the process
+            # up"; /readyz answers "should a balancer send new sessions
+            # here" -- false while draining or at the session ceiling.
+            ready = not self.mux.draining and not self._shutdown.is_set() \
+                and self.mux.n_sessions < self.mux.config.max_sessions
+            return (200 if ready else 503), {
+                "ready": ready,
+                "draining": self.mux.draining,
+                "sessions": self.mux.n_sessions,
+                "max_sessions": self.mux.config.max_sessions,
+            }
         if method == "GET" and path == "/stats":
             stats = self.mux.stats()
             stats["feed_subscribers"] = len(self._subscribers)
             stats["feed_dropped"] = self._feed_dropped
+            stats["feed_shed"] = self.feed_shed
             if self.collector is not None:
                 stats["telemetry_run_id"] = self.collector.run_id
             return 200, stats
@@ -286,7 +418,7 @@ class StreamingServer:
         if method == "POST" and path == "/shutdown":
             return 200, {"ok": True, "shutting_down": True}
         if path.startswith("/sessions/"):
-            return await self._session_route(method, path, body)
+            return await self._session_route(method, path, headers, body)
         return 404, {"error": f"no route {method} {path}"}
 
     async def _open_session(self, body: bytes) -> tuple[int, dict]:
@@ -305,36 +437,125 @@ class StreamingServer:
             "scenario": scenario.name or "<ad-hoc>",
             "scenario_hash": scenario.scenario_hash(),
             "warm_start": session.decoder.warm_start,
+            "admission_degraded": session.admission_degraded,
             "chunk_samples": self.mux.config.chunk_samples,
         }
 
     async def _session_route(self, method: str, path: str,
+                             headers: dict[str, str],
                              body: bytes) -> tuple[int, dict]:
         parts = path.strip("/").split("/")
         sid = parts[1] if len(parts) > 1 else ""
         tail = parts[2] if len(parts) > 2 else ""
         if method == "DELETE" and not tail:
+            self._held.pop(sid, None)
             return 200, await self.mux.close_session(sid)
+        if method == "GET" and not tail:
+            return 200, self.mux.session_state(sid)
         if method == "POST" and tail == "exchanges":
-            return 200, await self.mux.start_exchange(sid)
+            spec = json.loads(body.decode() or "{}")
+            expected = spec.get("exchange")
+            self._held.pop(sid, None)
+            return 200, await self.mux.start_exchange(
+                sid, expected_index=None if expected is None
+                else int(expected))
+        if method == "DELETE" and tail == "exchanges":
+            self._held.pop(sid, None)
+            return 200, await self.mux.abort_exchange(sid)
         if method == "POST" and tail == "chunks":
-            if len(body) % 16:
-                return 400, {"error": "chunk body must be whole "
-                                      "complex128 samples (16 bytes each)"}
-            chunk = np.frombuffer(body, dtype=np.complex128)
-            ack = await self.mux.push_chunk(sid, chunk)
-            if ack["submitted"]:
-                result = await self.mux.wait_result(sid)
-                entry_session = self.mux._entry(sid).session
-                return 200, {
-                    "state": "decoded",
-                    **ack,
-                    "result": result_summary(
-                        result,
-                        entry_session.decoder.exchanges_begun - 1),
-                }
-            return 200, {"state": "queued", **ack}
+            return await self._chunk_route(sid, headers, body)
         return 405, {"error": f"no route {method} {path}"}
+
+    async def _chunk_route(self, sid: str, headers: dict[str, str],
+                           body: bytes) -> tuple[int, dict]:
+        if len(body) % 16:
+            return 400, {"error": "chunk body must be whole "
+                                  "complex128 samples (16 bytes each)"}
+        idx_hdr = headers.get("x-chunk-index")
+        chunk_index = None if idx_hdr is None else int(idx_hdr)
+        entry = self.mux._entry(sid)
+        size = len(body) // 16
+        # -- chaos: realise armed transport events on this chunk -----------
+        duplicate = hold = False
+        if entry.chaos is not None and entry.total is not None and size:
+            offset = entry.submitted if chunk_index is None \
+                else chunk_index * self.mux.config.chunk_samples
+            final = offset + size >= entry.total
+            drop = reset = False
+            for ev in entry.chaos.transport_actions(
+                    offset, size, entry.total):
+                if isinstance(ev, LatencySpike):
+                    await asyncio.sleep(ev.delay_s)
+                elif isinstance(ev, ChunkCorrupt):
+                    body = self._corrupt(body, ev.flip_bytes)
+                elif isinstance(ev, ChunkDuplicate):
+                    duplicate = True
+                elif isinstance(ev, ChunkReorder):
+                    # Never hold the final chunk (no later arrival
+                    # would release it) or stack two holds.
+                    hold = not final and sid not in self._held
+                elif isinstance(ev, ChunkDrop):
+                    drop = True
+                elif isinstance(ev, ConnectionReset):
+                    reset = True
+            if drop:
+                raise _ChaosDrop()
+            if reset:
+                raise _ChaosReset()
+        # -- integrity: refuse corrupt chunks so the client replays --------
+        crc_hdr = headers.get("x-chunk-crc32")
+        if crc_hdr is not None \
+                and zlib.crc32(body) & 0xFFFFFFFF != int(crc_hdr):
+            return 400, {"error": "chunk crc32 mismatch "
+                                  "(corrupt in transit)",
+                         "code": "corrupt-chunk", "retryable": True}
+        if hold:
+            self._held[sid] = (chunk_index,
+                               np.frombuffer(body, dtype=np.complex128))
+            return 200, {"state": "held", "session": sid,
+                         "held_chunk": chunk_index}
+        ack = await self._push(sid, body, chunk_index)
+        if duplicate:
+            # Deliver the chunk twice, like a blind retransmit: the
+            # second pass acks as a duplicate for indexed clients and
+            # corrupts the assembly for naive sequential ones.
+            ack = await self._push(sid, body, chunk_index)
+        # -- release a reorder-held chunk now that its successor landed ----
+        held = self._held.pop(sid, None)
+        if held is not None:
+            h_idx, h_chunk = held
+            try:
+                ack = await self.mux.push_chunk(sid, h_chunk,
+                                                chunk_index=h_idx)
+            except ChunkShed:
+                self._held[sid] = held
+                raise
+        if ack["submitted"]:
+            result = await self.mux.wait_result(sid)
+            entry_session = self.mux._entry(sid).session
+            return 200, {
+                **ack,
+                "state": "decoded",
+                "result": result_summary(
+                    result,
+                    entry_session.decoder.exchanges_begun - 1),
+            }
+        return 200, {"state": ack.get("state", "queued"), **ack}
+
+    async def _push(self, sid: str, body: bytes,
+                    chunk_index: int | None) -> dict[str, Any]:
+        chunk = np.frombuffer(body, dtype=np.complex128)
+        return await self.mux.push_chunk(sid, chunk,
+                                         chunk_index=chunk_index)
+
+    @staticmethod
+    def _corrupt(body: bytes, flip_bytes: int) -> bytes:
+        """XOR-flip ``flip_bytes`` bytes in the middle of the body."""
+        out = bytearray(body)
+        start = max((len(out) - flip_bytes) // 2, 0)
+        for i in range(start, min(start + flip_bytes, len(out))):
+            out[i] ^= 0xFF
+        return bytes(out)
 
     # -- NDJSON feed -------------------------------------------------------
 
@@ -445,3 +666,69 @@ class StreamingServer:
             payload = bytes(
                 b ^ mask[i % 4] for i, b in enumerate(payload))
         return opcode, payload
+
+
+class ServerThread:
+    """A :class:`StreamingServer` on a private event-loop thread.
+
+    The embedding harness tests and experiments share: enter the
+    context manager to get a live server bound to an ephemeral port,
+    drive it from the calling thread (HTTP, or :meth:`submit` for
+    coroutines on the server loop), and exiting tears everything down
+    -- consumer tasks awaited, decode pool joined, loop closed -- so no
+    threads leak past the block.
+    """
+
+    def __init__(self, *, config: StreamingConfig | None = None,
+                 chaos: ChaosPlan | None = None,
+                 mux: SessionMultiplexer | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 default_scenario: str = "streaming-50",
+                 collector: TelemetryCollector | None = None):
+        self.server = StreamingServer(
+            mux or SessionMultiplexer(config, chaos=chaos),
+            host=host, port=port, default_scenario=default_scenario,
+            collector=collector)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def mux(self) -> SessionMultiplexer:
+        return self.server.mux
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def submit(self, coro):
+        """Run a coroutine on the server loop; returns its result."""
+        return asyncio.run_coroutine_threadsafe(
+            coro, self._loop).result(timeout=120)
+
+    def __enter__(self) -> "ServerThread":
+        self._loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(self._loop)
+            self._loop.call_soon(started.set)
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-serve", daemon=True)
+        self._thread.start()
+        started.wait(timeout=10)
+        asyncio.run_coroutine_threadsafe(
+            self.server.start(), self._loop).result(timeout=60)
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.server.aclose(), self._loop).result(timeout=60)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop.close()

@@ -135,6 +135,9 @@ class StreamSession:
         self.decoder = StreamingDecoder(self.source.built.reader,
                                         warm_start=warm_start)
         self.stats = SessionStats()
+        self.admission_degraded = False
+        """Whether the multiplexer downgraded a requested warm admission
+        to cold under load (degradation ladder step 2)."""
         self.capture: ExchangeCapture | None = None
         """The current exchange's synthesized capture (scenario mode
         only; ``None`` for attached exchanges)."""
@@ -178,6 +181,7 @@ class StreamSession:
             "warm_start": self.decoder.warm_start,
             "warm_reuses": self.decoder.warm_reuses,
             "warm_fallbacks": self.decoder.warm_fallbacks,
+            "admission_degraded": self.admission_degraded,
             "in_exchange": self.decoder.in_exchange,
         })
         return out

@@ -31,31 +31,32 @@ from repro.scenario import (
 from repro.tag import BackFiTag, TagConfig
 
 # Re-pinned whenever the schema gains a (null-defaulting) section --
-# network in PR 6, streaming in PR 7 -- every canonical dict, and so
-# every hash, shifts.
+# network in PR 6, streaming in PR 7, chaos in PR 9 -- every canonical
+# dict, and so every hash, shifts.
 GOLDEN_HASHES = {
-    "city-block-1m": "ccb2f6cf4b11883e",
-    "coex-0.25m": "294bf267103b0eaa",
-    "fig8-0.5m": "4d1bc092dff7c64a",
-    "fig8-1m": "4c7e78644b3bd1b2",
-    "fig8-2m": "db5c00a550e743b7",
-    "fig8-3m": "df9259c02a9df59b",
-    "fig8-5m": "4a01cc4a0a979a02",
-    "fig8-7m": "2fba17e1b4e3f4c0",
-    "mobility-2m": "66aed3d35ab8d7e1",
-    "paper-1m": "535ec8852f0abfb1",
-    "paper-5m": "f520dd5d593aab1c",
-    "robust-p0-arq": "880398793d787ff5",
-    "robust-p0-noarq": "a4f858f242b2a631",
-    "robust-p0.3-arq": "3a7b6c73ee381cc9",
-    "robust-p0.3-noarq": "332d053f38c7924a",
-    "robust-p0.6-arq": "3bfd0fceada15e41",
-    "robust-p0.6-noarq": "ca067536a6924859",
-    "robust-p0.9-arq": "46ee9b225ffa71b4",
-    "robust-p0.9-noarq": "1f3c70066ea00d29",
-    "sensor-2m": "5392934a4a3f3504",
-    "streaming-50": "3135b22d6d0bc7cb",
-    "warehouse-10k": "2ceded37e87c03ea",
+    "chaos-lab": "b46f108750ba6bcf",
+    "city-block-1m": "40d3c48c4d61e9da",
+    "coex-0.25m": "37e397ffa7a870bb",
+    "fig8-0.5m": "722d11b2101718eb",
+    "fig8-1m": "e84c6b092a2910de",
+    "fig8-2m": "323e5649f3cc9c38",
+    "fig8-3m": "0f2d277fa6c8f678",
+    "fig8-5m": "1b22985a5696373b",
+    "fig8-7m": "6336e8ddbb7e4e7c",
+    "mobility-2m": "da4a5235af4088ce",
+    "paper-1m": "e461f236fb66df54",
+    "paper-5m": "05514d54938e31a3",
+    "robust-p0-arq": "4bcb22d2230bb849",
+    "robust-p0-noarq": "c1667c965e977e7f",
+    "robust-p0.3-arq": "8c2e0d47b5cd1947",
+    "robust-p0.3-noarq": "2465c42cb8810e3e",
+    "robust-p0.6-arq": "c12f373e6b43b966",
+    "robust-p0.6-noarq": "2220cb12195c5c4c",
+    "robust-p0.9-arq": "ac3a6c428b856890",
+    "robust-p0.9-noarq": "b05496d389f34a6a",
+    "sensor-2m": "10977eb7b73079c4",
+    "streaming-50": "5ebf3d59027f3141",
+    "warehouse-10k": "9955cfa66dc7a4b6",
 }
 
 

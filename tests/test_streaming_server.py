@@ -2,23 +2,20 @@
 
 from __future__ import annotations
 
-import asyncio
 import base64
 import hashlib
 import http.client
 import io
 import json
 import socket
-import threading
 import time
 
 import pytest
 
 from repro.scenario import StreamingConfig
 from repro.streaming import (
+    ServerThread,
     ServiceClient,
-    SessionMultiplexer,
-    StreamingServer,
     run_session,
 )
 from repro.telemetry import TelemetryCollector
@@ -27,42 +24,21 @@ SCENARIO = "streaming-50"
 _WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
 
 
-class _Service:
-    """One in-process streaming server on a private event-loop thread."""
+class _Service(ServerThread):
+    """One in-process streaming server on a private event-loop thread.
+
+    A thin preset over :class:`repro.streaming.ServerThread` (the
+    shipped embedding harness): small session limit, test scenario.
+    """
 
     def __init__(self, collector: TelemetryCollector | None = None,
                  **config):
         config.setdefault("chunk_samples", 4096)
         config.setdefault("ring_chunks", 32)
         config.setdefault("max_sessions", 8)
-        self.server = StreamingServer(
-            SessionMultiplexer(StreamingConfig(**config)),
-            port=0, default_scenario=SCENARIO, collector=collector)
-        self.loop = asyncio.new_event_loop()
-        self._ready = threading.Event()
-        self.thread = threading.Thread(target=self._run, daemon=True)
-
-    def _run(self) -> None:
-        asyncio.set_event_loop(self.loop)
-        self.loop.run_until_complete(self.server.start())
-        self._ready.set()
-        self.loop.run_forever()
-
-    def __enter__(self) -> "_Service":
-        self.thread.start()
-        assert self._ready.wait(30), "server never came up"
-        return self
-
-    def __exit__(self, *exc) -> None:
-        asyncio.run_coroutine_threadsafe(
-            self.server.aclose(), self.loop).result(30)
-        self.loop.call_soon_threadsafe(self.loop.stop)
-        self.thread.join(30)
-        self.loop.close()
-
-    @property
-    def port(self) -> int:
-        return self.server.port
+        super().__init__(config=StreamingConfig(**config),
+                         default_scenario=SCENARIO,
+                         collector=collector)
 
 
 def _raw(port: int, method: str, path: str, body: bytes | None = None,
@@ -154,9 +130,20 @@ class TestHttpSurface:
                                         {"scenario": SCENARIO})
                 assert status == 503
                 assert "capacity" in payload["error"]
+                assert payload["retryable"] is True
                 c.close_session(first["session"])
             finally:
                 c.close()
+
+    def test_readyz_and_session_checkpoint_surface(self, client):
+        assert client.readyz()["ready"] is True
+        sid = client.open_session(SCENARIO)["session"]
+        state = client.session_state(sid)
+        assert state["in_exchange"] is False
+        assert state["next_chunk_index"] == 0
+        assert state["checkpoint"]["received_samples"] == 0
+        assert "feed_shed" in client.stats()
+        client.close_session(sid)
 
 
 def _await_subscriber(client: ServiceClient, baseline: int) -> None:
