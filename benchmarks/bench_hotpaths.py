@@ -37,6 +37,7 @@ from repro.dsp.correlation import (
     normalized_cross_correlation,
     sliding_correlation,
 )
+from repro.dsp.backends import active_backend, active_backends
 from repro.dsp.fastpath import set_fastpath_enabled
 from repro.link.protocol import build_ap_transmission
 from repro.reader.batch import BatchedDecoder
@@ -234,6 +235,73 @@ def bench_batched_decode(repeats: int) -> dict[str, float]:
     }
 
 
+def _sweep_cell_trial(args) -> tuple[bool, float]:
+    """One per-trial sweep element (the process-pool arm's task)."""
+    from repro.link.session import run_backscatter_session
+
+    b, psdu = args
+    cfg = TagConfig("qpsk", "1/2", 1e6)
+    scene = Scene.build(tag_distance_m=1.0 + 0.025 * b,
+                        rng=np.random.default_rng(1000 + b))
+    out = run_backscatter_session(scene, BackFiTag(cfg), BackFiReader(cfg),
+                                  psdu=psdu,
+                                  rng=np.random.default_rng(5000 + b))
+    return bool(out.reader.ok), float(out.reader.symbol_snr_db)
+
+
+def bench_batched_sweep_cell(repeats: int) -> dict[str, float]:
+    """A 32-element sweep cell: one batched exchange vs per-trial pool.
+
+    The fast form runs the whole cell in-process through
+    :func:`repro.link.run_exchange_batch` (one AP transmission, stacked
+    channel convolutions, one batched decode); the direct form is the
+    engine's per-trial fan-out -- one
+    :func:`~repro.link.session.run_backscatter_session` task per element
+    through a warmed 2-worker process pool, the crash-isolated fallback
+    the engine keeps for cells the batch cannot share.  Seconds-scale
+    per run, so the repeat count is capped.
+    """
+    from repro.experiments.engine import (
+        ExperimentEngine,
+        parallel_map,
+        use_engine,
+    )
+    from repro.link import run_exchange_batch
+
+    n_cell = 32
+    cfg = TagConfig("qpsk", "1/2", 1e6)
+    psdu = random_payload(1500, np.random.default_rng(42))
+    tasks = [(b, psdu) for b in range(n_cell)]
+
+    def fast_cell():
+        scenes = [Scene.build(tag_distance_m=1.0 + 0.025 * b,
+                              rng=np.random.default_rng(1000 + b))
+                  for b in range(n_cell)]
+        tags = [BackFiTag(cfg) for _ in range(n_cell)]
+        rngs = [np.random.default_rng(5000 + b) for b in range(n_cell)]
+        return run_exchange_batch(scenes, tags, BackFiReader(cfg),
+                                  psdu=psdu, rngs=rngs)
+
+    repeats = min(repeats, 5)
+    prev = set_fastpath_enabled(True)
+    engine = ExperimentEngine(jobs=2, cache=False)
+    try:
+        fast_cell()  # warm caches/deferred imports, matching the pool warm-up
+        fast_ms = _median_ms(fast_cell, repeats)
+        with use_engine(engine):
+            parallel_map(_sweep_cell_trial, tasks[:2])  # warm the pool
+            direct_ms = _median_ms(
+                lambda: parallel_map(_sweep_cell_trial, tasks), repeats)
+    finally:
+        engine.close()
+        set_fastpath_enabled(prev)
+    return {
+        "fast_ms": round(fast_ms, 4),
+        "direct_ms": round(direct_ms, 4),
+        "speedup": round(direct_ms / max(fast_ms, 1e-9), 3),
+    }
+
+
 def bench_streaming_warm_session(repeats: int) -> dict[str, float]:
     """A 4-exchange streaming session: warm decodes vs cold decodes.
 
@@ -356,8 +424,25 @@ KERNELS = {
     "normalized_cross_correlation": bench_normalized_cross_correlation,
     "scrambler_sequence": bench_scrambler_sequence,
     "batched_decode": bench_batched_decode,
+    "batched_sweep_cell": bench_batched_sweep_cell,
     "streaming_warm_session": bench_streaming_warm_session,
     "streaming_mux": bench_streaming_mux,
+}
+
+KERNEL_SLOTS = {
+    # Which pluggable backend slots each kernel's fast form exercises,
+    # so the report can attribute a measurement to the provider that
+    # actually ran (numpy reference vs scipy vs a registered extra).
+    "fine_timing_search": ("fft", "solve"),
+    "digital_cancellation": ("solve",),
+    "digital_cancel_full": ("solve", "fft"),
+    "sliding_correlation": ("fft",),
+    "normalized_cross_correlation": ("fft",),
+    "scrambler_sequence": (),
+    "batched_decode": ("fft", "solve"),
+    "batched_sweep_cell": ("fft", "solve", "ar1"),
+    "streaming_warm_session": ("fft", "solve", "ar1"),
+    "streaming_mux": ("fft", "solve", "ar1"),
 }
 
 
@@ -366,8 +451,13 @@ def run_suite(kernels: list[str], repeats: int) -> dict:
     results = {}
     for name in kernels:
         results[name] = KERNELS[name](repeats)
+        slots = KERNEL_SLOTS.get(name, ())
+        if slots:
+            results[name]["backends"] = {
+                slot: active_backend(slot) for slot in slots}
     return {"schema": SCHEMA, "kind": "bench_hotpaths",
-            "repeats": repeats, "kernels": results}
+            "repeats": repeats, "backends": active_backends(),
+            "kernels": results}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -387,13 +477,16 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown kernels: {', '.join(unknown)}")
 
     doc = run_suite(names, args.repeats)
+    summary = " ".join(f"{k}={v}" for k, v in doc["backends"].items())
+    print(f"kernel backends: {summary}")
     width = max(len(n) for n in names)
     print(f"{'kernel'.ljust(width)}  {'fast ms':>9}  {'direct ms':>9}  "
           f"{'speedup':>7}")
     for name in names:
         r = doc["kernels"][name]
+        used = ",".join(r["backends"].values()) if "backends" in r else "-"
         print(f"{name.ljust(width)}  {r['fast_ms']:9.3f}  "
-              f"{r['direct_ms']:9.3f}  {r['speedup']:6.2f}x")
+              f"{r['direct_ms']:9.3f}  {r['speedup']:6.2f}x  [{used}]")
     if args.json:
         Path(args.json).write_text(json.dumps(doc, indent=2) + "\n")
         print(f"\nwrote {args.json}")

@@ -18,7 +18,15 @@ import numpy as np
 from ..constants import ADC_BITS, CIRCULATOR_ISOLATION_DB
 from ..utils.conversions import db_to_linear, power
 
-__all__ = ["PaNonlinearity", "Adc", "circulator_leakage_gain", "iq_imbalance"]
+__all__ = [
+    "PaNonlinearity",
+    "Adc",
+    "ar1_drift_params",
+    "circulator_leakage_gain",
+    "coherence_impairment",
+    "draw_ar1_innovations",
+    "iq_imbalance",
+]
 
 
 @dataclass(frozen=True)
@@ -110,6 +118,35 @@ def carrier_frequency_offset(x: np.ndarray, cfo_hz: float,
                             + phase0))
 
 
+def ar1_drift_params(rms: float,
+                     coherence_samples: float) -> tuple[float, float]:
+    """``(rho, innovation_scale)`` of the coherence AR(1) process.
+
+    Shared by :func:`coherence_impairment` and the batched session
+    synthesizer so both derive the identical process from the same
+    ``(rms, coherence)`` pair.
+    """
+    rho = float(np.exp(-1.0 / max(coherence_samples, 1.0)))
+    innov_scale = rms * np.sqrt((1.0 - rho ** 2) / 2.0)
+    return rho, innov_scale
+
+
+def draw_ar1_innovations(
+    n: int, rms: float, innov_scale: float, rng: np.random.Generator,
+) -> tuple[np.ndarray, complex]:
+    """Draw one element's ``(innovations, initial state)`` pair.
+
+    Exactly the draws :func:`coherence_impairment` makes, in the same
+    generator order, so a batch producer can interleave these with its
+    other per-element draws and stay bit-identical to the scalar loop.
+    """
+    w = innov_scale * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+    prev = rms / np.sqrt(2.0) * (
+        rng.standard_normal() + 1j * rng.standard_normal()
+    )
+    return w, prev
+
+
 def coherence_impairment(n: int, rms: float, coherence_samples: float,
                          rng: np.random.Generator | None = None) -> np.ndarray:
     """Multiplicative error process ``g[n] = 1 + delta[n]``.
@@ -127,15 +164,14 @@ def coherence_impairment(n: int, rms: float, coherence_samples: float,
     rng = rng or np.random.default_rng()
     if n == 0 or rms == 0:
         return np.ones(n, dtype=np.complex128)
-    rho = float(np.exp(-1.0 / max(coherence_samples, 1.0)))
-    innov_scale = rms * np.sqrt((1.0 - rho ** 2) / 2.0)
-    w = innov_scale * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
-    prev = rms / np.sqrt(2.0) * (
-        rng.standard_normal() + 1j * rng.standard_normal()
-    )
-    from scipy.signal import lfilter
+    rho, innov_scale = ar1_drift_params(rms, coherence_samples)
+    w, prev = draw_ar1_innovations(n, rms, innov_scale, rng)
+    # AR(1) recursion through the pluggable backend registry: SciPy's
+    # lfilter when available, the bit-identical numpy reference loop on
+    # numpy-only installs, a JIT'd loop when numba is around.
+    from ..dsp.backends import get_kernel
 
-    delta, _ = lfilter([1.0], [1.0, -rho], w, zi=np.array([rho * prev]))
+    delta = get_kernel("ar1")(w, rho, prev)
     return 1.0 + delta
 
 

@@ -90,8 +90,22 @@ def channel_gain_db(h: np.ndarray) -> float:
 
 
 def apply_channel(h: np.ndarray, x: np.ndarray) -> np.ndarray:
-    """Convolve a signal with a channel, keeping the input length."""
+    """Convolve a signal with a channel, keeping the input length.
+
+    Either operand may carry leading batch axes ``(..., n)`` (stacked
+    signals through one channel, one signal through stacked channels, or
+    both): rows convolve along the last axis in a single vectorized
+    pass and the output keeps the signal's last-axis length.  Channels
+    in a stack must share a tap count -- zero-pad short ones; trailing
+    zero taps cannot change the output.  Batched output is always
+    complex128 (the scalar path keeps numpy's ``np.convolve`` dtype).
+    """
     x = np.asarray(x)
-    if x.size == 0:
-        return x.copy()
-    return np.convolve(x, np.asarray(h))[: x.size]
+    h = np.asarray(h)
+    if x.ndim <= 1 and h.ndim <= 1:
+        if x.size == 0:
+            return x.copy()
+        return np.convolve(x, h)[: x.size]
+    from ..dsp.fastpath import fast_convolve
+
+    return fast_convolve(x, h)[..., : x.shape[-1]]

@@ -35,9 +35,16 @@ def noise_power_mw(bandwidth_hz: float = SAMPLE_RATE,
     return 10.0 ** (thermal_noise_dbm(bandwidth_hz, noise_figure_db) / 10.0)
 
 
-def awgn(n: int, power_mw: float,
+def awgn(n: int | tuple[int, ...], power_mw: float,
          rng: np.random.Generator | None = None) -> np.ndarray:
-    """Complex white Gaussian noise with the given mean power (mW units)."""
+    """Complex white Gaussian noise with the given mean power (mW units).
+
+    ``n`` may be a shape tuple, e.g. ``(batch, n_samples)``, for one
+    draw covering a whole stack of captures.  Note the sample stream
+    then differs from ``batch`` successive scalar draws (the generator
+    is consumed row-major in one call), so batch producers that promise
+    bit-identity with a scalar loop must draw per element instead.
+    """
     if power_mw < 0:
         raise ValueError("noise power must be non-negative")
     rng = rng or np.random.default_rng()

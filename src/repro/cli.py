@@ -349,9 +349,19 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     finally:
         set_fastpath_enabled(previous)
 
+    from contextlib import nullcontext
+
+    from .dsp.backends import backend_summary, use_backend
+
+    # Report the resolution the profiled run actually saw (a scenario
+    # backend pin applies inside BuiltScenario.run's context).
+    with use_backend(sc.backend) if sc.backend is not None \
+            else nullcontext():
+        summary = backend_summary()
     fastpath = "off" if args.no_fastpath else "on"
     print(f"profiled one exchange (fast path {fastpath}, "
-          f"decoded: {out.ok})\n")
+          f"decoded: {out.ok})")
+    print(f"kernel backends: {summary}\n")
     print("pipeline stages (telemetry):")
     print(stage_timing_table(load_run(collector.path)))
     print(f"\ntop {args.top} functions by cumulative time (cProfile):")

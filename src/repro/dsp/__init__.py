@@ -1,5 +1,15 @@
 """Generic DSP building blocks used by the PHYs and the reader."""
 
+from .backends import (
+    active_backend,
+    active_backends,
+    available_backends,
+    backend_summary,
+    get_kernel,
+    register_backend,
+    set_backend,
+    use_backend,
+)
 from .correlation import (
     find_correlation_peak,
     normalized_cross_correlation,
@@ -29,6 +39,14 @@ from .resample import decimate, hold_expand, upsample_interp
 from .spectrum import ascii_spectrum, band_power_mw, psd_db, welch_psd
 
 __all__ = [
+    "active_backend",
+    "active_backends",
+    "available_backends",
+    "backend_summary",
+    "get_kernel",
+    "register_backend",
+    "set_backend",
+    "use_backend",
     "find_correlation_peak",
     "normalized_cross_correlation",
     "schmidl_cox_metric",

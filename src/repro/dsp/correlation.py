@@ -29,28 +29,40 @@ __all__ = [
 def sliding_correlation(x: np.ndarray, template: np.ndarray) -> np.ndarray:
     """Complex sliding cross-correlation ``c[n] = sum_k x[n+k] conj(t[k])``.
 
-    Output length is ``len(x) - len(template) + 1``; empty if the template
-    is longer than the signal.  Always complex128.
+    Output length is ``len(x) - len(template) + 1`` along the last axis;
+    empty if the template is longer than the signal.  Signal and/or
+    template may carry broadcast-compatible leading batch axes.  Always
+    complex128.
     """
     return fast_correlate_valid(x, template)
 
 
 def normalized_cross_correlation(x: np.ndarray,
                                  template: np.ndarray) -> np.ndarray:
-    """Sliding correlation normalised to [0, 1] by local signal energy."""
-    x = np.asarray(x, dtype=np.complex128)
-    template = np.asarray(template, dtype=np.complex128)
-    if template.size == 0:
+    """Sliding correlation normalised to [0, 1] by local signal energy.
+
+    Accepts stacked signals ``(..., n)`` (and/or stacked templates); the
+    normalisation runs along the last axis.
+    """
+    x = np.atleast_1d(np.asarray(x, dtype=np.complex128))
+    template = np.atleast_1d(np.asarray(template, dtype=np.complex128))
+    if template.shape[-1] == 0:
         raise ValueError("template must be non-empty")
-    if x.size < template.size:
-        return np.empty(0, dtype=np.float64)
+    n, m = x.shape[-1], template.shape[-1]
+    if n < m:
+        if x.ndim <= 1 and template.ndim <= 1:
+            return np.empty(0, dtype=np.float64)
+        batch = np.broadcast_shapes(x.shape[:-1], template.shape[:-1])
+        return np.empty(batch + (0,), dtype=np.float64)
     corr = np.abs(fast_correlate_valid(x, template))
-    e_t = np.sqrt(np.sum(np.abs(template) ** 2))
+    e_t = np.sqrt(np.sum(np.abs(template) ** 2, axis=-1))
     # Local energy of x under each template placement.
     p = np.abs(x) ** 2
-    c = np.cumsum(np.concatenate([[0.0], p]))
-    e_x = np.sqrt(c[template.size:] - c[: x.size - template.size + 1])
-    denom = e_t * np.maximum(e_x, 1e-30)
+    pad = np.zeros(p.shape[:-1] + (1,), dtype=np.float64)
+    c = np.cumsum(np.concatenate([pad, p], axis=-1), axis=-1)
+    e_x = np.sqrt(c[..., m:] - c[..., : n - m + 1])
+    denom = e_t[..., None] * np.maximum(e_x, 1e-30) if template.ndim > 1 \
+        else e_t * np.maximum(e_x, 1e-30)
     return corr / denom
 
 

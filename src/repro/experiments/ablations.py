@@ -23,7 +23,7 @@ from ..scenario import LinkConfig, ScenarioConfig
 from ..tag.config import TagConfig
 from ..tag.tag import BackFiTag
 from .common import ExperimentTable, median
-from .engine import parallel_map, spawn_seeds
+from .engine import cell_map, parallel_map, spawn_seeds
 
 __all__ = ["AblationOutcome", "AblationResult", "run", "mrc_vs_divide"]
 
@@ -76,6 +76,35 @@ def _variant_trial(args: tuple) -> tuple[bool, float, bool]:
     return out.ok, float(snr), saturated
 
 
+_TRIAL_FAILED = (False, float("nan"), False)
+"""Sentinel outcome for a trial that crashed: not decoded, no SNR."""
+
+
+def _variant_cell(args: tuple) -> list[tuple[bool, float, bool]]:
+    """One whole variant -- its trials evaluated in one engine task.
+
+    Each trial still seeds its own generator from its trial seed, so
+    grouping a variant's trials into one task returns exactly the
+    per-trial results (the batched sweep shape: one submission per
+    sweep cell instead of one per trial).
+    """
+    name, trial_seeds, distance_m, config = args
+    return [_variant_trial((name, ts, distance_m, config))
+            for ts in trial_seeds]
+
+
+def _variant_cell_fallback(args: tuple) -> list[tuple[bool, float, bool]]:
+    """Crash-isolated per-trial evaluation of one variant cell."""
+    name, trial_seeds, distance_m, config = args
+    out = []
+    for ts in trial_seeds:
+        try:
+            out.append(_variant_trial((name, ts, distance_m, config)))
+        except Exception:
+            out.append(_TRIAL_FAILED)
+    return out
+
+
 VARIANTS = ("full", "no_analog", "no_digital", "no_silent")
 
 
@@ -88,11 +117,12 @@ def run(*, distance_m: float = 2.0, trials: int = 4,
     # The same trial seeds for every variant: paired channels, so the
     # ablation isolates the mechanism, not the realisation.
     trial_seeds = spawn_seeds(seed, trials)
-    cells = [(name, ts, distance_m, config)
-             for name in VARIANTS for ts in trial_seeds]
-    outcomes = parallel_map(_variant_trial, cells, jobs=jobs)
+    cells = [(name, trial_seeds, distance_m, config) for name in VARIANTS]
+    per_cell = cell_map(_variant_cell, cells, jobs=jobs,
+                        fallback=_variant_cell_fallback)
     for i, name in enumerate(VARIANTS):
-        per_variant = outcomes[i * trials:(i + 1) * trials]
+        per_variant = per_cell[i] if per_cell[i] is not None \
+            else [_TRIAL_FAILED] * trials
         snrs = [snr for _, snr, _ in per_variant if np.isfinite(snr)]
         result.outcomes.append(AblationOutcome(
             name=name,

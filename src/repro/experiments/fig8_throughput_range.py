@@ -17,7 +17,7 @@ from ..reader.rate_adapt import required_snr_db
 from ..scenario import LinkConfig, ScenarioConfig
 from ..tag.config import TagConfig, all_tag_configs
 from .common import ExperimentTable, format_si
-from .engine import parallel_map, spawn_seeds
+from .engine import cell_map, spawn_seeds
 
 __all__ = ["Fig8Point", "Fig8Result", "run"]
 
@@ -128,7 +128,7 @@ def run(distances_m: tuple[float, ...] = DEFAULT_DISTANCES_M,
         trial_seeds = d_seed.spawn(trials)
         for pre in preambles_us:
             cells.append((d, pre, trial_seeds, scenario, snr_margin_db))
-    result.points.extend(parallel_map(_eval_cell, cells, jobs=jobs))
+    result.points.extend(cell_map(_eval_cell, cells, jobs=jobs))
 
     table = ExperimentTable(
         title="Fig. 8 - max throughput vs range",

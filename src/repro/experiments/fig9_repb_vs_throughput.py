@@ -16,7 +16,7 @@ from ..scenario import LinkConfig, ScenarioConfig
 from ..tag.config import TagConfig, all_tag_configs
 from ..tag.energy import default_energy_model
 from .common import ExperimentTable, format_si
-from .engine import parallel_map, spawn_seeds
+from .engine import cell_map, spawn_seeds
 
 __all__ = ["FrontierPoint", "Fig9Result", "run", "measure_feasible_configs"]
 
@@ -76,7 +76,7 @@ def measure_feasible_configs(distance_m: float, *, trials: int = 2,
             link=LinkConfig(wifi_payload_bytes=wifi_payload_bytes))
     # The same trial seeds for every config: paired channel realisations.
     trial_seeds = spawn_seeds(seed, trials)
-    verdicts = parallel_map(
+    verdicts = cell_map(
         _eval_config,
         [(cfg, distance_m, trial_seeds, scenario) for cfg in configs],
         jobs=jobs,

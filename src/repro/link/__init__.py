@@ -1,6 +1,7 @@
 """BackFi link layer: protocol, frames, budget, sessions, extensions."""
 
 from .arq import ArqConfig, ArqLink, ArqResult
+from .batch import run_exchange_batch
 from .budget import LinkBudget, client_edge_distance_m, \
     expected_symbol_snr_db
 from .controller import AdaptationStep, AdaptiveLink
@@ -68,5 +69,6 @@ __all__ = [
     "build_ap_transmission",
     "SessionResult",
     "run_backscatter_session",
+    "run_exchange_batch",
     "run_scenario_session",
 ]

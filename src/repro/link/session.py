@@ -129,6 +129,7 @@ def run_backscatter_session(
     tag: BackFiTag,
     reader: BackFiReader,
     *,
+    psdu: bytes | None = None,
     payload_bits: np.ndarray | None = None,
     n_payload_bits: int = 1000,
     wifi_rate_mbps: int = 24,
@@ -156,6 +157,12 @@ def run_backscatter_session(
         The channel realisation (distances, multipath, leakage).
     tag / reader:
         Must share the same :class:`~repro.tag.TagConfig` and preamble.
+    psdu:
+        The downlink WiFi payload bytes; random (drawn from ``rng``,
+        ``wifi_payload_bytes`` long) when omitted.  Passing it skips
+        that draw, so sweeps that share one AP transmission across
+        elements (:func:`repro.link.run_exchange_batch`) keep every
+        later draw in the same stream position as this scalar path.
     payload_bits:
         Sensor data to enqueue at the tag; random bits when omitted.
     wifi_rate_mbps / wifi_payload_bytes:
@@ -195,6 +202,7 @@ def run_backscatter_session(
     rng = rng or np.random.default_rng()
     cap = synthesize_exchange(
         scene, tag,
+        psdu=psdu,
         payload_bits=payload_bits,
         n_payload_bits=n_payload_bits,
         wifi_rate_mbps=wifi_rate_mbps,
@@ -252,6 +260,7 @@ def synthesize_exchange(
     scene: Scene,
     tag: BackFiTag,
     *,
+    psdu: bytes | None = None,
     payload_bits: np.ndarray | None = None,
     n_payload_bits: int = 1000,
     wifi_rate_mbps: int = 24,
@@ -309,7 +318,8 @@ def synthesize_exchange(
             f"unknown excitation {excitation!r}: "
             "wifi / ble / zigbee / dsss"
         )
-    psdu = random_payload(wifi_payload_bytes, rng)
+    if psdu is None:
+        psdu = random_payload(wifi_payload_bytes, rng)
     timeline = build_ap_transmission(
         psdu, wifi_rate_mbps,
         tag_id=tag.tag_id if addressed_tag_id is None else addressed_tag_id,

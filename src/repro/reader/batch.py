@@ -42,33 +42,25 @@ import numpy as np
 from ..coding.convolutional import CONSTRAINT, _keep_mask
 from ..coding.viterbi import viterbi_decode_soft_batch
 from ..constants import SAMPLES_PER_US
-from ..dsp.fastpath import fast_convolve, fastpath_enabled
+from ..dsp.fastpath import fast_convolve, stacked_convolve
 from ..dsp.measurements import residual_power_db
 from ..link.frames import parse_frame_bits
 from ..link.protocol import ApTimeline
-from ..tag.tag import PREAMBLE_CHIP_US, tag_preamble_phases
 from ..telemetry import get_collector
-from ..wifi.mapper import BITS_PER_SYMBOL, psk_constellation
-from .cancellation import CancellationResult, convolution_matrix
-from .channel_est import (
-    ChannelEstimate,
-    _valid_preamble_rows,
-    estimate_combined_channel,
-)
+from .cancellation import CancellationResult, ls_channel_estimate
+from .channel_est import ChannelEstimate, estimate_combined_channel_group
 from .decoder import TagDecodeOutput
+from .demod import psk_soft_llrs
 from .failures import FailureKind, ReaderFailure
 from .fastpath import BatchPreambleSolver
 from .mrc import MrcOutput, _mrc_combine
 from .reader import BackFiReader, ReaderResult
-from .sync import SyncResult
+from .sync import SyncResult, replay_offset_selection
 
 __all__ = ["BatchedDecoder"]
 
 _SYNC_STEP = 4
 """Coarse sweep stride; must match find_tag_timing's default."""
-
-_DIGITAL_RIDGE = 1e-3
-"""ls_channel_estimate's default ridge (the per-exchange path's)."""
 
 
 def _rng_state(rng: np.random.Generator | None):
@@ -167,12 +159,18 @@ class BatchedDecoder:
         silent = reader.silent_rows(timeline)
 
         # 1. self-interference cancellation (per-element analog error
-        # draws, shared digital Gram).
+        # draws, shared digital Gram).  The board-tap draws happen per
+        # element in generator order; the excitation convolution then
+        # runs once for the whole tap stack (trailing zero-padding of
+        # shorter tap vectors convolves to exact zeros).
         if canceller.analog_enabled:
-            after_analog = np.empty_like(rx)
-            for b in range(n_batch):
-                after_analog[b] = canceller.analog.cancel(
-                    x, rx[b], h_env[b], rng=rngs[b])
+            taps = [canceller.analog.tuned_taps(h_env[b], rng=rngs[b])
+                    for b in range(n_batch)]
+            width = max(t.size for t in taps)
+            tap_stack = np.zeros((n_batch, width), dtype=np.complex128)
+            for b, t in enumerate(taps):
+                tap_stack[b, : t.size] = t
+            after_analog = rx - stacked_convolve(x, tap_stack)[..., :n]
         else:
             after_analog = rx.copy()
         analog_db = [
@@ -236,8 +234,8 @@ class BatchedDecoder:
 
         groups: dict[int, list[int]] = {}
         for b in range(n_batch):
-            best = _select_offset(feasible[b], metric[b], grid0,
-                                  search, step, n_taps)
+            best = replay_offset_selection(feasible[b], metric[b], grid0,
+                                           search, step, n_taps)
             if best is None:
                 results[b] = ReaderResult(
                     ok=False, cancellation=cancs[b],
@@ -253,9 +251,9 @@ class BatchedDecoder:
         sps = reader.tag_config.samples_per_symbol
         for off, idxs in groups.items():
             start = nominal + off
-            ests = self._estimate_group(x, cleaned, idxs, start,
-                                        timeline.preamble_us, n_taps,
-                                        reader.preamble_seed)
+            ests = estimate_combined_channel_group(
+                x, cleaned[np.asarray(idxs)], start, timeline.preamble_us,
+                n_taps=n_taps, preamble_seed=reader.preamble_seed)
             penalty = 1.0 + 0.005 * abs(off)
             syncs = [
                 SyncResult(
@@ -313,89 +311,18 @@ class BatchedDecoder:
                               ) -> np.ndarray:
         """All elements' digital cancellation off one Gram factorisation.
 
-        Mirrors ``DigitalCanceller.cancel`` per element: the normal-
-        equation path whenever the scalar path would take it, else (or
-        on a singular Gram) a per-element fallback through the
-        canceller itself.
+        Mirrors ``DigitalCanceller.cancel`` per element by calling
+        :func:`ls_channel_estimate` with the quantized captures stacked
+        as multi-RHS columns: the method resolution (``"auto"`` ->
+        normal equations for the overdetermined silent fit), the ridge
+        and the singular-Gram SVD fallback are the scalar path's own
+        code, so every element's taps match its scalar fit to float64
+        rounding while the design matrix is factored exactly once.
         """
-        n_batch, n = quantized.shape
-        nt = digital.n_taps
-        use_normal = digital.method == "normal" or (
-            digital.method == "auto" and fastpath_enabled()
-            and train_rows.size >= 4 * nt
-        )
-        if use_normal:
-            a = convolution_matrix(x, nt, train_rows)
-            ac = a.conj().T
-            g = ac @ a
-            col_energy = float(np.mean(g.diagonal().real))
-            g.flat[:: nt + 1] += _DIGITAL_RIDGE * max(col_energy, 1e-300)
-            rhs = ac @ quantized[:, train_rows].T        # (nt, n_batch)
-            try:
-                h_all = np.linalg.solve(g, rhs)
-            except np.linalg.LinAlgError:
-                use_normal = False
-            else:
-                cleaned = np.empty_like(quantized)
-                for b in range(n_batch):
-                    cleaned[b] = quantized[b] - \
-                        fast_convolve(x, h_all[:, b])[:n]
-                return cleaned
-        cleaned = np.empty_like(quantized)
-        for b in range(n_batch):
-            cleaned[b], _ = digital.cancel(x, quantized[b], train_rows)
-        return cleaned
-
-    @staticmethod
-    def _estimate_group(x: np.ndarray, cleaned: np.ndarray,
-                        idxs: list[int], start: int, preamble_us: float,
-                        n_taps: int, preamble_seed: int
-                        ) -> list[ChannelEstimate]:
-        """Reference channel estimates for one winning preamble start.
-
-        The group shares the excitation-side work of
-        :func:`estimate_combined_channel` -- chip derotation geometry,
-        convolution matrix, Gram factorisation -- and solves all
-        elements as one multi-RHS system.
-        """
-        n = cleaned.shape[1]
-        if not fastpath_enabled():
-            # The scalar path would take the SVD solver; run it.
-            return [
-                estimate_combined_channel(
-                    x, cleaned[b], start, preamble_us, n_taps=n_taps,
-                    preamble_seed=preamble_seed)
-                for b in idxs
-            ]
-        preamble = tag_preamble_phases(preamble_us, seed=preamble_seed)
-        n_chips = int(round(preamble_us / PREAMBLE_CHIP_US))
-        rows = _valid_preamble_rows(start, n_chips, n_taps)
-        rows = rows[rows < n]
-        phase = preamble[rows - start]
-        yd = cleaned[np.asarray(idxs)[:, None], rows[None, :]] \
-            * np.conj(phase)[None, :]
-        a = convolution_matrix(x, n_taps, rows)
-        ac = a.conj().T
-        g = ac @ a
-        col_energy = float(np.mean(g.diagonal().real))
-        g.flat[:: n_taps + 1] += _DIGITAL_RIDGE * max(col_energy, 1e-300)
-        try:
-            h = np.linalg.solve(g, ac @ yd.T)            # (nt, n_group)
-        except np.linalg.LinAlgError:
-            return [
-                estimate_combined_channel(
-                    x, cleaned[b], start, preamble_us, n_taps=n_taps,
-                    preamble_seed=preamble_seed)
-                for b in idxs
-            ]
-        resid = yd - (a @ h).T
-        residual_power = np.mean(np.abs(resid) ** 2, axis=1)
-        return [
-            ChannelEstimate(h_fb=h[:, j].copy(),
-                            residual_power=float(residual_power[j]),
-                            n_rows=int(rows.size))
-            for j in range(len(idxs))
-        ]
+        n = quantized.shape[1]
+        h_all = ls_channel_estimate(x, quantized, digital.n_taps,
+                                    rows=train_rows, method=digital.method)
+        return quantized - stacked_convolve(x, h_all)[..., :n]
 
     def _mrc_group(self, x: np.ndarray, cleaned: np.ndarray,
                    idxs: list[int], ests: list[ChannelEstimate],
@@ -413,36 +340,35 @@ class BatchedDecoder:
         h_mat = np.stack([est.h_fb for est in ests], axis=0)
         template = h_mat @ xs                            # (n_group, span)
 
-        y_blk = cleaned[np.asarray(idxs), span0:span1].reshape(
-            len(idxs), n_symbols, sps)[:, :, guard:]
-        t_blk = template.reshape(
-            len(idxs), n_symbols, sps)[:, :, guard:]
-        energy = np.maximum(np.sum(np.abs(t_blk) ** 2, axis=2), 1e-30)
-        combined = np.sum(y_blk * np.conj(t_blk), axis=2) / energy
+        floors = np.asarray([float(noise_floor[b]) for b in idxs])
+        if np.all(floors > 0):
+            # One batched combine over the payload span (the span-only
+            # template is already aligned, so data_start becomes 0).
+            out = _mrc_combine(
+                cleaned[np.asarray(idxs), span0:span1], template, 0, sps,
+                n_symbols, guard=guard, noise_floor=floors)
+            return [
+                MrcOutput(symbols=out.symbols[j],
+                          noise_var=out.noise_var[j],
+                          template_energy=out.template_energy[j])
+                for j in range(len(idxs))
+            ]
+        # Zero measured floor somewhere: the scalar path infers the
+        # noise from post-combine residuals; run it verbatim per element.
         outs = []
         for j, b in enumerate(idxs):
-            floor = float(noise_floor[b])
-            if floor > 0:
-                outs.append(MrcOutput(
-                    symbols=combined[j],
-                    noise_var=floor / energy[j],
-                    template_energy=energy[j],
-                ))
-            else:
-                # Zero measured floor: the scalar path infers the noise
-                # from post-combine residuals; run it verbatim.
-                full_template = fast_convolve(
-                    x, ests[j].h_fb)[: cleaned.shape[1]]
-                outs.append(_mrc_combine(
-                    cleaned[b], full_template, data_start, sps,
-                    n_symbols, guard=guard, noise_floor=floor))
+            full_template = fast_convolve(
+                x, ests[j].h_fb)[: cleaned.shape[1]]
+            outs.append(_mrc_combine(
+                cleaned[b], full_template, data_start, sps,
+                n_symbols, guard=guard, noise_floor=float(noise_floor[b])))
         return outs
 
     def _decode_group(self, mrcs: list[MrcOutput]) -> list[TagDecodeOutput]:
         cfg = self.reader.tag_config
         symbols = np.stack([m.symbols for m in mrcs], axis=0)
         noise_var = np.stack([m.noise_var for m in mrcs], axis=0)
-        llrs = _psk_soft_llrs_batch(symbols, cfg.modulation, noise_var)
+        llrs = psk_soft_llrs(symbols, cfg.modulation, noise_var)
         length = llrs.shape[1]
         if cfg.code_rate == "1/2":
             mother = llrs[:, : length - (length % 2)]
@@ -467,60 +393,3 @@ class BatchedDecoder:
         ]
 
 
-def _select_offset(feasible: np.ndarray, metric: np.ndarray, grid0: int,
-                   search: int, step: int, n_taps: int,
-                   ) -> tuple[float, int] | None:
-    """Replay find_tag_timing's coarse/refine/walk on a metric table.
-
-    ``metric[off - grid0]`` holds the fast-path metric for candidate
-    offset ``off``; the selection logic (iteration order, strict-less
-    tie-breaks, the 1.5x boundary-walk tolerance) is copied verbatim
-    from :func:`repro.reader.sync.find_tag_timing` so both paths pick
-    the identical winning offset.
-    """
-    def mat(off: int) -> float | None:
-        i = off - grid0
-        if not feasible[i]:
-            return None
-        return float(metric[i])
-
-    best: tuple[float, int] | None = None
-    for off in range(-search, search + 1, step):
-        m = mat(off)
-        if m is None:
-            continue
-        if best is None or m < best[0]:
-            best = (m, off)
-    if best is None:
-        return None
-    coarse = best[1]
-    for off in range(coarse - step + 1, coarse + step):
-        if off == coarse:
-            continue
-        m = mat(off)
-        if m is not None and m < best[0]:
-            best = (m, off)
-    tol = 1.5 * best[0] + 1e-30
-    for off in range(best[1] + 1, best[1] + 1 + n_taps + step):
-        m = mat(off)
-        if m is None or m > tol:
-            break
-        best = (m, off)
-    return best
-
-
-def _psk_soft_llrs_batch(symbols: np.ndarray, modulation: str,
-                         noise_var: np.ndarray) -> np.ndarray:
-    """:func:`psk_soft_llrs` with a leading batch axis (same math)."""
-    const = psk_constellation(modulation)
-    nb = BITS_PER_SYMBOL[modulation]
-    nv = np.maximum(np.asarray(noise_var, dtype=np.float64), 1e-15)
-    d2 = np.abs(symbols[..., None] - const) ** 2     # (B, S, M)
-    labels = np.arange(const.size)
-    llrs = np.empty(symbols.shape + (nb,))
-    for k in range(nb):
-        bit_k = (labels >> (nb - 1 - k)) & 1
-        m0 = np.min(d2[..., bit_k == 0], axis=-1)
-        m1 = np.min(d2[..., bit_k == 1], axis=-1)
-        llrs[..., k] = (m1 - m0) / nv
-    return llrs.reshape(symbols.shape[0], -1)

@@ -109,15 +109,25 @@ def ls_channel_estimate(x: np.ndarray, y: np.ndarray, n_taps: int,
     * ``"auto"`` -- ``"normal"`` whenever the system is regularised and
       overdetermined enough for it to be safe (and the fast path is
       globally enabled), else ``"lstsq"``.
+
+    ``y`` may carry leading batch axes ``(..., n)`` -- a stack of receive
+    signals observed through the *same* excitation ``x``.  The design
+    matrix is factored once and every right-hand side is solved in one
+    multi-RHS call; the result has shape ``(..., n_taps)`` and each row
+    matches the scalar call on that row.
     """
     x = np.asarray(x, dtype=np.complex128)
     y = np.asarray(y, dtype=np.complex128)
-    if x.size != y.size:
+    if x.ndim != 1:
+        raise ValueError(
+            "x must be 1-D (one shared excitation; stack y instead)")
+    n_obs = y.shape[-1] if y.ndim else y.size
+    if n_obs != x.size:
         raise ValueError("x and y must be the same length")
     if method not in ("auto", "normal", "lstsq"):
         raise ValueError(f"unknown method {method!r}")
     a = convolution_matrix(x, n_taps, rows)
-    b = y if rows is None else y[np.asarray(rows, dtype=np.intp)]
+    b = y if rows is None else y[..., np.asarray(rows, dtype=np.intp)]
     if a.shape[0] < n_taps:
         raise ValueError(
             f"only {a.shape[0]} equations for {n_taps} taps"
@@ -136,9 +146,14 @@ def ls_channel_estimate(x: np.ndarray, y: np.ndarray, n_taps: int,
         col_energy = float(np.mean(np.sum(np.abs(a) ** 2, axis=0)))
         lam = np.sqrt(ridge * max(col_energy, 1e-300))
         a = np.vstack([a, lam * np.eye(n_taps, dtype=np.complex128)])
-        b = np.concatenate([b, np.zeros(n_taps, dtype=np.complex128)])
-    h, *_ = np.linalg.lstsq(a, b, rcond=rcond)
-    return h
+        zeros = np.zeros(b.shape[:-1] + (n_taps,), dtype=np.complex128)
+        b = np.concatenate([b, zeros], axis=-1)
+    if b.ndim <= 1:
+        h, *_ = np.linalg.lstsq(a, b, rcond=rcond)
+        return h
+    batch = b.shape[:-1]
+    h, *_ = np.linalg.lstsq(a, b.reshape(-1, b.shape[-1]).T, rcond=rcond)
+    return h.T.reshape(batch + (n_taps,))
 
 
 def _normal_equation_solve(a: np.ndarray, b: np.ndarray,
@@ -146,20 +161,29 @@ def _normal_equation_solve(a: np.ndarray, b: np.ndarray,
     """Solve ``(A^H A + lam^2 I) h = A^H b``; None if singular.
 
     The ridge keeps the Gram positive definite, so a plain LAPACK solve
-    on the tiny ``n_taps x n_taps`` system is exact to rounding; numpy's
-    is used over SciPy's Cholesky pair because its call overhead is a
-    third of the wrapper-heavy scipy route on sub-100-tap systems.
+    on the tiny ``n_taps x n_taps`` system is exact to rounding.  The
+    solve itself is resolved through the backend registry (slot
+    ``"solve"``); auto-detection prefers numpy's over SciPy's Cholesky
+    pair because its call overhead is a third of the wrapper-heavy scipy
+    route on sub-100-tap systems.  ``b`` may be stacked ``(..., rows)``;
+    all right-hand sides share the one Gram factorisation.
     """
+    from ..dsp.backends import get_kernel
+
     ac = a.conj().T
     g = ac @ a
-    rhs = ac @ b
     if ridge > 0:
         # Identical regulariser to the appended-rows form: lam^2 is the
         # ridge times the mean column energy, which is mean(diag(G)).
         col_energy = float(np.mean(g.diagonal().real))
         g.flat[:: g.shape[0] + 1] += ridge * max(col_energy, 1e-300)
     try:
-        return np.linalg.solve(g, rhs)
+        if b.ndim <= 1:
+            return get_kernel("solve")(g, ac @ b)
+        batch = b.shape[:-1]
+        rhs = ac @ b.reshape(-1, b.shape[-1]).T
+        h = get_kernel("solve")(g, rhs)
+        return h.T.reshape(batch + (g.shape[0],))
     except np.linalg.LinAlgError:
         return None
 

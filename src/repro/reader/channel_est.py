@@ -20,7 +20,11 @@ from ..tag.tag import PREAMBLE_CHIP_US, tag_preamble_phases
 from .cancellation import ls_channel_estimate
 
 __all__ = ["ChannelEstimate", "estimate_combined_channel",
-           "preamble_condition_number"]
+           "estimate_combined_channel_group", "preamble_condition_number"]
+
+_RIDGE = 1e-3
+"""Must match :func:`ls_channel_estimate`'s default ridge -- the group
+path folds the identical regulariser into its shared Gram matrix."""
 
 DEFAULT_N_TAPS = 8
 """Taps for h_fb: indoor delay spreads of 50-80 ns are 1-2 samples per
@@ -140,3 +144,75 @@ def estimate_combined_channel(
     residual_power = float(np.mean(np.abs(resid) ** 2))
     return ChannelEstimate(h_fb=h, residual_power=residual_power,
                            n_rows=int(rows.size))
+
+
+def estimate_combined_channel_group(
+    x: np.ndarray,
+    y_stack: np.ndarray,
+    preamble_start: int,
+    preamble_us: float,
+    *,
+    n_taps: int = DEFAULT_N_TAPS,
+    preamble_seed: int = 0x35,
+) -> list[ChannelEstimate]:
+    """:func:`estimate_combined_channel` for a stack sharing one timing.
+
+    ``y_stack`` is ``(n_group, n)`` -- post-cancellation captures that
+    all won the same preamble start against the same excitation ``x``
+    (a batched decoder's per-offset group).  The excitation-side work --
+    chip derotation geometry, convolution matrix, Gram factorisation --
+    is done once; every element is solved as one multi-RHS system
+    through the ``"solve"`` backend and matches its scalar call to
+    float64 rounding.
+
+    With the fast path globally disabled (``REPRO_FASTPATH=0``), or on a
+    singular Gram, each element runs the scalar reference estimator
+    instead, preserving the scalar path's exact behaviour.
+    """
+    from ..dsp.backends import get_kernel
+    from ..dsp.fastpath import fastpath_enabled
+    from .cancellation import convolution_matrix
+
+    x = np.asarray(x, dtype=np.complex128)
+    y_stack = np.asarray(y_stack, dtype=np.complex128)
+    if y_stack.ndim != 2 or y_stack.shape[1] != x.size:
+        raise ValueError("y_stack must be (n_group, len(x))")
+    n = y_stack.shape[1]
+
+    def _scalar_fallback() -> list[ChannelEstimate]:
+        return [
+            estimate_combined_channel(
+                x, y_stack[j], preamble_start, preamble_us,
+                n_taps=n_taps, preamble_seed=preamble_seed)
+            for j in range(y_stack.shape[0])
+        ]
+
+    if not fastpath_enabled():
+        # The scalar path would take the SVD solver; run it per element.
+        return _scalar_fallback()
+
+    preamble = tag_preamble_phases(preamble_us, seed=preamble_seed)
+    n_chips = int(round(preamble_us / PREAMBLE_CHIP_US))
+    rows = _valid_preamble_rows(preamble_start, n_chips, n_taps)
+    rows = rows[rows < n]
+    if rows.size < 4 * n_taps:
+        raise ValueError("preamble too short for channel estimation")
+    phase = preamble[rows - preamble_start]
+    yd = y_stack[:, rows] * np.conj(phase)[None, :]
+    a = convolution_matrix(x, n_taps, rows)
+    ac = a.conj().T
+    g = ac @ a
+    col_energy = float(np.mean(g.diagonal().real))
+    g.flat[:: n_taps + 1] += _RIDGE * max(col_energy, 1e-300)
+    try:
+        h = get_kernel("solve")(g, ac @ yd.T)            # (nt, n_group)
+    except np.linalg.LinAlgError:
+        return _scalar_fallback()
+    resid = yd - (a @ h).T
+    residual_power = np.mean(np.abs(resid) ** 2, axis=1)
+    return [
+        ChannelEstimate(h_fb=h[:, j].copy(),
+                        residual_power=float(residual_power[j]),
+                        n_rows=int(rows.size))
+        for j in range(y_stack.shape[0])
+    ]

@@ -26,6 +26,11 @@ def psk_soft_llrs(symbols: np.ndarray, modulation: str,
     """Max-log LLRs with a per-symbol noise variance vector.
 
     Positive LLR favours bit 0, matching the Viterbi convention.
+
+    ``symbols`` may carry leading batch axes ``(..., S)``; the LLR
+    stream then comes back as ``(..., S * bits_per_symbol)``, each row
+    identical to the scalar call on that row (the distance/min/divide
+    chain is elementwise, so batching is exact, not just close).
     """
     const = psk_constellation(modulation)
     nb = BITS_PER_SYMBOL[modulation]
@@ -34,15 +39,17 @@ def psk_soft_llrs(symbols: np.ndarray, modulation: str,
         np.maximum(np.asarray(noise_var, dtype=np.float64), 1e-15),
         symbols.shape,
     )
-    d2 = np.abs(symbols[:, None] - const[None, :]) ** 2
+    d2 = np.abs(symbols[..., None] - const) ** 2
     labels = np.arange(const.size)
-    llrs = np.empty((symbols.size, nb))
+    llrs = np.empty(symbols.shape + (nb,))
     for k in range(nb):
         bit_k = (labels >> (nb - 1 - k)) & 1
-        m0 = np.min(d2[:, bit_k == 0], axis=1)
-        m1 = np.min(d2[:, bit_k == 1], axis=1)
-        llrs[:, k] = (m1 - m0) / nv
-    return llrs.reshape(-1)
+        m0 = np.min(d2[..., bit_k == 0], axis=-1)
+        m1 = np.min(d2[..., bit_k == 1], axis=-1)
+        llrs[..., k] = (m1 - m0) / nv
+    if symbols.ndim <= 1:
+        return llrs.reshape(-1)
+    return llrs.reshape(symbols.shape[:-1] + (-1,))
 
 
 def estimate_symbol_noise(symbols: np.ndarray, modulation: str) -> float:

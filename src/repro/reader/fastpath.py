@@ -37,6 +37,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..constants import SAMPLES_PER_US
+from ..dsp.backends import get_kernel
 from ..tag.tag import PREAMBLE_CHIP_US
 from ..utils.bits import barker_like_sequence
 
@@ -193,7 +194,7 @@ class PreambleSolver:
         g[~feasible] = np.eye(t, dtype=np.complex128)
         b_solve = np.where(feasible[:, None], b, 0.0)
         try:
-            h = np.linalg.solve(g, b_solve[..., None])[..., 0]
+            h = get_kernel("solve")(g, b_solve[..., None])[..., 0]
         except np.linalg.LinAlgError:
             return (np.zeros(n_cand, dtype=bool),
                     np.full(n_cand, np.nan), np.full(n_cand, np.nan))
@@ -323,7 +324,7 @@ class BatchPreambleSolver:
         # One stacked solve: candidate s's LU factorisation serves all
         # nb right-hand-side columns.
         try:
-            h = np.linalg.solve(
+            h = get_kernel("solve")(
                 g, b_solve.transpose(1, 2, 0)).transpose(2, 0, 1)
         except np.linalg.LinAlgError:
             shape = (nb, n_cand)

@@ -43,8 +43,9 @@ class MrcOutput:
 
     @property
     def n_symbols(self) -> int:
-        """Number of combined tag symbols."""
-        return int(self.symbols.size)
+        """Number of combined tag symbols (per batch element)."""
+        return int(self.symbols.shape[-1]) if self.symbols.ndim \
+            else int(self.symbols.size)
 
     def mean_snr_db(self) -> float:
         """Average post-MRC symbol SNR in dB (NaN when unmeasurable).
@@ -125,30 +126,53 @@ def _mrc_combine(
             f"a {guard}-sample guard"
         )
     end_needed = data_start + n_symbols * samples_per_symbol
-    if end_needed > y_clean.size or end_needed > template.size:
+    if end_needed > y_clean.shape[-1] or end_needed > template.shape[-1]:
         raise ValueError("signal shorter than the requested symbol span")
 
-    span = slice(data_start, end_needed)
-    y_blk = y_clean[span].reshape(n_symbols, samples_per_symbol)
-    t_blk = template[span].reshape(n_symbols, samples_per_symbol)
-    y_use = y_blk[:, guard:]
-    t_use = t_blk[:, guard:]
+    # Leading axes (if any) are batch axes: a stack of captures sharing
+    # one symbol geometry, combined in a single pass.
+    batch = np.broadcast_shapes(y_clean.shape[:-1], template.shape[:-1])
+    blk = (n_symbols, samples_per_symbol)
+    span_len = end_needed - data_start
+    y_blk = np.broadcast_to(
+        y_clean[..., data_start:end_needed],
+        batch + (span_len,)).reshape(batch + blk)
+    t_blk = np.broadcast_to(
+        template[..., data_start:end_needed],
+        batch + (span_len,)).reshape(batch + blk)
+    y_use = y_blk[..., guard:]
+    t_use = t_blk[..., guard:]
 
-    energy = np.sum(np.abs(t_use) ** 2, axis=1)
+    energy = np.sum(np.abs(t_use) ** 2, axis=-1)
     energy = np.maximum(energy, 1e-30)
-    combined = np.sum(y_use * np.conj(t_use), axis=1) / energy
+    combined = np.sum(y_use * np.conj(t_use), axis=-1) / energy
     # Var of combined statistic: sigma^2 * sum|t|^2 / (sum|t|^2)^2.
-    if noise_floor > 0:
-        noise_var = noise_floor / energy
+    noise_floor_arr = np.asarray(noise_floor, dtype=np.float64)
+    if noise_floor_arr.ndim == 0 and not batch:
+        scalar_floor = float(noise_floor_arr)
+        if scalar_floor > 0:
+            noise_var = scalar_floor / energy
+        else:
+            # No measured floor: infer the per-sample noise power from
+            # the post-combine residuals.  Each symbol's fit consumes one
+            # complex degree of freedom (the phase estimate), hence the
+            # m-1 divisor.
+            resid = y_use - combined[..., None] * t_use
+            m = y_use.shape[-1]
+            sigma2 = float(np.sum(np.abs(resid) ** 2)) \
+                / (n_symbols * max(m - 1, 1))
+            noise_var = sigma2 / energy
     else:
-        # No measured floor: infer the per-sample noise power from the
-        # post-combine residuals.  Each symbol's fit consumes one complex
-        # degree of freedom (the phase estimate), hence the m-1 divisor.
-        resid = y_use - combined[:, None] * t_use
-        m = y_use.shape[1]
-        sigma2 = float(np.sum(np.abs(resid) ** 2)) \
+        # Batched: a per-element floor (scalar broadcasts), with the
+        # residual-inference fallback applied per element exactly as the
+        # scalar path would.
+        floor = np.broadcast_to(noise_floor_arr, batch)
+        resid = y_use - combined[..., None] * t_use
+        m = y_use.shape[-1]
+        sigma2 = np.sum(np.abs(resid) ** 2, axis=(-2, -1)) \
             / (n_symbols * max(m - 1, 1))
-        noise_var = sigma2 / energy
+        per_sample = np.where(floor > 0, floor, sigma2)
+        noise_var = per_sample[..., None] / energy
     return MrcOutput(
         symbols=combined,
         noise_var=noise_var,

@@ -41,7 +41,7 @@ from .channel_est import (
 )
 from .fastpath import PreambleSolver
 
-__all__ = ["SyncResult", "find_tag_timing"]
+__all__ = ["SyncResult", "find_tag_timing", "replay_offset_selection"]
 
 
 @dataclass(frozen=True)
@@ -218,3 +218,49 @@ def find_tag_timing(
         estimate=est,
         metric=m,
     )
+
+
+def replay_offset_selection(feasible: np.ndarray, metric: np.ndarray,
+                            grid0: int, search: int, step: int,
+                            n_taps: int) -> tuple[float, int] | None:
+    """Replay :func:`find_tag_timing`'s selection on a metric table.
+
+    ``metric[off - grid0]`` holds the (penalised) metric for candidate
+    offset ``off`` and ``feasible`` masks valid entries.  The selection
+    logic -- coarse sweep order, strict-less tie-breaks, single-sample
+    refinement, the 1.5x boundary-walk tolerance -- is the verbatim walk
+    from :func:`find_tag_timing`, factored out so batched decoders that
+    precompute the whole candidate grid (one
+    :class:`~repro.reader.fastpath.BatchPreambleSolver` sweep per batch)
+    pick the identical winning offset per element.  Returns
+    ``(metric, offset)`` or ``None`` when no candidate is feasible.
+    """
+    def mat(off: int) -> float | None:
+        i = off - grid0
+        if not feasible[i]:
+            return None
+        return float(metric[i])
+
+    best: tuple[float, int] | None = None
+    for off in range(-search, search + 1, step):
+        m = mat(off)
+        if m is None:
+            continue
+        if best is None or m < best[0]:
+            best = (m, off)
+    if best is None:
+        return None
+    coarse = best[1]
+    for off in range(coarse - step + 1, coarse + step):
+        if off == coarse:
+            continue
+        m = mat(off)
+        if m is not None and m < best[0]:
+            best = (m, off)
+    tol = 1.5 * best[0] + 1e-30
+    for off in range(best[1] + 1, best[1] + 1 + n_taps + step):
+        m = mat(off)
+        if m is None or m > tol:
+            break
+        best = (m, off)
+    return best

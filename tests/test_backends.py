@@ -1,0 +1,226 @@
+"""Resolution and equivalence tests for the kernel-backend registry.
+
+The registry (:mod:`repro.dsp.backends`) decides which provider serves
+each low-level kernel slot.  These tests pin the five-tier precedence
+(per-kernel programmatic > blanket programmatic > per-kernel env >
+blanket env > auto-detection), the strict/lax raising rules, the
+``register_backend`` seam third-party providers use, and the
+bit-identity contract between the AR(1) providers that lets
+``coherence_impairment`` switch backends without changing a single
+result table.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.dsp import backends
+from repro.dsp.backends import (
+    BackendUnavailableError,
+    active_backend,
+    active_backends,
+    available_backends,
+    backend_summary,
+    get_kernel,
+    invalidate_cache,
+    register_backend,
+    set_backend,
+    use_backend,
+)
+
+
+HAVE_SCIPY = "scipy" in available_backends()["fft"]
+
+
+@pytest.fixture(autouse=True)
+def _clean_selection(monkeypatch):
+    """Each test starts from pure auto-detection and leaves no trace."""
+    for var in ("REPRO_BACKEND", "REPRO_BACKEND_FFT",
+                "REPRO_BACKEND_SOLVE", "REPRO_BACKEND_AR1"):
+        monkeypatch.delenv(var, raising=False)
+    saved_kernel = dict(backends._KERNEL_OVERRIDES)
+    saved_global = backends._GLOBAL_OVERRIDE
+    backends._KERNEL_OVERRIDES.clear()
+    backends._GLOBAL_OVERRIDE = None
+    invalidate_cache()
+    yield
+    backends._KERNEL_OVERRIDES.clear()
+    backends._KERNEL_OVERRIDES.update(saved_kernel)
+    backends._GLOBAL_OVERRIDE = saved_global
+    invalidate_cache()
+
+
+class TestResolution:
+    def test_numpy_reference_always_available(self):
+        for kernel, providers in available_backends().items():
+            assert "numpy" in providers, kernel
+
+    def test_active_backends_covers_every_kernel(self):
+        active = active_backends()
+        assert set(active) == {"fft", "solve", "ar1"}
+        for kernel, name in active.items():
+            assert name in available_backends()[kernel]
+
+    def test_summary_format(self):
+        summary = backend_summary()
+        for kernel in ("fft", "solve", "ar1"):
+            assert f"{kernel}=" in summary
+
+    def test_set_backend_overrides_auto(self):
+        set_backend("numpy", "fft")
+        assert active_backend("fft") == "numpy"
+        assert get_kernel("fft") is np.fft
+
+    def test_per_kernel_env_overrides_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND_FFT", "numpy")
+        invalidate_cache()
+        assert active_backend("fft") == "numpy"
+
+    def test_blanket_env_selects_everywhere(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        invalidate_cache()
+        assert all(v == "numpy" for v in active_backends().values())
+
+    def test_programmatic_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND_FFT", "numpy")
+        invalidate_cache()
+        if not HAVE_SCIPY:
+            pytest.skip("needs a second fft provider")
+        set_backend("scipy", "fft")
+        assert active_backend("fft") == "scipy"
+
+    def test_strict_selection_of_missing_backend_raises(self):
+        with pytest.raises(BackendUnavailableError):
+            set_backend("no-such-provider", "fft")
+
+    def test_strict_env_of_missing_backend_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND_FFT", "no-such-provider")
+        invalidate_cache()
+        with pytest.raises(BackendUnavailableError):
+            get_kernel("fft")
+
+    def test_blanket_request_falls_through_missing_kernel(self):
+        # A blanket selection of a provider that lacks a slot leaves
+        # that slot on auto-detection instead of raising.
+        register_backend("fft-only", {"fft": np.fft})
+        try:
+            with use_backend("fft-only"):
+                assert active_backend("fft") == "fft-only"
+                assert active_backend("ar1") != "fft-only"
+        finally:
+            backends._PROVIDERS.pop("fft-only", None)
+            invalidate_cache()
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises((KeyError, ValueError)):
+            get_kernel("warp-drive")
+
+    def test_register_rejects_unknown_slot(self):
+        with pytest.raises(ValueError):
+            register_backend("bogus", {"warp-drive": np.fft})
+
+
+class TestUseBackend:
+    def test_context_restores_previous_selection(self):
+        before = active_backend("fft")
+        with use_backend("numpy", kernel="fft"):
+            assert active_backend("fft") == "numpy"
+        assert active_backend("fft") == before
+
+    def test_nested_contexts_unwind_in_order(self):
+        if not HAVE_SCIPY:
+            pytest.skip("needs a second fft provider")
+        with use_backend("scipy", kernel="fft"):
+            assert active_backend("fft") == "scipy"
+            with use_backend("numpy", kernel="fft"):
+                assert active_backend("fft") == "numpy"
+            assert active_backend("fft") == "scipy"
+
+    def test_restores_after_exception(self):
+        before = active_backend("fft")
+        with pytest.raises(RuntimeError):
+            with use_backend("numpy", kernel="fft"):
+                raise RuntimeError("boom")
+        assert active_backend("fft") == before
+
+
+class TestRegisterSeam:
+    def test_registered_provider_is_selectable(self):
+        calls = []
+
+        def fake_ar1(w, rho, prev):
+            calls.append(len(w))
+            return backends._ar1_numpy(w, rho, prev)
+
+        register_backend("testgpu", {"ar1": fake_ar1})
+        try:
+            with use_backend("testgpu", kernel="ar1"):
+                out = get_kernel("ar1")(np.ones(4), 0.5, 0.0)
+            assert calls == [4]
+            assert out.shape == (4,)
+        finally:
+            backends._PROVIDERS.pop("testgpu", None)
+            invalidate_cache()
+
+    def test_strict_selection_of_unimplemented_slot_raises(self):
+        register_backend("testgpu", {"ar1": backends._ar1_numpy})
+        try:
+            with pytest.raises(BackendUnavailableError):
+                set_backend("testgpu", "fft")
+        finally:
+            backends._PROVIDERS.pop("testgpu", None)
+            invalidate_cache()
+
+
+class TestAr1Providers:
+    """Bit-identity across providers: the registry must be free to pick."""
+
+    def _w(self, shape):
+        rng = np.random.default_rng(99)
+        return (rng.standard_normal(shape)
+                + 1j * rng.standard_normal(shape))
+
+    def test_scalar_bit_identity(self):
+        if not HAVE_SCIPY:
+            pytest.skip("scipy not installed")
+        w = self._w(500)
+        ref = backends._ar1_numpy(w, 0.97, 0.3 - 0.1j)
+        assert np.array_equal(backends._ar1_scipy(w, 0.97, 0.3 - 0.1j),
+                              ref)
+
+    def test_batched_rows_match_scalar_calls(self):
+        w = self._w((6, 300))
+        prev = self._w(6)
+        for provider in ([backends._ar1_numpy, backends._ar1_scipy]
+                         if HAVE_SCIPY else [backends._ar1_numpy]):
+            batched = provider(w, 0.9, prev)
+            rows = np.stack([provider(w[i], 0.9, prev[i])
+                             for i in range(6)])
+            assert np.array_equal(batched, rows), provider.__name__
+
+    def test_recursion_matches_definition(self):
+        w = self._w(64)
+        out = get_kernel("ar1")(w, 0.8, 1.0 + 0j)
+        acc, expect = 1.0 + 0j, []
+        for wi in w:
+            acc = wi + 0.8 * acc
+            expect.append(acc)
+        np.testing.assert_allclose(out, expect, rtol=1e-12)
+
+
+class TestCoherenceThroughRegistry:
+    def test_impairment_identical_across_backends(self):
+        from repro.channel.hardware import coherence_impairment
+
+        def run():
+            return coherence_impairment(
+                2048, 5e-3, 400.0, np.random.default_rng(7))
+
+        with use_backend("numpy", kernel="ar1"):
+            ref = run()
+        got = run()  # auto-detected provider (scipy when installed)
+        assert np.array_equal(ref, got)

@@ -4,10 +4,13 @@ import numpy as np
 import pytest
 
 from repro.experiments.engine import (
+    BATCH_CELLS_ENV,
     ExperimentEngine,
     JobRecord,
     TrialFailure,
+    batch_cells_enabled,
     cache_key,
+    cell_map,
     code_fingerprint,
     get_engine,
     parallel_map,
@@ -39,6 +42,27 @@ def _boomy_sweep():
 def _draw(seed_seq):
     """First uniform draw of a spawned trial generator."""
     return float(np.random.default_rng(seed_seq).uniform())
+
+
+def _cell_tens(cell):
+    """Vectorized cell primary: whole cell in one call."""
+    return [x * 10 for x in cell]
+
+
+def _cell_boom_on_2(cell):
+    """Cell primary that dies when trial 2 is in the cell."""
+    if 2 in cell:
+        raise ValueError("cell boom")
+    return [x * 10 for x in cell]
+
+
+def _cell_always_boom(cell):
+    raise RuntimeError("primary must not run")
+
+
+def _cell_trial_loop(cell):
+    """Per-trial fallback: same answers, computed one trial at a time."""
+    return [x * 10 for x in cell]
 
 
 def _counted(n=3):
@@ -249,6 +273,72 @@ class TestCrashIsolation:
     def test_on_error_validated(self):
         with pytest.raises(ValueError, match="on_error"):
             parallel_map(_square, [1, 2], on_error="nope")
+
+
+class TestCellMap:
+    """Whole-cell submission with per-trial fallback semantics."""
+
+    CELLS = [[0, 1], [2, 3], [4, 5, 6]]
+    EXPECT = [[0, 10], [20, 30], [40, 50, 60]]
+
+    def test_serial_matches_parallel(self):
+        with ExperimentEngine(jobs=1, cache=False) as eng, \
+                use_engine(eng):
+            serial = cell_map(_cell_tens, self.CELLS)
+        with ExperimentEngine(jobs=2, cache=False) as eng, \
+                use_engine(eng):
+            pooled = cell_map(_cell_tens, self.CELLS)
+        assert serial == pooled == self.EXPECT
+
+    def test_empty_cells(self):
+        assert cell_map(_cell_tens, []) == []
+
+    def test_failed_cell_reruns_via_fallback(self):
+        with ExperimentEngine(jobs=1, cache=False) as eng, \
+                use_engine(eng):
+            out = cell_map(_cell_boom_on_2, self.CELLS,
+                           fallback=_cell_trial_loop)
+        # The crashed cell was recovered trial-by-trial; nothing lost.
+        assert out == self.EXPECT
+        assert eng.trial_failures == []
+
+    def test_failed_cell_without_fallback_records_failure(self):
+        with ExperimentEngine(jobs=1, cache=False) as eng, \
+                use_engine(eng):
+            out = cell_map(_cell_boom_on_2, self.CELLS)
+        assert out == [[0, 10], None, [40, 50, 60]]
+        assert [f.index for f in eng.trial_failures] == [1]
+        assert "cell boom" in eng.trial_failures[0].traceback
+
+    def test_failing_fallback_records_failure(self):
+        with ExperimentEngine(jobs=1, cache=False) as eng, \
+                use_engine(eng):
+            out = cell_map(_cell_boom_on_2, self.CELLS,
+                           fallback=_cell_boom_on_2)
+        assert out == [[0, 10], None, [40, 50, 60]]
+        assert [f.index for f in eng.trial_failures] == [1]
+
+    def test_kill_switch_routes_through_fallback(self, monkeypatch):
+        monkeypatch.setenv(BATCH_CELLS_ENV, "0")
+        assert not batch_cells_enabled()
+        with ExperimentEngine(jobs=1, cache=False) as eng, \
+                use_engine(eng):
+            # The primary raises unconditionally: correct results prove
+            # every cell went straight to the fallback.
+            out = cell_map(_cell_always_boom, self.CELLS,
+                           fallback=_cell_trial_loop)
+        assert out == self.EXPECT
+        assert eng.trial_failures == []
+
+    def test_kill_switch_ignored_without_fallback(self, monkeypatch):
+        monkeypatch.setenv(BATCH_CELLS_ENV, "0")
+        with ExperimentEngine(jobs=1, cache=False) as eng, \
+                use_engine(eng):
+            assert cell_map(_cell_tens, self.CELLS) == self.EXPECT
+
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(BATCH_CELLS_ENV, raising=False)
+        assert batch_cells_enabled()
 
 
 class TestExperimentDeterminism:

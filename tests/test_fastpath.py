@@ -28,6 +28,7 @@ from repro.dsp.fastpath import (
     fast_correlate_valid,
     fastpath_enabled,
     set_fastpath_enabled,
+    stacked_convolve,
     use_fft,
 )
 from repro.reader.cancellation import (
@@ -96,6 +97,104 @@ class TestFastCorrelate:
     def test_empty_template_raises(self):
         with pytest.raises(ValueError):
             fast_correlate_valid(np.ones(4), np.empty(0))
+
+
+class TestBatchAxes:
+    """Stacked-batch edge cases for the batched kernel entry points."""
+
+    def _rows_reference(self, kernel, direct, x, h):
+        out = kernel(x, h)
+        xb = np.broadcast_to(x, out.shape[:-1] + (x.shape[-1],))
+        hb = np.broadcast_to(h, out.shape[:-1] + (h.shape[-1],))
+        ref = np.stack([direct(xb[i], hb[i])
+                        for i in range(out.shape[0])]) \
+            if out.shape[:-1] else direct(x, h)
+        return out, ref
+
+    @pytest.mark.parametrize("kernel", ["convolve", "stacked"])
+    def test_batch_matches_per_row(self, rng, kernel):
+        fn = fast_convolve if kernel == "convolve" else stacked_convolve
+        x = _cnoise(rng, (5, 300))
+        h = _cnoise(rng, (5, 12))
+        out, ref = self._rows_reference(fn, np.convolve, x, h)
+        _assert_close(out, ref)
+
+    @pytest.mark.parametrize("fn", [fast_convolve, stacked_convolve,
+                                    fast_correlate_valid])
+    def test_length_one_batch(self, rng, fn):
+        x = _cnoise(rng, (1, 200))
+        h = _cnoise(rng, (1, 9))
+        out = fn(x, h)
+        assert out.shape[0] == 1
+        scalar = fn(x[0], h[0])
+        _assert_close(out[0], scalar)
+
+    @pytest.mark.parametrize("fn", [fast_convolve, stacked_convolve])
+    def test_empty_batch(self, rng, fn):
+        out = fn(_cnoise(rng, (0, 50)), _cnoise(rng, (0, 5)))
+        assert out.shape == (0, 54)
+        assert out.dtype == np.complex128
+
+    @pytest.mark.parametrize("fn", [fast_convolve, stacked_convolve,
+                                    fast_correlate_valid])
+    def test_ragged_batch_rejected(self, fn):
+        ragged = np.array([np.ones(3), np.ones(5)], dtype=object)
+        with pytest.raises(ValueError, match="ragged"):
+            fn(ragged, np.ones((2, 3)))
+
+    @pytest.mark.parametrize("fn", [fast_convolve, stacked_convolve])
+    def test_mismatched_batch_axes_rejected(self, rng, fn):
+        with pytest.raises(ValueError, match="broadcast"):
+            fn(_cnoise(rng, (3, 100)), _cnoise(rng, (4, 5)))
+
+    def test_dtype_complex128_across_backends(self, rng):
+        from repro.dsp.backends import available_backends, use_backend
+
+        x = _cnoise(rng, (2, 4096)).astype(np.complex64)
+        h = _cnoise(rng, (2, 256))
+        for name in available_backends()["fft"]:
+            with use_backend(name, kernel="fft"):
+                for fn in (fast_convolve, stacked_convolve,
+                           fast_correlate_valid):
+                    assert fn(x, h).dtype == np.complex128, (name, fn)
+
+    def test_broadcast_shared_signal(self, rng):
+        # One signal against a stack of filters (the sweep-cell shape).
+        x = _cnoise(rng, 500)
+        h = _cnoise(rng, (4, 7))
+        out = fast_convolve(x, h)
+        assert out.shape == (4, 506)
+        for i in range(4):
+            _assert_close(out[i], np.convolve(x, h[i]))
+
+
+class TestStackedConvolve:
+    @pytest.mark.parametrize("shape_x,shape_h", [
+        ((6100,), (32, 14)),     # shared signal -> GEMM branch
+        ((32, 6100), (32, 4)),   # stacked signals -> windowed matvec
+        ((8, 300), (5,)),        # shared filter
+        ((3, 1, 200), (4, 9)),   # broadcast batch axes
+        ((128,), (64,)),         # scalar delegate
+    ])
+    def test_matches_fast_convolve(self, rng, shape_x, shape_h):
+        x, h = _cnoise(rng, shape_x), _cnoise(rng, shape_h)
+        _assert_close(stacked_convolve(x, h), fast_convolve(x, h))
+
+    def test_fft_crossover_delegates(self, rng):
+        # Past the crossover both entry points take the same FFT path.
+        x = _cnoise(rng, (2, 1 << 14))
+        h = _cnoise(rng, (2, 256))
+        _assert_close(stacked_convolve(x, h), fast_convolve(x, h))
+
+    def test_disabled_fastpath_delegates(self, rng):
+        x, h = _cnoise(rng, (3, 400)), _cnoise(rng, (3, 8))
+        prev = set_fastpath_enabled(False)
+        try:
+            out = stacked_convolve(x, h)
+        finally:
+            set_fastpath_enabled(prev)
+        ref = np.stack([np.convolve(x[i], h[i]) for i in range(3)])
+        _assert_close(out, ref)
 
 
 class TestGlobalSwitch:

@@ -92,6 +92,23 @@ class TestCheckRegressions:
         problems = check_regressions(_doc(b=9.0), _doc())
         assert any("not in baseline" in p for p in problems)
 
+    def test_sub_unity_baseline_requires_note(self):
+        baseline = _doc(a=0.9)
+        problems = check_regressions(_doc(a=0.9), baseline)
+        assert any("note" in p for p in problems)
+
+    def test_sub_unity_baseline_with_note_accepted(self):
+        baseline = _doc(a=0.9)
+        baseline["kernels"]["a"]["note"] = (
+            "GIL-bound on single-CPU runners; tracked elsewhere")
+        assert check_regressions(_doc(a=0.9), baseline) == []
+
+    def test_blank_note_does_not_satisfy_rule(self):
+        baseline = _doc(a=0.9)
+        baseline["kernels"]["a"]["note"] = "   "
+        problems = check_regressions(_doc(a=0.9), baseline)
+        assert any("note" in p for p in problems)
+
 
 class TestCli:
     def test_build_then_check(self, tmp_path, capsys):

@@ -82,6 +82,11 @@ def build_report(bench: dict,
                  "tracks this ratio, not absolute times"),
         "kernels": bench.get("kernels", {}),
     }
+    if bench.get("backends"):
+        # Which pluggable kernel backends produced the measurements
+        # (repro.dsp.backends); per-kernel attribution rides along
+        # inside each kernel entry.
+        report["backends"] = bench["backends"]
     if telemetry is not None:
         report["telemetry_spans"] = telemetry
     return report
@@ -95,16 +100,25 @@ def check_regressions(current: dict, baseline: dict,
     A kernel regresses when its measured speedup falls below the
     baseline speedup divided by ``factor``.  Kernels present in only
     one of the two documents are reported too -- a silently dropped
-    kernel must not pass the gate.
+    kernel must not pass the gate.  A baseline entry pinned *below*
+    1.0x must carry a ``note`` explaining why the "fast" form is
+    allowed to lose -- an unexplained sub-1.0 pin is how a real
+    regression gets frozen into the baseline.
     """
     cur = current.get("kernels", {})
     base = baseline.get("kernels", {})
     problems = []
     for name, ref in sorted(base.items()):
+        ref_speedup = float(ref["speedup"])
+        if ref_speedup < 1.0 and not str(ref.get("note", "")).strip():
+            problems.append(
+                f"{name}: baseline speedup {ref_speedup:.2f}x is below "
+                f"1.0x with no 'note' explaining why the regression is "
+                f"accepted"
+            )
         if name not in cur:
             problems.append(f"{name}: missing from current report")
             continue
-        ref_speedup = float(ref["speedup"])
         got = float(cur[name]["speedup"])
         floor = ref_speedup / factor
         if got < floor:
